@@ -1,0 +1,45 @@
+"""Experiment fig5: distribution of target lags across active DTs.
+
+Paper (section 6.3 / Figure 5): "More than 25% of DTs have a target lag of
+at least 16 hours, firmly in the batch domain. In the streaming domain,
+nearly 20% of DTs have a target lag less than 5 minutes. The 55% of DTs
+between these validates our hypothesis that the middle ground between
+classic batch and streaming is underserved."
+
+We regenerate the distribution from the calibrated synthetic fleet and
+measure the same marginals. The benchmark times population generation +
+summarization.
+"""
+
+from repro.workload.population import generate_population, summarize
+
+from reporting import emit, table
+
+POPULATION = 5000
+
+
+def _measure():
+    return summarize(generate_population(POPULATION, seed=0))
+
+
+def test_target_lag_distribution(benchmark):
+    summary = benchmark(_measure)
+
+    # Shape assertions against the paper's stated marginals.
+    assert summary.fraction_below_5m > 0.15          # "nearly 20%"
+    assert summary.fraction_at_least_16h > 0.25      # "more than 25%"
+    assert summary.fraction_between > 0.50           # "the 55% between"
+
+    histogram_rows = [[label, count, f"{count / summary.size:.1%}"]
+                      for label, count in summary.lag_histogram.items()]
+    emit("fig5 — target lag distribution", [
+        *table(["bucket", "DTs", "fraction"], histogram_rows),
+        "",
+        *table(["marginal", "paper", "measured"], [
+            ["lag < 5 min", "~20%", f"{summary.fraction_below_5m:.1%}"],
+            ["5 min <= lag < 16 h", "~55%",
+             f"{summary.fraction_between:.1%}"],
+            ["lag >= 16 h", ">25%",
+             f"{summary.fraction_at_least_16h:.1%}"],
+        ]),
+    ])

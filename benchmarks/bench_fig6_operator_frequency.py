@@ -1,0 +1,45 @@
+"""Experiment fig6: operator frequency in incremental DT definitions.
+
+Paper (Figure 6): "the frequency of operators used in incremental DT
+definitions, demonstrating that joins, aggregates, and window functions
+are common."
+
+Frequencies are measured by running the real operator inventory
+(:func:`repro.plan.properties.operator_inventory`) over each synthetic
+DT's *bound plan* — the sampling weights control query shape, but the
+reported numbers come from plan analysis, exactly as the paper measures
+production definitions.
+"""
+
+from repro.workload.population import generate_population, summarize
+
+from reporting import emit, table
+
+POPULATION = 5000
+
+
+def _measure():
+    return summarize(generate_population(POPULATION, seed=1))
+
+
+def test_operator_frequency(benchmark):
+    summary = benchmark(_measure)
+    frequency = summary.operator_frequency
+
+    # Figure 6's qualitative shape.
+    assert frequency["project"] > 0.9
+    assert frequency["filter"] > 0.3
+    assert frequency["inner_join"] > 0.2          # joins are common
+    assert frequency["grouped_aggregate"] > 0.1   # aggregates are common
+    assert frequency["window_function"] > 0.05    # windows present
+    assert frequency["scalar_aggregate"] == 0.0   # never incremental
+    assert frequency["sort_limit"] == 0.0         # never incremental
+
+    ordered = sorted(frequency.items(), key=lambda item: -item[1])
+    rows = [[name, f"{value:.1%}"] for name, value in ordered]
+    emit("fig6 — operator frequency in incremental DTs", [
+        *table(["operator class", "fraction of incremental DTs"], rows),
+        "",
+        "paper: joins, aggregates, and window functions are common; "
+        "non-incrementalizable operators absent by definition.",
+    ])

@@ -1,0 +1,72 @@
+"""Experiment dvs-oracle: randomized DVS testing throughput (section 6.1).
+
+Paper: "Checking this assertion within a framework that generates random
+SQL queries allows us to test the correctness of hundreds of thousands of
+different DTs in a matter of hours. We run this workload test daily."
+
+We measure the oracle's throughput on this substrate: random defining
+queries become DTs over a mutating schema; each round mutates, refreshes,
+and checks DT-contents == defining-query-at-data-timestamp. The paper's
+rate (~10^5 DT-checks in hours on a fleet) scales here to thousands of
+checks per minute on one laptop core — same methodology, smaller metal.
+"""
+
+import random
+import time
+
+from repro import Database
+from repro.util.timeutil import MINUTE
+from repro.workload.generator import (QueryGenerator, UpdateWorkload,
+                                      create_workload_schema)
+
+from reporting import emit, table
+
+DTS = 8
+ROUNDS = 5
+
+
+def _run_oracle_campaign(seed=0):
+    db = Database()
+    db.create_warehouse("wh")
+    create_workload_schema(db)
+    workload = UpdateWorkload(rng=random.Random(seed))
+    workload.seed(db, facts=80, dims=8)
+    generator = QueryGenerator(rng=random.Random(seed + 1))
+    names = []
+    for index in range(DTS):
+        name = f"dt_{index}"
+        db.create_dynamic_table(name, generator.query(), "1 minute", "wh")
+        names.append(name)
+
+    checks = 0
+    for __ in range(ROUNDS):
+        workload.step(db)
+        db.clock.advance(MINUTE)
+        for name in names:
+            db.refresh_dynamic_table(name)
+            assert db.check_dvs(name)
+            checks += 1
+    return checks
+
+
+def test_dvs_oracle_throughput(benchmark):
+    start = time.perf_counter()
+    checks = _run_oracle_campaign()
+    elapsed = time.perf_counter() - start
+    benchmark(_run_oracle_campaign, 1)
+
+    rate = checks / elapsed
+    assert checks == DTS * ROUNDS
+    emit("dvs-oracle — randomized DVS testing (section 6.1)", [
+        *table(["metric", "value"], [
+            ["random DTs", DTS],
+            ["mutation rounds", ROUNDS],
+            ["refresh+check cycles", checks],
+            ["wall time", f"{elapsed:.2f} s"],
+            ["throughput", f"{rate:.0f} checks/s "
+             f"(~{rate * 3600:.0f}/hour on one core)"],
+        ]),
+        "",
+        "paper: the same assertion checks 'hundreds of thousands of "
+        "different DTs in a matter of hours' on the production fleet.",
+    ])

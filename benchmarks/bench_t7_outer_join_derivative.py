@@ -1,0 +1,137 @@
+"""Experiment outer-join: direct vs rewrite derivatives (section 5.5.1).
+
+Paper: the original outer-join derivative rewrote into inner + anti-joins,
+"but it had undesirable performance characteristics due to the repetition
+of the Q and R terms ... the duplication grows exponentially with the
+number of outer joins in the plan. To address this problem, we implemented
+a direct differentiation operator for outer joins."
+
+We differentiate a two-level outer-join plan under a tiny delta with both
+strategies. The direct derivative joins only rows under affected keys;
+the rewrite derivative's duplicated anti-join terms feed the full inputs
+through the join kernels at both endpoints. Both produce identical change
+sets (asserted); the direct one is faster and does far less join work.
+"""
+
+import time
+
+from repro.engine.relation import Relation
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.ivm.changes import ChangeSet
+from repro.ivm.differentiator import DictDeltaSource, differentiate
+from repro.plan.builder import DictSchemaProvider, build_plan
+from repro.sql.parser import parse_query
+
+from reporting import emit, table
+
+FACTS = schema_of(("id", SqlType.INT), ("k1", SqlType.TEXT),
+                  ("k2", SqlType.TEXT), table="facts")
+DIM1 = schema_of(("key", SqlType.TEXT), ("a", SqlType.INT), table="dim1")
+DIM2 = schema_of(("key", SqlType.TEXT), ("b", SqlType.INT), table="dim2")
+PROVIDER = DictSchemaProvider({"facts": FACTS, "dim1": DIM1, "dim2": DIM2})
+
+ROWS = 4_000
+KEYS = 200
+
+#: Two stacked outer joins — where rewrite-duplication compounds.
+PLAN = build_plan(parse_query(
+    "SELECT f.id, d1.a, d2.b FROM facts f "
+    "LEFT JOIN dim1 d1 ON f.k1 = d1.key "
+    "LEFT JOIN dim2 d2 ON f.k2 = d2.key"), PROVIDER)
+
+
+def _tables():
+    facts = Relation(
+        FACTS, [(i, f"k{i % KEYS}", f"k{(i * 7) % KEYS}")
+                for i in range(ROWS)],
+        [f"f:{i}" for i in range(ROWS)])
+    dim1 = Relation(DIM1, [(f"k{i}", i) for i in range(KEYS // 2)],
+                    [f"d1:{i}" for i in range(KEYS // 2)])
+    dim2 = Relation(DIM2, [(f"k{i}", i * 10) for i in range(KEYS // 2)],
+                    [f"d2:{i}" for i in range(KEYS // 2)])
+    return facts, dim1, dim2
+
+
+FACTS_REL, DIM1_REL, DIM2_REL = _tables()
+
+
+def _source_with_small_delta():
+    """Insert 5 facts and update one dim1 row."""
+    delta_facts = ChangeSet()
+    new_fact_pairs = list(FACTS_REL.pairs())
+    for offset in range(5):
+        row = (ROWS + offset, f"k{offset}", f"k{offset + 1}")
+        row_id = f"f:n{offset}"
+        delta_facts.insert(row_id, row)
+        new_fact_pairs.append((row_id, row))
+    facts_new = Relation.from_pairs(FACTS, new_fact_pairs)
+
+    delta_dim1 = ChangeSet()
+    dim1_pairs = list(DIM1_REL.pairs())
+    old_id, old_row = dim1_pairs[3]
+    new_row = (old_row[0], old_row[1] + 1000)
+    delta_dim1.delete(old_id, old_row)
+    delta_dim1.insert(old_id, new_row)
+    dim1_pairs[3] = (old_id, new_row)
+    dim1_new = Relation.from_pairs(DIM1, dim1_pairs)
+
+    return DictDeltaSource(
+        {"facts": FACTS_REL, "dim1": DIM1_REL, "dim2": DIM2_REL},
+        {"facts": facts_new, "dim1": dim1_new, "dim2": DIM2_REL},
+        {"facts": delta_facts, "dim1": delta_dim1, "dim2": ChangeSet()})
+
+
+SOURCE = _source_with_small_delta()
+
+
+def _run(strategy):
+    return differentiate(PLAN, SOURCE, outer_join_strategy=strategy)
+
+
+def test_direct_strategy(benchmark):
+    changes, stats = benchmark(_run, "direct")
+    assert changes
+
+
+def test_rewrite_strategy(benchmark):
+    changes, stats = benchmark(_run, "rewrite")
+    assert changes
+
+
+def test_comparison_report(benchmark):
+    def timed(strategy, repeats=3):
+        result = _run(strategy)
+        samples = []
+        for __ in range(repeats):
+            start = time.perf_counter()
+            _run(strategy)
+            samples.append(time.perf_counter() - start)
+        return min(samples), result
+
+    direct_time, (direct_changes, direct_stats) = timed("direct")
+    rewrite_time, (rewrite_changes, rewrite_stats) = timed("rewrite")
+    benchmark(_run, "direct")
+
+    canon = lambda cs: sorted((c.action.value, c.row_id, c.row) for c in cs)
+    assert canon(direct_changes) == canon(rewrite_changes)
+    # Both strategies share the memoized endpoint evaluations; the direct
+    # derivative's win is in join-kernel work (restricted vs full inputs).
+    assert direct_stats.join_input_rows < rewrite_stats.join_input_rows / 5
+    assert direct_time < rewrite_time
+
+    emit("outer-join — direct vs rewrite derivative "
+         f"({ROWS} facts, 2 stacked LEFT JOINs, tiny delta)", [
+             *table(["strategy", "time", "join input rows",
+                     "changes"], [
+                 ["direct", f"{direct_time * 1e3:.2f} ms",
+                  direct_stats.join_input_rows, len(direct_changes)],
+                 ["rewrite (inner+anti)", f"{rewrite_time * 1e3:.2f} ms",
+                  rewrite_stats.join_input_rows, len(rewrite_changes)],
+             ]),
+             "",
+             f"speedup: {rewrite_time / direct_time:.1f}x; identical "
+             "change sets (asserted).",
+             "paper: term duplication in the rewrite approach forced the "
+             "direct derivative.",
+         ])

@@ -1,0 +1,53 @@
+"""Shared reporting for the benchmark harness.
+
+Every benchmark regenerates a table or figure from the paper and emits a
+paper-vs-measured report: printed to stdout (visible with ``pytest -s``)
+and appended to ``benchmarks/results.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves the full set of reproduced
+tables on disk. ``EXPERIMENTS.md`` summarizes the same numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+_seen_sections: set[str] = set()
+
+
+def emit(section: str, lines: Iterable[str]) -> None:
+    """Print a report section and append it to the results file (once per
+    section per run)."""
+    rendered = "\n".join([f"==== {section} ====", *lines, ""])
+    print("\n" + rendered)
+    if section in _seen_sections:
+        return
+    _seen_sections.add(section)
+    mode = "a" if os.path.exists(RESULTS_PATH) else "w"
+    # Truncate on the first section of a fresh interpreter so repeated
+    # runs do not accumulate.
+    if not _truncated_this_run[0]:
+        mode = "w"
+        _truncated_this_run[0] = True
+    with open(RESULTS_PATH, mode) as handle:
+        handle.write(rendered + "\n")
+
+
+_truncated_this_run = [False]
+
+
+def table(headers: list[str], rows: list[list]) -> list[str]:
+    """Render an aligned text table."""
+    cells = [headers] + [[str(value) for value in row] for row in rows]
+    widths = [max(len(row[index]) for row in cells)
+              for index in range(len(headers))]
+    lines = []
+    for row_index, row in enumerate(cells):
+        line = "  ".join(value.ljust(width)
+                         for value, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if row_index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return lines

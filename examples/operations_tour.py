@@ -1,0 +1,121 @@
+"""An operations tour: the lifecycle features of sections 3.3–3.4.
+
+A three-layer pipeline (bronze → silver → gold) demonstrating:
+
+* DOWNSTREAM target lags aligning a chain to its consumer;
+* refresh actions over time (NO_DATA dominating an idle pipeline);
+* skips under an overloaded warehouse — and DVS surviving them;
+* a failing query (division by zero) auto-suspending after repeated
+  errors, then resuming after the data is fixed;
+* upstream DDL: CREATE OR REPLACE forces a REINITIALIZE; DROP breaks the
+  pipeline; UNDROP heals it without intervention;
+* warehouse credit accounting (co-location economics).
+
+Run:  python examples/operations_tour.py
+"""
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.scheduler.cost import CostModel
+from repro.util.timeutil import MINUTE, SECOND, minutes
+
+
+def build_pipeline(db: Database) -> None:
+    db.execute("CREATE TABLE raw_events (id int, kind text, qty int)")
+    db.execute("INSERT INTO raw_events VALUES "
+               "(1, 'sale', 3), (2, 'sale', 5), (3, 'return', 1)")
+    db.create_dynamic_table(
+        "bronze", "SELECT id, kind, qty FROM raw_events WHERE qty > 0",
+        "downstream", "pipeline_wh")
+    db.create_dynamic_table(
+        "silver", "SELECT kind, count(*) n, sum(qty) total FROM bronze "
+        "GROUP BY kind", "downstream", "pipeline_wh")
+    db.create_dynamic_table(
+        "gold", "SELECT kind, total FROM silver WHERE n > 0",
+        "2 minutes", "pipeline_wh")
+
+
+def main() -> None:
+    db = Database(cost_model=CostModel(fixed_cost=30 * SECOND))
+    db.create_warehouse("pipeline_wh", size=1)
+    build_pipeline(db)
+
+    from repro.core.graph import DependencyGraph
+
+    graph = DependencyGraph(db.catalog)
+    print("DOWNSTREAM lags resolved to the gold consumer's 2 minutes:")
+    for name in ("bronze", "silver", "gold"):
+        lag = graph.effective_lag(name)
+        print(f"  {name:8s} effective lag = {lag / MINUTE:.0f} minute(s)")
+
+    # --- steady state: mostly NO_DATA ------------------------------------
+    next_id = [100]
+
+    def trickle():
+        db.execute(f"INSERT INTO raw_events VALUES "
+                   f"({next_id[0]}, 'sale', {next_id[0] % 7 + 1})")
+        next_id[0] += 1
+
+    for step in range(3):
+        db.at((step + 1) * 5 * MINUTE, trickle)
+    report = db.run_for(minutes(20))
+    print(f"\n20 idle-ish minutes: actions = {report.actions}, "
+          f"skips = {report.refreshes_skipped}")
+    print("gold contents:", sorted(db.query("SELECT * FROM gold").rows))
+
+    # --- overload: skips kick in ------------------------------------------
+    for step in range(10):
+        db.at(db.now + (step + 1) * 30 * SECOND, trickle)
+    report = db.run_for(minutes(6))
+    print(f"\n6 busy minutes on a slow warehouse: "
+          f"skips = {report.refreshes_skipped} "
+          "(section 3.3.3: later refreshes absorb skipped intervals)")
+    for name in ("bronze", "silver", "gold"):
+        assert db.check_dvs(name)
+    print("DVS holds across all layers despite skips ✓")
+
+    # --- failure and auto-suspension ---------------------------------------
+    db.execute("INSERT INTO raw_events VALUES (999, 'poison', 0)")
+    db.create_dynamic_table(
+        "fragile", "SELECT id, 100 / qty per_unit FROM raw_events "
+        "WHERE kind = 'poison'", "1 minute", "pipeline_wh",
+        initialize="on_schedule")
+    db.run_for(minutes(8))
+    fragile = db.dynamic_table("fragile")
+    failures = [r for r in fragile.refresh_history if r.error]
+    print(f"\nfragile DT failed {len(failures)} times "
+          f"(division by zero) -> suspended = {fragile.suspended}")
+
+    db.execute("UPDATE raw_events SET qty = 2 WHERE kind = 'poison'")
+    db.execute("ALTER DYNAMIC TABLE fragile RESUME")
+    db.execute("ALTER DYNAMIC TABLE fragile REFRESH")
+    print("after fixing the data and RESUME:",
+          db.query("SELECT * FROM fragile").rows)
+
+    # --- upstream DDL -------------------------------------------------------
+    db.execute("CREATE OR REPLACE TABLE raw_events "
+               "(id int, kind text, qty int)")
+    db.execute("INSERT INTO raw_events VALUES (1, 'sale', 9)")
+    db.refresh_dynamic_table("gold")
+    bronze = db.dynamic_table("bronze")
+    print("\nafter CREATE OR REPLACE of raw_events, bronze's refresh was:",
+          bronze.refresh_history[-1].action)
+    assert bronze.refresh_history[-1].action == RefreshAction.REINITIALIZE
+
+    db.execute("DROP TABLE raw_events")
+    record = db.engine.refresh(bronze, db.now + MINUTE)
+    print("with raw_events dropped, a refresh fails:",
+          record.error.split(":")[0])
+    db.execute("UNDROP TABLE raw_events")
+    db.refresh_dynamic_table("gold")
+    print("after UNDROP, the pipeline healed itself:",
+          sorted(db.query("SELECT * FROM gold").rows))
+
+    # --- credits --------------------------------------------------------------
+    warehouse = db.warehouses.get("pipeline_wh")
+    print(f"\nwarehouse credits consumed: {warehouse.credits_used():.0f} "
+          f"(co-locating 4 DTs in one warehouse)")
+
+
+if __name__ == "__main__":
+    main()

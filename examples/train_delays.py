@@ -1,0 +1,82 @@
+"""The paper's Listing 1: tracking late-arriving trains.
+
+Two stacked dynamic tables over a VARIANT event stream:
+
+* ``train_arrivals`` — TARGET_LAG = DOWNSTREAM; extracts ARRIVAL events
+  and joins them to the train dimension;
+* ``delayed_trains`` — TARGET_LAG = '1 minute'; counts arrivals more than
+  10 minutes late per train and hour (GROUP BY ALL).
+
+The demo runs the scheduler while events stream in, then reports the lag
+sawtooth (Figure 4) and the refresh-action mix for both tables.
+
+Run:  python examples/train_delays.py
+"""
+
+from repro import Database
+from repro.core.graph import DependencyGraph
+from repro.scheduler.metrics import decompose_peaks, peak_lags, trough_lags
+from repro.util.timeutil import MINUTE, SECOND, format_duration, minutes
+from repro.workload.trains import TrainWorkload
+
+
+def main() -> None:
+    db = Database()
+    workload = TrainWorkload()
+    workload.setup(db, trains=6, schedules_per_train=4)
+
+    graph = DependencyGraph(db.catalog)
+    print("pipeline: train_events + trains -> train_arrivals "
+          "-> (join schedule) -> delayed_trains")
+    print("effective lag of train_arrivals (DOWNSTREAM):",
+          format_duration(graph.effective_lag("train_arrivals")))
+
+    # Stream arrival events every simulated minute for 10 minutes.
+    late_total = [0]
+    for step in range(10):
+        def emit(s=step):
+            late_total[0] += workload.emit_arrivals(db, 12,
+                                                    late_fraction=0.3)
+        db.at((step + 1) * MINUTE, emit)
+    report = db.run_for(minutes(12))
+
+    counted = sum(row[2] for row in
+                  db.query("SELECT * FROM delayed_trains").rows)
+    print(f"\nlate arrivals emitted: {late_total[0]}; "
+          f"counted by delayed_trains: {counted}")
+    assert counted == late_total[0]
+
+    top = db.query(
+        "SELECT t.name, d.hour, d.num_delays FROM delayed_trains d "
+        "JOIN trains t ON d.train_id = t.id "
+        "WHERE d.num_delays > 0 ORDER BY d.num_delays DESC LIMIT 5")
+    print("\nworst offenders (train, hour bucket, delays):")
+    for name, hour, delays in top.rows:
+        print(f"  {name:10s} hour={hour // (3600 * SECOND):2d}  "
+              f"delays={delays}")
+
+    print(f"\nscheduler: {report.refreshes_succeeded} refreshes "
+          f"({report.actions}); {report.refreshes_skipped} skipped")
+
+    for dt_name in ("train_arrivals", "delayed_trains"):
+        dt = db.dynamic_table(dt_name)
+        peaks = peak_lags(dt)
+        troughs = trough_lags(dt)
+        if peaks:
+            print(f"{dt_name}: peak lag max "
+                  f"{max(peaks) / SECOND:.1f}s, trough lag min "
+                  f"{min(troughs) / SECOND:.1f}s")
+        for decomposition in decompose_peaks(dt)[:3]:
+            print(f"   v={decomposition.data_timestamp / SECOND:5.0f}s  "
+                  f"p={decomposition.p / SECOND:4.0f}s  "
+                  f"w={decomposition.w / SECOND:5.1f}s  "
+                  f"d={decomposition.d / SECOND:4.1f}s  "
+                  f"peak={decomposition.peak_lag / SECOND:5.1f}s")
+
+    assert db.check_dvs("train_arrivals")
+    assert db.check_dvs("delayed_trains")
+    print("\nDVS holds on both tables ✓")
+
+
+if __name__ == "__main__":
+    main()

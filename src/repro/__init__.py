@@ -1,0 +1,32 @@
+"""repro — a reproduction of "Streaming Democratized: Ease Across the
+Latency Spectrum with Delayed View Semantics and Snowflake Dynamic Tables"
+(SIGMOD-Companion 2025).
+
+The package implements, in pure Python:
+
+* an in-memory analytical RDBMS substrate — SQL frontend, relational
+  executor, copy-on-write versioned storage with time travel, an
+  HLC-stamped transaction manager, and change queries (streams);
+* **Dynamic Tables**: declarative materialized views with a target lag,
+  refresh actions (NO_DATA / FULL / INCREMENTAL / REINITIALIZE), query
+  evolution, skips, and error-driven auto-suspension;
+* **query differentiation** (incremental view maintenance) with
+  per-operator derivative rules, `$ACTION`/`$ROW_ID` change sets, and
+  change consolidation;
+* the **scheduler** with canonical refresh periods (48·2^n s), aligned
+  data timestamps, simulated virtual warehouses, and lag metrics;
+* the **delayed view semantics** transaction-isolation formalism:
+  Adya-style histories extended with derivation operations, dependency
+  analysis through derived values, and phenomena detection (G0–G2).
+
+Entry points:
+
+* :class:`repro.api.Database` — the end-to-end system;
+* :mod:`repro.isolation` — the standalone formalism of section 4.
+"""
+
+from repro.api import Database, QueryResult
+
+__version__ = "1.0.0"
+
+__all__ = ["Database", "QueryResult", "__version__"]

@@ -1,0 +1,10 @@
+"""Dynamic tables: the entity, refresh engine, graph, and lifecycle."""
+
+from repro.core.dynamic_table import (DynamicTable, RefreshAction,
+                                      RefreshMode, RefreshRecord)
+from repro.core.graph import DependencyGraph
+from repro.core.lag import TargetLag
+from repro.core.refresh import RefreshEngine
+
+__all__ = ["DependencyGraph", "DynamicTable", "RefreshAction",
+           "RefreshEngine", "RefreshMode", "RefreshRecord", "TargetLag"]

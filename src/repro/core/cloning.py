@@ -1,0 +1,93 @@
+"""Zero-copy cloning of tables and dynamic tables (section 3.4).
+
+"Snowflake supports zero-copy-cloning, whereby a new table, schema, or
+database is created with the contents of another by copying only its
+metadata. ... When such an operation is performed, a whole subgraph of DTs
+is moved or created. Our implementation preserves delayed view semantics,
+continuing unperturbed if unaffected or reinitializing if the operation
+replaced any of their dependencies. Cloned DTs can avoid reinitialization
+in many cases."
+
+Semantics implemented here:
+
+* **table clone** — a new :class:`VersionedTable` sharing the source's
+  immutable partitions by reference;
+* **dynamic-table clone** — clones the storage *and* the refresh state:
+  the frontier and the refresh-timestamp index carry over, so the clone's
+  dependency records still match the (shared) upstream entities and its
+  next refresh proceeds **incrementally from the copied frontier** — the
+  "avoid reinitialization" case. A clone is suspended/resumed
+  independently and diverges from its source after creation.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.core.dynamic_table import DynamicTable, RefreshRecord
+from repro.errors import CatalogError, NotInitializedError
+from repro.storage.catalog import Catalog
+from repro.txn.hlc import HlcTimestamp
+
+
+def clone_table(catalog: Catalog, source_name: str, clone_name: str,
+                commit_ts: HlcTimestamp) -> None:
+    """``CREATE TABLE clone_name CLONE source_name``."""
+    entry = catalog.get(source_name)
+    if entry.kind != "table":
+        raise CatalogError(
+            f"{source_name!r} is a {entry.kind}; use the matching CLONE form")
+    source = catalog.versioned_table(source_name)
+    cloned = source.clone(clone_name, catalog.allocate_table_seq(), commit_ts)
+    catalog.create_table_entry(clone_name, cloned, owner=entry.owner)
+
+
+def clone_dynamic_table(catalog: Catalog, source_name: str, clone_name: str,
+                        commit_ts: HlcTimestamp) -> DynamicTable:
+    """``CREATE DYNAMIC TABLE clone_name CLONE source_name``.
+
+    The clone keeps the source's defining query, target lag, warehouse,
+    refresh mode, dependency records, frontier, and data timestamp — so
+    it is immediately readable and its next refresh differentiates from
+    the copied frontier instead of reinitializing.
+    """
+    entry = catalog.get(source_name)
+    if entry.kind != "dynamic table":
+        raise CatalogError(f"{source_name!r} is not a dynamic table")
+    source = entry.payload
+    assert isinstance(source, DynamicTable)
+    if not source.initialized or source.frontier is None:
+        raise NotInitializedError(
+            f"cannot clone uninitialized dynamic table {source_name!r}")
+
+    cloned_storage = source.table.clone(
+        clone_name, catalog.allocate_table_seq(), commit_ts)
+    # The clone is readable at the source's data timestamp: index the
+    # cloned version under it so downstream exact lookups succeed.
+    cloned_storage.register_refresh(source.frontier.data_timestamp,
+                                    cloned_storage.current_version)
+
+    clone = DynamicTable(
+        name=clone_name,
+        query_text=source.query_text,
+        query=source.query,
+        target_lag=source.target_lag,
+        warehouse=source.warehouse,
+        refresh_mode=source.refresh_mode,
+        table=cloned_storage,
+        dependencies=dict(source.dependencies),
+        incremental_supported=source.incremental_supported,
+        incremental_reasons=list(source.incremental_reasons))
+    clone.frontier = copy.deepcopy(source.frontier)
+    clone.initialized = True
+    # Start the history with a marker record mirroring the source's state.
+    marker = RefreshRecord(
+        data_timestamp=source.frontier.data_timestamp,
+        action=source.refresh_history[-1].action
+        if source.refresh_history else None)
+    marker.frontier = clone.frontier
+    marker.table_rows_after = cloned_storage.row_count()
+    clone.refresh_history.append(marker)
+
+    catalog.create_dynamic_entry(clone_name, clone, owner=entry.owner)
+    return clone

@@ -1,0 +1,222 @@
+"""The Dynamic Table entity.
+
+A DT (section 3 of the paper) is "a table in the Snowflake RDBMS, and its
+contents are the result of its defining query at some point in the past.
+To create it, a user provides a SELECT query, a target lag duration, and a
+virtual warehouse in which to execute refreshes."
+
+This module holds the entity's state machine; the refresh algorithms live
+in :mod:`repro.core.refresh` and the orchestration in
+:mod:`repro.scheduler`.
+
+State tracked per DT:
+
+* the **data timestamp** / **frontier** (sections 3.1.1 and 5.3);
+* the requested and *effective* refresh mode — requested AUTO resolves to
+  INCREMENTAL when every operator in the defining query has a derivative
+  rule, else FULL (section 3.3.2);
+* the **dependency records** captured at creation ("When a DT is created,
+  we track all of its dependencies and store them as metadata", section
+  5.4) — generations and schemas that query evolution compares;
+* suspension and the consecutive-failure counter (section 3.3.3: "If the
+  counter exceeds a threshold, the DT is automatically suspended");
+* the refresh history, from which lag metrics are measured.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.frontier import Frontier
+from repro.core.lag import TargetLag
+from repro.engine.schema import Schema
+from repro.errors import NotInitializedError, SuspendedError
+from repro.ivm.differentiator import DifferentiationStats
+from repro.sql import nodes as n
+from repro.storage.table import VersionedTable
+from repro.util.timeutil import Timestamp
+
+#: Consecutive refresh failures before automatic suspension
+#: (section 3.3.3). Snowflake uses five; so do we.
+MAX_CONSECUTIVE_FAILURES = 5
+
+
+class RefreshMode(enum.Enum):
+    """The user-requested refresh mode."""
+
+    AUTO = "auto"
+    FULL = "full"
+    INCREMENTAL = "incremental"
+
+
+class RefreshAction(enum.Enum):
+    """What a refresh actually did (section 3.3.2)."""
+
+    NO_DATA = "no_data"
+    FULL = "full"
+    INCREMENTAL = "incremental"
+    REINITIALIZE = "reinitialize"
+    INITIAL = "initial"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value.upper()
+
+
+@dataclass(frozen=True)
+class DependencyRecord:
+    """What the DT believed about one upstream entity at creation time;
+    compared at every refresh by query evolution (section 5.4)."""
+
+    name: str
+    kind: str            # table | view | dynamic table
+    entity_id: int       # catalog identity; changes on replace/recreate
+    schema: Optional[Schema]  # None for views (their query is re-expanded)
+    used_columns: tuple[str, ...] = ()
+
+
+@dataclass
+class RefreshRecord:
+    """One refresh attempt (successful, failed, or skipped).
+
+    ``data_timestamp`` is v_i in the paper's Figure 4; ``start_wall`` /
+    ``end_wall`` are s_i / e_i. The scheduler fills the wall times; the
+    refresh engine fills the outcome.
+    """
+
+    data_timestamp: Timestamp
+    action: Optional[RefreshAction] = None
+    start_wall: Timestamp = 0
+    end_wall: Timestamp = 0
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    table_rows_after: int = 0
+    source_rows_scanned: int = 0
+    error: Optional[str] = None
+    skipped: bool = False
+    ivm_stats: Optional[DifferentiationStats] = None
+    #: The frontier installed by this refresh (None for skips/failures);
+    #: lets the history recorder reconstruct derivation provenance.
+    frontier: Optional[Frontier] = None
+
+    @property
+    def succeeded(self) -> bool:
+        return self.error is None and not self.skipped
+
+    @property
+    def rows_changed(self) -> int:
+        return self.rows_inserted + self.rows_deleted
+
+    @property
+    def duration(self) -> Timestamp:
+        return self.end_wall - self.start_wall
+
+
+class DynamicTable:
+    """A dynamic table: defining query + target lag + warehouse + state."""
+
+    def __init__(self, name: str, query_text: str, query: n.Select,
+                 target_lag: TargetLag, warehouse: str,
+                 refresh_mode: RefreshMode, table: VersionedTable,
+                 dependencies: dict[str, DependencyRecord],
+                 incremental_supported: bool,
+                 incremental_reasons: list[str] | None = None):
+        self.name = name
+        self.query_text = query_text
+        self.query = query
+        self.target_lag = target_lag
+        self.warehouse = warehouse
+        self.refresh_mode = refresh_mode
+        self.table = table
+        self.dependencies = dependencies
+        self.incremental_supported = incremental_supported
+        self.incremental_reasons = incremental_reasons or []
+
+        self.initialized = False
+        self.suspended = False
+        #: True for internal fragment DTs (section 5.5.3 extension);
+        #: hidden DTs are filtered from user-facing listings.
+        self.hidden = False
+        self.consecutive_failures = 0
+        self.frontier: Optional[Frontier] = None
+        self.refresh_history: list[RefreshRecord] = []
+
+    # -- derived properties -------------------------------------------------------
+
+    @property
+    def effective_refresh_mode(self) -> RefreshMode:
+        """AUTO resolves to INCREMENTAL when the defining query is fully
+        differentiable, else FULL (section 3.3.2)."""
+        if self.refresh_mode == RefreshMode.AUTO:
+            return (RefreshMode.INCREMENTAL if self.incremental_supported
+                    else RefreshMode.FULL)
+        return self.refresh_mode
+
+    @property
+    def data_timestamp(self) -> Optional[Timestamp]:
+        """The DT's current data timestamp (None before initialization)."""
+        if self.frontier is None:
+            return None
+        return self.frontier.data_timestamp
+
+    @property
+    def schema(self) -> Schema:
+        return self.table.schema
+
+    def lag_at(self, now: Timestamp) -> Optional[Timestamp]:
+        """Current lag: now − data timestamp (section 3.2)."""
+        data_ts = self.data_timestamp
+        if data_ts is None:
+            return None
+        return now - data_ts
+
+    # -- state transitions --------------------------------------------------------
+
+    def ensure_readable(self) -> None:
+        """Raise unless the DT can be queried (section 3.1: querying
+        before initialization is an error)."""
+        if not self.initialized:
+            raise NotInitializedError(
+                f"dynamic table {self.name!r} has not been initialized")
+
+    def ensure_refreshable(self) -> None:
+        if self.suspended:
+            raise SuspendedError(
+                f"dynamic table {self.name!r} is suspended")
+
+    def suspend(self) -> None:
+        self.suspended = True
+
+    def resume(self) -> None:
+        """Resume a suspended DT; the failure counter resets so it gets a
+        fresh error budget (section 3.3.3: "the DT can resume from where
+        it left off once the cause is addressed")."""
+        self.suspended = False
+        self.consecutive_failures = 0
+
+    def record_refresh(self, record: RefreshRecord) -> None:
+        """Track a completed refresh attempt and update failure state."""
+        self.refresh_history.append(record)
+        if record.skipped:
+            return
+        if record.error is not None:
+            self.consecutive_failures += 1
+            if self.consecutive_failures >= MAX_CONSECUTIVE_FAILURES:
+                self.suspended = True
+        else:
+            self.consecutive_failures = 0
+
+    def advance_frontier(self, frontier: Frontier) -> None:
+        self.frontier = frontier
+        self.initialized = True
+
+    # -- reporting ------------------------------------------------------------------
+
+    def successful_refreshes(self) -> list[RefreshRecord]:
+        return [record for record in self.refresh_history if record.succeeded]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DynamicTable({self.name!r}, lag={self.target_lag}, "
+                f"mode={self.effective_refresh_mode.value}, "
+                f"data_ts={self.data_timestamp})")

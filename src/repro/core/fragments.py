@@ -1,0 +1,80 @@
+"""Automatic query fragmentation: hidden intermediate dynamic tables.
+
+Section 5.5.3 of the paper lists this as planned work: "a DT is not
+currently able to maintain intermediate state to accelerate incremental
+refreshes. We rely on customers to factor their queries into simpler
+fragments, but this can be toilsome. We intend to automatically split
+queries into fragments, with hidden, internal DTs containing the
+intermediate state."
+
+This module implements the UNION ALL case of that plan. Given
+
+.. code-block:: sql
+
+   CREATE DYNAMIC TABLE d ... AS
+       SELECT ... FROM a ...          -- branch 0
+       UNION ALL SELECT ... FROM b    -- branch 1 (maybe not differentiable)
+
+fragmentation creates one **hidden** DT per branch
+(``_d$frag0``, ``_d$frag1``, TARGET_LAG = DOWNSTREAM, same warehouse) and
+redefines ``d`` as the union of fragment scans. Benefits realized:
+
+* **independent refresh modes** — a branch containing, say, a scalar
+  aggregate runs FULL while the other branches stay INCREMENTAL; without
+  fragmentation one bad branch forces the *whole* query to FULL;
+* **persisted intermediate state** — each branch's result is stored, so
+  the union itself is a trivially linear (cheapest possible) derivative.
+
+Fragment DTs are ordinary catalog citizens (visible to the scheduler and
+the dependency graph) but named with a ``_``/``$`` convention and flagged
+as hidden so user-facing listings can filter them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sql import nodes as n
+
+
+def fragment_name(dt_name: str, index: int) -> str:
+    """The hidden fragment's catalog name."""
+    return f"_{dt_name}$frag{index}"
+
+
+def is_fragment_name(name: str) -> bool:
+    return name.startswith("_") and "$frag" in name
+
+
+def split_union(query: n.Select) -> list[n.Select] | None:
+    """Split a top-level UNION ALL into its branch queries.
+
+    Returns None when the query is not fragmentable: no UNION ALL, or a
+    top-level ORDER BY / LIMIT (whose semantics span the whole union and
+    cannot move into a branch).
+    """
+    if not query.union_all:
+        return None
+    if query.order_by or query.limit is not None:
+        return None
+    first = replace(query, union_all=(), order_by=(), limit=None)
+    return [first, *query.union_all]
+
+
+def union_of_fragments(dt_name: str,
+                       branch_schemas: list[list[str]]) -> n.Select:
+    """The rewritten main query: SELECT cols FROM _d$frag0 UNION ALL ...
+
+    Selecting explicit columns (not ``*``) keeps the output schema pinned
+    even if a fragment is later replaced; each branch selects its own
+    fragment's column names (UNION ALL is positional).
+    """
+    def branch(index: int) -> n.Select:
+        items = tuple(n.SelectItem(n.Name(column), None)
+                      for column in branch_schemas[index])
+        return n.Select(items=items,
+                        from_=n.NamedTable(fragment_name(dt_name, index)))
+
+    first = branch(0)
+    rest = tuple(branch(index) for index in range(1, len(branch_schemas)))
+    return replace(first, union_all=rest)

@@ -1,0 +1,59 @@
+"""Frontiers: per-source progress tracking (section 5.3 of the paper).
+
+"Each time a DT refreshes, its data timestamp moves forward in time. But
+the data timestamp is an abstraction over a more complicated object we
+call a frontier. A frontier is a map containing the table version of each
+source table that the DT has consumed, and an HLC timestamp of that
+refresh."
+
+The frontier is what an incremental refresh differentiates *from*: the
+interval of a refresh is (frontier versions, newly resolved versions] per
+source. It also carries the debugging value the paper mentions — when
+versions are mistracked, the frontier pinpoints which source diverged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.txn.hlc import HlcTimestamp
+from repro.util.timeutil import Timestamp
+
+
+@dataclass(frozen=True)
+class SourceCursor:
+    """The consumed position in one source table."""
+
+    table: str
+    version_index: int
+    commit_ts: HlcTimestamp
+
+
+@dataclass(frozen=True)
+class Frontier:
+    """A consistent set of consumed source versions at one data timestamp."""
+
+    data_timestamp: Timestamp
+    cursors: dict[str, SourceCursor] = field(default_factory=dict)
+
+    def cursor(self, table: str) -> SourceCursor | None:
+        return self.cursors.get(table)
+
+    def tables(self) -> list[str]:
+        return sorted(self.cursors)
+
+    def advanced_from(self, other: "Frontier") -> list[str]:
+        """The sources whose versions moved relative to ``other`` —
+        exactly the tables an incremental refresh must read deltas for."""
+        moved = []
+        for table, cursor in self.cursors.items():
+            previous = other.cursor(table)
+            if previous is None or previous.version_index != cursor.version_index:
+                moved.append(table)
+        return sorted(moved)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        positions = ", ".join(
+            f"{table}@v{cursor.version_index}"
+            for table, cursor in sorted(self.cursors.items()))
+        return f"Frontier(t={self.data_timestamp}, {positions})"

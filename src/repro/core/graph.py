@@ -1,0 +1,179 @@
+"""The dynamic-table dependency graph.
+
+Section 3.1.2 of the paper: "Read dependencies between DTs induce a
+directed acyclic graph, where tables, views, and DTs are vertices, and
+edges represent dataflow between them."
+
+The graph is rendered from the catalog (the paper's scheduler consumes
+the DDL log to do the same). It provides:
+
+* upstream/downstream navigation and topological ordering,
+* cycle rejection (section 3.1.1: "Cycles are not allowed"),
+* **effective lag resolution** for DOWNSTREAM target lags (section 3.2:
+  "automatically aligns the table's lag with the minimum target lag of
+  its downstream dependencies"),
+* connected components of DTs, which the scheduler aligns to shared
+  refresh periods (section 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.dynamic_table import DynamicTable
+from repro.core.lag import TargetLag
+from repro.errors import CycleError
+from repro.plan import logical as lp
+from repro.storage.catalog import Catalog
+from repro.util.timeutil import Duration
+
+
+class DependencyGraph:
+    """A snapshot of the DT dependency DAG rendered from a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        #: dt name -> names of upstream entities it reads (tables and DTs).
+        self.upstream: dict[str, set[str]] = {}
+        #: entity name -> names of DTs that read it.
+        self.downstream: dict[str, set[str]] = {}
+        self.dynamic_tables: dict[str, DynamicTable] = {}
+        self._render()
+
+    def _render(self) -> None:
+        for entry in self._catalog.entries(kind="dynamic table"):
+            dt = entry.payload
+            assert isinstance(dt, DynamicTable)
+            self.dynamic_tables[dt.name] = dt
+            sources = set(dt.dependencies)
+            self.upstream[dt.name] = sources
+            for source in sources:
+                self.downstream.setdefault(source, set()).add(dt.name)
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        # Only DT→DT edges can form cycles (base tables have no upstream).
+        state: dict[str, int] = {}
+
+        def visit(name: str, stack: list[str]) -> None:
+            status = state.get(name, 0)
+            if status == 1:
+                cycle = " -> ".join(stack + [name])
+                raise CycleError(f"dynamic table cycle: {cycle}")
+            if status == 2:
+                return
+            state[name] = 1
+            for upstream_name in self.upstream.get(name, ()):
+                if upstream_name in self.dynamic_tables:
+                    visit(upstream_name, stack + [name])
+            state[name] = 2
+
+        for name in self.dynamic_tables:
+            visit(name, [])
+
+    # -- navigation ---------------------------------------------------------------
+
+    def upstream_dts(self, name: str) -> list[DynamicTable]:
+        """The DTs directly upstream of ``name``."""
+        return [self.dynamic_tables[source]
+                for source in sorted(self.upstream.get(name, ()))
+                if source in self.dynamic_tables]
+
+    def downstream_dts(self, name: str) -> list[DynamicTable]:
+        return [self.dynamic_tables[sink]
+                for sink in sorted(self.downstream.get(name, ()))]
+
+    def upstream_closure(self, name: str) -> list[DynamicTable]:
+        """All DTs transitively upstream of ``name`` (excluding itself),
+        in topological (leaf-first) order — the set a manual refresh must
+        refresh first (section 3.1.2)."""
+        ordered = self.topological_order()
+        closure: set[str] = set()
+
+        def collect(target: str) -> None:
+            for dt in self.upstream_dts(target):
+                if dt.name not in closure:
+                    closure.add(dt.name)
+                    collect(dt.name)
+
+        collect(name)
+        return [dt for dt in ordered if dt.name in closure]
+
+    def topological_order(self) -> list[DynamicTable]:
+        """All DTs, upstream before downstream."""
+        visited: set[str] = set()
+        ordered: list[DynamicTable] = []
+
+        def visit(name: str) -> None:
+            if name in visited:
+                return
+            visited.add(name)
+            for dt in self.upstream_dts(name):
+                visit(dt.name)
+            ordered.append(self.dynamic_tables[name])
+
+        for name in sorted(self.dynamic_tables):
+            visit(name)
+        return ordered
+
+    def connected_components(self) -> list[list[DynamicTable]]:
+        """Connected components of the DT↔DT graph (ignoring direction).
+
+        Section 5.2: "All DTs in that component are frequently forced to
+        refresh at the same data timestamp" — the scheduler aligns periods
+        per component.
+        """
+        neighbours: dict[str, set[str]] = {name: set()
+                                           for name in self.dynamic_tables}
+        for name in self.dynamic_tables:
+            for dt in self.upstream_dts(name):
+                neighbours[name].add(dt.name)
+                neighbours[dt.name].add(name)
+
+        seen: set[str] = set()
+        components: list[list[DynamicTable]] = []
+        for name in sorted(self.dynamic_tables):
+            if name in seen:
+                continue
+            component: list[str] = []
+            frontier = [name]
+            while frontier:
+                current = frontier.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                component.append(current)
+                frontier.extend(neighbours[current] - seen)
+            components.append([self.dynamic_tables[member]
+                               for member in sorted(component)])
+        return components
+
+    # -- lag resolution --------------------------------------------------------------
+
+    def effective_lag(self, name: str) -> Optional[Duration]:
+        """The effective target lag in nanoseconds.
+
+        For a duration lag this is the duration. For DOWNSTREAM it is the
+        minimum effective lag of the downstream DTs (section 3.2); a
+        DOWNSTREAM DT with no downstream consumers has no effective lag
+        (it refreshes only on demand) — represented as None.
+        """
+        return self._effective_lag(name, visiting=set())
+
+    def _effective_lag(self, name: str,
+                       visiting: set[str]) -> Optional[Duration]:
+        dt = self.dynamic_tables[name]
+        lag: TargetLag = dt.target_lag
+        if not lag.is_downstream:
+            return lag.duration
+        if name in visiting:
+            raise CycleError(f"DOWNSTREAM lag cycle through {name!r}")
+        visiting.add(name)
+        candidates = [
+            self._effective_lag(downstream.name, visiting)
+            for downstream in self.downstream_dts(name)]
+        visiting.discard(name)
+        concrete = [lag for lag in candidates if lag is not None]
+        if not concrete:
+            return None
+        return min(concrete)

@@ -1,0 +1,61 @@
+"""Target lag (section 3.2 of the paper).
+
+"Dynamic Tables support two types of target lags: a duration or
+DOWNSTREAM. Durations (minimum of 1 minute ...) specify a time-based lag
+limit, subject to upstream table constraints. The DOWNSTREAM option
+automatically aligns the table's lag with the minimum target lag of its
+downstream dependencies."
+
+Lag itself is "the difference between the current time and the table's
+data timestamp"; helpers for measuring it live in
+:mod:`repro.scheduler.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import UserError
+from repro.util.timeutil import Duration, MINUTE, format_duration, parse_duration
+
+#: The minimum supported duration target lag (section 3.2: "minimum of
+#: 1 minute, support for lower values is in early testing").
+MIN_TARGET_LAG: Duration = MINUTE
+
+
+@dataclass(frozen=True)
+class TargetLag:
+    """Either a concrete duration or the DOWNSTREAM marker.
+
+    ``duration`` is None iff the lag is DOWNSTREAM.
+    """
+
+    duration: Optional[Duration]
+
+    @property
+    def is_downstream(self) -> bool:
+        return self.duration is None
+
+    @staticmethod
+    def downstream() -> "TargetLag":
+        return TargetLag(None)
+
+    @staticmethod
+    def of(duration: Duration) -> "TargetLag":
+        if duration < MIN_TARGET_LAG:
+            raise UserError(
+                f"target lag must be at least {format_duration(MIN_TARGET_LAG)}")
+        return TargetLag(duration)
+
+    @staticmethod
+    def parse(text: str) -> "TargetLag":
+        """Parse the DDL form: ``'1 minute'`` or ``DOWNSTREAM``."""
+        if text.strip().lower() == "downstream":
+            return TargetLag.downstream()
+        return TargetLag.of(parse_duration(text))
+
+    def __str__(self) -> str:
+        if self.duration is None:
+            return "DOWNSTREAM"
+        return format_duration(self.duration)

@@ -1,0 +1,262 @@
+"""The refresh engine: executing one refresh of one dynamic table.
+
+Section 5.4 of the paper describes the pipeline this module reproduces:
+the scheduler issues an internal command naming a DT and a refresh
+timestamp; the compiler expands the defining query, checks **query
+evolution**, chooses the **refresh action**, rewrites the plan, and hands
+it to execution under the transaction manager, which "locks the DT, stages
+changes to its contents, commits or rolls back those changes, creates a
+new table version indexed by the data timestamp, and unlocks the table."
+
+Action selection (sections 3.3.2 and 5.4):
+
+* ``NO_DATA`` — no source version moved since the frontier: "we merely
+  commit a transaction marking the progress of the DT to the next data
+  timestamp. This uses negligible resources."
+* ``FULL`` — sources changed, refresh mode FULL: INSERT OVERWRITE of the
+  defining query at the new data timestamp.
+* ``INCREMENTAL`` — differentiate the defining query over the frontier →
+  new-versions interval and merge the changes.
+* ``REINITIALIZE`` — query evolution detected an upstream replacement:
+  recompute from scratch (keeping deterministic row ids so incremental
+  refreshes can resume afterwards).
+* ``INITIAL`` — the first refresh (initialization, section 3.1).
+
+Source version resolution (section 5.3): regular tables resolve "the table
+version with the largest commit timestamp less than or equal to t"; an
+upstream DT resolves by **exact** refresh-timestamp lookup, and a missing
+entry fails the refresh — the paper's first production validation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dynamic_table import (DynamicTable, RefreshAction,
+                                      RefreshRecord)
+from repro.core.evolution import (EvolutionOutcome, check_evolution,
+                                  record_dependencies)
+from repro.core.frontier import Frontier, SourceCursor
+from repro.engine.executor import evaluate
+from repro.engine.expressions import DEFAULT_REGISTRY, EvalContext, FunctionRegistry
+from repro.engine.relation import Relation
+from repro.errors import (ChangeIntegrityError, NotInitializedError,
+                          TransactionError, UserError)
+from repro.ivm.changes import ChangeSet
+from repro.ivm.differentiator import (OUTER_JOIN_DIRECT, differentiate)
+from repro.plan import logical as lp
+from repro.plan.builder import build_plan
+from repro.plan.rewrite import optimize
+from repro.storage.catalog import Catalog
+from repro.storage.table import TableVersion, VersionedTable
+from repro.streams.changes import changes_between
+from repro.txn.manager import TransactionManager
+from repro.util.timeutil import Timestamp
+
+
+class _VersionResolver:
+    """SnapshotResolver over an explicit {table: version} pinning."""
+
+    def __init__(self, catalog: Catalog,
+                 versions: dict[str, TableVersion]):
+        self._catalog = catalog
+        self._versions = versions
+
+    def scan(self, table: str) -> Relation:
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation(self._versions[table])
+
+
+class _FrontierDeltaSource:
+    """DeltaSource for one refresh interval: frontier versions → resolved
+    new versions, with per-table change streams from the storage layer."""
+
+    def __init__(self, catalog: Catalog,
+                 old_versions: dict[str, TableVersion],
+                 new_versions: dict[str, TableVersion]):
+        self._catalog = catalog
+        self._old = old_versions
+        self._new = new_versions
+
+    def scan_old(self, table: str) -> Relation:
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation(self._old[table])
+
+    def scan_new(self, table: str) -> Relation:
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation(self._new[table])
+
+    def scan_delta(self, table: str) -> ChangeSet:
+        versioned = self._catalog.versioned_table(table)
+        return changes_between(versioned, self._old[table], self._new[table])
+
+
+class RefreshEngine:
+    """Executes refreshes against a catalog + transaction manager."""
+
+    def __init__(self, catalog: Catalog, txn_manager: TransactionManager,
+                 registry: FunctionRegistry = DEFAULT_REGISTRY,
+                 outer_join_strategy: str = OUTER_JOIN_DIRECT):
+        self.catalog = catalog
+        self.txn_manager = txn_manager
+        self.registry = registry
+        self.outer_join_strategy = outer_join_strategy
+
+    # -- public API ----------------------------------------------------------------
+
+    def refresh(self, dt: DynamicTable,
+                refresh_ts: Timestamp) -> RefreshRecord:
+        """Run one refresh of ``dt`` at data timestamp ``refresh_ts``.
+
+        Returns a :class:`RefreshRecord`; user errors are captured in the
+        record (and counted toward auto-suspension) rather than raised —
+        section 3.3.3: "If a refresh encounters a user error ... it fails
+        and is not retried."
+        """
+        record = RefreshRecord(data_timestamp=refresh_ts)
+        dt.ensure_refreshable()
+        txn = self.txn_manager.begin(snapshot_wall=refresh_ts)
+        try:
+            txn.lock(dt.name)
+            self._execute(dt, refresh_ts, record, txn)
+        except (UserError, TransactionError, ChangeIntegrityError,
+                NotInitializedError) as exc:
+            txn.abort()
+            record.error = f"{type(exc).__name__}: {exc}"
+        dt.record_refresh(record)
+        return record
+
+    def build_plan(self, dt: DynamicTable) -> lp.PlanNode:
+        """(Re)build the DT's defining plan against the current catalog —
+        done per refresh, as in section 5.4's rewrite pipeline."""
+        return optimize(build_plan(dt.query, self.catalog, self.registry))
+
+    # -- internals --------------------------------------------------------------------
+
+    def _execute(self, dt: DynamicTable, refresh_ts: Timestamp,
+                 record: RefreshRecord, txn) -> None:
+        decision = check_evolution(dt.dependencies, self.catalog)
+        if decision.outcome == EvolutionOutcome.FAIL:
+            raise UserError("; ".join(decision.reasons))
+
+        plan = self.build_plan(dt)
+        new_versions = self._resolve_sources(plan, refresh_ts)
+
+        force_reinitialize = (
+            decision.outcome == EvolutionOutcome.REINITIALIZE)
+
+        if dt.frontier is None:
+            action = RefreshAction.INITIAL
+        elif force_reinitialize:
+            action = RefreshAction.REINITIALIZE
+        elif self._no_source_changed(dt, new_versions):
+            action = RefreshAction.NO_DATA
+        elif dt.effective_refresh_mode.value == "full":
+            action = RefreshAction.FULL
+        else:
+            action = RefreshAction.INCREMENTAL
+        record.action = action
+
+        if action == RefreshAction.NO_DATA:
+            # Mark progress only: commit an empty transaction and index the
+            # current table version under the new data timestamp.
+            txn.commit()
+            dt.table.register_refresh(refresh_ts, dt.table.current_version)
+            frontier = self._frontier_for(refresh_ts, new_versions)
+            dt.advance_frontier(frontier)
+            record.frontier = frontier
+            record.table_rows_after = dt.table.row_count()
+            return
+
+        ctx = EvalContext(timestamp=refresh_ts)
+        if action == RefreshAction.INCREMENTAL:
+            old_versions = self._frontier_versions(dt, new_versions)
+            source = _FrontierDeltaSource(self.catalog, old_versions,
+                                          new_versions)
+            changes, stats = differentiate(
+                plan, source, ctx,
+                outer_join_strategy=self.outer_join_strategy)
+            record.ivm_stats = stats
+            record.source_rows_scanned = (stats.delta_rows_in
+                                          + stats.endpoint_rows)
+            txn.stage_changeset(dt.name, changes, overwrite=False)
+            record.rows_inserted = len(changes.inserts())
+            record.rows_deleted = len(changes.deletes())
+        else:
+            # INITIAL / REINITIALIZE / FULL: INSERT OVERWRITE from scratch.
+            resolver = _VersionResolver(self.catalog, new_versions)
+            result = evaluate(plan, resolver, ctx)
+            record.source_rows_scanned = self._source_row_count(new_versions)
+            changes = ChangeSet()
+            for row_id, row in result.pairs():
+                changes.insert(row_id, row)
+            txn.stage_changeset(dt.name, changes, overwrite=True)
+            record.rows_inserted = len(changes)
+            record.rows_deleted = dt.table.row_count()
+
+        txn.commit()
+        dt.table.register_refresh(refresh_ts, dt.table.current_version)
+        frontier = self._frontier_for(refresh_ts, new_versions)
+        dt.advance_frontier(frontier)
+        record.frontier = frontier
+        record.table_rows_after = dt.table.row_count()
+        if action in (RefreshAction.INITIAL, RefreshAction.REINITIALIZE):
+            # Re-record dependency metadata so evolution stops firing.
+            dt.dependencies = record_dependencies(dt.query, self.catalog)
+
+    def _resolve_sources(self, plan: lp.PlanNode,
+                         refresh_ts: Timestamp) -> dict[str, TableVersion]:
+        versions: dict[str, TableVersion] = {}
+        for table_name in set(lp.scans_of(plan)):
+            entry = self.catalog.get(table_name)
+            versioned = self.catalog.versioned_table(table_name)
+            if entry.kind == "dynamic table":
+                upstream = entry.payload
+                assert isinstance(upstream, DynamicTable)
+                upstream.ensure_readable()
+                # Exact-match resolution (section 6.1, validation 1).
+                versions[table_name] = versioned.version_for_refresh(refresh_ts)
+            else:
+                versions[table_name] = versioned.version_at(refresh_ts)
+        return versions
+
+    def _frontier_versions(self, dt: DynamicTable,
+                           new_versions: dict[str, TableVersion],
+                           ) -> dict[str, TableVersion]:
+        assert dt.frontier is not None
+        old_versions: dict[str, TableVersion] = {}
+        for table_name in new_versions:
+            cursor = dt.frontier.cursor(table_name)
+            versioned = self.catalog.versioned_table(table_name)
+            if cursor is None:
+                # A new source appeared without evolution noticing; treat
+                # the empty version 0 as the starting point.
+                old_versions[table_name] = versioned.versions[0]
+            else:
+                old_versions[table_name] = versioned.versions[cursor.version_index]
+        return old_versions
+
+    def _no_source_changed(self, dt: DynamicTable,
+                           new_versions: dict[str, TableVersion]) -> bool:
+        """The NO_DATA test: every source's resolved version equals the
+        frontier cursor (section 5.4: "we determine this by looking at the
+        metadata and version history of the underlying tables")."""
+        assert dt.frontier is not None
+        for table_name, version in new_versions.items():
+            cursor = dt.frontier.cursor(table_name)
+            if cursor is None or cursor.version_index != version.index:
+                return False
+        return True
+
+    def _frontier_for(self, refresh_ts: Timestamp,
+                      versions: dict[str, TableVersion]) -> Frontier:
+        cursors = {
+            name: SourceCursor(name, version.index, version.commit_ts)
+            for name, version in versions.items()}
+        return Frontier(refresh_ts, cursors)
+
+    def _source_row_count(self, versions: dict[str, TableVersion]) -> int:
+        total = 0
+        for name, version in versions.items():
+            total += self.catalog.versioned_table(name).row_count(version)
+        return total

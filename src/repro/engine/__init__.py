@@ -1,0 +1,9 @@
+"""The execution engine: values, expressions, schemas, and the executor."""
+
+from repro.engine.executor import evaluate
+from repro.engine.relation import DictResolver, Relation
+from repro.engine.schema import Column, Schema, schema_of
+from repro.engine.types import SqlType
+
+__all__ = ["Column", "DictResolver", "Relation", "Schema", "SqlType",
+           "evaluate", "schema_of"]

@@ -1,0 +1,283 @@
+"""The relational executor.
+
+Evaluates a bound logical plan against a :class:`SnapshotResolver`,
+producing a :class:`~repro.engine.relation.Relation` whose row ids follow
+the deterministic derivation of :mod:`repro.ivm.rowid`. Because full
+evaluation and incremental evaluation derive identical ids, a FULL refresh,
+a REINITIALIZE, and a long chain of INCREMENTAL refreshes all converge on
+byte-identical table states — the property the paper's randomized
+production validation (section 6.1) checks.
+
+The executor is a straightforward pull-based interpreter: each operator
+materializes its output. Joins hash on equi-keys when the condition allows
+(falling back to nested loops), aggregation and DISTINCT hash on SQL group
+keys (NULLs equal), and window functions evaluate per partition via
+:mod:`repro.engine.window`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine import types as t
+from repro.engine.expressions import DEFAULT_CONTEXT, EvalContext
+from repro.engine.relation import Relation, SnapshotResolver
+from repro.engine.window import evaluate_window_calls, sort_partition
+from repro.errors import InternalError
+from repro.ivm import rowid
+from repro.plan import logical as lp
+from repro.engine.aggregates import evaluate_aggregate
+
+
+def evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
+             ctx: EvalContext = DEFAULT_CONTEXT) -> Relation:
+    """Evaluate ``plan`` against ``resolver``'s snapshot."""
+    return _Executor(resolver, ctx).run(plan)
+
+
+class _Executor:
+    def __init__(self, resolver: SnapshotResolver, ctx: EvalContext):
+        self._resolver = resolver
+        self._ctx = ctx
+
+    def run(self, plan: lp.PlanNode) -> Relation:
+        method = getattr(self, f"_run_{type(plan).__name__.lower()}", None)
+        if method is None:
+            raise InternalError(f"no executor for {type(plan).__name__}")
+        return method(plan)
+
+    # -- leaves --------------------------------------------------------------
+
+    def _run_scan(self, plan: lp.Scan) -> Relation:
+        source = self._resolver.scan(plan.table)
+        # Requalify under the plan's schema (alias binding); data unchanged.
+        return Relation(plan.schema, source.rows, source.row_ids)
+
+    def _run_values(self, plan: lp.Values) -> Relation:
+        relation = Relation(plan.schema)
+        for index, row in enumerate(plan.rows):
+            relation.append(f"v:{index}", row)
+        return relation
+
+    # -- row-preserving operators ---------------------------------------------
+
+    def _run_project(self, plan: lp.Project) -> Relation:
+        child = self.run(plan.child)
+        output = Relation(plan.schema)
+        for row_id, row in child.pairs():
+            output.append(row_id, tuple(expr.eval(row, self._ctx)
+                                        for expr in plan.exprs))
+        return output
+
+    def _run_filter(self, plan: lp.Filter) -> Relation:
+        child = self.run(plan.child)
+        output = Relation(plan.schema)
+        for row_id, row in child.pairs():
+            if t.is_true(plan.predicate.eval(row, self._ctx)):
+                output.append(row_id, row)
+        return output
+
+    # -- joins ----------------------------------------------------------------
+
+    def _run_join(self, plan: lp.Join) -> Relation:
+        left = self.run(plan.left)
+        right = self.run(plan.right)
+        return join_relations(plan, left, right, self._ctx)
+
+    # -- union ------------------------------------------------------------------
+
+    def _run_unionall(self, plan: lp.UnionAll) -> Relation:
+        output = Relation(plan.schema)
+        for branch, child in enumerate(plan.inputs):
+            relation = self.run(child)
+            for row_id, row in relation.pairs():
+                output.append(rowid.union_id(branch, row_id), row)
+        return output
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _run_aggregate(self, plan: lp.Aggregate) -> Relation:
+        child = self.run(plan.child)
+        return aggregate_relation(plan, child, self._ctx)
+
+    def _run_distinct(self, plan: lp.Distinct) -> Relation:
+        child = self.run(plan.child)
+        return distinct_relation(plan.schema, child)
+
+    # -- windows -----------------------------------------------------------------
+
+    def _run_window(self, plan: lp.Window) -> Relation:
+        child = self.run(plan.child)
+        return window_relation(plan, child, self._ctx)
+
+    # -- flatten ---------------------------------------------------------------
+
+    def _run_flatten(self, plan: lp.Flatten) -> Relation:
+        child = self.run(plan.child)
+        return flatten_relation(plan, child, self._ctx)
+
+    # -- presentation operators -------------------------------------------------
+
+    def _run_sort(self, plan: lp.Sort) -> Relation:
+        child = self.run(plan.child)
+        ordered = sort_partition(child.rows, child.row_ids, plan.keys, self._ctx)
+        output = Relation(plan.schema)
+        for index in ordered:
+            output.append(child.row_ids[index], child.rows[index])
+        return output
+
+    def _run_limit(self, plan: lp.Limit) -> Relation:
+        child = self.run(plan.child)
+        output = Relation(plan.schema)
+        for row_id, row in list(child.pairs())[:plan.count]:
+            output.append(row_id, row)
+        return output
+
+
+# ---------------------------------------------------------------------------
+# Shared operator kernels (the IVM rules reuse these on delta inputs)
+# ---------------------------------------------------------------------------
+
+def join_relations(plan: lp.Join, left: Relation, right: Relation,
+                   ctx: EvalContext) -> Relation:
+    """Evaluate any join kind over two materialized inputs."""
+    output = Relation(plan.schema)
+    left_width = len(plan.left.schema)
+    right_width = len(plan.right.schema)
+
+    if plan.kind == "cross":
+        for left_id, left_row in left.pairs():
+            for right_id, right_row in right.pairs():
+                output.append(rowid.join_id(left_id, right_id),
+                              left_row + right_row)
+        return output
+
+    keys = lp.extract_equi_keys(plan)
+    matched_right: set[int] = set()
+
+    if keys.left_keys:
+        # Hash join on the equi-keys.
+        buckets: dict[tuple, list[int]] = {}
+        for index, row in enumerate(right.rows):
+            values = tuple(expr.eval(row, ctx) for expr in keys.right_keys)
+            if any(value is None for value in values):
+                continue  # NULL keys never match
+            buckets.setdefault(t.group_key(values), []).append(index)
+
+        for left_index, left_row in enumerate(left.rows):
+            values = tuple(expr.eval(left_row, ctx) for expr in keys.left_keys)
+            candidates: Sequence[int]
+            if any(value is None for value in values):
+                candidates = ()
+            else:
+                candidates = buckets.get(t.group_key(values), ())
+            found = False
+            for right_index in candidates:
+                combined = left_row + right.rows[right_index]
+                if keys.residual is not None and not t.is_true(
+                        keys.residual.eval(combined, ctx)):
+                    continue
+                found = True
+                matched_right.add(right_index)
+                output.append(
+                    rowid.join_id(left.row_ids[left_index],
+                                  right.row_ids[right_index]), combined)
+            if not found and plan.kind in ("left", "full"):
+                output.append(rowid.outer_left_id(left.row_ids[left_index]),
+                              left_row + (None,) * right_width)
+    else:
+        # No equi-keys: nested loops on the full condition.
+        for left_index, left_row in enumerate(left.rows):
+            found = False
+            for right_index, right_row in enumerate(right.rows):
+                combined = left_row + right_row
+                if plan.condition is not None and not t.is_true(
+                        plan.condition.eval(combined, ctx)):
+                    continue
+                found = True
+                matched_right.add(right_index)
+                output.append(
+                    rowid.join_id(left.row_ids[left_index],
+                                  right.row_ids[right_index]), combined)
+            if not found and plan.kind in ("left", "full"):
+                output.append(rowid.outer_left_id(left.row_ids[left_index]),
+                              left_row + (None,) * right_width)
+
+    if plan.kind in ("right", "full"):
+        for right_index, right_row in enumerate(right.rows):
+            if right_index not in matched_right:
+                output.append(rowid.outer_right_id(right.row_ids[right_index]),
+                              (None,) * left_width + right_row)
+    return output
+
+
+def aggregate_relation(plan: lp.Aggregate, child: Relation,
+                       ctx: EvalContext) -> Relation:
+    """Evaluate grouped (or scalar) aggregation over a materialized input."""
+    groups: dict[tuple, tuple[tuple, list[tuple]]] = {}
+    for row in child.rows:
+        key_values = tuple(expr.eval(row, ctx) for expr in plan.group_exprs)
+        key = t.group_key(key_values)
+        if key not in groups:
+            groups[key] = (key_values, [])
+        groups[key][1].append(row)
+
+    output = Relation(plan.schema)
+    if plan.is_scalar and not groups:
+        # Scalar aggregate over empty input still yields one row.
+        groups[t.group_key(())] = ((), [])
+    for key_values, rows in groups.values():
+        aggregates = tuple(
+            evaluate_aggregate(call.function, call.arg, call.distinct, rows, ctx)
+            for call in plan.aggregates)
+        output.append(rowid.group_id(key_values), key_values + aggregates)
+    return output
+
+
+def distinct_relation(schema, child: Relation) -> Relation:
+    output = Relation(schema)
+    seen: set[tuple] = set()
+    for row in child.rows:
+        key = t.group_key(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        output.append(rowid.distinct_id(row), row)
+    return output
+
+
+def window_relation(plan: lp.Window, child: Relation,
+                    ctx: EvalContext) -> Relation:
+    """Evaluate partitioned window calls, appending one column per call."""
+    partitions: dict[tuple, list[int]] = {}
+    for index, row in enumerate(child.rows):
+        key = t.group_key(expr.eval(row, ctx) for expr in plan.partition_exprs)
+        partitions.setdefault(key, []).append(index)
+
+    extra: list[list] = [[] for __ in child.rows]
+    for indices in partitions.values():
+        rows = [child.rows[index] for index in indices]
+        ids = [child.row_ids[index] for index in indices]
+        outputs = evaluate_window_calls(plan.calls, rows, ids, ctx)
+        for local, index in enumerate(indices):
+            extra[index] = outputs[local]
+
+    output = Relation(plan.schema)
+    for index, (row_id, row) in enumerate(child.pairs()):
+        output.append(row_id, row + tuple(extra[index]))
+    return output
+
+
+def flatten_relation(plan: lp.Flatten, child: Relation,
+                     ctx: EvalContext) -> Relation:
+    """LATERAL FLATTEN: one output row per array element; non-array or NULL
+    inputs contribute no rows (Snowflake's default OUTER => FALSE)."""
+    output = Relation(plan.schema)
+    for row_id, row in child.pairs():
+        value = plan.input_expr.eval(row, ctx)
+        if not isinstance(value, list):
+            continue
+        for index, element in enumerate(value):
+            output.append(rowid.flatten_id(row_id, index),
+                          row + (element, index))
+    return output

@@ -1,0 +1,635 @@
+"""Bound scalar expressions.
+
+The SQL frontend produces *AST* expressions (:mod:`repro.sql.nodes`); the
+plan builder binds names against schemas and produces the *bound*
+expressions defined here. Bound expressions reference columns by position
+(:class:`ColumnRef` holds an index), so evaluation over a row is a direct
+tuple lookup with no name resolution on the hot path.
+
+Every expression knows:
+
+* ``type`` — its static :class:`~repro.engine.types.SqlType`;
+* ``eval(row, ctx)`` — its value for a row under an
+  :class:`EvalContext` (which carries the query's data timestamp and role,
+  for context functions per section 3.4 of the paper);
+* ``is_deterministic`` — whether repeated evaluation yields identical
+  results given the same row *and context*. Context functions are
+  deterministic given the context; volatile UDFs are not, and make a query
+  non-incrementalizable (section 3.4: truly nondeterministic operations
+  "are usually expected to be run only when a row is inserted"; DTs "do not
+  yet support incremental refreshes in this case");
+* ``column_indices()`` — the set of input positions it reads (used by the
+  optimizer for pushdown/pruning);
+* ``remap(mapping)`` — a copy with column indices translated (used when
+  expressions move across operators).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.engine import types as t
+from repro.engine.types import SqlType, Value
+from repro.errors import EvaluationError, TypeError_
+from repro.util.timeutil import DAY, HOUR, MINUTE, SECOND, Timestamp
+
+
+@dataclass(frozen=True)
+class EvalContext:
+    """Ambient state for expression evaluation.
+
+    ``timestamp`` is the query's data timestamp: for a dynamic-table
+    refresh, the refresh's data timestamp, so that ``CURRENT_TIMESTAMP`` is
+    stable across retries of the same refresh (the paper handles context
+    functions "on a case-by-case basis"; pinning them to the data timestamp
+    is the choice that keeps delayed view semantics exact).
+    """
+
+    timestamp: Timestamp = 0
+    role: str = "sysadmin"
+
+
+DEFAULT_CONTEXT = EvalContext()
+
+
+class Expression:
+    """Base class of bound expressions. Subclasses are frozen dataclasses."""
+
+    type: SqlType
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        raise NotImplementedError
+
+    @property
+    def is_deterministic(self) -> bool:
+        return all(child.is_deterministic for child in self.children())
+
+    @property
+    def uses_context(self) -> bool:
+        """Whether the expression reads the evaluation context (context
+        functions)."""
+        return any(child.uses_context for child in self.children())
+
+    def children(self) -> Sequence["Expression"]:
+        return ()
+
+    def column_indices(self) -> set[int]:
+        indices: set[int] = set()
+        for child in self.children():
+            indices |= child.column_indices()
+        return indices
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    """A constant value."""
+
+    value: Value
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        if self.type == SqlType.NULL and self.value is not None:
+            object.__setattr__(self, "type", t.type_of_value(self.value))
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        return self.value
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return self
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    """A positional reference into the input row."""
+
+    index: int
+    type: SqlType
+    name: str = ""
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        return row[self.index]
+
+    def column_indices(self) -> set[int]:
+        return {self.index}
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return ColumnRef(mapping[self.index], self.type, self.name)
+
+
+_ARITH_RESULT = {SqlType.INT: SqlType.INT, SqlType.FLOAT: SqlType.FLOAT}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expression):
+    """``+ - * / %`` over numerics (and ``+``/``-`` over timestamps)."""
+
+    op: str
+    left: Expression
+    right: Expression
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        left_type, right_type = self.left.type, self.right.type
+        for operand in (left_type, right_type):
+            if operand not in (SqlType.INT, SqlType.FLOAT, SqlType.TIMESTAMP,
+                               SqlType.NULL, SqlType.VARIANT):
+                raise TypeError_(f"operator {self.op} not defined for {operand}")
+        if self.op == "/":
+            result = SqlType.FLOAT
+        elif SqlType.TIMESTAMP in (left_type, right_type):
+            # timestamp - timestamp -> INT duration; timestamp +- int -> timestamp
+            result = SqlType.INT if self.op == "-" and left_type == right_type else SqlType.TIMESTAMP
+        elif SqlType.FLOAT in (left_type, right_type):
+            result = SqlType.FLOAT
+        else:
+            result = SqlType.INT
+        object.__setattr__(self, "type", result)
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        left = self.left.eval(row, ctx)
+        right = self.right.eval(row, ctx)
+        if left is None or right is None:
+            return None
+        try:
+            if self.op == "+":
+                return left + right
+            if self.op == "-":
+                return left - right
+            if self.op == "*":
+                return left * right
+            if self.op == "/":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                return left / right
+            if self.op == "%":
+                if right == 0:
+                    raise EvaluationError("division by zero")
+                return left % right
+        except TypeError as exc:
+            raise EvaluationError(f"bad operands for {self.op}: {left!r}, {right!r}") from exc
+        raise EvaluationError(f"unknown arithmetic operator {self.op}")
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Arithmetic(self.op, self.left.remap(mapping), self.right.remap(mapping))
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``= != < <= > >=`` with SQL NULL semantics."""
+
+    op: str
+    left: Expression
+    right: Expression
+    type: SqlType = SqlType.BOOL
+
+    def __post_init__(self):
+        if not t.is_comparable(self.left.type, self.right.type):
+            raise TypeError_(
+                f"cannot compare {self.left.type} with {self.right.type}")
+
+    def children(self) -> Sequence[Expression]:
+        return (self.left, self.right)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        result = t.compare(self.left.eval(row, ctx), self.right.eval(row, ctx))
+        if result is None:
+            return None
+        if self.op == "=":
+            return result == 0
+        if self.op in ("!=", "<>"):
+            return result != 0
+        if self.op == "<":
+            return result < 0
+        if self.op == "<=":
+            return result <= 0
+        if self.op == ">":
+            return result > 0
+        if self.op == ">=":
+            return result >= 0
+        raise EvaluationError(f"unknown comparison operator {self.op}")
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Comparison(self.op, self.left.remap(mapping), self.right.remap(mapping))
+
+
+@dataclass(frozen=True)
+class BooleanOp(Expression):
+    """N-ary AND / OR with three-valued logic."""
+
+    op: str  # "and" | "or"
+    operands: tuple[Expression, ...]
+    type: SqlType = SqlType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return self.operands
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        combine = t.sql_and if self.op == "and" else t.sql_or
+        result: Value = (self.op == "and")
+        for operand in self.operands:
+            result = combine(result, operand.eval(row, ctx))
+            # Short-circuit on the dominating value.
+            if self.op == "and" and result is False:
+                return False
+            if self.op == "or" and result is True:
+                return True
+        return result
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return BooleanOp(self.op, tuple(op.remap(mapping) for op in self.operands))
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    operand: Expression
+    type: SqlType = SqlType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        return t.sql_not(self.operand.eval(row, ctx))
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Not(self.operand.remap(mapping))
+
+
+@dataclass(frozen=True)
+class IsNull(Expression):
+    operand: Expression
+    negated: bool = False
+    type: SqlType = SqlType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        is_null = self.operand.eval(row, ctx) is None
+        return not is_null if self.negated else is_null
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return IsNull(self.operand.remap(mapping), self.negated)
+
+
+@dataclass(frozen=True)
+class InList(Expression):
+    """``expr [NOT] IN (literal, ...)`` with SQL NULL semantics."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+    type: SqlType = SqlType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, *self.items)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        needle = self.operand.eval(row, ctx)
+        if needle is None:
+            return None
+        saw_null = False
+        for item in self.items:
+            value = item.eval(row, ctx)
+            if value is None:
+                saw_null = True
+                continue
+            if t.compare(needle, value) == 0:
+                return not self.negated
+        if saw_null:
+            return None
+        return self.negated
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return InList(self.operand.remap(mapping),
+                      tuple(item.remap(mapping) for item in self.items),
+                      self.negated)
+
+
+@dataclass(frozen=True)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+    type: SqlType = SqlType.BOOL
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand, self.pattern)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        text = self.operand.eval(row, ctx)
+        pattern = self.pattern.eval(row, ctx)
+        if text is None or pattern is None:
+            return None
+        if not isinstance(text, str) or not isinstance(pattern, str):
+            raise EvaluationError("LIKE requires text operands")
+        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+        matched = re.fullmatch(regex, text, flags=re.DOTALL) is not None
+        return not matched if self.negated else matched
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Like(self.operand.remap(mapping), self.pattern.remap(mapping), self.negated)
+
+
+@dataclass(frozen=True)
+class Case(Expression):
+    """Searched CASE: ``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    whens: tuple[tuple[Expression, Expression], ...]
+    otherwise: Expression
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        result = self.otherwise.type
+        for __, value in self.whens:
+            result = t.unify_types(result, value.type)
+        object.__setattr__(self, "type", result)
+
+    def children(self) -> Sequence[Expression]:
+        flattened: list[Expression] = []
+        for condition, value in self.whens:
+            flattened.extend((condition, value))
+        flattened.append(self.otherwise)
+        return flattened
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        for condition, value in self.whens:
+            if t.is_true(condition.eval(row, ctx)):
+                return value.eval(row, ctx)
+        return self.otherwise.eval(row, ctx)
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Case(
+            tuple((cond.remap(mapping), val.remap(mapping)) for cond, val in self.whens),
+            self.otherwise.remap(mapping),
+        )
+
+
+@dataclass(frozen=True)
+class Cast(Expression):
+    operand: Expression
+    target: SqlType
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        object.__setattr__(self, "type", self.target)
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        return t.cast_value(self.operand.eval(row, ctx), self.target)
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return Cast(self.operand.remap(mapping), self.target)
+
+
+@dataclass(frozen=True)
+class VariantPath(Expression):
+    """Path access into a VARIANT value: ``payload:train_id`` or
+    ``payload:a.b`` (section 3's Listing 1 uses this throughout)."""
+
+    operand: Expression
+    path: tuple[str, ...]
+    type: SqlType = SqlType.VARIANT
+
+    def children(self) -> Sequence[Expression]:
+        return (self.operand,)
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        value = self.operand.eval(row, ctx)
+        for key in self.path:
+            if value is None:
+                return None
+            if isinstance(value, dict):
+                value = value.get(key)
+            elif isinstance(value, list):
+                try:
+                    value = value[int(key)]
+                except (ValueError, IndexError):
+                    return None
+            else:
+                return None
+        return value
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return VariantPath(self.operand.remap(mapping), self.path)
+
+
+# ---------------------------------------------------------------------------
+# Scalar functions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScalarFunction:
+    """A registered scalar function.
+
+    ``immutable`` mirrors the Snowpark IMMUTABLE annotation (section 3.4):
+    only immutable functions are allowed in incrementally refreshed dynamic
+    tables.
+    """
+
+    name: str
+    impl: Callable[..., Value]
+    return_type: Callable[[Sequence[SqlType]], SqlType]
+    immutable: bool = True
+    null_on_null: bool = True  # return NULL if any argument is NULL
+
+
+def _fixed(sql_type: SqlType) -> Callable[[Sequence[SqlType]], SqlType]:
+    return lambda args: sql_type
+
+
+def _same_as_arg(index: int) -> Callable[[Sequence[SqlType]], SqlType]:
+    return lambda args: args[index] if index < len(args) else SqlType.NULL
+
+
+def _unify_args(args: Sequence[SqlType]) -> SqlType:
+    result = SqlType.NULL
+    for arg in args:
+        result = t.unify_types(result, arg)
+    return result
+
+
+def _date_trunc(unit: str, timestamp: Timestamp) -> Timestamp:
+    unit_ns = {
+        "second": SECOND, "minute": MINUTE, "hour": HOUR, "day": DAY,
+    }.get(unit.lower())
+    if unit_ns is None:
+        raise EvaluationError(f"unsupported date_trunc unit: {unit!r}")
+    return (timestamp // unit_ns) * unit_ns
+
+
+def _substr(text: str, start: int, length: int | None = None) -> str:
+    begin = max(start - 1, 0)  # SQL is 1-based
+    if length is None:
+        return text[begin:]
+    return text[begin:begin + max(length, 0)]
+
+
+_BUILTIN_FUNCTIONS: dict[str, ScalarFunction] = {}
+
+
+def _register(name: str, impl: Callable[..., Value],
+              return_type: Callable[[Sequence[SqlType]], SqlType],
+              immutable: bool = True, null_on_null: bool = True) -> None:
+    _BUILTIN_FUNCTIONS[name] = ScalarFunction(name, impl, return_type,
+                                              immutable, null_on_null)
+
+
+_register("abs", abs, _same_as_arg(0))
+_register("length", len, _fixed(SqlType.INT))
+_register("upper", str.upper, _fixed(SqlType.TEXT))
+_register("lower", str.lower, _fixed(SqlType.TEXT))
+_register("trim", str.strip, _fixed(SqlType.TEXT))
+_register("concat", lambda *parts: "".join(str(p) for p in parts), _fixed(SqlType.TEXT))
+_register("substr", _substr, _fixed(SqlType.TEXT))
+_register("round", lambda x, digits=0: round(x, digits), _same_as_arg(0))
+_register("floor", lambda x: int(x // 1), _fixed(SqlType.INT))
+_register("ceil", lambda x: int(-(-x // 1)), _fixed(SqlType.INT))
+_register("mod", lambda a, b: a % b, _same_as_arg(0))
+_register("sign", lambda x: (x > 0) - (x < 0), _fixed(SqlType.INT))
+_register("greatest", max, _unify_args)
+_register("least", min, _unify_args)
+_register("date_trunc", _date_trunc, _fixed(SqlType.TIMESTAMP))
+_register("to_number", lambda x: int(x), _fixed(SqlType.INT))
+_register("to_char", lambda x: t.cast_value(x, SqlType.TEXT), _fixed(SqlType.TEXT))
+# NULL-handling functions evaluate their own NULL semantics.
+_register("coalesce", lambda *args: next((a for a in args if a is not None), None),
+          _unify_args, null_on_null=False)
+_register("nvl", lambda a, b: b if a is None else a, _unify_args, null_on_null=False)
+_register("iff", lambda cond, then, other: then if cond is True else other,
+          lambda args: t.unify_types(args[1], args[2]) if len(args) == 3 else SqlType.NULL,
+          null_on_null=False)
+_register("nullif", lambda a, b: None if (a is not None and b is not None
+                                          and t.compare(a, b) == 0) else a,
+          _same_as_arg(0), null_on_null=False)
+_register("equal_null", lambda a, b: (a is None and b is None) or
+          (a is not None and b is not None and t.compare(a, b) == 0),
+          _fixed(SqlType.BOOL), null_on_null=False)
+
+
+class FunctionRegistry:
+    """Scalar-function lookup: builtins plus user-defined functions.
+
+    UDFs model Snowpark UDFs (section 3.4). A UDF registered with
+    ``immutable=False`` is *volatile*; plans containing it are rejected for
+    incremental refresh by :mod:`repro.plan.properties`.
+    """
+
+    def __init__(self):
+        self._functions: dict[str, ScalarFunction] = dict(_BUILTIN_FUNCTIONS)
+
+    def register_udf(self, name: str, impl: Callable[..., Value],
+                     return_type: SqlType = SqlType.VARIANT,
+                     immutable: bool = True) -> None:
+        lowered = name.lower()
+        if lowered in _BUILTIN_FUNCTIONS:
+            raise TypeError_(f"cannot shadow builtin function {name!r}")
+        self._functions[lowered] = ScalarFunction(
+            lowered, impl, _fixed(return_type), immutable, null_on_null=False)
+
+    def lookup(self, name: str) -> ScalarFunction:
+        function = self._functions.get(name.lower())
+        if function is None:
+            raise TypeError_(f"unknown function: {name}")
+        return function
+
+
+#: Registry used when none is supplied (builtins only).
+DEFAULT_REGISTRY = FunctionRegistry()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A bound scalar function application."""
+
+    function: ScalarFunction
+    args: tuple[Expression, ...]
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "type", self.function.return_type([a.type for a in self.args]))
+
+    @property
+    def is_deterministic(self) -> bool:
+        return self.function.immutable and all(a.is_deterministic for a in self.args)
+
+    def children(self) -> Sequence[Expression]:
+        return self.args
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        values = [arg.eval(row, ctx) for arg in self.args]
+        if self.function.null_on_null and any(v is None for v in values):
+            return None
+        try:
+            return self.function.impl(*values)
+        except EvaluationError:
+            raise
+        except Exception as exc:
+            raise EvaluationError(
+                f"error in function {self.function.name}: {exc}") from exc
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return FunctionCall(self.function, tuple(a.remap(mapping) for a in self.args))
+
+
+@dataclass(frozen=True)
+class ContextFunction(Expression):
+    """``CURRENT_TIMESTAMP`` / ``CURRENT_ROLE``.
+
+    Deterministic *given the evaluation context*: a refresh pins the
+    context to its data timestamp, so re-running the same refresh yields
+    identical results (how the paper suggests handling "predictable"
+    nondeterminism).
+    """
+
+    name: str  # "current_timestamp" | "current_role"
+    type: SqlType = field(default=SqlType.NULL)
+
+    def __post_init__(self):
+        result = SqlType.TIMESTAMP if self.name == "current_timestamp" else SqlType.TEXT
+        object.__setattr__(self, "type", result)
+
+    @property
+    def uses_context(self) -> bool:
+        return True
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        if self.name == "current_timestamp":
+            return ctx.timestamp
+        if self.name == "current_role":
+            return ctx.role
+        raise EvaluationError(f"unknown context function {self.name}")
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return self
+
+
+def conjuncts(predicate: Expression) -> list[Expression]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if isinstance(predicate, BooleanOp) and predicate.op == "and":
+        parts: list[Expression] = []
+        for operand in predicate.operands:
+            parts.extend(conjuncts(operand))
+        return parts
+    return [predicate]
+
+
+def conjoin(parts: Sequence[Expression]) -> Expression:
+    """Combine conjuncts back into a single predicate."""
+    if not parts:
+        return Literal(True, SqlType.BOOL)
+    if len(parts) == 1:
+        return parts[0]
+    return BooleanOp("and", tuple(parts))

@@ -1,0 +1,78 @@
+"""Relations: schema + rows + stable row identifiers.
+
+A :class:`Relation` is what flows from storage into the executor and the
+differentiation framework. ``row_ids`` is parallel to ``rows`` and carries
+the stable per-row identifiers that incremental view maintenance threads
+through every operator (section 5.5: "Incremental DTs define a unique ID
+for every row in the query result, and store those IDs alongside the
+data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Protocol
+
+from repro.engine.schema import Schema
+
+
+@dataclass
+class Relation:
+    """An in-memory bag of rows with parallel row ids."""
+
+    schema: Schema
+    rows: list[tuple] = field(default_factory=list)
+    row_ids: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.row_ids and len(self.row_ids) != len(self.rows):
+            raise ValueError("row_ids must parallel rows")
+        if not self.row_ids and self.rows:
+            # Positional fallback ids; storage always provides real ids.
+            self.row_ids = [f"pos:{index}" for index in range(len(self.rows))]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def pairs(self) -> Iterator[tuple[str, tuple]]:
+        """Iterate ``(row_id, row)`` pairs."""
+        return zip(self.row_ids, self.rows)
+
+    def append(self, row_id: str, row: tuple) -> None:
+        self.rows.append(row)
+        self.row_ids.append(row_id)
+
+    @staticmethod
+    def from_pairs(schema: Schema, pairs: Iterable[tuple[str, tuple]]) -> "Relation":
+        relation = Relation(schema)
+        for row_id, row in pairs:
+            relation.append(row_id, row)
+        return relation
+
+
+class SnapshotResolver(Protocol):
+    """Resolves table names to relations at one fixed point in time.
+
+    Implementations: a transaction's snapshot view
+    (:class:`repro.txn.manager.Transaction`), or a plain dict in tests. The
+    executor never touches the catalog directly — this is what lets a
+    dynamic-table refresh evaluate its defining query "as of" its data
+    timestamp (delayed view semantics).
+    """
+
+    def scan(self, table: str) -> Relation:
+        """The contents of ``table`` in this snapshot."""
+        ...
+
+
+class DictResolver:
+    """A SnapshotResolver over ``{name: Relation}`` (for tests)."""
+
+    def __init__(self, relations: dict[str, Relation]):
+        self._relations = relations
+
+    def scan(self, table: str) -> Relation:
+        return self._relations[table]

@@ -1,0 +1,133 @@
+"""Relation schemas and rows.
+
+A row is a plain ``tuple`` of values; a :class:`Schema` names and types the
+positions. Relations flowing between operators are lists of rows paired with
+a schema. Keeping rows as bare tuples (rather than dict-per-row) keeps the
+executor and the IVM delta machinery cheap and hashable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.types import SqlType
+from repro.errors import BindError
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column. ``table`` is the binding qualifier (the table
+    name or alias the column came from), used for name resolution only."""
+
+    name: str
+    type: SqlType
+    table: str | None = None
+
+    def renamed(self, name: str) -> "Column":
+        return Column(name, self.type, self.table)
+
+    def requalified(self, table: str | None) -> "Column":
+        return Column(self.name, self.type, table)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        qualifier = f"{self.table}." if self.table else ""
+        return f"{qualifier}{self.name}:{self.type}"
+
+
+class Schema:
+    """An ordered list of :class:`Column` with name-resolution helpers.
+
+    Column names are case-insensitive (normalized to lower case by the SQL
+    frontend). Duplicate names are allowed in intermediate schemas (e.g.
+    after a join); resolving an ambiguous unqualified name raises
+    :class:`~repro.errors.BindError`.
+    """
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns: Iterable[Column]):
+        self.columns: tuple[Column, ...] = tuple(columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self.columns)
+
+    def __getitem__(self, index: int) -> Column:
+        return self.columns[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schema({', '.join(map(repr, self.columns))})"
+
+    @property
+    def names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def types(self) -> list[SqlType]:
+        return [column.type for column in self.columns]
+
+    def resolve(self, name: str, table: str | None = None) -> int:
+        """Resolve a (possibly qualified) column name to its index.
+
+        Raises :class:`~repro.errors.BindError` if the name is unknown or
+        ambiguous.
+        """
+        matches = [
+            index
+            for index, column in enumerate(self.columns)
+            if column.name == name and (table is None or column.table == table)
+        ]
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise BindError(f"unknown column: {qualified}")
+        if len(matches) > 1:
+            qualified = f"{table}.{name}" if table else name
+            raise BindError(f"ambiguous column: {qualified}")
+        return matches[0]
+
+    def maybe_resolve(self, name: str, table: str | None = None) -> int | None:
+        """Like :meth:`resolve` but returns None when absent (still raises
+        on ambiguity, which is always a user error)."""
+        try:
+            return self.resolve(name, table)
+        except BindError as exc:
+            if "ambiguous" in str(exc):
+                raise
+            return None
+
+    def index_map(self) -> dict[str, int]:
+        """Map of unambiguous lower-case names to indices."""
+        seen: dict[str, int | None] = {}
+        for index, column in enumerate(self.columns):
+            if column.name in seen:
+                seen[column.name] = None
+            else:
+                seen[column.name] = index
+        return {name: index for name, index in seen.items() if index is not None}
+
+    def concat(self, other: "Schema") -> "Schema":
+        return Schema(self.columns + other.columns)
+
+    def requalified(self, table: str | None) -> "Schema":
+        return Schema(column.requalified(table) for column in self.columns)
+
+    def project(self, indices: Sequence[int]) -> "Schema":
+        return Schema(self.columns[index] for index in indices)
+
+
+def schema_of(*pairs: tuple[str, SqlType], table: str | None = None) -> Schema:
+    """Convenience constructor: ``schema_of(("a", SqlType.INT), ...)``."""
+    return Schema(Column(name, sql_type, table) for name, sql_type in pairs)

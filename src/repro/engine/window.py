@@ -1,0 +1,175 @@
+"""Window function evaluation over a single partition.
+
+Section 5.5.1 of the paper implements window-function differentiation by
+recomputing *changed partitions*; that only yields consistent results when
+evaluation within a partition is deterministic, "as long as ties in ORDER
+BY are broken repeatably". We therefore always break ORDER BY ties with a
+stable final key (the row's own encoded value plus its row id), making a
+partition's output a pure function of its row multiset.
+
+Frames follow the SQL defaults:
+
+* no ORDER BY → the whole partition is the frame (for aggregate functions);
+* ORDER BY present → cumulative frame, RANGE UNBOUNDED PRECEDING TO CURRENT
+  ROW — peer rows (equal order keys) share frame results.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from repro.engine import types as t
+from repro.engine.aggregates import evaluate_aggregate
+from repro.engine.expressions import EvalContext
+from repro.engine.types import Value
+from repro.errors import EvaluationError
+from repro.plan.logical import WindowCall
+
+
+def sort_partition(rows: Sequence[tuple], row_ids: Sequence[str],
+                   order_by, ctx: EvalContext) -> list[int]:
+    """Return row indices in window evaluation order.
+
+    Sorts by the ORDER BY keys (NULLS LAST ascending / NULLS FIRST
+    descending, Snowflake's defaults), breaking ties with the stable hash
+    of the full row and finally the row id — the "repeatable tie-break" the
+    paper's window derivative requires.
+    """
+    indices = list(range(len(rows)))
+
+    def compare_rows(left: int, right: int) -> int:
+        for expr, descending in order_by:
+            left_value = expr.eval(rows[left], ctx)
+            right_value = expr.eval(rows[right], ctx)
+            result = _compare_with_nulls(left_value, right_value, descending)
+            if result != 0:
+                return result
+        left_tie = (t.stable_hash(rows[left]), row_ids[left])
+        right_tie = (t.stable_hash(rows[right]), row_ids[right])
+        if left_tie < right_tie:
+            return -1
+        if left_tie > right_tie:
+            return 1
+        return 0
+
+    indices.sort(key=functools.cmp_to_key(compare_rows))
+    return indices
+
+
+def _compare_with_nulls(left: Value, right: Value, descending: bool) -> int:
+    if left is None and right is None:
+        return 0
+    if left is None:
+        # NULLS LAST when ascending, NULLS FIRST when descending.
+        return 1 if not descending else -1
+    if right is None:
+        return -1 if not descending else 1
+    result = t.compare(left, right)
+    assert result is not None
+    return -result if descending else result
+
+
+def evaluate_window_calls(calls: Sequence[WindowCall], rows: Sequence[tuple],
+                          row_ids: Sequence[str],
+                          ctx: EvalContext) -> list[list[Value]]:
+    """Evaluate every window call over one partition.
+
+    Returns ``outputs[row_index][call_index]`` aligned with the *input*
+    order of ``rows`` (the caller appends these as extra columns).
+    """
+    outputs: list[list[Value]] = [[None] * len(calls) for __ in rows]
+    for call_index, call in enumerate(calls):
+        ordered = sort_partition(rows, row_ids, call.order_by, ctx)
+        values = _evaluate_one(call, rows, ordered, ctx)
+        for position, row_index in enumerate(ordered):
+            outputs[row_index][call_index] = values[position]
+    return outputs
+
+
+def _evaluate_one(call: WindowCall, rows: Sequence[tuple],
+                  ordered: Sequence[int], ctx: EvalContext) -> list[Value]:
+    """Values for one call, positionally aligned with ``ordered``."""
+    size = len(ordered)
+
+    if call.function == "row_number":
+        return list(range(1, size + 1))
+
+    if call.function in ("rank", "dense_rank"):
+        return _rank_values(call, rows, ordered, ctx,
+                            dense=call.function == "dense_rank")
+
+    if call.function in ("lag", "lead"):
+        assert call.arg is not None
+        values: list[Value] = []
+        direction = -call.offset if call.function == "lag" else call.offset
+        for position in range(size):
+            source = position + direction
+            if 0 <= source < size:
+                values.append(call.arg.eval(rows[ordered[source]], ctx))
+            else:
+                values.append(None)
+        return values
+
+    if call.function == "first_value":
+        assert call.arg is not None
+        first = call.arg.eval(rows[ordered[0]], ctx) if size else None
+        return [first] * size
+
+    if call.function == "last_value":
+        assert call.arg is not None
+        last = call.arg.eval(rows[ordered[-1]], ctx) if size else None
+        return [last] * size
+
+    if call.function in ("sum", "count", "avg", "min", "max", "count_if"):
+        if not call.order_by:
+            # Whole-partition frame.
+            frame = [rows[index] for index in ordered]
+            value = evaluate_aggregate(call.function, call.arg, False, frame, ctx)
+            return [value] * size
+        return _cumulative_values(call, rows, ordered, ctx)
+
+    raise EvaluationError(f"unknown window function {call.function}")
+
+
+def _rank_values(call: WindowCall, rows: Sequence[tuple],
+                 ordered: Sequence[int], ctx: EvalContext,
+                 dense: bool) -> list[Value]:
+    values: list[Value] = []
+    rank = 0
+    dense_rank = 0
+    previous_key: tuple | None = None
+    for position, row_index in enumerate(ordered):
+        key = tuple(expr.eval(rows[row_index], ctx)
+                    for expr, __ in call.order_by)
+        key = t.group_key(key)
+        if key != previous_key:
+            rank = position + 1
+            dense_rank += 1
+            previous_key = key
+        values.append(dense_rank if dense else rank)
+    return values
+
+
+def _cumulative_values(call: WindowCall, rows: Sequence[tuple],
+                       ordered: Sequence[int], ctx: EvalContext) -> list[Value]:
+    """Cumulative (RANGE UNBOUNDED PRECEDING) frame: peers share results."""
+    # Identify peer groups by order-key equality.
+    values: list[Value] = [None] * len(ordered)
+    position = 0
+    while position < len(ordered):
+        key = t.group_key(expr.eval(rows[ordered[position]], ctx)
+                          for expr, __ in call.order_by)
+        end = position + 1
+        while end < len(ordered):
+            next_key = t.group_key(expr.eval(rows[ordered[end]], ctx)
+                                   for expr, __ in call.order_by)
+            if next_key != key:
+                break
+            end += 1
+        frame = [rows[index] for index in ordered[:end]]
+        value = evaluate_aggregate(call.function, call.arg, False, frame, ctx)
+        for index in range(position, end):
+            values[index] = value
+        position = end
+    return values

@@ -1,0 +1,131 @@
+"""Exception hierarchy for the repro package.
+
+The hierarchy deliberately mirrors the failure classes the paper discusses:
+
+* user-visible SQL errors (parse/bind/type errors, division by zero),
+* catalog errors (missing or duplicated entities, dropped upstreams),
+* transactional errors (lock conflicts, missing versions),
+* dynamic-table lifecycle errors (querying an uninitialized DT, suspended
+  DTs, cycles in the dependency graph),
+* internal invariant violations, which correspond to the production
+  validations of section 6.1 of the paper (duplicate ``($ROW_ID, $ACTION)``
+  pairs, deleting a row that does not exist, missing upstream versions).
+
+``UserError`` subclasses are errors attributed to the user's query or data
+(the paper: "If a refresh encounters a user error, such as division-by-zero,
+it fails and is not retried"). ``InternalError`` subclasses indicate a bug in
+this library and fail loudly.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class UserError(ReproError):
+    """An error attributable to the user's SQL, data, or configuration."""
+
+
+class SqlError(UserError):
+    """Base class for errors in the SQL frontend."""
+
+
+class ParseError(SqlError):
+    """The SQL text could not be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    available so callers can point at the problem.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = f" at line {line}, column {column}" if line is not None else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindError(SqlError):
+    """A name (table, column, function) could not be resolved."""
+
+
+class TypeError_(SqlError):
+    """An expression is not well-typed (named with a trailing underscore to
+    avoid shadowing the builtin)."""
+
+
+class EvaluationError(UserError):
+    """A runtime error while evaluating an expression (e.g. division by
+    zero, bad cast). These fail a refresh but are not retried (section
+    3.3.3)."""
+
+
+class CatalogError(UserError):
+    """A catalog operation failed (duplicate name, missing entity, ...)."""
+
+
+class EntityNotFound(CatalogError):
+    """The referenced catalog entity does not exist (or was dropped)."""
+
+
+class EntityDropped(EntityNotFound):
+    """The referenced entity exists but is in the dropped state; it may be
+    restored with UNDROP (section 3.4: 'if the table is UNDROPped, then
+    refreshes should resume without issue')."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-manager errors."""
+
+
+class LockConflict(TransactionError):
+    """A required table lock is held by another transaction.
+
+    The paper (section 5.3): 'Each Dynamic Table is locked when a refresh
+    operation begins, and unlocked after it commits.'
+    """
+
+
+class VersionNotFound(TransactionError):
+    """No table version is visible at the requested timestamp.
+
+    This mirrors the first production validation of section 6.1: 'when a DT
+    resolves the table version for a DT upstream, it looks for an exact
+    version corresponding to the data timestamp of the refresh. If this
+    version cannot be found, we fail the refresh.'
+    """
+
+
+class DynamicTableError(UserError):
+    """Base class for dynamic-table lifecycle errors."""
+
+
+class NotInitializedError(DynamicTableError):
+    """The DT was queried before its initial refresh (section 3.1:
+    'Querying a DT before it has been initialized results in an error')."""
+
+
+class SuspendedError(DynamicTableError):
+    """The DT has been suspended (manually or after consecutive refresh
+    failures exceeded the error threshold, section 3.3.3)."""
+
+
+class CycleError(DynamicTableError):
+    """The dynamic-table dependency graph would contain a cycle
+    (section 3.1.1: 'Cycles are not allowed')."""
+
+
+class NotIncrementalizableError(DynamicTableError):
+    """The defining query contains an operator with no derivative rule and
+    the refresh mode was forced to INCREMENTAL."""
+
+
+class InternalError(ReproError):
+    """An internal invariant was violated; indicates a bug in this library."""
+
+
+class ChangeIntegrityError(InternalError):
+    """A change set violated one of the incremental-refresh invariants of
+    section 6.1: more than one row with the same ``($ROW_ID, $ACTION)``
+    pair, or a deletion targeting a row that does not exist."""

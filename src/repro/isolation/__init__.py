@@ -1,0 +1,23 @@
+"""The delayed-view-semantics transaction-isolation formalism (section 4).
+
+Standalone from the database engine: histories, derivations, the extended
+Direct Serialization Graph, generalized phenomena (G0, G1a, G1b, G1c, G2,
+G-single), isolation levels, the paper's Figure 1/2 examples, and
+executable checks of Theorem 1 and Corollary 2.
+"""
+
+from repro.isolation.dsg import (DependencyKind, DirectSerializationGraph,
+                                 Edge)
+from repro.isolation.history import (Abort, Commit, Derive, History, Read,
+                                     Version, Write, is_encapsulated)
+from repro.isolation.levels import IsolationLevel, classify, satisfies
+from repro.isolation.phenomena import (PhenomenaReport, detect_phenomena,
+                                       exhibits_read_skew)
+
+__all__ = [
+    "Abort", "Commit", "DependencyKind", "Derive",
+    "DirectSerializationGraph", "Edge", "History", "IsolationLevel",
+    "PhenomenaReport", "Read", "Version", "Write", "classify",
+    "detect_phenomena", "exhibits_read_skew", "is_encapsulated",
+    "satisfies",
+]

@@ -1,0 +1,240 @@
+"""Transaction histories with derivation operations (section 4).
+
+The paper extends Adya's formalism [2] with a new operation,
+
+.. math::
+
+   d_i(x_i | y^0_j, ..., y^n_k)
+
+"This represents that the version i of some object x is a derived value,
+computed from versions j...k of objects y0...yn in transaction Ti."
+
+A :class:`History` is a sequence of events (reads, writes, derivations,
+commits, aborts) plus a total version order per object. From it we compute
+the **derives-from closure** ("We say an object v_i derives from another
+object z_m when there exists a path of derivations connecting them") that
+the extended dependency definitions (:mod:`repro.isolation.dsg`) and the
+generalized phenomena (:mod:`repro.isolation.phenomena`) are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True, order=True)
+class Version:
+    """A committed version of an object: ``Version("x", 1)`` is x₁.
+
+    By Adya's convention, version index i is installed by transaction Tᵢ.
+    """
+
+    obj: str
+    index: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.obj}{self.index}"
+
+
+class Event:
+    """Base class of history events; ``txn`` is the transaction id."""
+
+    txn: int
+
+
+@dataclass(frozen=True)
+class Read(Event):
+    """r_i(x_j): transaction ``txn`` reads ``version``."""
+
+    txn: int
+    version: Version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{self.txn}({self.version!r})"
+
+
+@dataclass(frozen=True)
+class Write(Event):
+    """w_i(x_i): transaction ``txn`` installs ``version`` by writing it.
+
+    Writes represent interaction with the environment — "entirely new
+    information flowing into the database" (section 4).
+    """
+
+    txn: int
+    version: Version
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"w{self.txn}({self.version!r})"
+
+
+@dataclass(frozen=True)
+class Derive(Event):
+    """d_i(x_i | y_j, ...): ``version`` is pure computation over
+    ``sources`` — no new information enters the database."""
+
+    txn: int
+    version: Version
+    sources: tuple[Version, ...]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ",".join(repr(source) for source in self.sources)
+        return f"d{self.txn}({self.version!r}|{inner})"
+
+
+@dataclass(frozen=True)
+class Commit(Event):
+    txn: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"c{self.txn}"
+
+
+@dataclass(frozen=True)
+class Abort(Event):
+    txn: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"a{self.txn}"
+
+
+class History:
+    """A transaction history: ordered events + per-object version order.
+
+    ``version_order`` maps each object name to the total order of its
+    committed versions ("a total order on the committed versions of each
+    object", Adya). If omitted, the install order of events is used.
+    """
+
+    def __init__(self, events: Iterable[Event],
+                 version_order: dict[str, list[Version]] | None = None):
+        self.events: list[Event] = list(events)
+        if version_order is None:
+            version_order = {}
+            for event in self.events:
+                if isinstance(event, (Write, Derive)):
+                    version_order.setdefault(event.version.obj, []).append(
+                        event.version)
+        self.version_order: dict[str, list[Version]] = version_order
+        self._index()
+
+    def _index(self) -> None:
+        self.installers: dict[Version, Event] = {}
+        self.reads: list[Read] = []
+        self.committed: set[int] = set()
+        self.aborted: set[int] = set()
+        explicit_outcome: set[int] = set()
+        txns: set[int] = set()
+        for event in self.events:
+            txns.add(event.txn)
+            if isinstance(event, (Write, Derive)):
+                self.installers[event.version] = event
+            elif isinstance(event, Read):
+                self.reads.append(event)
+            elif isinstance(event, Commit):
+                self.committed.add(event.txn)
+                explicit_outcome.add(event.txn)
+            elif isinstance(event, Abort):
+                self.aborted.add(event.txn)
+                explicit_outcome.add(event.txn)
+        # Transactions without an explicit outcome are treated as committed
+        # (keeps example histories terse).
+        self.transactions = txns
+        self.committed |= txns - explicit_outcome - self.aborted
+
+    # -- structure -----------------------------------------------------------------
+
+    def installer_of(self, version: Version) -> Optional[Event]:
+        return self.installers.get(version)
+
+    def writer_of(self, version: Version) -> Optional[int]:
+        """The txn that *wrote* (not derived) ``version``, if any."""
+        event = self.installers.get(version)
+        if isinstance(event, Write):
+            return event.txn
+        return None
+
+    def next_version(self, version: Version) -> Optional[Version]:
+        """The successor of ``version`` in its object's version order."""
+        order = self.version_order.get(version.obj, [])
+        try:
+            position = order.index(version)
+        except ValueError:
+            return None
+        if position + 1 < len(order):
+            return order[position + 1]
+        return None
+
+    def consecutive_pairs(self, obj: str) -> list[tuple[Version, Version]]:
+        order = self.version_order.get(obj, [])
+        return list(zip(order, order[1:]))
+
+    def final_version_of(self, txn: int, obj: str) -> Optional[Version]:
+        """The last version of ``obj`` installed by ``txn`` (for G1b)."""
+        final = None
+        for event in self.events:
+            if isinstance(event, (Write, Derive)) and event.txn == txn \
+                    and event.version.obj == obj:
+                final = event.version
+        return final
+
+    # -- derives-from closure ----------------------------------------------------------
+
+    def derivation_closure(self, version: Version,
+                           _seen: set[Version] | None = None) -> set[Version]:
+        """All versions that ``version`` (transitively) derives from,
+        including itself. A write-installed version's closure is just
+        itself."""
+        seen = _seen if _seen is not None else set()
+        if version in seen:
+            return seen
+        seen.add(version)
+        event = self.installers.get(version)
+        if isinstance(event, Derive):
+            for source in event.sources:
+                self.derivation_closure(source, seen)
+        return seen
+
+    def base_versions_of(self, version: Version) -> set[Version]:
+        """The write-installed versions in ``version``'s closure — the
+        environmental information the derived value actually depends on."""
+        return {candidate for candidate in self.derivation_closure(version)
+                if isinstance(self.installers.get(candidate), Write)}
+
+    def derives_from(self, version: Version, ancestor: Version) -> bool:
+        """Whether ``version`` derives from ``ancestor`` via a (possibly
+        empty) path of derivations."""
+        return ancestor in self.derivation_closure(version)
+
+    # -- rendering -------------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"History({', '.join(map(repr, self.events))})"
+
+    def pretty(self) -> str:
+        """One event per line, grouped by transaction order of appearance."""
+        lines = [repr(event) for event in self.events]
+        orders = [
+            f"  {obj}: " + " << ".join(map(repr, versions))
+            for obj, versions in sorted(self.version_order.items())]
+        return "\n".join(lines + ["version order:"] + orders)
+
+
+def is_encapsulated(history: History, derivation: Derive) -> bool:
+    """Corollary 2's premise: a derivation is *encapsulated* by its
+    transaction when it only reads values written by that transaction and
+    its value is only read by operations in that transaction."""
+    txn = derivation.txn
+    for source in derivation.sources:
+        installer = history.installer_of(source)
+        if installer is None or installer.txn != txn:
+            return False
+    for read in history.reads:
+        if read.version == derivation.version and read.txn != txn:
+            return False
+    for event in history.events:
+        if isinstance(event, Derive) and event is not derivation:
+            if derivation.version in event.sources and event.txn != txn:
+                return False
+    return True

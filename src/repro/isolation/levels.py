@@ -1,0 +1,69 @@
+"""Isolation levels as proscribed phenomena (Adya [1, 2], section 4).
+
+"Isolation levels are defined by proscribing specific phenomena from the
+possible histories of a database":
+
+============ ==========================================
+PL-1          proscribes G0
+PL-2          proscribes G0, G1a, G1b, G1c
+PL-2+         proscribes G0, G1, G-single (basic consistency)
+PL-3          proscribes G0, G1, G2 (full serializability)
+============ ==========================================
+
+The paper: "Dynamic Tables provides two isolation levels in different
+contexts. If a transaction reads from a single DT (even if other DTs are
+upstream) and no other table, that transaction is guaranteed to have
+Snapshot Isolation (PL-SI). Otherwise, it is guaranteed Read Committed
+(PL-2)." We classify histories with the DSG-based levels; PL-SI proper
+requires start-ordered graphs, and for the repository's purposes PL-2+ is
+the interesting boundary (the paper: "we expect that PL-2+ provides
+basic-consistency, even if histories contain derivations").
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.isolation.history import History
+from repro.isolation.phenomena import PhenomenaReport, detect_phenomena
+
+
+class IsolationLevel(enum.Enum):
+    PL_0 = "PL-0"     # not even write cycles proscribed — anything goes
+    PL_1 = "PL-1"
+    PL_2 = "PL-2"
+    PL_2_PLUS = "PL-2+"
+    PL_3 = "PL-3"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def satisfies(report: PhenomenaReport, level: IsolationLevel) -> bool:
+    """Whether a history (via its phenomena report) is allowed at
+    ``level``."""
+    if level == IsolationLevel.PL_0:
+        return True
+    if level == IsolationLevel.PL_1:
+        return not report.g0
+    if level == IsolationLevel.PL_2:
+        return not report.g0 and not report.any_g1
+    if level == IsolationLevel.PL_2_PLUS:
+        return (not report.g0 and not report.any_g1
+                and not report.g_single)
+    if level == IsolationLevel.PL_3:
+        return (not report.g0 and not report.any_g1 and not report.g2)
+    raise ValueError(level)
+
+
+def classify(history: History) -> IsolationLevel:
+    """The strongest level whose proscribed phenomena are all absent."""
+    report = detect_phenomena(history)
+    strongest = IsolationLevel.PL_0
+    for level in (IsolationLevel.PL_1, IsolationLevel.PL_2,
+                  IsolationLevel.PL_2_PLUS, IsolationLevel.PL_3):
+        if satisfies(report, level):
+            strongest = level
+        else:
+            break
+    return strongest

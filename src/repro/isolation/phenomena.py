@@ -1,0 +1,128 @@
+"""Isolation phenomena, generalized over derivations (section 4).
+
+"The definitions of phenomena generalize nicely to include derivations.
+... For all but G1b, the actual definitions are the same, but the presence
+of derivations in a history can induce new instances of the phenomena."
+
+* **G0 (Write Cycle)** — a cycle of write-dependencies in the DSG.
+* **G1a (Aborted Read)** — a committed transaction read-depends on an
+  aborted transaction (including reads of values *deriving from* aborted
+  versions).
+* **G1b (Intermediate Read)** — a committed transaction reads a version
+  that is not the final version installed by its transaction, "or it
+  reads an object that derives from such an intermediate version".
+* **G1c (Circular Information Flow)** — a cycle of read- and
+  write-dependencies only.
+* **G2 (Anti-dependency Cycle)** — a cycle involving anti-dependencies.
+* **G-single** — a cycle with exactly one anti-dependency (from Adya's
+  thesis [1]; the paper's Figure 2 exhibits it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isolation.dsg import DependencyKind, DirectSerializationGraph
+from repro.isolation.history import Derive, History, Write
+
+
+@dataclass
+class PhenomenaReport:
+    """Which phenomena a history exhibits, with witnesses."""
+
+    g0: list[list[int]] = field(default_factory=list)
+    g1a: list[str] = field(default_factory=list)
+    g1b: list[str] = field(default_factory=list)
+    g1c: list[list[int]] = field(default_factory=list)
+    g2: list[list[int]] = field(default_factory=list)
+    g_single: list[list[int]] = field(default_factory=list)
+
+    @property
+    def any_g1(self) -> bool:
+        return bool(self.g1a or self.g1b or self.g1c)
+
+    def exhibited(self) -> list[str]:
+        names = []
+        for name in ("g0", "g1a", "g1b", "g1c", "g2"):
+            if getattr(self, name):
+                names.append(name.upper().replace("_", "-"))
+        if self.g_single:
+            names.append("G-single")
+        return names
+
+    def pretty(self) -> str:
+        shown = self.exhibited()
+        if not shown:
+            return "no phenomena (serializable)"
+        return ", ".join(shown)
+
+
+def detect_phenomena(history: History,
+                     dsg: DirectSerializationGraph | None = None,
+                     ) -> PhenomenaReport:
+    """Analyze a history for the generalized phenomena."""
+    if dsg is None:
+        dsg = DirectSerializationGraph(history)
+    report = PhenomenaReport()
+
+    report.g0 = dsg.cycles({DependencyKind.WRITE})
+    report.g1c = dsg.cycles({DependencyKind.WRITE, DependencyKind.READ})
+    all_cycles = dsg.cycles()
+    for cycle in all_cycles:
+        witness = dsg.cycle_edges(cycle)
+        anti_count = sum(1 for edge in witness
+                         if edge.kind == DependencyKind.ANTI)
+        # A cycle is G2 when it cannot be formed without anti-dependencies.
+        if cycle not in report.g1c and cycle not in report.g0:
+            report.g2.append(cycle)
+            if anti_count == 1:
+                report.g_single.append(cycle)
+
+    report.g1a = _aborted_reads(history)
+    report.g1b = _intermediate_reads(history)
+    return report
+
+
+def _aborted_reads(history: History) -> list[str]:
+    """G1a, through derivations: a committed transaction reads a version
+    written by — or deriving from a version written by — an aborted
+    transaction."""
+    witnesses: list[str] = []
+    for read in history.reads:
+        if read.txn not in history.committed:
+            continue
+        for version in history.derivation_closure(read.version):
+            installer = history.installer_of(version)
+            if isinstance(installer, Write) and installer.txn in history.aborted:
+                witnesses.append(
+                    f"T{read.txn} read {read.version!r}, which depends on "
+                    f"{version!r} written by aborted T{installer.txn}")
+    return witnesses
+
+
+def _intermediate_reads(history: History) -> list[str]:
+    """G1b, through derivations: reading a non-final version installed by
+    some transaction, or a value deriving from one."""
+    witnesses: list[str] = []
+    for read in history.reads:
+        if read.txn not in history.committed:
+            continue
+        for version in history.derivation_closure(read.version):
+            installer = history.installer_of(version)
+            if installer is None or installer.txn == read.txn:
+                continue
+            final = history.final_version_of(installer.txn, version.obj)
+            if final is not None and final != version:
+                detail = ("" if version == read.version
+                          else f" (via derivation from {version!r})")
+                witnesses.append(
+                    f"T{read.txn} read intermediate version {version!r}"
+                    f"{detail}; T{installer.txn}'s final version is {final!r}")
+    return witnesses
+
+
+def exhibits_read_skew(history: History) -> bool:
+    """Read skew is the classic G-single instance: present iff the history
+    has a G-single (or wider G2) cycle."""
+    report = detect_phenomena(history)
+    return bool(report.g_single or report.g2)

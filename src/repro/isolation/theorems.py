@@ -1,0 +1,108 @@
+"""Executable checks of the paper's Theorem 1 and Corollary 2.
+
+**Theorem 1 (Transaction Invariance)**: "Given any history H containing a
+transaction Ti and a derivation r = d_i(x_i | ...), define another history
+H′ which moves r into another transaction Tj to create d_j(x_j | ...) and
+replaces all reads from x_i in H with reads from x_j. H has exactly the
+same dependencies as H′." — Pure computation can move between transactions
+without affecting application invariants; this is the formal license for
+running refreshes asynchronously.
+
+**Corollary 2 (Encapsulation)**: "Every history H′ excluding an
+encapsulated derivation from a history H has exactly the same dependencies
+as H." — Derivations "have been implicit in transactions all along, but
+always encapsulated".
+
+These are theorems, so the functions here don't *prove* them — they verify
+the claimed DSG equality on concrete histories, and the property tests
+verify them over randomly generated histories.
+"""
+
+from __future__ import annotations
+
+from repro.isolation.dsg import DirectSerializationGraph, Edge
+from repro.isolation.history import (Derive, Event, History, Read, Version,
+                                     Write)
+
+
+def _edge_signature(dsg: DirectSerializationGraph) -> set[tuple[int, int, str]]:
+    """DSG edges stripped of their human-readable reasons."""
+    return {(edge.source, edge.target, edge.kind.value)
+            for edge in dsg.edges}
+
+
+def move_derivation(history: History, derivation: Derive,
+                    to_txn: int) -> History:
+    """Build the H′ of Theorem 1: move ``derivation`` into ``to_txn``
+    under a fresh version index, rewriting reads of (and derivations
+    sourcing) the old version."""
+    old_version = derivation.version
+    new_version = Version(old_version.obj, to_txn)
+    if new_version != old_version and new_version in history.installers:
+        # Adya's convention names a transaction's version of an object by
+        # the transaction id; the theorem's rewrite presumes T_j does not
+        # already install a version of this object.
+        raise ValueError(
+            f"transaction T{to_txn} already installs a version of "
+            f"{old_version.obj!r}")
+
+    def rewrite_version(version: Version) -> Version:
+        return new_version if version == old_version else version
+
+    events: list[Event] = []
+    for event in history.events:
+        if event is derivation:
+            events.append(Derive(to_txn, new_version, derivation.sources))
+        elif isinstance(event, Read):
+            events.append(Read(event.txn, rewrite_version(event.version)))
+        elif isinstance(event, Derive):
+            events.append(Derive(
+                event.txn, event.version,
+                tuple(rewrite_version(source) for source in event.sources)))
+        else:
+            events.append(event)
+
+    version_order = {
+        obj: [rewrite_version(version) for version in order]
+        for obj, order in history.version_order.items()}
+    return History(events, version_order)
+
+
+def check_transaction_invariance(history: History, derivation: Derive,
+                                 to_txn: int) -> bool:
+    """Verify Theorem 1 on a concrete history: the DSG is unchanged when
+    ``derivation`` moves to ``to_txn``."""
+    if to_txn not in history.committed:
+        raise ValueError(f"target transaction T{to_txn} must be committed")
+    moved = move_derivation(history, derivation, to_txn)
+    original_edges = _edge_signature(DirectSerializationGraph(history))
+    moved_edges = _edge_signature(DirectSerializationGraph(moved))
+    return original_edges == moved_edges
+
+
+def exclude_derivation(history: History, derivation: Derive) -> History:
+    """Build the H′ of Corollary 2: drop an encapsulated derivation (and
+    the reads of its value, which by encapsulation belong to the same
+    transaction and read what the transaction itself computed)."""
+    events = [event for event in history.events
+              if event is not derivation
+              and not (isinstance(event, Read)
+                       and event.version == derivation.version)]
+    version_order = {
+        obj: [version for version in order
+              if version != derivation.version]
+        for obj, order in history.version_order.items()}
+    return History(events, version_order)
+
+
+def check_encapsulation(history: History, derivation: Derive) -> bool:
+    """Verify Corollary 2 on a concrete history: excluding an encapsulated
+    derivation leaves the DSG unchanged."""
+    from repro.isolation.history import is_encapsulated
+
+    if not is_encapsulated(history, derivation):
+        raise ValueError("derivation is not encapsulated by its transaction")
+    excluded = exclude_derivation(history, derivation)
+    original_edges = _edge_signature(DirectSerializationGraph(history))
+    excluded_edges = _edge_signature(DirectSerializationGraph(excluded))
+    return original_edges == excluded_edges

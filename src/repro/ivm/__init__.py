@@ -1,0 +1,11 @@
+"""Incremental view maintenance: change sets, row ids, differentiation.
+
+Only the change-set primitives are re-exported here; import the
+differentiation entry points from :mod:`repro.ivm.differentiator`
+directly (the executor depends on :mod:`repro.ivm.rowid`, so this
+package's init must stay free of engine imports).
+"""
+
+from repro.ivm.changes import Action, Change, ChangeSet, consolidate
+
+__all__ = ["Action", "Change", "ChangeSet", "consolidate"]

@@ -1,0 +1,227 @@
+"""Change sets: the ``$ACTION`` / ``$ROW_ID`` delta representation.
+
+Section 5.5 of the paper: a differentiated query Δ_I Q "outputs the changes
+in that query over a data timestamp interval I. These changes are a set of
+rows with the same columns as Q, plus 2 additional metadata columns. The
+$ACTION column indicates whether a row represents an insertion or a
+deletion in the DT. Updates are represented as both actions for the same
+row. The $ROW_ID column provides the identifier of the row to be modified.
+The differentiation framework guarantees that a set of changes never
+contains more than 1 row for each unique $ROW_ID, $ACTION pair, which
+ensures that the merge operation is well-defined."
+
+:func:`consolidate` implements the change-consolidation step referenced in
+section 5.5.2 (and the insert-only specialization that allows skipping it);
+:meth:`ChangeSet.validate` implements the two production invariants of
+section 6.1 that "shielded customers from data corruption".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ChangeIntegrityError
+
+
+class Action(enum.Enum):
+    """The ``$ACTION`` metadata column."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Change:
+    """One delta row: ``($ACTION, $ROW_ID, values...)``."""
+
+    action: Action
+    row_id: str
+    row: tuple
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sign = "+" if self.action == Action.INSERT else "-"
+        return f"{sign}{self.row_id}{self.row!r}"
+
+
+class ChangeSet:
+    """An ordered bag of :class:`Change`.
+
+    Order matters only *before* consolidation (an insert and a delete of
+    the same row id cancel in sequence order); a consolidated change set is
+    a well-defined merge: at most one row per ``($ROW_ID, $ACTION)`` pair.
+    """
+
+    __slots__ = ("changes",)
+
+    def __init__(self, changes: Iterable[Change] = ()):
+        self.changes: list[Change] = list(changes)
+
+    def __len__(self) -> int:
+        return len(self.changes)
+
+    def __iter__(self) -> Iterator[Change]:
+        return iter(self.changes)
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ChangeSet({self.changes!r})"
+
+    def append(self, change: Change) -> None:
+        self.changes.append(change)
+
+    def insert(self, row_id: str, row: tuple) -> None:
+        self.changes.append(Change(Action.INSERT, row_id, row))
+
+    def delete(self, row_id: str, row: tuple) -> None:
+        self.changes.append(Change(Action.DELETE, row_id, row))
+
+    def extend(self, other: Iterable[Change]) -> None:
+        self.changes.extend(other)
+
+    def inserts(self) -> list[Change]:
+        return [change for change in self.changes
+                if change.action == Action.INSERT]
+
+    def deletes(self) -> list[Change]:
+        return [change for change in self.changes
+                if change.action == Action.DELETE]
+
+    @property
+    def insert_only(self) -> bool:
+        """True when the set contains no deletions — the extremely common
+        workload shape that section 5.5.2 specializes for."""
+        return all(change.action == Action.INSERT for change in self.changes)
+
+    def validate(self, existing_row_ids: Mapping[str, object] | None = None) -> None:
+        """Check the section 6.1 incremental-refresh invariants.
+
+        1. "there should never be more than 1 row with the same
+           ``$ROW_ID, $ACTION`` pair";
+        2. "we should never try to delete a row that does not exist" —
+           checked against ``existing_row_ids`` when provided (the target
+           table's current row ids). Inserting an id that already exists
+           (and is not also deleted in this set) is the symmetric
+           corruption and is rejected too.
+
+        Raises :class:`~repro.errors.ChangeIntegrityError`.
+        """
+        seen: set[tuple[str, Action]] = set()
+        deleted: set[str] = set()
+        for change in self.changes:
+            key = (change.row_id, change.action)
+            if key in seen:
+                raise ChangeIntegrityError(
+                    f"duplicate ($ROW_ID, $ACTION) pair: {key}")
+            seen.add(key)
+            if change.action == Action.DELETE:
+                deleted.add(change.row_id)
+        if existing_row_ids is not None:
+            for change in self.changes:
+                exists = change.row_id in existing_row_ids
+                if change.action == Action.DELETE and not exists:
+                    raise ChangeIntegrityError(
+                        f"delete of nonexistent row: {change.row_id}")
+                if (change.action == Action.INSERT and exists
+                        and change.row_id not in deleted):
+                    raise ChangeIntegrityError(
+                        f"insert of already-present row: {change.row_id}")
+
+
+#: Internal consolidation states.
+_ABSENT = 0       # not seen in this interval
+_INSERTED = 1     # net-new in this interval
+_DELETED = 2      # pre-existing row deleted in this interval
+
+
+def consolidate(changes: Iterable[Change]) -> ChangeSet:
+    """Collapse an ordered change sequence to its net effect.
+
+    Per row id, in sequence order:
+
+    * insert then delete cancels (the row came and went within the
+      interval);
+    * delete then insert of an identical row cancels (this is the
+      read-amplification elimination of section 5.5.2: copy-on-write
+      partition rewrites re-emit untouched rows, which must vanish from
+      the delta);
+    * delete then insert of a different row becomes an update (one DELETE
+      of the old row and one INSERT of the new, same row id);
+    * duplicate inserts (or duplicate deletes) of the same id raise
+      :class:`~repro.errors.ChangeIntegrityError` — they indicate a bug in
+      a derivative rule.
+
+    The result satisfies :meth:`ChangeSet.validate`'s pair-uniqueness
+    invariant by construction. Output order: deletes first, then inserts
+    (the merge applies deletions before insertions).
+    """
+    state: dict[str, int] = {}
+    before_rows: dict[str, tuple] = {}
+    current_rows: dict[str, tuple] = {}
+    order: list[str] = []
+
+    for change in changes:
+        row_id = change.row_id
+        status = state.get(row_id, _ABSENT)
+        if row_id not in state:
+            order.append(row_id)
+        if change.action == Action.INSERT:
+            if status == _INSERTED or (status == _DELETED and row_id in current_rows):
+                raise ChangeIntegrityError(
+                    f"duplicate insert for row id {row_id}")
+            if status == _DELETED:
+                current_rows[row_id] = change.row
+            else:
+                state[row_id] = _INSERTED
+                current_rows[row_id] = change.row
+        else:  # DELETE
+            if status == _INSERTED:
+                # Insert+delete within the interval cancels entirely.
+                state[row_id] = _ABSENT
+                current_rows.pop(row_id, None)
+            elif status == _DELETED:
+                if row_id in current_rows:
+                    # delete(old) insert(new) delete(new): still a delete of old.
+                    current_rows.pop(row_id)
+                else:
+                    raise ChangeIntegrityError(
+                        f"duplicate delete for row id {row_id}")
+            else:
+                state[row_id] = _DELETED
+                before_rows[row_id] = change.row
+
+    result = ChangeSet()
+    pending_inserts: list[Change] = []
+    for row_id in order:
+        status = state.get(row_id, _ABSENT)
+        if status == _DELETED:
+            before = before_rows[row_id]
+            if row_id in current_rows:
+                after = current_rows[row_id]
+                if after == before:
+                    continue  # data-equivalent rewrite: cancels
+                result.delete(row_id, before)
+                pending_inserts.append(Change(Action.INSERT, row_id, after))
+            else:
+                result.delete(row_id, before)
+        elif status == _INSERTED:
+            pending_inserts.append(
+                Change(Action.INSERT, row_id, current_rows[row_id]))
+    result.extend(pending_inserts)
+    return result
+
+
+def invert(changes: ChangeSet) -> ChangeSet:
+    """Swap inserts and deletes (useful in tests and undo paths)."""
+    inverted = ChangeSet()
+    for change in changes:
+        action = (Action.DELETE if change.action == Action.INSERT
+                  else Action.INSERT)
+        inverted.append(Change(action, change.row_id, change.row))
+    return inverted

@@ -1,0 +1,89 @@
+"""Row identifier derivation.
+
+Section 5.5 of the paper: "Incremental DTs define a unique ID for every row
+in the query result, and store those IDs alongside the data." And 5.5.2:
+"the row IDs we use inside of Dynamic Tables contain plaintext prefixes to
+improve the performance of joins using row IDs as a key".
+
+We mirror that design: every operator derives the ids of its output rows
+deterministically from the ids (or key values) of its inputs, with a short
+**plaintext prefix** identifying the deriving operator followed by a stable
+SHA-1-based digest. Determinism is what makes incremental and full
+evaluation agree: running the defining query from scratch and applying a
+year of deltas must produce rows under identical ids, or the merge in
+:mod:`repro.core.refresh` would corrupt the table (the production
+validations of section 6.1 exist to catch exactly that).
+
+Prefixes:
+
+====== =====================================
+``b``   base-table row (assigned by storage)
+``j``   join output (inner match)
+``lo``  left-outer padded row
+``ro``  right-outer padded row
+``u``   union-all branch
+``g``   aggregate group
+``d``   distinct row
+``f``   flattened element
+====== =====================================
+
+Projections, filters, and window functions are 1:1 on rows and pass ids
+through unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.engine import types as t
+
+
+def base_id(table_seq: int, row_seq: int) -> str:
+    """Id for a base-table row; assigned once at insert and never reused."""
+    return f"b{table_seq}:{row_seq}"
+
+
+def _digest(*parts: str) -> str:
+    hasher = hashlib.sha1()
+    for part in parts:
+        hasher.update(part.encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()[:16]
+
+
+def join_id(left_id: str, right_id: str) -> str:
+    """Id of an inner-join output row: a function of both input ids."""
+    return f"j:{_digest(left_id, right_id)}"
+
+
+def outer_left_id(left_id: str) -> str:
+    """Id of a left-outer padded row (left row with NULL right side)."""
+    return f"lo:{_digest(left_id)}"
+
+
+def outer_right_id(right_id: str) -> str:
+    """Id of a right-outer padded row."""
+    return f"ro:{_digest(right_id)}"
+
+
+def union_id(branch: int, input_id: str) -> str:
+    """Id of a union-all output row; the branch tag keeps identical rows
+    from different branches distinct (bag semantics)."""
+    return f"u{branch}:{input_id}"
+
+
+def group_id(key_values: tuple) -> str:
+    """Id of an aggregate output row: derived from the group key only, so
+    a group keeps its identity as its aggregates change (updates become
+    delete+insert under the same id)."""
+    return f"g:{t.stable_hash(key_values)}"
+
+
+def distinct_id(row: tuple) -> str:
+    """Id of a DISTINCT output row: derived from the full row value."""
+    return f"d:{t.stable_hash(row)}"
+
+
+def flatten_id(input_id: str, element_index: int) -> str:
+    """Id of a LATERAL FLATTEN output row."""
+    return f"f:{_digest(input_id, str(element_index))}"

@@ -1,0 +1,83 @@
+"""Derivative rules for grouped aggregation and DISTINCT.
+
+Both use the **affected-group** strategy, the grouped analogue of the
+paper's window-function derivative (section 5.5.1): collect the group keys
+touched by the input delta, recompute those groups at both interval
+endpoints, and diff the results by row id. Because an aggregate output
+row's id derives from its group key only (:func:`repro.ivm.rowid.group_id`),
+a group whose value changes becomes a DELETE+INSERT under one id — an
+update — and a group whose input rows all disappear becomes a plain
+DELETE.
+
+Scalar aggregates (no GROUP BY) are rejected: section 3.3.2 lists them as
+not yet supported for incremental refresh; plans containing them run in
+FULL mode.
+"""
+
+from __future__ import annotations
+
+from repro.engine import types as t
+from repro.engine.executor import aggregate_relation, distinct_relation
+from repro.engine.relation import Relation
+from repro.errors import NotIncrementalizableError
+from repro.ivm.changes import ChangeSet
+from repro.ivm.differentiator import Differentiator, diff_relations, rule
+from repro.plan import logical as lp
+
+
+def _restrict_to_keys(relation: Relation, key_exprs, affected: set[tuple],
+                      differ: Differentiator) -> Relation:
+    restricted = Relation(relation.schema)
+    for row_id, row in relation.pairs():
+        key = t.group_key(expr.eval(row, differ.ctx) for expr in key_exprs)
+        if key in affected:
+            restricted.append(row_id, row)
+    return restricted
+
+
+@rule("Aggregate")
+def delta_aggregate(differ: Differentiator, plan: lp.Aggregate) -> ChangeSet:
+    if plan.is_scalar:
+        raise NotIncrementalizableError(
+            "scalar aggregates are not incrementally maintainable "
+            "(section 3.3.2); use FULL refresh mode")
+
+    child_delta = differ.delta(plan.child)
+    if not child_delta:
+        return ChangeSet()
+
+    affected: set[tuple] = set()
+    for change in child_delta:
+        affected.add(t.group_key(
+            expr.eval(change.row, differ.ctx) for expr in plan.group_exprs))
+
+    child_old = _restrict_to_keys(differ.old(plan.child), plan.group_exprs,
+                                  affected, differ)
+    child_new = _restrict_to_keys(differ.new(plan.child), plan.group_exprs,
+                                  affected, differ)
+
+    old_result = aggregate_relation(plan, child_old, differ.ctx)
+    new_result = aggregate_relation(plan, child_new, differ.ctx)
+    return diff_relations(old_result, new_result)
+
+
+@rule("Distinct")
+def delta_distinct(differ: Differentiator, plan: lp.Distinct) -> ChangeSet:
+    """DISTINCT is grouped aggregation over the whole row with no
+    aggregates: affected "groups" are the changed row values."""
+    child_delta = differ.delta(plan.child)
+    if not child_delta:
+        return ChangeSet()
+
+    affected = {t.group_key(change.row) for change in child_delta}
+
+    def restrict(relation: Relation) -> Relation:
+        restricted = Relation(relation.schema)
+        for row_id, row in relation.pairs():
+            if t.group_key(row) in affected:
+                restricted.append(row_id, row)
+        return restricted
+
+    old_result = distinct_relation(plan.schema, restrict(differ.old(plan.child)))
+    new_result = distinct_relation(plan.schema, restrict(differ.new(plan.child)))
+    return diff_relations(old_result, new_result)

@@ -1,0 +1,108 @@
+"""Derivative rules for the linear operators.
+
+Scan, Filter, Project, UnionAll, and Flatten are *linear*: the delta of
+the operator is the operator applied to the delta of its input. These are
+the cheapest derivatives — cost strictly proportional to the size of the
+input delta — and correspond to the paper's claim that "variable costs
+scale linearly with the amount of changed data in the sources" (section
+3.3.2).
+
+Sort and Limit deliberately have **no** rules: plans containing them take
+the FULL refresh path (the properties checker reports them as
+non-incrementalizable), mirroring the operator coverage of section 3.3.2.
+"""
+
+from __future__ import annotations
+
+from repro.engine import types as t
+from repro.errors import NotIncrementalizableError
+from repro.ivm import rowid
+from repro.ivm.changes import Change, ChangeSet
+from repro.ivm.differentiator import Differentiator, rule
+from repro.plan import logical as lp
+
+
+@rule("Scan")
+def delta_scan(differ: Differentiator, plan: lp.Scan) -> ChangeSet:
+    """Δ(Scan(T)) = the table's change stream over the interval."""
+    changes = differ.source.scan_delta(plan.table)
+    differ.stats.delta_rows_in += len(changes)
+    return changes
+
+
+@rule("Values")
+def delta_values(differ: Differentiator, plan: lp.Values) -> ChangeSet:
+    """Literal rows never change."""
+    return ChangeSet()
+
+
+@rule("Filter")
+def delta_filter(differ: Differentiator, plan: lp.Filter) -> ChangeSet:
+    """Δ(σ_p(Q)) = σ_p(ΔQ): the predicate commutes with the delta.
+
+    A deleted row is kept in the delta iff the predicate held on its old
+    contents; since incremental plans contain only deterministic
+    expressions (enforced by the properties checker), evaluating the
+    predicate on the stored old row is exact.
+    """
+    child = differ.delta(plan.child)
+    output = ChangeSet()
+    for change in child:
+        if t.is_true(plan.predicate.eval(change.row, differ.ctx)):
+            output.append(change)
+    return output
+
+
+@rule("Project")
+def delta_project(differ: Differentiator, plan: lp.Project) -> ChangeSet:
+    """Δ(π_e(Q)) = π_e(ΔQ): projection is 1:1 on rows; ids pass through."""
+    child = differ.delta(plan.child)
+    output = ChangeSet()
+    for change in child:
+        projected = tuple(expr.eval(change.row, differ.ctx)
+                          for expr in plan.exprs)
+        output.append(Change(change.action, change.row_id, projected))
+    return output
+
+
+@rule("UnionAll")
+def delta_unionall(differ: Differentiator, plan: lp.UnionAll) -> ChangeSet:
+    """Δ(Q₀ ∪ ... ∪ Qₙ) = ΔQ₀ ∪ ... ∪ ΔQₙ with branch-tagged row ids."""
+    output = ChangeSet()
+    for branch, child in enumerate(plan.inputs):
+        for change in differ.delta(child):
+            output.append(Change(change.action,
+                                 rowid.union_id(branch, change.row_id),
+                                 change.row))
+    return output
+
+
+@rule("Flatten")
+def delta_flatten(differ: Differentiator, plan: lp.Flatten) -> ChangeSet:
+    """Δ(FLATTEN(Q)) = FLATTEN(ΔQ): each changed input row expands into
+    its elements with the same action (section 3.3.2 lists LATERAL
+    FLATTEN as incrementally supported)."""
+    child = differ.delta(plan.child)
+    output = ChangeSet()
+    for change in child:
+        value = plan.input_expr.eval(change.row, differ.ctx)
+        if not isinstance(value, list):
+            continue
+        for index, element in enumerate(value):
+            output.append(Change(
+                change.action,
+                rowid.flatten_id(change.row_id, index),
+                change.row + (element, index)))
+    return output
+
+
+@rule("Sort")
+def delta_sort(differ: Differentiator, plan: lp.Sort) -> ChangeSet:
+    raise NotIncrementalizableError(
+        "ORDER BY is not incrementally maintainable; use FULL refresh mode")
+
+
+@rule("Limit")
+def delta_limit(differ: Differentiator, plan: lp.Limit) -> ChangeSet:
+    raise NotIncrementalizableError(
+        "LIMIT is not incrementally maintainable; use FULL refresh mode")

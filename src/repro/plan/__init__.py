@@ -1,0 +1,8 @@
+"""Logical plans: binding, operators, rewrites, and plan properties."""
+
+from repro.plan.builder import DictSchemaProvider, build_plan
+from repro.plan.properties import incrementalizability, operator_inventory
+from repro.plan.rewrite import optimize
+
+__all__ = ["DictSchemaProvider", "build_plan", "incrementalizability",
+           "operator_inventory", "optimize"]

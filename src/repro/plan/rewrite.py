@@ -1,0 +1,234 @@
+"""Logical plan rewrites.
+
+Section 5.4: the compiler turns a refresh command into "an optimized query
+plan". This module provides the classic rewrites that matter for the
+repository's workloads:
+
+* **constant folding** — deterministic, context-free expressions with no
+  column references evaluate at plan time;
+* **filter merging** — stacked Filters conjoin;
+* **filter pushdown** — predicates move below Projects (by substitution),
+  into the preserved side(s) of joins, into every UNION ALL branch, below
+  Flatten (when they don't touch the flattened columns), and below
+  Aggregates when they reference only group columns;
+* **projection merging** — adjacent Projects compose.
+
+All rewrites are **row-id preserving**: Filters and Projects pass row ids
+through untouched, so an optimized plan differentiates to exactly the same
+change sets as the original — a property the test suite asserts. This is
+the paper's hard-won lesson from section 5.5.1 in miniature: "algebraic
+choices that seem mathematically trivial can interact with the optimizer",
+so every rewrite here is justified against the derivative rules, not just
+against bag semantics.
+"""
+
+from __future__ import annotations
+
+from repro.engine import expressions as e
+from repro.engine.types import SqlType
+from repro.errors import EvaluationError
+from repro.plan import logical as lp
+
+
+def optimize(plan: lp.PlanNode) -> lp.PlanNode:
+    """Apply all rewrites to fixpoint (bounded)."""
+    for __ in range(8):
+        rewritten = _rewrite(plan)
+        if rewritten is plan:
+            return plan
+        plan = rewritten
+    return plan
+
+
+def _rewrite(plan: lp.PlanNode) -> lp.PlanNode:
+    children = plan.children()
+    new_children = [_rewrite(child) for child in children]
+    if any(new is not old for new, old in zip(new_children, children)):
+        plan = plan.with_children(new_children)
+
+    if isinstance(plan, lp.Filter):
+        return _rewrite_filter(plan)
+    if isinstance(plan, lp.Project):
+        return _rewrite_project(plan)
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Expression-level rewrites
+# ---------------------------------------------------------------------------
+
+def fold_constants(expr: e.Expression) -> e.Expression:
+    """Evaluate context-free deterministic subtrees to literals."""
+    if isinstance(expr, e.Literal):
+        return expr
+    if (not expr.column_indices() and expr.is_deterministic
+            and not expr.uses_context):
+        try:
+            value = expr.eval((), e.DEFAULT_CONTEXT)
+        except EvaluationError:
+            return expr  # preserve runtime errors (e.g. 1/0) for execution
+        return e.Literal(value, expr.type if value is not None else SqlType.NULL)
+    return expr
+
+
+def substitute(expr: e.Expression,
+               bindings: dict[int, e.Expression]) -> e.Expression:
+    """Replace every ColumnRef i with bindings[i] (used to push predicates
+    through projections)."""
+    if isinstance(expr, e.ColumnRef):
+        return bindings[expr.index]
+    if isinstance(expr, e.Literal):
+        return expr
+
+    # Generic reconstruction via remap-like recursion.
+    if isinstance(expr, e.Arithmetic):
+        return e.Arithmetic(expr.op, substitute(expr.left, bindings),
+                            substitute(expr.right, bindings))
+    if isinstance(expr, e.Comparison):
+        return e.Comparison(expr.op, substitute(expr.left, bindings),
+                            substitute(expr.right, bindings))
+    if isinstance(expr, e.BooleanOp):
+        return e.BooleanOp(expr.op, tuple(substitute(op, bindings)
+                                          for op in expr.operands))
+    if isinstance(expr, e.Not):
+        return e.Not(substitute(expr.operand, bindings))
+    if isinstance(expr, e.IsNull):
+        return e.IsNull(substitute(expr.operand, bindings), expr.negated)
+    if isinstance(expr, e.InList):
+        return e.InList(substitute(expr.operand, bindings),
+                        tuple(substitute(item, bindings)
+                              for item in expr.items), expr.negated)
+    if isinstance(expr, e.Like):
+        return e.Like(substitute(expr.operand, bindings),
+                      substitute(expr.pattern, bindings), expr.negated)
+    if isinstance(expr, e.Case):
+        return e.Case(tuple((substitute(cond, bindings),
+                             substitute(value, bindings))
+                            for cond, value in expr.whens),
+                      substitute(expr.otherwise, bindings))
+    if isinstance(expr, e.Cast):
+        return e.Cast(substitute(expr.operand, bindings), expr.target)
+    if isinstance(expr, e.VariantPath):
+        return e.VariantPath(substitute(expr.operand, bindings), expr.path)
+    if isinstance(expr, e.FunctionCall):
+        return e.FunctionCall(expr.function,
+                              tuple(substitute(arg, bindings)
+                                    for arg in expr.args))
+    if isinstance(expr, e.ContextFunction):
+        return expr
+    raise TypeError(f"cannot substitute into {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Filter rewrites
+# ---------------------------------------------------------------------------
+
+def _rewrite_filter(plan: lp.Filter) -> lp.PlanNode:
+    predicate = fold_constants(plan.predicate)
+    if isinstance(predicate, e.Literal):
+        if predicate.value is True:
+            return plan.child
+        # Always-false/NULL filters still need a node (empty output).
+        plan = lp.Filter(plan.child, predicate)
+
+    child = plan.child
+
+    # Merge stacked filters.
+    if isinstance(child, lp.Filter):
+        merged = e.conjoin(e.conjuncts(child.predicate)
+                           + e.conjuncts(predicate))
+        return _rewrite_filter(lp.Filter(child.child, merged))
+
+    # Push through a Project by substituting the projected expressions.
+    if isinstance(child, lp.Project):
+        bindings = dict(enumerate(child.exprs))
+        pushed = substitute(predicate, bindings)
+        return lp.Project(lp.Filter(child.child, pushed),
+                          child.exprs, child.schema)
+
+    # Push into join sides.
+    if isinstance(child, lp.Join):
+        return _push_into_join(predicate, child)
+
+    # Push into every UNION ALL branch.
+    if isinstance(child, lp.UnionAll):
+        return lp.UnionAll(tuple(lp.Filter(branch, predicate)
+                                 for branch in child.inputs))
+
+    # Push below Flatten when the predicate ignores the flattened columns.
+    if isinstance(child, lp.Flatten):
+        width = len(child.child.schema)
+        if all(index < width for index in predicate.column_indices()):
+            return lp.Flatten(lp.Filter(child.child, predicate),
+                              child.input_expr, child.alias, child.schema)
+
+    # Push below Aggregate when only group columns are referenced.
+    if isinstance(child, lp.Aggregate) and not child.is_scalar:
+        group_count = len(child.group_exprs)
+        if all(index < group_count
+               for index in predicate.column_indices()):
+            bindings = dict(enumerate(child.group_exprs))
+            pushed = substitute(predicate, bindings)
+            return lp.Aggregate(lp.Filter(child.child, pushed),
+                                child.group_exprs, child.aggregates,
+                                child.schema)
+
+    if predicate is not plan.predicate:
+        return lp.Filter(child, predicate)
+    return plan
+
+
+def _push_into_join(predicate: e.Expression, join: lp.Join) -> lp.PlanNode:
+    """Distribute conjuncts to the join sides where semantics allow.
+
+    Inner/cross joins accept pushes to both sides; a LEFT join only to the
+    preserved left side (filtering the right input would turn NULL-padded
+    rows into matches or vice versa); symmetric for RIGHT; FULL accepts
+    neither.
+    """
+    left_width = len(join.left.schema)
+    right_rebase = {index: index - left_width
+                    for index in range(left_width,
+                                       left_width + len(join.right.schema))}
+    may_push_left = join.kind in ("inner", "cross", "left")
+    may_push_right = join.kind in ("inner", "cross", "right")
+
+    left_parts: list[e.Expression] = []
+    right_parts: list[e.Expression] = []
+    kept: list[e.Expression] = []
+    for part in e.conjuncts(predicate):
+        indices = part.column_indices()
+        if indices and all(i < left_width for i in indices) and may_push_left:
+            left_parts.append(part)
+        elif indices and all(i >= left_width for i in indices) and may_push_right:
+            right_parts.append(part.remap(right_rebase))
+        else:
+            kept.append(part)
+
+    if not left_parts and not right_parts:
+        return lp.Filter(join, predicate)
+
+    left = lp.Filter(join.left, e.conjoin(left_parts)) if left_parts else join.left
+    right = (lp.Filter(join.right, e.conjoin(right_parts))
+             if right_parts else join.right)
+    new_join = lp.Join(join.kind, left, right, join.condition)
+    if kept:
+        return lp.Filter(new_join, e.conjoin(kept))
+    return new_join
+
+
+# ---------------------------------------------------------------------------
+# Project rewrites
+# ---------------------------------------------------------------------------
+
+def _rewrite_project(plan: lp.Project) -> lp.PlanNode:
+    exprs = tuple(fold_constants(expr) for expr in plan.exprs)
+    child = plan.child
+    # Compose adjacent projections: P1(P2(x)) = (P1 ∘ P2)(x).
+    if isinstance(child, lp.Project):
+        bindings = dict(enumerate(child.exprs))
+        composed = tuple(substitute(expr, bindings) for expr in exprs)
+        return _rewrite_project(lp.Project(child.child, composed, plan.schema))
+    if exprs != plan.exprs:
+        return lp.Project(child, exprs, plan.schema)
+    return plan

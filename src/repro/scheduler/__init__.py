@@ -1,0 +1,9 @@
+"""Scheduling: the sim clock, canonical periods, warehouses, metrics."""
+
+from repro.scheduler.clock import SimClock
+from repro.scheduler.cost import CostModel
+from repro.scheduler.scheduler import Scheduler, SchedulerReport
+from repro.scheduler.warehouse import Warehouse, WarehousePool
+
+__all__ = ["CostModel", "Scheduler", "SchedulerReport", "SimClock",
+           "Warehouse", "WarehousePool"]

@@ -1,0 +1,74 @@
+"""The refresh cost model.
+
+Section 3.3.2 of the paper communicates refresh cost to users as "fixed
+and variable costs. Generally, more complex queries have larger costs
+(both fixed and variable), and variable costs scale linearly with the
+amount of changed data in the sources." Full refreshes "behave in a
+straightforward way, with cost similar to computing the result of the
+defining query."
+
+The simulation turns a completed :class:`RefreshRecord`'s work counters
+into a duration:
+
+* ``NO_DATA`` — control-plane-only constant; **zero** warehouse time
+  (section 5.4: "This uses negligible resources and zero Virtual
+  Warehouse compute");
+* full-recompute actions (FULL / INITIAL / REINITIALIZE) — fixed cost +
+  per-row scan cost over the sources + per-row write cost;
+* ``INCREMENTAL`` — fixed cost + per-row costs over the *delta* and the
+  endpoint rows the derivative rules had to materialize.
+
+Durations divide by the warehouse size (bigger warehouses are faster),
+capped at a parallel-efficiency floor. The benchmark harness uses this
+model for the scheduling/skip/crossover experiments; the pure-algorithm
+benchmarks (t2/t7/t8) measure actual Python runtime instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dynamic_table import RefreshAction, RefreshRecord
+from repro.util.timeutil import Duration, MICROSECOND, MILLISECOND, SECOND
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable knobs of the refresh duration model."""
+
+    #: Per-refresh fixed cost: compilation, version resolution, commit.
+    fixed_cost: Duration = 2 * SECOND
+    #: Cost to scan one source row during a full recompute.
+    per_source_row: Duration = 50 * MICROSECOND
+    #: Cost to process one delta row during an incremental refresh.
+    per_delta_row: Duration = 100 * MICROSECOND
+    #: Cost to materialize one endpoint row during an incremental refresh
+    #: (the affected-key rules evaluate sub-plans at the endpoints).
+    per_endpoint_row: Duration = 25 * MICROSECOND
+    #: Cost to write one output row into the DT.
+    per_output_row: Duration = 20 * MICROSECOND
+    #: NO_DATA control-plane cost (no warehouse involvement).
+    no_data_cost: Duration = 50 * MILLISECOND
+
+    def duration_of(self, record: RefreshRecord,
+                    warehouse_size: int = 1) -> Duration:
+        """Simulated execution duration for a completed refresh record."""
+        if record.action == RefreshAction.NO_DATA:
+            return self.no_data_cost
+        if record.action == RefreshAction.INCREMENTAL:
+            stats = record.ivm_stats
+            delta_rows = record.rows_changed
+            endpoint_rows = stats.endpoint_rows if stats is not None else 0
+            delta_in = stats.delta_rows_in if stats is not None else 0
+            work = (self.per_delta_row * (delta_rows + delta_in)
+                    + self.per_endpoint_row * endpoint_rows
+                    + self.per_output_row * record.rows_inserted)
+        else:
+            work = (self.per_source_row * record.source_rows_scanned
+                    + self.per_output_row * record.rows_inserted)
+        scaled = work // max(warehouse_size, 1)
+        return self.fixed_cost + scaled
+
+    def uses_warehouse(self, record: RefreshRecord) -> bool:
+        """NO_DATA refreshes consume zero virtual-warehouse compute."""
+        return record.action != RefreshAction.NO_DATA

@@ -1,0 +1,128 @@
+"""Lag measurement: the sawtooth of Figure 4.
+
+Section 5.2 of the paper: "Given a sequence of refreshes, the lag is a
+sawtooth that rises at a constant rate of 1 second per second. ... The lag
+at a trough is the end time of that refresh minus its data timestamp. For
+example, for refresh 1, the trough lag is e₁ − v₁. The lag at a peak is
+the end time of that refresh minus the data timestamp of the preceding
+refresh. For example, for refresh 1, the peak lag is e₁ − v₀."
+
+This module converts a DT's refresh history into the sawtooth series, the
+peak/trough statistics, and the peak-lag decomposition ``p + w + d``
+(period + wait + duration) that drives the scheduling discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dynamic_table import DynamicTable, RefreshRecord
+from repro.util.timeutil import Duration, Timestamp
+
+
+@dataclass(frozen=True)
+class SawtoothPoint:
+    """One vertex of the lag-over-time sawtooth."""
+
+    time: Timestamp
+    lag: Duration
+    kind: str  # "peak" | "trough" | "start"
+
+
+@dataclass(frozen=True)
+class PeakDecomposition:
+    """The p + w + d split of one refresh's peak lag (section 5.2).
+
+    ``p`` — the interval between adjacent data timestamps;
+    ``w`` — waiting time between the data timestamp and the start;
+    ``d`` — the refresh duration. Peak lag = p + w + d.
+    """
+
+    data_timestamp: Timestamp
+    p: Duration
+    w: Duration
+    d: Duration
+
+    @property
+    def peak_lag(self) -> Duration:
+        return self.p + self.w + self.d
+
+
+def successful_refreshes(dt: DynamicTable) -> list[RefreshRecord]:
+    return [record for record in dt.refresh_history if record.succeeded]
+
+
+def sawtooth(dt: DynamicTable) -> list[SawtoothPoint]:
+    """The lag sawtooth: at each refresh commit the lag drops from its
+    peak (e_i − v_{i−1}) to its trough (e_i − v_i); between commits it
+    rises at 1 s/s (so only the vertices are materialized)."""
+    records = successful_refreshes(dt)
+    points: list[SawtoothPoint] = []
+    for index, record in enumerate(records):
+        if index == 0:
+            points.append(SawtoothPoint(
+                record.end_wall, record.end_wall - record.data_timestamp,
+                "start"))
+            continue
+        previous = records[index - 1]
+        peak = record.end_wall - previous.data_timestamp
+        trough = record.end_wall - record.data_timestamp
+        points.append(SawtoothPoint(record.end_wall, peak, "peak"))
+        points.append(SawtoothPoint(record.end_wall, trough, "trough"))
+    return points
+
+
+def peak_lags(dt: DynamicTable) -> list[Duration]:
+    records = successful_refreshes(dt)
+    return [record.end_wall - previous.data_timestamp
+            for previous, record in zip(records, records[1:])]
+
+
+def trough_lags(dt: DynamicTable) -> list[Duration]:
+    return [record.end_wall - record.data_timestamp
+            for record in successful_refreshes(dt)]
+
+
+def decompose_peaks(dt: DynamicTable) -> list[PeakDecomposition]:
+    """Split each peak lag into p + w + d (section 5.2)."""
+    records = successful_refreshes(dt)
+    decompositions: list[PeakDecomposition] = []
+    for previous, record in zip(records, records[1:]):
+        p = record.data_timestamp - previous.data_timestamp
+        w = record.start_wall - record.data_timestamp
+        d = record.end_wall - record.start_wall
+        decompositions.append(PeakDecomposition(record.data_timestamp, p, w, d))
+    return decompositions
+
+
+def lag_at(dt: DynamicTable, time: Timestamp) -> Duration | None:
+    """The DT's lag at an arbitrary time, from its refresh history: time
+    minus the data timestamp of the latest refresh committed by then."""
+    committed = [record for record in successful_refreshes(dt)
+                 if record.end_wall <= time]
+    if not committed:
+        return None
+    return time - committed[-1].data_timestamp
+
+
+def fraction_within_target(dt: DynamicTable, target: Duration,
+                           start: Timestamp, end: Timestamp,
+                           samples: int = 1000) -> float:
+    """Fraction of [start, end] during which the DT's lag ≤ target
+    (sampled; used by the scheduling benchmark's SLO-style report)."""
+    if end <= start:
+        return 0.0
+    within = 0
+    total = 0
+    step = max((end - start) // samples, 1)
+    time = start
+    while time <= end:
+        lag = lag_at(dt, time)
+        if lag is not None:
+            total += 1
+            if lag <= target:
+                within += 1
+        time += step
+    if total == 0:
+        return 0.0
+    return within / total

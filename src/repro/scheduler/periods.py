@@ -1,0 +1,72 @@
+"""Canonical refresh periods (section 5.2 of the paper).
+
+"We define a set of canonical refresh periods as 48·2^n seconds, for
+integers n. When deciding upon the refresh period for a DT, we choose from
+this set of canonical periods to try to keep each DT within its target
+lag. We also ensure that the choice of refresh period for each DT is
+greater than or equal to those upstream. Because powers of two are all
+multiples of each other and we choose a constant phase for each customer,
+the data timestamps of different DTs are guaranteed to align, even if they
+have different target lags."
+
+The safety margin built into :func:`choose_period` reflects the lag
+algebra of Figure 4: staying under target lag ``t`` requires
+``p + w + d < t``, so the period must leave headroom for the waiting time
+``w`` and refresh duration ``d``. We budget half the target lag for
+``w + d``, i.e. pick the largest canonical period ≤ t/2 — which also
+reproduces the user-visible surprise the paper mentions ("the refresh
+period Snowflake chooses can be substantially smaller than the provided
+target lag").
+"""
+
+from __future__ import annotations
+
+from repro.util.timeutil import Duration, SECOND
+
+#: The canonical base: 48 seconds.
+BASE_PERIOD: Duration = 48 * SECOND
+
+#: Largest exponent we will ever choose (48·2^14 s ≈ 9.1 days).
+MAX_EXPONENT = 14
+
+
+def canonical_periods() -> list[Duration]:
+    """All canonical periods, ascending: 48, 96, 192, ... seconds."""
+    return [BASE_PERIOD * (1 << exponent)
+            for exponent in range(MAX_EXPONENT + 1)]
+
+
+def choose_period(target_lag: Duration,
+                  headroom_fraction: float = 0.5) -> Duration:
+    """The refresh period for a target lag: the largest canonical period
+    ≤ ``target_lag × headroom_fraction`` (at least the base period)."""
+    budget = int(target_lag * headroom_fraction)
+    period = BASE_PERIOD
+    for candidate in canonical_periods():
+        if candidate <= budget:
+            period = candidate
+        else:
+            break
+    return period
+
+
+def clamp_to_upstream(period: Duration, upstream_periods: list[Duration],
+                      ) -> Duration:
+    """Enforce the upstream constraint: a DT's period must be ≥ every
+    upstream DT's period (so downstream ticks are a subset of upstream
+    ticks and data timestamps align)."""
+    if not upstream_periods:
+        return period
+    return max(period, max(upstream_periods))
+
+
+def is_tick(time: int, period: Duration, phase: int = 0) -> bool:
+    """Whether ``time`` is a refresh tick for ``period`` under the
+    account's constant ``phase``."""
+    return (time - phase) % period == 0
+
+
+def next_tick(time: int, period: Duration, phase: int = 0) -> int:
+    """The first tick strictly after ``time``."""
+    elapsed = (time - phase) % period
+    return time + (period - elapsed)

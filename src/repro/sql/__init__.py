@@ -1,0 +1,5 @@
+"""The SQL frontend: lexer, parser, and AST nodes."""
+
+from repro.sql.parser import parse_query, parse_statement, parse_statements
+
+__all__ = ["parse_query", "parse_statement", "parse_statements"]

@@ -1,0 +1,175 @@
+"""SQL lexer.
+
+Tokenizes the SQL dialect used by the repository: a Snowflake-flavoured
+subset covering the paper's Listing 1 and the operator classes enumerated in
+section 3.3.2. Identifiers are case-insensitive and normalized to lower
+case; double-quoted identifiers preserve case. Strings use single quotes
+with ``''`` escaping. Comments: ``-- line`` and ``/* block */``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    EOF = "eof"
+
+
+#: Reserved words recognized as keywords (lower case).
+KEYWORDS = frozenset({
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "on", "join", "inner", "left", "right", "full", "outer", "cross",
+    "union", "all", "distinct", "and", "or", "not", "in", "like", "between",
+    "is", "null", "true", "false", "case", "when", "then", "else", "end",
+    "cast", "create", "table", "view", "dynamic", "or", "replace", "insert",
+    "into", "values", "delete", "update", "set", "drop", "undrop", "alter",
+    "rename", "to", "suspend", "resume", "refresh", "target_lag",
+    "warehouse", "refresh_mode", "initialize", "downstream", "lateral",
+    "flatten", "over", "partition", "asc", "desc", "exists", "if", "with",
+    "recluster", "at", "show", "tables", "qualify", "clone",
+})
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = ("::", "<=", ">=", "<>", "!=", "=>", "||",
+             "(", ")", ",", ".", ";", "+", "-", "*", "/", "%",
+             "=", "<", ">", ":", "$")
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    text: str
+    line: int
+    column: int
+
+    def matches(self, token_type: TokenType, text: str | None = None) -> bool:
+        if self.type != token_type:
+            return False
+        return text is None or self.text == text
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.type.value}, {self.text!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list of tokens ending with an EOF token.
+
+    Raises :class:`~repro.errors.ParseError` on unterminated strings or
+    unrecognized characters, with line/column information.
+    """
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(sql)
+
+    def column() -> int:
+        return position - line_start + 1
+
+    while position < length:
+        char = sql[position]
+
+        if char == "\n":
+            line += 1
+            position += 1
+            line_start = position
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+
+        # Comments.
+        if sql.startswith("--", position):
+            newline = sql.find("\n", position)
+            position = length if newline == -1 else newline
+            continue
+        if sql.startswith("/*", position):
+            close = sql.find("*/", position + 2)
+            if close == -1:
+                raise ParseError("unterminated block comment", line, column())
+            line += sql.count("\n", position, close)
+            position = close + 2
+            continue
+
+        # String literal.
+        if char == "'":
+            start_line, start_column = line, column()
+            position += 1
+            parts: list[str] = []
+            while True:
+                if position >= length:
+                    raise ParseError("unterminated string literal",
+                                     start_line, start_column)
+                if sql[position] == "'":
+                    if position + 1 < length and sql[position + 1] == "'":
+                        parts.append("'")
+                        position += 2
+                        continue
+                    position += 1
+                    break
+                if sql[position] == "\n":
+                    line += 1
+                    line_start = position + 1
+                parts.append(sql[position])
+                position += 1
+            tokens.append(Token(TokenType.STRING, "".join(parts),
+                                start_line, start_column))
+            continue
+
+        # Quoted identifier (case preserved).
+        if char == '"':
+            start_column = column()
+            close = sql.find('"', position + 1)
+            if close == -1:
+                raise ParseError("unterminated quoted identifier", line, start_column)
+            tokens.append(Token(TokenType.IDENT, sql[position + 1:close],
+                                line, start_column))
+            position = close + 1
+            continue
+
+        # Number: integer or decimal.
+        if char.isdigit():
+            start = position
+            start_column = column()
+            while position < length and sql[position].isdigit():
+                position += 1
+            if (position < length and sql[position] == "."
+                    and position + 1 < length and sql[position + 1].isdigit()):
+                position += 1
+                while position < length and sql[position].isdigit():
+                    position += 1
+            tokens.append(Token(TokenType.NUMBER, sql[start:position],
+                                line, start_column))
+            continue
+
+        # Identifier or keyword.
+        if char.isalpha() or char == "_":
+            start = position
+            start_column = column()
+            while position < length and (sql[position].isalnum() or sql[position] == "_"):
+                position += 1
+            word = sql[start:position].lower()
+            token_type = TokenType.KEYWORD if word in KEYWORDS else TokenType.IDENT
+            tokens.append(Token(token_type, word, line, start_column))
+            continue
+
+        # Operator.
+        for operator in OPERATORS:
+            if sql.startswith(operator, position):
+                tokens.append(Token(TokenType.OPERATOR, operator, line, column()))
+                position += len(operator)
+                break
+        else:
+            raise ParseError(f"unexpected character {char!r}", line, column())
+
+    tokens.append(Token(TokenType.EOF, "", line, column()))
+    return tokens

@@ -1,0 +1,348 @@
+"""SQL abstract syntax tree.
+
+These are *unbound* nodes produced by :mod:`repro.sql.parser`; the plan
+builder (:mod:`repro.plan.builder`) binds names and types against the
+catalog, producing logical plans over bound expressions.
+
+The node set covers everything needed for the paper:
+
+* Listing 1's queries (joins, variant paths, casts, ``date_trunc``,
+  ``count_if``, ``GROUP BY ALL``),
+* the incrementally supported operator classes of section 3.3.2
+  (projections, filters, union-all, inner/outer joins, LATERAL FLATTEN,
+  distinct and grouped aggregation, partitioned window functions),
+* the full-refresh-only constructs (ORDER BY / LIMIT at the top level),
+* the DDL/DML surface (CREATE [DYNAMIC] TABLE / VIEW, INSERT, DELETE,
+  UPDATE, DROP/UNDROP, ALTER DYNAMIC TABLE ... SUSPEND/RESUME/REFRESH).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for AST expressions."""
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal: int, float, str, bool, or None."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A possibly-qualified column reference (``a`` or ``t.a``)."""
+
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` or ``t.*`` in a select list (or ``COUNT(*)``)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operator: arithmetic, comparison, AND/OR, ``||``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operator: ``-`` or NOT."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNullExpr(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InListExpr(Expr):
+    operand: Expr
+    items: tuple[Expr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenExpr(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeExpr(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CaseExpr(Expr):
+    """Searched or simple CASE (simple form carries ``operand``)."""
+
+    whens: tuple[tuple[Expr, Expr], ...]
+    otherwise: Optional[Expr] = None
+    operand: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class CastExpr(Expr):
+    """``CAST(x AS type)`` or the postfix ``x::type``."""
+
+    operand: Expr
+    type_name: str
+
+
+@dataclass(frozen=True)
+class PathExpr(Expr):
+    """VARIANT path access ``expr:key1.key2`` (Listing 1 uses
+    ``e.payload:time``)."""
+
+    operand: Expr
+    path: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """``OVER (PARTITION BY ... [ORDER BY ...])``."""
+
+    partition_by: tuple[Expr, ...] = ()
+    order_by: tuple[tuple[Expr, bool], ...] = ()  # (expr, descending)
+
+
+@dataclass(frozen=True)
+class FnCall(Expr):
+    """A function call; covers scalar functions, aggregates, and window
+    functions (``window`` is set when an OVER clause is present)."""
+
+    name: str
+    args: tuple[Expr, ...] = ()
+    distinct: bool = False
+    window: Optional[WindowSpec] = None
+
+
+# ---------------------------------------------------------------------------
+# Queries
+# ---------------------------------------------------------------------------
+
+
+class TableRef:
+    """Base class for FROM-clause items."""
+
+
+@dataclass(frozen=True)
+class NamedTable(TableRef):
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(TableRef):
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class JoinRef(TableRef):
+    """A join between two table references.
+
+    ``kind`` is one of ``inner``, ``left``, ``right``, ``full``, ``cross``.
+    ``condition`` is None only for cross joins.
+    """
+
+    kind: str
+    left: TableRef
+    right: TableRef
+    condition: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class FlattenRef(TableRef):
+    """``<ref>, LATERAL FLATTEN(input => expr) [AS alias]``.
+
+    Produces one output row per element of the flattened array, exposing
+    ``value`` (and ``index``) columns under ``alias``.
+    """
+
+    source: TableRef
+    input: Expr
+    alias: str = "f"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class GroupByAll:
+    """Marker for ``GROUP BY ALL`` (group by every non-aggregate select
+    item), as used in the paper's Listing 1."""
+
+
+@dataclass(frozen=True)
+class Select:
+    """One SELECT block, or a UNION ALL chain (``union_all`` non-empty)."""
+
+    items: tuple[SelectItem, ...] = ()
+    from_: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: Union[tuple[Expr, ...], GroupByAll, None] = None
+    having: Optional[Expr] = None
+    qualify: Optional[Expr] = None
+    distinct: bool = False
+    union_all: tuple["Select", ...] = ()
+    order_by: tuple[tuple[Expr, bool], ...] = ()
+    limit: Optional[int] = None
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Base class for top-level statements."""
+
+
+@dataclass(frozen=True)
+class Query(Statement):
+    select: Select
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class CreateTable(Statement):
+    name: str
+    columns: tuple[ColumnDef, ...]
+    or_replace: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class CreateView(Statement):
+    name: str
+    query: Select
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class CreateDynamicTable(Statement):
+    """``CREATE [OR REPLACE] DYNAMIC TABLE name TARGET_LAG = ...
+    WAREHOUSE = ... [REFRESH_MODE = ...] [INITIALIZE = ...] AS query``.
+
+    ``target_lag`` is either a duration string (e.g. ``'1 minute'``) or the
+    literal ``"downstream"``. ``refresh_mode`` is ``auto`` (default),
+    ``full``, or ``incremental``. ``initialize`` is ``on_create`` (default,
+    synchronous) or ``on_schedule`` (section 3.1).
+    """
+
+    name: str
+    query: Select
+    target_lag: str
+    warehouse: str
+    refresh_mode: str = "auto"
+    initialize: str = "on_create"
+    or_replace: bool = False
+
+
+@dataclass(frozen=True)
+class Insert(Statement):
+    table: str
+    columns: tuple[str, ...] = ()
+    rows: tuple[tuple[Expr, ...], ...] = ()
+    query: Optional[Select] = None
+
+
+@dataclass(frozen=True)
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Update(Statement):
+    table: str
+    assignments: tuple[tuple[str, Expr], ...] = ()
+    where: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Drop(Statement):
+    kind: str  # "table" | "view" | "dynamic table"
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
+class Undrop(Statement):
+    kind: str
+    name: str
+
+
+@dataclass(frozen=True)
+class AlterDynamicTable(Statement):
+    """``ALTER DYNAMIC TABLE name SUSPEND | RESUME | REFRESH``."""
+
+    name: str
+    action: str  # "suspend" | "resume" | "refresh"
+
+
+@dataclass(frozen=True)
+class AlterTableRename(Statement):
+    name: str
+    new_name: str
+
+
+@dataclass(frozen=True)
+class CloneEntity(Statement):
+    """``CREATE [DYNAMIC] TABLE name CLONE source`` — zero-copy cloning
+    (section 3.4): the new entity is created "by copying only its
+    metadata"; cloned DTs "can avoid reinitialization in many cases"."""
+
+    kind: str  # "table" | "dynamic table"
+    name: str
+    source: str
+
+
+@dataclass(frozen=True)
+class Recluster(Statement):
+    """``ALTER TABLE name RECLUSTER`` — a data-equivalent maintenance
+    operation (section 5.5.2): rewrites partitions without changing logical
+    contents."""
+
+    name: str

@@ -1,0 +1,671 @@
+"""Recursive-descent SQL parser.
+
+Grammar (informal):
+
+.. code-block:: text
+
+   statement   := query | create | insert | delete | update | drop
+                | undrop | alter
+   query       := select (UNION ALL select)* [ORDER BY order_items]
+                  [LIMIT number]
+   select      := SELECT [DISTINCT] items FROM table_ref [WHERE expr]
+                  [GROUP BY (ALL | exprs)] [HAVING expr] [QUALIFY expr]
+   table_ref   := primary (join_clause | ',' LATERAL FLATTEN '(' ... ')')*
+   join_clause := [INNER|LEFT [OUTER]|RIGHT [OUTER]|FULL [OUTER]|CROSS]
+                  JOIN primary [ON expr]
+   primary     := name [AS? alias] | '(' query ')' AS? alias
+
+Expression precedence (loosest to tightest): OR, AND, NOT, comparison /
+IS / IN / LIKE / BETWEEN, additive (``+ - ||``), multiplicative
+(``* / %``), unary minus, postfix (``:path`` and ``::type``), primary.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql import nodes as n
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def parse_statement(sql: str) -> n.Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(sql))
+    statement = parser.statement()
+    parser.accept_operator(";")
+    parser.expect_eof()
+    return statement
+
+
+def parse_statements(sql: str) -> list[n.Statement]:
+    """Parse a ``;``-separated script."""
+    parser = _Parser(tokenize(sql))
+    statements: list[n.Statement] = []
+    while not parser.at_eof():
+        statements.append(parser.statement())
+        if not parser.accept_operator(";"):
+            break
+    parser.expect_eof()
+    return statements
+
+
+def parse_query(sql: str) -> n.Select:
+    """Parse a bare query (used for DT defining queries stored as text)."""
+    statement = parse_statement(sql)
+    if not isinstance(statement, n.Query):
+        raise ParseError("expected a query")
+    return statement.select
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._position + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._position]
+        if token.type != TokenType.EOF:
+            self._position += 1
+        return token
+
+    def at_eof(self) -> bool:
+        return self._peek().type == TokenType.EOF
+
+    def expect_eof(self) -> None:
+        token = self._peek()
+        if token.type != TokenType.EOF:
+            raise ParseError(f"unexpected trailing input: {token.text!r}",
+                             token.line, token.column)
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        found = token.text or "end of input"
+        return ParseError(f"{message}, found {found!r}", token.line, token.column)
+
+    def accept_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        if token.type == TokenType.KEYWORD and token.text == words[0]:
+            # Multi-word keyword sequences must match entirely.
+            for offset, word in enumerate(words):
+                lookahead = self._peek(offset)
+                if not (lookahead.type == TokenType.KEYWORD and lookahead.text == word):
+                    return False
+            for __ in words:
+                self._advance()
+            return True
+        return False
+
+    def expect_keyword(self, *words: str) -> None:
+        if not self.accept_keyword(*words):
+            raise self._error(f"expected {' '.join(words).upper()}")
+
+    def peek_keyword(self, word: str, offset: int = 0) -> bool:
+        token = self._peek(offset)
+        return token.type == TokenType.KEYWORD and token.text == word
+
+    def accept_operator(self, text: str) -> bool:
+        if self._peek().matches(TokenType.OPERATOR, text):
+            self._advance()
+            return True
+        return False
+
+    def expect_operator(self, text: str) -> None:
+        if not self.accept_operator(text):
+            raise self._error(f"expected {text!r}")
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self._peek()
+        # Allow non-reserved keywords where identifiers are expected
+        # (e.g. a table aliased "s", a column named "values" is NOT allowed).
+        if token.type == TokenType.IDENT:
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    def expect_string(self, what: str = "string literal") -> str:
+        token = self._peek()
+        if token.type == TokenType.STRING:
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    # -- statements --------------------------------------------------------
+
+    def statement(self) -> n.Statement:
+        if self.peek_keyword("select") or self.peek_keyword("with"):
+            return n.Query(self.query())
+        if self.peek_keyword("create"):
+            return self._create()
+        if self.peek_keyword("insert"):
+            return self._insert()
+        if self.peek_keyword("delete"):
+            return self._delete()
+        if self.peek_keyword("update"):
+            return self._update()
+        if self.peek_keyword("drop"):
+            return self._drop()
+        if self.peek_keyword("undrop"):
+            return self._undrop()
+        if self.peek_keyword("alter"):
+            return self._alter()
+        raise self._error("expected a statement")
+
+    def _create(self) -> n.Statement:
+        self.expect_keyword("create")
+        or_replace = self.accept_keyword("or", "replace")
+        if self.accept_keyword("dynamic"):
+            self.expect_keyword("table")
+            name = self.expect_identifier("dynamic table name")
+            if self.accept_keyword("clone"):
+                return n.CloneEntity("dynamic table", name,
+                                     self.expect_identifier("source name"))
+            return self._create_dynamic_table(or_replace, name)
+        if self.accept_keyword("view"):
+            name = self.expect_identifier("view name")
+            self.expect_keyword("as")
+            return n.CreateView(name, self.query(), or_replace)
+        if self.accept_keyword("table"):
+            if_not_exists = False
+            if self.accept_keyword("if"):
+                self.expect_keyword("not")
+                self.expect_keyword("exists")
+                if_not_exists = True
+            name = self.expect_identifier("table name")
+            if self.accept_keyword("clone"):
+                return n.CloneEntity("table", name,
+                                     self.expect_identifier("source name"))
+            self.expect_operator("(")
+            columns: list[n.ColumnDef] = []
+            while True:
+                column_name = self.expect_identifier("column name")
+                type_name = self._type_name()
+                columns.append(n.ColumnDef(column_name, type_name))
+                if not self.accept_operator(","):
+                    break
+            self.expect_operator(")")
+            return n.CreateTable(name, tuple(columns), or_replace, if_not_exists)
+        raise self._error("expected TABLE, VIEW, or DYNAMIC TABLE")
+
+    def _type_name(self) -> str:
+        token = self._peek()
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            return token.text
+        raise self._error("expected type name")
+
+    def _create_dynamic_table(self, or_replace: bool,
+                              name: str) -> n.CreateDynamicTable:
+        target_lag: str | None = None
+        warehouse: str | None = None
+        refresh_mode = "auto"
+        initialize = "on_create"
+        while not self.peek_keyword("as"):
+            if self.accept_keyword("target_lag"):
+                self.expect_operator("=")
+                if self.accept_keyword("downstream"):
+                    target_lag = "downstream"
+                else:
+                    target_lag = self.expect_string("target lag duration")
+            elif self.accept_keyword("warehouse"):
+                self.expect_operator("=")
+                warehouse = self.expect_identifier("warehouse name")
+            elif self.accept_keyword("refresh_mode"):
+                self.expect_operator("=")
+                refresh_mode = self._keyword_or_ident("refresh mode").lower()
+            elif self.accept_keyword("initialize"):
+                self.expect_operator("=")
+                initialize = self._keyword_or_ident("initialize option").lower()
+            else:
+                raise self._error("expected TARGET_LAG, WAREHOUSE, "
+                                  "REFRESH_MODE, INITIALIZE, or AS")
+        self.expect_keyword("as")
+        query = self.query()
+        if target_lag is None:
+            raise self._error("dynamic table requires TARGET_LAG")
+        if warehouse is None:
+            raise self._error("dynamic table requires WAREHOUSE")
+        return n.CreateDynamicTable(name, query, target_lag, warehouse,
+                                    refresh_mode, initialize, or_replace)
+
+    def _keyword_or_ident(self, what: str) -> str:
+        token = self._peek()
+        if token.type in (TokenType.IDENT, TokenType.KEYWORD):
+            self._advance()
+            return token.text
+        raise self._error(f"expected {what}")
+
+    def _insert(self) -> n.Insert:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_identifier("table name")
+        columns: tuple[str, ...] = ()
+        if self.accept_operator("("):
+            names = [self.expect_identifier("column name")]
+            while self.accept_operator(","):
+                names.append(self.expect_identifier("column name"))
+            self.expect_operator(")")
+            columns = tuple(names)
+        if self.accept_keyword("values"):
+            rows: list[tuple[n.Expr, ...]] = []
+            while True:
+                self.expect_operator("(")
+                row = [self.expression()]
+                while self.accept_operator(","):
+                    row.append(self.expression())
+                self.expect_operator(")")
+                rows.append(tuple(row))
+                if not self.accept_operator(","):
+                    break
+            return n.Insert(table, columns, tuple(rows))
+        return n.Insert(table, columns, query=self.query())
+
+    def _delete(self) -> n.Delete:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_identifier("table name")
+        where = self.expression() if self.accept_keyword("where") else None
+        return n.Delete(table, where)
+
+    def _update(self) -> n.Update:
+        self.expect_keyword("update")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("set")
+        assignments = []
+        while True:
+            column = self.expect_identifier("column name")
+            self.expect_operator("=")
+            assignments.append((column, self.expression()))
+            if not self.accept_operator(","):
+                break
+        where = self.expression() if self.accept_keyword("where") else None
+        return n.Update(table, tuple(assignments), where)
+
+    def _entity_kind(self) -> str:
+        if self.accept_keyword("dynamic"):
+            self.expect_keyword("table")
+            return "dynamic table"
+        if self.accept_keyword("view"):
+            return "view"
+        self.expect_keyword("table")
+        return "table"
+
+    def _drop(self) -> n.Drop:
+        self.expect_keyword("drop")
+        kind = self._entity_kind()
+        if_exists = False
+        if self.accept_keyword("if"):
+            self.expect_keyword("exists")
+            if_exists = True
+        return n.Drop(kind, self.expect_identifier("entity name"), if_exists)
+
+    def _undrop(self) -> n.Undrop:
+        self.expect_keyword("undrop")
+        kind = self._entity_kind()
+        return n.Undrop(kind, self.expect_identifier("entity name"))
+
+    def _alter(self) -> n.Statement:
+        self.expect_keyword("alter")
+        if self.accept_keyword("dynamic"):
+            self.expect_keyword("table")
+            name = self.expect_identifier("dynamic table name")
+            if self.accept_keyword("suspend"):
+                return n.AlterDynamicTable(name, "suspend")
+            if self.accept_keyword("resume"):
+                return n.AlterDynamicTable(name, "resume")
+            if self.accept_keyword("refresh"):
+                return n.AlterDynamicTable(name, "refresh")
+            raise self._error("expected SUSPEND, RESUME, or REFRESH")
+        self.expect_keyword("table")
+        name = self.expect_identifier("table name")
+        if self.accept_keyword("rename"):
+            self.expect_keyword("to")
+            return n.AlterTableRename(name, self.expect_identifier("new name"))
+        if self.accept_keyword("recluster"):
+            return n.Recluster(name)
+        raise self._error("expected RENAME TO or RECLUSTER")
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self) -> n.Select:
+        first = self._select_core()
+        unions: list[n.Select] = []
+        while self.peek_keyword("union"):
+            self.expect_keyword("union")
+            self.expect_keyword("all")
+            unions.append(self._select_core())
+        order_by: tuple[tuple[n.Expr, bool], ...] = ()
+        limit: int | None = None
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by = self._order_items()
+        if self.accept_keyword("limit"):
+            token = self._peek()
+            if token.type != TokenType.NUMBER:
+                raise self._error("expected LIMIT count")
+            self._advance()
+            limit = int(token.text)
+        if unions or order_by or limit is not None:
+            return n.Select(
+                items=first.items, from_=first.from_, where=first.where,
+                group_by=first.group_by, having=first.having,
+                qualify=first.qualify, distinct=first.distinct,
+                union_all=tuple(unions), order_by=order_by, limit=limit)
+        return first
+
+    def _select_core(self) -> n.Select:
+        self.expect_keyword("select")
+        distinct = self.accept_keyword("distinct")
+        items = [self._select_item()]
+        while self.accept_operator(","):
+            # A comma inside FROM is handled there; here commas separate items.
+            items.append(self._select_item())
+        from_ = None
+        if self.accept_keyword("from"):
+            from_ = self._table_ref()
+        where = self.expression() if self.accept_keyword("where") else None
+        group_by: tuple[n.Expr, ...] | n.GroupByAll | None = None
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            if self.accept_keyword("all"):
+                group_by = n.GroupByAll()
+            else:
+                exprs = [self.expression()]
+                while self.accept_operator(","):
+                    exprs.append(self.expression())
+                group_by = tuple(exprs)
+        having = self.expression() if self.accept_keyword("having") else None
+        qualify = (self.expression()
+                   if self.accept_keyword("qualify") else None)
+        return n.Select(items=tuple(items), from_=from_, where=where,
+                        group_by=group_by, having=having, qualify=qualify,
+                        distinct=distinct)
+
+    def _select_item(self) -> n.SelectItem:
+        expr = self.expression()
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier("alias")
+        elif self._peek().type == TokenType.IDENT:
+            alias = self._advance().text
+        return n.SelectItem(expr, alias)
+
+    def _order_items(self) -> tuple[tuple[n.Expr, bool], ...]:
+        items: list[tuple[n.Expr, bool]] = []
+        while True:
+            expr = self.expression()
+            descending = False
+            if self.accept_keyword("desc"):
+                descending = True
+            else:
+                self.accept_keyword("asc")
+            items.append((expr, descending))
+            if not self.accept_operator(","):
+                break
+        return tuple(items)
+
+    # -- FROM clause -------------------------------------------------------
+
+    def _table_ref(self) -> n.TableRef:
+        ref = self._table_primary()
+        while True:
+            if self.accept_operator(","):
+                if self.accept_keyword("lateral"):
+                    ref = self._flatten(ref)
+                    continue
+                right = self._table_primary()
+                ref = n.JoinRef("cross", ref, right)
+                continue
+            kind = self._join_kind()
+            if kind is None:
+                return ref
+            right = self._table_primary()
+            condition = None
+            if kind != "cross":
+                self.expect_keyword("on")
+                condition = self.expression()
+            ref = n.JoinRef(kind, ref, right, condition)
+
+    def _join_kind(self) -> str | None:
+        if self.accept_keyword("join"):
+            return "inner"
+        if self.accept_keyword("inner"):
+            self.expect_keyword("join")
+            return "inner"
+        for kind in ("left", "right", "full"):
+            if self.peek_keyword(kind):
+                self._advance()
+                self.accept_keyword("outer")
+                self.expect_keyword("join")
+                return kind
+        if self.accept_keyword("cross"):
+            self.expect_keyword("join")
+            return "cross"
+        return None
+
+    def _flatten(self, source: n.TableRef) -> n.FlattenRef:
+        self.expect_keyword("flatten")
+        self.expect_operator("(")
+        # Snowflake syntax: FLATTEN(input => expr); bare expr also accepted.
+        token = self._peek()
+        if token.type == TokenType.IDENT and token.text == "input":
+            self._advance()
+            self.expect_operator("=>")
+        input_expr = self.expression()
+        self.expect_operator(")")
+        alias = "f"
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier("flatten alias")
+        elif self._peek().type == TokenType.IDENT:
+            alias = self._advance().text
+        return n.FlattenRef(source, input_expr, alias)
+
+    def _table_primary(self) -> n.TableRef:
+        if self.accept_keyword("lateral"):
+            raise self._error("LATERAL FLATTEN must follow a comma")
+        if self.accept_operator("("):
+            query = self.query()
+            self.expect_operator(")")
+            self.accept_keyword("as")
+            alias = self.expect_identifier("subquery alias")
+            return n.SubqueryRef(query, alias)
+        name = self.expect_identifier("table name")
+        alias: str | None = None
+        if self.accept_keyword("as"):
+            alias = self.expect_identifier("alias")
+        elif self._peek().type == TokenType.IDENT:
+            alias = self._advance().text
+        return n.NamedTable(name, alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def expression(self) -> n.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> n.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("or"):
+            left = n.BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> n.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("and"):
+            left = n.BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> n.Expr:
+        if self.accept_keyword("not"):
+            return n.UnOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> n.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.type == TokenType.OPERATOR and token.text in (
+                "=", "!=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            return n.BinOp(token.text, left, self._additive())
+        if self.accept_keyword("is"):
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            return n.IsNullExpr(left, negated)
+        negated = self.accept_keyword("not")
+        if self.accept_keyword("in"):
+            self.expect_operator("(")
+            items = [self.expression()]
+            while self.accept_operator(","):
+                items.append(self.expression())
+            self.expect_operator(")")
+            return n.InListExpr(left, tuple(items), negated)
+        if self.accept_keyword("like"):
+            return n.LikeExpr(left, self._additive(), negated)
+        if self.accept_keyword("between"):
+            low = self._additive()
+            self.expect_keyword("and")
+            high = self._additive()
+            return n.BetweenExpr(left, low, high, negated)
+        if negated:
+            raise self._error("expected IN, LIKE, or BETWEEN after NOT")
+        return left
+
+    def _additive(self) -> n.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.text in ("+", "-", "||"):
+                self._advance()
+                left = n.BinOp(token.text, left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self) -> n.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.type == TokenType.OPERATOR and token.text in ("*", "/", "%"):
+                self._advance()
+                left = n.BinOp(token.text, left, self._unary())
+            else:
+                return left
+
+    def _unary(self) -> n.Expr:
+        if self.accept_operator("-"):
+            return n.UnOp("-", self._unary())
+        if self.accept_operator("+"):
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> n.Expr:
+        expr = self._primary()
+        while True:
+            token = self._peek()
+            if token.matches(TokenType.OPERATOR, "::"):
+                self._advance()
+                expr = n.CastExpr(expr, self._type_name())
+            elif token.matches(TokenType.OPERATOR, ":"):
+                self._advance()
+                path = [self._keyword_or_ident("variant path key")]
+                while self.accept_operator("."):
+                    path.append(self._keyword_or_ident("variant path key"))
+                expr = n.PathExpr(expr, tuple(path))
+            else:
+                return expr
+
+    def _primary(self) -> n.Expr:
+        token = self._peek()
+
+        if token.type == TokenType.NUMBER:
+            self._advance()
+            value: object = float(token.text) if "." in token.text else int(token.text)
+            return n.Lit(value)
+        if token.type == TokenType.STRING:
+            self._advance()
+            return n.Lit(token.text)
+        if self.accept_keyword("null"):
+            return n.Lit(None)
+        if self.accept_keyword("true"):
+            return n.Lit(True)
+        if self.accept_keyword("false"):
+            return n.Lit(False)
+        if self.accept_keyword("case"):
+            return self._case()
+        if self.accept_keyword("cast"):
+            self.expect_operator("(")
+            operand = self.expression()
+            self.expect_keyword("as")
+            type_name = self._type_name()
+            self.expect_operator(")")
+            return n.CastExpr(operand, type_name)
+        if self.accept_operator("("):
+            expr = self.expression()
+            self.expect_operator(")")
+            return expr
+        if self.accept_operator("*"):
+            return n.Star()
+        if self.accept_operator("$"):
+            # Metadata columns $action / $row_id, exposed for debugging.
+            name = self.expect_identifier("metadata column")
+            return n.Name(f"${name}")
+
+        if token.type == TokenType.IDENT:
+            self._advance()
+            # Function call?
+            if self._peek().matches(TokenType.OPERATOR, "("):
+                return self._function_call(token.text)
+            # Qualified name or qualified star.
+            if self._peek().matches(TokenType.OPERATOR, "."):
+                self._advance()
+                if self.accept_operator("*"):
+                    return n.Star(table=token.text)
+                member = self.expect_identifier("column name")
+                return n.Name(member, table=token.text)
+            return n.Name(token.text)
+
+        raise self._error("expected an expression")
+
+    def _case(self) -> n.CaseExpr:
+        operand: n.Expr | None = None
+        if not self.peek_keyword("when"):
+            operand = self.expression()
+        whens: list[tuple[n.Expr, n.Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.expression()
+            self.expect_keyword("then")
+            whens.append((condition, self.expression()))
+        otherwise = self.expression() if self.accept_keyword("else") else None
+        self.expect_keyword("end")
+        if not whens:
+            raise self._error("CASE requires at least one WHEN")
+        return n.CaseExpr(tuple(whens), otherwise, operand)
+
+    def _function_call(self, name: str) -> n.Expr:
+        self.expect_operator("(")
+        distinct = self.accept_keyword("distinct")
+        args: list[n.Expr] = []
+        if not self._peek().matches(TokenType.OPERATOR, ")"):
+            args.append(self.expression())
+            while self.accept_operator(","):
+                args.append(self.expression())
+        self.expect_operator(")")
+        window: n.WindowSpec | None = None
+        if self.accept_keyword("over"):
+            self.expect_operator("(")
+            partition_by: tuple[n.Expr, ...] = ()
+            order_by: tuple[tuple[n.Expr, bool], ...] = ()
+            if self.accept_keyword("partition"):
+                self.expect_keyword("by")
+                exprs = [self.expression()]
+                while self.accept_operator(","):
+                    exprs.append(self.expression())
+                partition_by = tuple(exprs)
+            if self.accept_keyword("order"):
+                self.expect_keyword("by")
+                order_by = self._order_items()
+            self.expect_operator(")")
+            window = n.WindowSpec(partition_by, order_by)
+        return n.FnCall(name.lower(), tuple(args), distinct, window)

@@ -1,0 +1,6 @@
+"""Versioned storage: micro-partitions, tables with time travel, catalog."""
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import StagedWrite, TableVersion, VersionedTable
+
+__all__ = ["Catalog", "StagedWrite", "TableVersion", "VersionedTable"]

@@ -1,0 +1,263 @@
+"""The catalog: named entities, DDL, RBAC grants, and the DDL log.
+
+Section 5.1 of the paper: "The catalog stores the metadata needed by the
+compiler... The catalog generates a timestamped, linearizable log of DDL
+operations to all DTs and related entities. This DDL log is consumed by a
+job in the scheduler that renders the dependency graph of DTs and issues
+refresh commands."
+
+The catalog also implements the operational DDL behaviours of section 3.4:
+
+* DROP / UNDROP — a dropped entity's storage is retained; UNDROP restores
+  it and downstream DT refreshes "resume without issue";
+* CREATE OR REPLACE — bumps the entity's *generation*, which query
+  evolution (:mod:`repro.core.evolution`) detects and answers with
+  REINITIALIZE;
+* RENAME — upstream dependencies take precedence over downstream: the
+  rename succeeds and downstream DTs fail (then recover if the name
+  returns);
+* RBAC — every entity has an owner role and grants; dynamic tables add
+  the MONITOR and OPERATE privileges.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.engine.schema import Schema
+from repro.errors import CatalogError, EntityDropped, EntityNotFound
+from repro.sql import nodes as n
+from repro.storage.table import VersionedTable
+from repro.util.timeutil import Timestamp
+
+#: Privileges recognized by the catalog (section 3.4: "In addition to
+#: SELECT and OWNERSHIP, DTs also provide MONITOR and OPERATE privileges").
+PRIVILEGES = ("select", "ownership", "monitor", "operate", "insert")
+
+
+@dataclass(frozen=True)
+class ViewDefinition:
+    """A (non-materialized) view: just a stored query."""
+
+    query_text: str
+    query: n.Select
+
+
+@dataclass(frozen=True)
+class DdlEvent:
+    """One entry in the linearizable DDL log."""
+
+    seq: int
+    timestamp: Timestamp
+    op: str          # create | replace | drop | undrop | rename | alter
+    kind: str        # table | view | dynamic table
+    name: str
+    detail: str = ""
+
+
+@dataclass
+class CatalogEntry:
+    """A named catalog entity."""
+
+    name: str
+    kind: str  # "table" | "view" | "dynamic table"
+    payload: object  # VersionedTable | ViewDefinition | core.DynamicTable
+    owner: str
+    created_at: Timestamp
+    #: Globally unique identity of this entity *object*. A CREATE OR
+    #: REPLACE — or a drop/rename followed by re-creation under the same
+    #: name — produces a new id. Query evolution compares ids, which is
+    #: what prevents a recreated table's coincidentally matching version
+    #: indexes from silently corrupting downstream DTs.
+    entity_id: int = 0
+    #: Bumped by CREATE OR REPLACE; informational.
+    generation: int = 0
+    dropped: bool = False
+    grants: dict[str, set[str]] = field(default_factory=dict)
+
+    def grant(self, privilege: str, role: str) -> None:
+        if privilege not in PRIVILEGES:
+            raise CatalogError(f"unknown privilege {privilege!r}")
+        self.grants.setdefault(privilege, set()).add(role)
+
+    def revoke(self, privilege: str, role: str) -> None:
+        self.grants.get(privilege, set()).discard(role)
+
+    def has_privilege(self, privilege: str, role: str) -> bool:
+        if role == self.owner or privilege == "ownership" and role == self.owner:
+            return True
+        return role in self.grants.get(privilege, set())
+
+
+class Catalog:
+    """Named entities plus the DDL log. Also acts as the plan builder's
+    :class:`~repro.plan.builder.SchemaProvider`."""
+
+    def __init__(self, clock: Callable[[], Timestamp] = lambda: 0):
+        self._clock = clock
+        self._entries: dict[str, CatalogEntry] = {}
+        self._ddl_log: list[DdlEvent] = []
+        self._ddl_seq = itertools.count(1)
+        self._table_seq = itertools.count(1)
+        self._entity_ids = itertools.count(1)
+
+    # -- SchemaProvider interface ------------------------------------------------
+
+    def table_schema(self, name: str) -> Schema:
+        entry = self.get(name)
+        if entry.kind == "view":
+            raise EntityNotFound(f"{name!r} is a view, not a table")
+        table = self.versioned_table(name)
+        return table.schema
+
+    def view_definition(self, name: str) -> Optional[n.Select]:
+        entry = self._entries.get(name)
+        if entry is None or entry.dropped or entry.kind != "view":
+            return None
+        payload = entry.payload
+        assert isinstance(payload, ViewDefinition)
+        return payload.query
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, name: str) -> CatalogEntry:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise EntityNotFound(f"unknown entity: {name}")
+        if entry.dropped:
+            raise EntityDropped(f"entity {name!r} has been dropped")
+        return entry
+
+    def maybe_get(self, name: str) -> Optional[CatalogEntry]:
+        entry = self._entries.get(name)
+        if entry is None or entry.dropped:
+            return None
+        return entry
+
+    def exists(self, name: str) -> bool:
+        return self.maybe_get(name) is not None
+
+    def versioned_table(self, name: str) -> VersionedTable:
+        """The storage object behind a base table or dynamic table."""
+        entry = self.get(name)
+        if entry.kind == "table":
+            assert isinstance(entry.payload, VersionedTable)
+            return entry.payload
+        if entry.kind == "dynamic table":
+            # Dynamic tables expose their storage via a ``table`` attribute
+            # (duck-typed to avoid a circular import with repro.core).
+            return entry.payload.table  # type: ignore[attr-defined]
+        raise EntityNotFound(f"{name!r} has no storage (it is a {entry.kind})")
+
+    def entries(self, kind: str | None = None,
+                include_dropped: bool = False) -> Iterator[CatalogEntry]:
+        for entry in self._entries.values():
+            if entry.dropped and not include_dropped:
+                continue
+            if kind is not None and entry.kind != kind:
+                continue
+            yield entry
+
+    # -- DDL -----------------------------------------------------------------------
+
+    def _log(self, op: str, kind: str, name: str, detail: str = "") -> None:
+        self._ddl_log.append(DdlEvent(next(self._ddl_seq), self._clock(),
+                                      op, kind, name, detail))
+
+    @property
+    def ddl_log(self) -> list[DdlEvent]:
+        return list(self._ddl_log)
+
+    def ddl_log_since(self, seq: int) -> list[DdlEvent]:
+        """DDL events with sequence number > ``seq`` (scheduler polling)."""
+        return [event for event in self._ddl_log if event.seq > seq]
+
+    def allocate_table_seq(self) -> int:
+        """A unique sequence number used in base row ids."""
+        return next(self._table_seq)
+
+    def create_table(self, name: str, schema: Schema, owner: str = "sysadmin",
+                     or_replace: bool = False,
+                     if_not_exists: bool = False) -> VersionedTable:
+        replaced = self._prepare_create(name, "table", or_replace, if_not_exists)
+        if replaced is not None and not or_replace:
+            assert isinstance(replaced.payload, VersionedTable)
+            return replaced.payload
+        table = VersionedTable(name, schema, self.allocate_table_seq())
+        self._put(name, "table", table, owner, replaced)
+        return table
+
+    def create_table_entry(self, name: str, table: VersionedTable,
+                           owner: str = "sysadmin") -> None:
+        """Register an already-built VersionedTable (cloning path)."""
+        replaced = self._prepare_create(name, "table", False, False)
+        self._put(name, "table", table, owner, replaced)
+
+    def create_view(self, name: str, query_text: str, query: n.Select,
+                    owner: str = "sysadmin", or_replace: bool = False) -> None:
+        replaced = self._prepare_create(name, "view", or_replace, False)
+        self._put(name, "view", ViewDefinition(query_text, query), owner, replaced)
+
+    def create_dynamic_entry(self, name: str, dynamic_table: object,
+                             owner: str = "sysadmin",
+                             or_replace: bool = False) -> None:
+        replaced = self._prepare_create(name, "dynamic table", or_replace, False)
+        self._put(name, "dynamic table", dynamic_table, owner, replaced)
+
+    def _prepare_create(self, name: str, kind: str, or_replace: bool,
+                        if_not_exists: bool) -> Optional[CatalogEntry]:
+        existing = self._entries.get(name)
+        if existing is not None and not existing.dropped:
+            if if_not_exists:
+                return existing
+            if not or_replace:
+                raise CatalogError(f"entity {name!r} already exists")
+            return existing
+        return None
+
+    def _put(self, name: str, kind: str, payload: object, owner: str,
+             replaced: Optional[CatalogEntry]) -> None:
+        generation = replaced.generation + 1 if replaced is not None else 0
+        self._entries[name] = CatalogEntry(
+            name=name, kind=kind, payload=payload, owner=owner,
+            created_at=self._clock(), entity_id=next(self._entity_ids),
+            generation=generation)
+        self._log("replace" if replaced is not None else "create", kind, name)
+
+    def drop(self, name: str, kind: str | None = None,
+             if_exists: bool = False) -> None:
+        entry = self._entries.get(name)
+        if entry is None or entry.dropped:
+            if if_exists:
+                return
+            raise EntityNotFound(f"unknown entity: {name}")
+        if kind is not None and entry.kind != kind:
+            raise CatalogError(
+                f"{name!r} is a {entry.kind}, not a {kind}")
+        entry.dropped = True
+        self._log("drop", entry.kind, name)
+
+    def undrop(self, name: str, kind: str | None = None) -> None:
+        entry = self._entries.get(name)
+        if entry is None or not entry.dropped:
+            raise EntityNotFound(f"no dropped entity named {name!r}")
+        if kind is not None and entry.kind != kind:
+            raise CatalogError(f"{name!r} is a {entry.kind}, not a {kind}")
+        entry.dropped = False
+        self._log("undrop", entry.kind, name)
+
+    def rename(self, name: str, new_name: str) -> None:
+        entry = self.get(name)
+        if self.exists(new_name):
+            raise CatalogError(f"entity {new_name!r} already exists")
+        del self._entries[name]
+        entry.name = new_name
+        if isinstance(entry.payload, VersionedTable):
+            entry.payload.name = new_name
+        self._entries[new_name] = entry
+        self._log("rename", entry.kind, name, detail=f"-> {new_name}")
+
+    def log_alter(self, kind: str, name: str, detail: str) -> None:
+        self._log("alter", kind, name, detail)

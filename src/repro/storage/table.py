@@ -1,0 +1,326 @@
+"""Versioned tables: copy-on-write partition sets with time travel.
+
+A :class:`VersionedTable` is the storage object behind both base tables and
+dynamic tables. Every committed mutation produces a new
+:class:`TableVersion` — an immutable set of partition ids stamped with the
+transaction's HLC commit timestamp. Reading "as of" a time resolves the
+version with the largest commit timestamp ≤ t (section 5.3 of the paper),
+which is what makes delayed view semantics implementable: a refresh
+evaluates its defining query against source versions resolved at its data
+timestamp.
+
+Dynamic tables additionally maintain the **refresh-timestamp → version**
+mapping of section 5.3 ("we store a mapping from refresh timestamp to
+commit timestamp for each DT's table versions"), exposed via
+:meth:`VersionedTable.register_refresh` / :meth:`version_for_refresh`. A
+missing entry raises :class:`~repro.errors.VersionNotFound` — the paper's
+first production validation.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.engine.relation import Relation
+from repro.engine.schema import Schema
+from repro.errors import ChangeIntegrityError, InternalError, VersionNotFound
+from repro.ivm import rowid
+from repro.ivm.changes import Action, ChangeSet
+from repro.storage.partition import Partition, build_partitions
+from repro.txn.hlc import HLC_ZERO, HlcTimestamp
+from repro.util.timeutil import Timestamp
+
+#: Default micro-partition capacity, in rows.
+DEFAULT_PARTITION_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class TableVersion:
+    """One immutable version of a table."""
+
+    index: int
+    commit_ts: HlcTimestamp
+    partition_ids: frozenset[int]
+    #: True for versions created by data-equivalent maintenance
+    #: (reclustering); the differ skips these (section 5.5.2).
+    data_equivalent: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TableVersion(#{self.index}, commit={self.commit_ts}, "
+                f"partitions={len(self.partition_ids)})")
+
+
+@dataclass
+class StagedWrite:
+    """Uncommitted DML staged by a transaction against one table.
+
+    ``inserts`` are value rows (ids assigned at apply time); ``deletes``
+    are existing row ids; ``updates`` map an existing row id to its new
+    contents (same identity). ``changeset`` is the refresh-merge path: a
+    consolidated :class:`ChangeSet` carrying explicit row ids.
+    """
+
+    inserts: list[tuple] = field(default_factory=list)
+    deletes: set[str] = field(default_factory=set)
+    updates: dict[str, tuple] = field(default_factory=dict)
+    changeset: Optional[ChangeSet] = None
+    overwrite: bool = False  # INSERT OVERWRITE: replace all contents
+
+    @property
+    def is_empty(self) -> bool:
+        return (not self.inserts and not self.deletes and not self.updates
+                and self.changeset is None and not self.overwrite)
+
+
+class VersionedTable:
+    """A multi-versioned, micro-partitioned table."""
+
+    def __init__(self, name: str, schema: Schema, table_seq: int,
+                 partition_rows: int = DEFAULT_PARTITION_ROWS):
+        self.name = name
+        self.schema = schema
+        self.table_seq = table_seq
+        self.partition_rows = partition_rows
+        self._partitions: dict[int, Partition] = {}
+        self._versions: list[TableVersion] = [
+            TableVersion(0, HLC_ZERO, frozenset())]
+        self._commit_walls: list[Timestamp] = [HLC_ZERO.wall]
+        self._next_row_seq = 0
+        #: Row locator for the *latest* version: row_id -> partition id.
+        self._locator: dict[str, int] = {}
+        #: refresh data timestamp -> version index (dynamic tables only).
+        self._refresh_versions: dict[Timestamp, int] = {}
+        #: Relation cache keyed by version index.
+        self._relation_cache: dict[int, Relation] = {}
+
+    # -- version resolution ---------------------------------------------------
+
+    @property
+    def current_version(self) -> TableVersion:
+        return self._versions[-1]
+
+    @property
+    def versions(self) -> list[TableVersion]:
+        return list(self._versions)
+
+    def version_at(self, wall: Timestamp) -> TableVersion:
+        """The version with the largest commit timestamp whose wall clock
+        is ≤ ``wall`` (section 5.3's visibility rule for regular tables)."""
+        index = bisect.bisect_right(self._commit_walls, wall) - 1
+        if index < 0:
+            raise VersionNotFound(
+                f"table {self.name!r} has no version at or before t={wall}")
+        return self._versions[index]
+
+    def register_refresh(self, refresh_ts: Timestamp,
+                         version: TableVersion) -> None:
+        """Record that ``version`` carries the contents as of the refresh's
+        data timestamp (the refresh-ts → commit-ts mapping of section 5.3)."""
+        self._refresh_versions[refresh_ts] = version.index
+
+    def version_for_refresh(self, refresh_ts: Timestamp) -> TableVersion:
+        """Exact-match lookup used when one DT reads another (section 6.1's
+        first validation: fail the refresh if the version is missing)."""
+        index = self._refresh_versions.get(refresh_ts)
+        if index is None:
+            raise VersionNotFound(
+                f"dynamic table {self.name!r} has no version for refresh "
+                f"timestamp {refresh_ts}")
+        return self._versions[index]
+
+    def refresh_timestamps(self) -> list[Timestamp]:
+        return sorted(self._refresh_versions)
+
+    # -- reads ------------------------------------------------------------------
+
+    def relation(self, version: TableVersion | None = None) -> Relation:
+        """Materialize a version as a Relation (cached)."""
+        if version is None:
+            version = self.current_version
+        cached = self._relation_cache.get(version.index)
+        if cached is not None:
+            return cached
+        relation = Relation(self.schema)
+        for partition_id in sorted(version.partition_ids):
+            for row_id, row in self._partitions[partition_id].rows:
+                relation.append(row_id, row)
+        self._relation_cache[version.index] = relation
+        return relation
+
+    def rows_by_id(self, version: TableVersion | None = None) -> dict[str, tuple]:
+        relation = self.relation(version)
+        return dict(relation.pairs())
+
+    def row_count(self, version: TableVersion | None = None) -> int:
+        if version is None:
+            version = self.current_version
+        return sum(len(self._partitions[pid]) for pid in version.partition_ids)
+
+    def partitions_of(self, version: TableVersion) -> list[Partition]:
+        return [self._partitions[pid] for pid in sorted(version.partition_ids)]
+
+    # -- mutation (called by the transaction manager at commit) ---------------
+
+    def apply(self, write: StagedWrite, commit_ts: HlcTimestamp) -> TableVersion:
+        """Apply a staged write, producing and installing a new version."""
+        if commit_ts <= self.current_version.commit_ts:
+            raise InternalError(
+                f"non-monotonic commit timestamp on table {self.name!r}")
+        if write.changeset is not None:
+            return self._apply_changeset(write.changeset, commit_ts,
+                                         overwrite=write.overwrite)
+        if write.overwrite:
+            return self._apply_overwrite(write.inserts, commit_ts)
+        return self._apply_dml(write, commit_ts)
+
+    def _allocate_ids(self, count: int) -> list[str]:
+        start = self._next_row_seq
+        self._next_row_seq += count
+        return [rowid.base_id(self.table_seq, start + offset)
+                for offset in range(count)]
+
+    def _apply_dml(self, write: StagedWrite,
+                   commit_ts: HlcTimestamp) -> TableVersion:
+        touched: dict[int, dict[str, tuple | None]] = {}
+        for row_id in write.deletes:
+            partition_id = self._locator.get(row_id)
+            if partition_id is None:
+                raise ChangeIntegrityError(
+                    f"delete of nonexistent row {row_id} in {self.name!r}")
+            touched.setdefault(partition_id, {})[row_id] = None
+        for row_id, new_row in write.updates.items():
+            partition_id = self._locator.get(row_id)
+            if partition_id is None:
+                raise ChangeIntegrityError(
+                    f"update of nonexistent row {row_id} in {self.name!r}")
+            touched.setdefault(partition_id, {})[row_id] = new_row
+
+        removed: set[int] = set(touched)
+        added: list[Partition] = []
+        for partition_id, edits in touched.items():
+            survivors = []
+            for row_id, row in self._partitions[partition_id].rows:
+                if row_id in edits:
+                    replacement = edits[row_id]
+                    if replacement is not None:
+                        survivors.append((row_id, replacement))
+                else:
+                    survivors.append((row_id, row))
+            if survivors:
+                added.extend(build_partitions(survivors, self.partition_rows))
+
+        if write.inserts:
+            new_ids = self._allocate_ids(len(write.inserts))
+            pairs = list(zip(new_ids, write.inserts))
+            added.extend(build_partitions(pairs, self.partition_rows))
+
+        return self._install(removed, added, commit_ts)
+
+    def _apply_overwrite(self, rows: list[tuple],
+                         commit_ts: HlcTimestamp) -> TableVersion:
+        removed = set(self.current_version.partition_ids)
+        new_ids = self._allocate_ids(len(rows))
+        added = build_partitions(list(zip(new_ids, rows)), self.partition_rows)
+        return self._install(removed, added, commit_ts)
+
+    def _apply_changeset(self, changes: ChangeSet, commit_ts: HlcTimestamp,
+                         overwrite: bool = False) -> TableVersion:
+        """Merge a consolidated change set (the refresh-merge of section
+        5.4: "a merge operator ... applies the DELETE and INSERT actions to
+        the DT itself"). Row ids come from the change set."""
+        changes.validate(self._locator if not overwrite else None)
+        if overwrite:
+            removed = set(self.current_version.partition_ids)
+            pairs = [(change.row_id, change.row) for change in changes.inserts()]
+            added = build_partitions(pairs, self.partition_rows)
+            return self._install(removed, added, commit_ts)
+
+        touched: dict[int, set[str]] = {}
+        for change in changes.deletes():
+            partition_id = self._locator[change.row_id]
+            touched.setdefault(partition_id, set()).add(change.row_id)
+
+        removed = set(touched)
+        added: list[Partition] = []
+        for partition_id, dead in touched.items():
+            survivors = [(row_id, row)
+                         for row_id, row in self._partitions[partition_id].rows
+                         if row_id not in dead]
+            if survivors:
+                added.extend(build_partitions(survivors, self.partition_rows))
+
+        insert_pairs = [(change.row_id, change.row)
+                        for change in changes.inserts()]
+        if insert_pairs:
+            added.extend(build_partitions(insert_pairs, self.partition_rows))
+        return self._install(removed, added, commit_ts)
+
+    def clone(self, name: str, table_seq: int,
+              commit_ts: HlcTimestamp) -> "VersionedTable":
+        """Zero-copy clone (section 3.4): the new table shares this
+        table's immutable partitions by reference — "copying only its
+        metadata". The clone starts with one version holding the current
+        partition set; future writes diverge independently (fresh row-id
+        namespace via ``table_seq``)."""
+        cloned = VersionedTable(name, self.schema, table_seq,
+                                self.partition_rows)
+        # Continue the source's row-sequence counter: the clone carries
+        # rows under the source's id namespace, and a fresh counter could
+        # collide with them when the two tables share a table_seq (which
+        # happens under cross-database replication).
+        cloned._next_row_seq = self._next_row_seq
+        current = self.current_version
+        for partition_id in current.partition_ids:
+            cloned._partitions[partition_id] = self._partitions[partition_id]
+        version = TableVersion(1, commit_ts, current.partition_ids)
+        cloned._versions.append(version)
+        cloned._commit_walls.append(commit_ts.wall)
+        for partition_id in current.partition_ids:
+            for row_id, __ in cloned._partitions[partition_id].rows:
+                cloned._locator[row_id] = partition_id
+        return cloned
+
+    def recluster(self, commit_ts: HlcTimestamp) -> TableVersion:
+        """Rewrite all partitions into normalized sizes without changing
+        logical contents — a data-equivalent maintenance operation
+        (section 5.5.2). The new version is flagged so the differ skips it."""
+        current = self.current_version
+        pairs: list[tuple[str, tuple]] = []
+        for partition in self.partitions_of(current):
+            pairs.extend(partition.rows)
+        removed = set(current.partition_ids)
+        added = build_partitions(pairs, self.partition_rows)
+        return self._install(removed, added, commit_ts, data_equivalent=True)
+
+    def _install(self, removed: set[int], added: list[Partition],
+                 commit_ts: HlcTimestamp,
+                 data_equivalent: bool = False) -> TableVersion:
+        current = self.current_version
+        partition_ids = (current.partition_ids - frozenset(removed)) | frozenset(
+            partition.id for partition in added)
+        version = TableVersion(len(self._versions), commit_ts,
+                               frozenset(partition_ids), data_equivalent)
+        for partition in added:
+            self._partitions[partition.id] = partition
+            for row_id, __ in partition.rows:
+                self._locator[row_id] = partition.id
+        for partition_id in removed:
+            for row_id, __ in self._partitions[partition_id].rows:
+                if self._locator.get(row_id) == partition_id:
+                    del self._locator[row_id]
+        self._versions.append(version)
+        self._commit_walls.append(commit_ts.wall)
+        return version
+
+    # -- introspection -----------------------------------------------------------
+
+    def partition_count(self, version: TableVersion | None = None) -> int:
+        if version is None:
+            version = self.current_version
+        return len(version.partition_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"VersionedTable({self.name!r}, rows={self.row_count()}, "
+                f"versions={len(self._versions)})")

@@ -1,0 +1,5 @@
+"""Change queries: row-level diffs between table versions."""
+
+from repro.streams.changes import changes_between, changes_since
+
+__all__ = ["changes_between", "changes_since"]

@@ -1,0 +1,65 @@
+"""Change queries over versioned tables (the "Streams" substrate).
+
+Dynamic Tables reuses Snowflake's change-query framework ([5] in the
+paper, "What's the Difference? Incremental Processing with Change Queries
+in Snowflake"). The primitive is: given two versions of a table, produce
+the row-level changes between them.
+
+With copy-on-write micro-partitions this is a set difference on partition
+ids: rows of partitions present only in the *old* version are deletions,
+rows of partitions present only in the *new* version are insertions.
+Consolidation then cancels rows that were merely copied by partition
+rewrites — the read-amplification elimination of section 5.5.2 — and
+data-equivalent versions (reclustering) contribute nothing by
+construction, reproducing the "skip data-equivalent operations"
+optimization.
+"""
+
+from __future__ import annotations
+
+from repro.ivm.changes import ChangeSet, consolidate
+from repro.storage.table import TableVersion, VersionedTable
+
+
+def changes_between(table: VersionedTable, old: TableVersion,
+                    new: TableVersion) -> ChangeSet:
+    """The consolidated row-level changes from ``old`` to ``new``.
+
+    ``old`` must not be newer than ``new``. The result satisfies the
+    ``($ROW_ID, $ACTION)`` uniqueness invariant, deletions precede
+    insertions, and copied (identical) rows cancel.
+    """
+    if old.index > new.index:
+        raise ValueError("changes_between requires old.index <= new.index")
+    if old.index == new.index:
+        return ChangeSet()
+
+    removed_ids = old.partition_ids - new.partition_ids
+    added_ids = new.partition_ids - old.partition_ids
+
+    raw = ChangeSet()
+    for partition in table.partitions_of(old):
+        if partition.id in removed_ids:
+            for row_id, row in partition.rows:
+                raw.delete(row_id, row)
+    for partition in table.partitions_of(new):
+        if partition.id in added_ids:
+            for row_id, row in partition.rows:
+                raw.insert(row_id, row)
+    return consolidate(raw)
+
+
+def changes_since(table: VersionedTable, old: TableVersion) -> ChangeSet:
+    """Changes from ``old`` to the table's current version."""
+    return changes_between(table, old, table.current_version)
+
+
+def is_data_equivalent_interval(table: VersionedTable, old: TableVersion,
+                                new: TableVersion) -> bool:
+    """True when every version in ``(old, new]`` is flagged
+    data-equivalent — the differ can skip reading any data at all
+    (section 5.5.2's tractable carve-out of the NP-hard version-skipping
+    problem: we skip only when the *entire* interval is data-equivalent)."""
+    versions = table.versions
+    return all(versions[index].data_equivalent
+               for index in range(old.index + 1, new.index + 1))

@@ -1,0 +1,7 @@
+"""Testing harnesses: the DVS oracle plumbing, the history recorder, and
+the Snowtrail-style configuration comparison (section 6.1)."""
+
+from repro.testing.recorder import HistoryRecorder
+from repro.testing.snowtrail import compare_configurations
+
+__all__ = ["HistoryRecorder", "compare_configurations"]

@@ -1,0 +1,7 @@
+"""Transactions: the hybrid logical clock, snapshot reads, and locks."""
+
+from repro.txn.hlc import HLC_ZERO, HlcTimestamp, HybridLogicalClock
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = ["HLC_ZERO", "HlcTimestamp", "HybridLogicalClock", "Transaction",
+           "TransactionManager"]

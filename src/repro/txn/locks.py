@@ -1,0 +1,46 @@
+"""Table locks.
+
+Section 5.3 of the paper: "Conflicts are managed using locks. Each Dynamic
+Table is locked when a refresh operation begins, and unlocked after it
+commits." The simulation is single-threaded, so these are *logical* locks:
+they serialize refreshes against each other (the scheduler's skip logic in
+section 3.3.3 exists precisely because "the current implementation of
+Dynamic Tables does not permit concurrent refreshes of the same DT") and
+surface conflicts as :class:`~repro.errors.LockConflict` instead of
+blocking.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LockConflict
+
+
+class LockManager:
+    """Exclusive per-table locks keyed by holder id."""
+
+    def __init__(self):
+        self._holders: dict[str, int] = {}
+
+    def acquire(self, table: str, holder: int) -> None:
+        """Acquire the lock on ``table`` for ``holder``; re-entrant for the
+        same holder; raises :class:`LockConflict` if held by another."""
+        current = self._holders.get(table)
+        if current is not None and current != holder:
+            raise LockConflict(
+                f"table {table!r} is locked by transaction {current}")
+        self._holders[table] = holder
+
+    def release(self, table: str, holder: int) -> None:
+        if self._holders.get(table) == holder:
+            del self._holders[table]
+
+    def release_all(self, holder: int) -> None:
+        for table in [name for name, who in self._holders.items()
+                      if who == holder]:
+            del self._holders[table]
+
+    def holder_of(self, table: str) -> int | None:
+        return self._holders.get(table)
+
+    def is_locked(self, table: str) -> bool:
+        return table in self._holders

@@ -1,0 +1,206 @@
+"""The transaction manager.
+
+Section 5.1: "The transaction manager handles versioning of table
+metadata, manages locks, tracks uncommitted changes, and atomically
+commits transactions."
+
+Model:
+
+* a transaction gets a **snapshot wall time** at begin; every read
+  resolves the table version with the largest commit timestamp ≤ that
+  wall time (snapshot reads);
+* writes are staged per table (:class:`~repro.storage.table.StagedWrite`)
+  and applied atomically at commit under a single HLC commit timestamp;
+* first-committer-wins: committing a write to a table that someone else
+  committed to after our snapshot raises
+  :class:`~repro.errors.LockConflict` (a write-write conflict under
+  snapshot isolation);
+* locks serialize dynamic-table refreshes (section 5.3).
+
+Dynamic-table refreshes use a transaction like any DML, but resolve their
+*source* versions through a refresh-specific resolver built in
+:mod:`repro.core.refresh` (regular tables as-of the data timestamp,
+upstream DTs by exact refresh-timestamp match).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Optional
+
+from repro.engine.relation import Relation
+from repro.errors import LockConflict, NotInitializedError, TransactionError
+from repro.ivm.changes import ChangeSet
+from repro.storage.catalog import Catalog
+from repro.storage.table import StagedWrite, TableVersion, VersionedTable
+from repro.txn.hlc import HlcTimestamp, HybridLogicalClock
+from repro.util.timeutil import Timestamp
+
+
+class Transaction:
+    """A single transaction: snapshot reads + staged writes.
+
+    Implements the executor's SnapshotResolver protocol, so a plan can be
+    evaluated directly "inside" a transaction.
+    """
+
+    def __init__(self, manager: "TransactionManager", txn_id: int,
+                 snapshot_wall: Timestamp):
+        self._manager = manager
+        self.id = txn_id
+        self.snapshot_wall = snapshot_wall
+        self._writes: dict[str, StagedWrite] = {}
+        self._locked: list[str] = []
+        self.committed: Optional[HlcTimestamp] = None
+        self.aborted = False
+        #: Per-table version overrides (used by refreshes to pin sources).
+        self._version_overrides: dict[str, TableVersion] = {}
+
+    # -- reads (SnapshotResolver) ----------------------------------------------
+
+    def scan(self, table: str) -> Relation:
+        versioned = self._resolve_table(table)
+        version = self._version_overrides.get(table)
+        if version is None:
+            version = versioned.version_at(self.snapshot_wall)
+        return versioned.relation(version)
+
+    def pin_version(self, table: str, version: TableVersion) -> None:
+        """Pin reads of ``table`` to a specific version (refresh source
+        resolution, section 5.3)."""
+        self._version_overrides[table] = version
+
+    def _resolve_table(self, name: str) -> VersionedTable:
+        catalog = self._manager.catalog
+        entry = catalog.get(name)
+        if entry.kind == "dynamic table":
+            payload = entry.payload
+            ensure = getattr(payload, "ensure_readable", None)
+            if ensure is not None:
+                ensure()  # raises NotInitializedError before first refresh
+        return catalog.versioned_table(name)
+
+    # -- writes ------------------------------------------------------------------
+
+    def _staged(self, table: str) -> StagedWrite:
+        self._check_open()
+        # Validate the entity exists (and is not dropped) at staging time.
+        self._manager.catalog.versioned_table(table)
+        return self._writes.setdefault(table, StagedWrite())
+
+    def insert_rows(self, table: str, rows: list[tuple]) -> None:
+        self._staged(table).inserts.extend(rows)
+
+    def delete_rows(self, table: str, row_ids: list[str]) -> None:
+        self._staged(table).deletes.update(row_ids)
+
+    def update_rows(self, table: str, updates: dict[str, tuple]) -> None:
+        self._staged(table).updates.update(updates)
+
+    def overwrite(self, table: str, rows: list[tuple]) -> None:
+        staged = self._staged(table)
+        staged.overwrite = True
+        staged.inserts = list(rows)
+
+    def stage_changeset(self, table: str, changes: ChangeSet,
+                        overwrite: bool = False) -> None:
+        staged = self._staged(table)
+        if staged.changeset is not None or staged.inserts or staged.deletes:
+            raise TransactionError(
+                f"conflicting staged writes on {table!r} in one transaction")
+        staged.changeset = changes
+        staged.overwrite = overwrite
+
+    # -- locks ---------------------------------------------------------------------
+
+    def lock(self, table: str) -> None:
+        self._manager.locks.acquire(table, self.id)
+        self._locked.append(table)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self.committed is not None:
+            raise TransactionError("transaction already committed")
+        if self.aborted:
+            raise TransactionError("transaction already aborted")
+
+    def commit(self) -> HlcTimestamp:
+        """Atomically apply all staged writes under one commit timestamp."""
+        self._check_open()
+        catalog = self._manager.catalog
+
+        # First-committer-wins validation.
+        for name in self._writes:
+            table = catalog.versioned_table(name)
+            head = table.current_version
+            if (head.commit_ts.wall > self.snapshot_wall
+                    and not self._writes[name].is_empty
+                    and name not in self._version_overrides):
+                raise LockConflict(
+                    f"write-write conflict on {name!r}: committed at "
+                    f"{head.commit_ts} after snapshot {self.snapshot_wall}")
+
+        commit_ts = self._manager.hlc.now()
+        try:
+            for name, write in self._writes.items():
+                if write.is_empty:
+                    continue
+                catalog.versioned_table(name).apply(write, commit_ts)
+        finally:
+            self._release_locks()
+        self.committed = commit_ts
+        return commit_ts
+
+    def abort(self) -> None:
+        self._check_open()
+        self._writes.clear()
+        self._release_locks()
+        self.aborted = True
+
+    def _release_locks(self) -> None:
+        self._manager.locks.release_all(self.id)
+        self._locked.clear()
+
+
+class SnapshotReader:
+    """A read-only resolver at a fixed wall time (no transaction state)."""
+
+    def __init__(self, catalog: Catalog, wall: Timestamp):
+        self._catalog = catalog
+        self._wall = wall
+
+    def scan(self, table: str) -> Relation:
+        entry = self._catalog.get(table)
+        if entry.kind == "dynamic table":
+            ensure = getattr(entry.payload, "ensure_readable", None)
+            if ensure is not None:
+                ensure()
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation(versioned.version_at(self._wall))
+
+
+class TransactionManager:
+    """Creates transactions and owns the HLC and lock table."""
+
+    def __init__(self, catalog: Catalog,
+                 physical_clock: Callable[[], Timestamp] = lambda: 0):
+        from repro.txn.locks import LockManager
+
+        self.catalog = catalog
+        self.hlc = HybridLogicalClock(physical_clock)
+        self.locks = LockManager()
+        self._physical_clock = physical_clock
+        self._txn_ids = itertools.count(1)
+
+    def begin(self, snapshot_wall: Timestamp | None = None) -> Transaction:
+        """Begin a transaction; reads see data committed at or before
+        ``snapshot_wall`` (defaults to the current physical time)."""
+        if snapshot_wall is None:
+            snapshot_wall = self._physical_clock()
+        return Transaction(self, next(self._txn_ids), snapshot_wall)
+
+    def reader(self, wall: Timestamp | None = None) -> SnapshotReader:
+        if wall is None:
+            wall = self._physical_clock()
+        return SnapshotReader(self.catalog, wall)

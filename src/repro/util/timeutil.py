@@ -1,0 +1,139 @@
+"""Time primitives shared across the package.
+
+All points in time and durations are integer **nanoseconds**. Using a single
+integer unit keeps arithmetic exact (no float drift in the scheduler), makes
+ordering trivial, and matches the resolution of the hybrid logical clock.
+
+Two light newtype aliases are exposed for documentation purposes:
+
+* ``Timestamp`` — nanoseconds since the simulation epoch (t=0).
+* ``Duration`` — a span of nanoseconds.
+
+The module also implements the duration literals that appear in dynamic
+table DDL, e.g. ``TARGET_LAG = '1 minute'`` (section 3.2 of the paper), and
+formatting helpers used in reports.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import UserError
+
+Timestamp = int
+Duration = int
+
+NANOSECOND: Duration = 1
+MICROSECOND: Duration = 1_000
+MILLISECOND: Duration = 1_000_000
+SECOND: Duration = 1_000_000_000
+MINUTE: Duration = 60 * SECOND
+HOUR: Duration = 60 * MINUTE
+DAY: Duration = 24 * HOUR
+
+#: Unit-name -> nanoseconds. Singular and plural plus the usual
+#: abbreviations are accepted, matching Snowflake's duration syntax.
+_UNITS: dict[str, Duration] = {
+    "ns": NANOSECOND,
+    "nanosecond": NANOSECOND,
+    "nanoseconds": NANOSECOND,
+    "us": MICROSECOND,
+    "microsecond": MICROSECOND,
+    "microseconds": MICROSECOND,
+    "ms": MILLISECOND,
+    "millisecond": MILLISECOND,
+    "milliseconds": MILLISECOND,
+    "s": SECOND,
+    "sec": SECOND,
+    "secs": SECOND,
+    "second": SECOND,
+    "seconds": SECOND,
+    "m": MINUTE,
+    "min": MINUTE,
+    "mins": MINUTE,
+    "minute": MINUTE,
+    "minutes": MINUTE,
+    "h": HOUR,
+    "hr": HOUR,
+    "hrs": HOUR,
+    "hour": HOUR,
+    "hours": HOUR,
+    "d": DAY,
+    "day": DAY,
+    "days": DAY,
+}
+
+_DURATION_RE = re.compile(r"^\s*(\d+)\s*([a-zA-Z]+)\s*$")
+
+
+def seconds(n: float) -> Duration:
+    """Return ``n`` seconds as a :data:`Duration` (nanoseconds)."""
+    return int(n * SECOND)
+
+
+def minutes(n: float) -> Duration:
+    """Return ``n`` minutes as a :data:`Duration` (nanoseconds)."""
+    return int(n * MINUTE)
+
+
+def hours(n: float) -> Duration:
+    """Return ``n`` hours as a :data:`Duration` (nanoseconds)."""
+    return int(n * HOUR)
+
+
+def days(n: float) -> Duration:
+    """Return ``n`` days as a :data:`Duration` (nanoseconds)."""
+    return int(n * DAY)
+
+
+def parse_duration(text: str) -> Duration:
+    """Parse a duration literal such as ``'1 minute'`` or ``'30 s'``.
+
+    Raises :class:`~repro.errors.UserError` for malformed input or a zero /
+    negative magnitude.
+
+    >>> parse_duration('1 minute')
+    60000000000
+    >>> parse_duration('2 hours') == hours(2)
+    True
+    """
+    match = _DURATION_RE.match(text)
+    if match is None:
+        raise UserError(f"invalid duration literal: {text!r}")
+    magnitude = int(match.group(1))
+    unit = match.group(2).lower()
+    if unit not in _UNITS:
+        raise UserError(f"unknown duration unit {unit!r} in {text!r}")
+    if magnitude <= 0:
+        raise UserError(f"duration must be positive: {text!r}")
+    return magnitude * _UNITS[unit]
+
+
+def format_duration(duration: Duration) -> str:
+    """Render a duration with the largest unit that divides it exactly,
+    falling back to seconds with decimals.
+
+    >>> format_duration(MINUTE)
+    '1 minute'
+    >>> format_duration(90 * SECOND)
+    '90 seconds'
+    """
+    if duration == 0:
+        return "0 seconds"
+    for unit_ns, singular, plural in (
+        (DAY, "day", "days"),
+        (HOUR, "hour", "hours"),
+        (MINUTE, "minute", "minutes"),
+        (SECOND, "second", "seconds"),
+        (MILLISECOND, "millisecond", "milliseconds"),
+    ):
+        if duration % unit_ns == 0:
+            count = duration // unit_ns
+            return f"{count} {singular if count == 1 else plural}"
+    return f"{duration} ns"
+
+
+def format_timestamp(timestamp: Timestamp) -> str:
+    """Render a timestamp as seconds-from-epoch with millisecond precision,
+    e.g. ``'t=12.345s'``. Used by reports and ``__repr__`` methods."""
+    return f"t={timestamp / SECOND:.3f}s"

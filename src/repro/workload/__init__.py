@@ -1,0 +1,9 @@
+"""Workload generation: random queries/updates, the synthetic fleet, and
+the paper's Listing 1 (trains) scenario."""
+
+from repro.workload.generator import QueryGenerator, UpdateWorkload
+from repro.workload.population import generate_population, summarize
+from repro.workload.trains import TrainWorkload
+
+__all__ = ["QueryGenerator", "TrainWorkload", "UpdateWorkload",
+           "generate_population", "summarize"]

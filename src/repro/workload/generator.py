@@ -1,0 +1,175 @@
+"""Randomized query and update generation.
+
+Section 6.1 of the paper (the fourth testing level): "Because of
+delayed-view semantics with snapshot isolation, we have an extremely
+strong assertion we can make for most DTs: if you run the defining query
+as of the data timestamp, you should get the same result as in the DT.
+Checking this assertion within a framework that generates random SQL
+queries allows us to test the correctness of hundreds of thousands of
+different DTs in a matter of hours."
+
+This module is that framework's generator: random defining queries over a
+fixed star schema (covering every incrementally supported operator class)
+and random DML workloads to drive the refreshes. The DVS oracle itself is
+:meth:`repro.api.Database.check_dvs`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.api import Database
+from repro.util.timeutil import Timestamp
+
+#: The star schema random queries are generated over.
+SCHEMA_DDL = [
+    "CREATE TABLE facts (id int, dim_id int, category text, amount int,"
+    " score int)",
+    "CREATE TABLE dims (id int, label text, region text)",
+]
+
+CATEGORIES = ("alpha", "beta", "gamma", "delta")
+REGIONS = ("west", "east", "north")
+LABELS = ("red", "green", "blue", "amber", "violet")
+
+
+def create_workload_schema(db: Database) -> None:
+    for ddl in SCHEMA_DDL:
+        db.execute(ddl)
+
+
+@dataclass
+class QueryGenerator:
+    """Generates random defining queries over the star schema.
+
+    ``operator_weights`` adjusts the shape mix; each generated query is
+    guaranteed to parse, bind, and be incrementally maintainable unless
+    ``allow_full_only`` is set (then ORDER BY/LIMIT/scalar aggregates may
+    appear, exercising the FULL refresh path).
+    """
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    allow_full_only: bool = False
+
+    def query(self) -> str:
+        shape = self.rng.random()
+        if shape < 0.25:
+            sql = self._filter_project()
+        elif shape < 0.45:
+            sql = self._join()
+        elif shape < 0.65:
+            sql = self._aggregate()
+        elif shape < 0.75:
+            sql = self._window()
+        elif shape < 0.85:
+            sql = self._union()
+        else:
+            sql = self._distinct()
+        if self.allow_full_only and self.rng.random() < 0.25:
+            sql += f" ORDER BY 1 LIMIT {self.rng.randint(1, 20)}"
+        return sql
+
+    # -- shapes -------------------------------------------------------------------
+
+    def _predicate(self, alias: str = "") -> str:
+        prefix = f"{alias}." if alias else ""
+        choices = [
+            f"{prefix}amount > {self.rng.randint(0, 50)}",
+            f"{prefix}score <= {self.rng.randint(10, 90)}",
+            f"{prefix}category = '{self.rng.choice(CATEGORIES)}'",
+            f"{prefix}category IN ('{self.rng.choice(CATEGORIES)}',"
+            f" '{self.rng.choice(CATEGORIES)}')",
+            f"{prefix}amount + {prefix}score < {self.rng.randint(40, 120)}",
+        ]
+        return self.rng.choice(choices)
+
+    def _filter_project(self) -> str:
+        predicate = self._predicate()
+        return ("SELECT id, category, amount * 2 doubled, "
+                f"amount + score total FROM facts WHERE {predicate}")
+
+    def _join(self) -> str:
+        kind = self.rng.choice(["JOIN", "LEFT JOIN", "FULL JOIN"])
+        predicate = self._predicate("f")
+        return (f"SELECT f.id, f.amount, d.region FROM facts f {kind} dims d "
+                f"ON f.dim_id = d.id WHERE {predicate}")
+
+    def _aggregate(self) -> str:
+        agg = self.rng.choice([
+            "count(*) n", "sum(amount) total", "min(score) lo",
+            "max(score) hi", "avg(amount) mean",
+            "count_if(amount > 20) big"])
+        if self.rng.random() < 0.5:
+            return (f"SELECT category, {agg} FROM facts GROUP BY category")
+        return (f"SELECT d.region, {agg} FROM facts f JOIN dims d "
+                "ON f.dim_id = d.id GROUP BY ALL")
+
+    def _window(self) -> str:
+        call = self.rng.choice([
+            "row_number() over (partition by category order by amount desc)",
+            "rank() over (partition by category order by score)",
+            "sum(amount) over (partition by category order by id)",
+            "count(*) over (partition by category)",
+        ])
+        return f"SELECT id, category, amount, {call} w FROM facts"
+
+    def _union(self) -> str:
+        low = self.rng.randint(0, 30)
+        return ("SELECT id, amount FROM facts WHERE amount < "
+                f"{low} UNION ALL SELECT id, score FROM facts "
+                f"WHERE score >= {low}")
+
+    def _distinct(self) -> str:
+        if self.rng.random() < 0.5:
+            return "SELECT DISTINCT category FROM facts"
+        return ("SELECT DISTINCT d.region, f.category FROM facts f "
+                "JOIN dims d ON f.dim_id = d.id")
+
+
+@dataclass
+class UpdateWorkload:
+    """Random DML against the star schema: inserts, deletes, updates.
+
+    ``churn`` controls the fraction of existing rows touched per step
+    (the paper's 67%-of-refreshes-change-<1% statistic corresponds to
+    small churn relative to table size).
+    """
+
+    rng: random.Random = field(default_factory=lambda: random.Random(0))
+    insert_rate: int = 5
+    churn: float = 0.05
+    _next_id: int = 1
+
+    def seed(self, db: Database, facts: int = 100, dims: int = 10) -> None:
+        for __ in range(dims):
+            db.execute(
+                f"INSERT INTO dims VALUES ({self.rng.randint(1, 20)}, "
+                f"'{self.rng.choice(LABELS)}', '{self.rng.choice(REGIONS)}')")
+        rows = []
+        for __ in range(facts):
+            rows.append(self._fact_row())
+        values = ", ".join(rows)
+        db.execute(f"INSERT INTO facts VALUES {values}")
+
+    def _fact_row(self) -> str:
+        row = (f"({self._next_id}, {self.rng.randint(1, 20)}, "
+               f"'{self.rng.choice(CATEGORIES)}', {self.rng.randint(0, 60)}, "
+               f"{self.rng.randint(0, 100)})")
+        self._next_id += 1
+        return row
+
+    def step(self, db: Database) -> None:
+        """One burst of random DML."""
+        inserts = self.rng.randint(0, self.insert_rate)
+        if inserts:
+            values = ", ".join(self._fact_row() for __ in range(inserts))
+            db.execute(f"INSERT INTO facts VALUES {values}")
+        if self.rng.random() < self.churn * 4:
+            threshold = self.rng.randint(0, 8)
+            db.execute(f"DELETE FROM facts WHERE amount < {threshold}")
+        if self.rng.random() < self.churn * 4:
+            bump = self.rng.randint(1, 5)
+            category = self.rng.choice(CATEGORIES)
+            db.execute(f"UPDATE facts SET score = score + {bump} "
+                       f"WHERE category = '{category}'")

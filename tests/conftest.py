@@ -1,0 +1,37 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.workload.generator import UpdateWorkload, create_workload_schema
+from repro.workload.trains import TrainWorkload
+
+
+@pytest.fixture
+def db() -> Database:
+    """A fresh database with one default warehouse."""
+    database = Database()
+    database.create_warehouse("wh")
+    return database
+
+
+@pytest.fixture
+def star_db(db: Database) -> Database:
+    """Database with the facts/dims star schema seeded."""
+    create_workload_schema(db)
+    workload = UpdateWorkload()
+    workload.seed(db, facts=50, dims=8)
+    db._star_workload = workload  # handed to tests that keep mutating
+    return db
+
+
+@pytest.fixture
+def trains_db() -> Database:
+    """Database with the paper's Listing 1 pipeline set up."""
+    database = Database()
+    workload = TrainWorkload()
+    workload.setup(database)
+    database._train_workload = workload
+    return database

@@ -1,0 +1,72 @@
+"""Tests for aggregate evaluation, including the statistical extensions."""
+
+import pytest
+
+from repro import Database
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE t (grp text, v int)")
+    database.execute("INSERT INTO t VALUES ('a', 2), ('a', 4), ('a', 6),"
+                     " ('b', 10), ('b', NULL)")
+    return database
+
+
+class TestStatisticalAggregates:
+    def test_median_odd(self, db):
+        rows = db.query("SELECT grp, median(v) m FROM t GROUP BY grp").rows
+        assert dict(rows)["a"] == 4
+
+    def test_median_even(self, db):
+        db.execute("INSERT INTO t VALUES ('a', 8)")
+        rows = db.query("SELECT grp, median(v) m FROM t GROUP BY grp").rows
+        assert dict(rows)["a"] == 5.0
+
+    def test_variance_and_stddev(self, db):
+        rows = db.query(
+            "SELECT grp, variance(v) var, stddev(v) sd FROM t "
+            "GROUP BY grp").rows
+        by_group = {row[0]: row[1:] for row in rows}
+        assert by_group["a"][0] == pytest.approx(4.0)   # sample variance
+        assert by_group["a"][1] == pytest.approx(2.0)
+
+    def test_stddev_of_single_value_is_null(self, db):
+        rows = db.query(
+            "SELECT grp, stddev(v) sd FROM t GROUP BY grp").rows
+        assert dict(rows)["b"] is None  # one non-null observation
+
+    def test_listagg_deterministic(self, db):
+        rows = db.query(
+            "SELECT grp, listagg(v) vals FROM t GROUP BY grp").rows
+        assert dict(rows)["a"] == "2,4,6"
+
+    def test_nulls_skipped(self, db):
+        rows = db.query(
+            "SELECT grp, median(v) m FROM t GROUP BY grp").rows
+        assert dict(rows)["b"] == 10
+
+
+class TestIncrementalMaintenance:
+    def test_statistical_aggregates_stay_incremental(self, db):
+        dt = db.create_dynamic_table(
+            "stats", "SELECT grp, median(v) m, stddev(v) sd, "
+            "listagg(v) vals FROM t GROUP BY grp", "1 minute", "wh")
+        assert dt.effective_refresh_mode.value == "incremental"
+        db.execute("INSERT INTO t VALUES ('a', 100), ('b', 12)")
+        db.refresh_dynamic_table("stats")
+        assert db.check_dvs("stats")
+
+    def test_dvs_through_mutation_sequence(self, db):
+        db.create_dynamic_table(
+            "stats", "SELECT grp, variance(v) var FROM t GROUP BY grp",
+            "1 minute", "wh")
+        for step in range(4):
+            db.execute(f"INSERT INTO t VALUES ('a', {step * 3})")
+            if step % 2:
+                db.execute(f"DELETE FROM t WHERE v = {step}")
+            db.refresh_dynamic_table("stats")
+            assert db.check_dvs("stats")

@@ -1,0 +1,242 @@
+"""Tests for AST → logical plan binding."""
+
+import pytest
+
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.errors import BindError
+from repro.plan import logical as lp
+from repro.plan.builder import DictSchemaProvider, build_plan
+from repro.plan.properties import incrementalizability
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture
+def provider():
+    facts = schema_of(("id", SqlType.INT), ("cat", SqlType.TEXT),
+                      ("amt", SqlType.INT), ("score", SqlType.FLOAT),
+                      ("payload", SqlType.VARIANT), table="facts")
+    dims = schema_of(("id", SqlType.INT), ("region", SqlType.TEXT),
+                     table="dims")
+    views = {"big_facts": parse_query("SELECT id, amt FROM facts WHERE amt > 10")}
+    return DictSchemaProvider({"facts": facts, "dims": dims}, views)
+
+
+def plan_of(sql, provider):
+    return build_plan(parse_query(sql), provider)
+
+
+class TestProjectionsAndNames:
+    def test_output_names(self, provider):
+        plan = plan_of("SELECT id, amt * 2 AS doubled, amt + 1 FROM facts",
+                       provider)
+        assert plan.schema.names == ["id", "doubled", "col_2"]
+
+    def test_star_expansion(self, provider):
+        plan = plan_of("SELECT * FROM facts", provider)
+        assert plan.schema.names == ["id", "cat", "amt", "score", "payload"]
+
+    def test_qualified_star(self, provider):
+        plan = plan_of(
+            "SELECT d.* FROM facts f JOIN dims d ON f.id = d.id", provider)
+        assert plan.schema.names == ["id", "region"]
+
+    def test_derived_name_from_path(self, provider):
+        plan = plan_of("SELECT payload:a.b FROM facts", provider)
+        assert plan.schema.names == ["b"]
+
+    def test_unknown_column(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT nope FROM facts", provider)
+
+    def test_unknown_table(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT 1 FROM nope", provider)
+
+    def test_alias_scoping(self, provider):
+        plan = plan_of("SELECT f.id FROM facts f", provider)
+        assert isinstance(plan, lp.Project)
+        with pytest.raises(BindError):
+            plan_of("SELECT facts.id FROM facts f", provider)
+
+
+class TestViews:
+    def test_view_expansion(self, provider):
+        plan = plan_of("SELECT id FROM big_facts", provider)
+        scans = [node for node in plan.walk() if isinstance(node, lp.Scan)]
+        assert [scan.table for scan in scans] == ["facts"]
+
+    def test_view_alias(self, provider):
+        plan = plan_of("SELECT b.id FROM big_facts b", provider)
+        assert plan.schema.names == ["id"]
+
+
+class TestAggregation:
+    def test_group_by_all_matches_listing1(self, provider):
+        plan = plan_of(
+            "SELECT cat, count_if(amt > 10) n FROM facts GROUP BY ALL",
+            provider)
+        aggregates = [node for node in plan.walk()
+                      if isinstance(node, lp.Aggregate)]
+        assert len(aggregates) == 1
+        assert len(aggregates[0].group_exprs) == 1
+
+    def test_group_by_ordinal(self, provider):
+        plan = plan_of("SELECT cat, count(*) FROM facts GROUP BY 1", provider)
+        agg = next(node for node in plan.walk()
+                   if isinstance(node, lp.Aggregate))
+        assert len(agg.group_exprs) == 1
+
+    def test_ungrouped_column_rejected(self, provider):
+        with pytest.raises(BindError, match="GROUP BY"):
+            plan_of("SELECT cat, amt, count(*) FROM facts GROUP BY cat",
+                    provider)
+
+    def test_having_binds_aggregates(self, provider):
+        plan = plan_of(
+            "SELECT cat, count(*) c FROM facts GROUP BY cat "
+            "HAVING count(*) > 2 AND cat != 'x'", provider)
+        filters = [node for node in plan.walk()
+                   if isinstance(node, lp.Filter)]
+        assert filters  # HAVING became a Filter above the Aggregate
+
+    def test_having_without_group_rejected(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT id FROM facts HAVING id > 1", provider)
+
+    def test_scalar_aggregate(self, provider):
+        plan = plan_of("SELECT count(*) FROM facts", provider)
+        agg = next(node for node in plan.walk()
+                   if isinstance(node, lp.Aggregate))
+        assert agg.is_scalar
+
+    def test_aggregate_output_types(self, provider):
+        plan = plan_of(
+            "SELECT cat, count(*) c, sum(amt) s, avg(amt) a FROM facts "
+            "GROUP BY cat", provider)
+        names_types = dict(zip(plan.schema.names, plan.schema.types))
+        assert names_types["c"] == SqlType.INT
+        assert names_types["s"] == SqlType.INT
+        assert names_types["a"] == SqlType.FLOAT
+
+    def test_aggregate_in_where_rejected(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT id FROM facts WHERE count(*) > 1", provider)
+
+
+class TestWindows:
+    def test_window_node_created(self, provider):
+        plan = plan_of(
+            "SELECT id, row_number() over (partition by cat order by amt) rn "
+            "FROM facts", provider)
+        windows = [node for node in plan.walk()
+                   if isinstance(node, lp.Window)]
+        assert len(windows) == 1
+        assert windows[0].calls[0].function == "row_number"
+
+    def test_distinct_partitions_stack(self, provider):
+        plan = plan_of(
+            "SELECT id, count(*) over (partition by cat) a, "
+            "count(*) over (partition by id) b FROM facts", provider)
+        windows = [node for node in plan.walk()
+                   if isinstance(node, lp.Window)]
+        assert len(windows) == 2
+
+    def test_qualify_becomes_filter(self, provider):
+        plan = plan_of(
+            "SELECT id, row_number() over (partition by cat order by amt) rn "
+            "FROM facts QUALIFY rn = 1", provider)
+        assert isinstance(plan, lp.Project)
+        assert isinstance(plan.child, lp.Filter)
+
+    def test_rank_requires_order_by(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT rank() over (partition by cat) FROM facts",
+                    provider)
+
+    def test_window_over_aggregate(self, provider):
+        plan = plan_of(
+            "SELECT cat, sum(amt) s, "
+            "rank() over (partition by cat order by sum(amt)) r "
+            "FROM facts GROUP BY cat", provider)
+        nodes = [type(node).__name__ for node in plan.walk()]
+        assert "Window" in nodes and "Aggregate" in nodes
+
+
+class TestSetOperations:
+    def test_union_all(self, provider):
+        plan = plan_of("SELECT id FROM facts UNION ALL SELECT id FROM dims",
+                       provider)
+        union = next(node for node in plan.walk()
+                     if isinstance(node, lp.UnionAll))
+        assert len(union.inputs) == 2
+
+    def test_union_arity_mismatch(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT id, cat FROM facts UNION ALL SELECT id FROM dims",
+                    provider)
+
+    def test_union_type_mismatch(self, provider):
+        with pytest.raises(Exception):
+            plan_of("SELECT id FROM facts UNION ALL SELECT region FROM dims",
+                    provider)
+
+
+class TestSortLimit:
+    def test_order_by_limit(self, provider):
+        plan = plan_of("SELECT id FROM facts ORDER BY id DESC LIMIT 3",
+                       provider)
+        assert isinstance(plan, lp.Limit)
+        nodes = [type(node).__name__ for node in plan.walk()]
+        assert "Sort" in nodes
+
+    def test_order_by_ordinal(self, provider):
+        plan = plan_of("SELECT cat, id FROM facts ORDER BY 2", provider)
+        assert any(isinstance(node, lp.Sort) for node in plan.walk())
+
+    def test_order_by_unprojected_column(self, provider):
+        plan = plan_of("SELECT id FROM facts ORDER BY amt", provider)
+        sort = next(node for node in plan.walk() if isinstance(node, lp.Sort))
+        assert sort.keys  # bound against the pre-projection input
+
+    def test_order_by_ordinal_out_of_range(self, provider):
+        with pytest.raises(BindError):
+            plan_of("SELECT id FROM facts ORDER BY 5", provider)
+
+
+class TestFlatten:
+    def test_flatten_schema(self, provider):
+        plan = plan_of(
+            "SELECT id, f.value FROM facts, LATERAL FLATTEN("
+            "input => payload:tags) f", provider)
+        flatten = next(node for node in plan.walk()
+                       if isinstance(node, lp.Flatten))
+        assert flatten.schema.names[-2:] == ["value", "index"]
+
+
+class TestIncrementalizability:
+    def test_float_join_key_flagged(self, provider):
+        plan = plan_of(
+            "SELECT f.id FROM facts f JOIN dims d ON f.score = d.id",
+            provider)
+        check = incrementalizability(plan)
+        assert not check.supported
+        assert any("FLOAT" in reason for reason in check.reasons)
+
+    def test_float_group_key_flagged(self, provider):
+        plan = plan_of("SELECT score, count(*) FROM facts GROUP BY score",
+                       provider)
+        assert not incrementalizability(plan).supported
+
+    def test_order_by_flagged(self, provider):
+        plan = plan_of("SELECT id FROM facts ORDER BY id", provider)
+        assert not incrementalizability(plan).supported
+
+    def test_scalar_aggregate_flagged(self, provider):
+        plan = plan_of("SELECT count(*) FROM facts", provider)
+        assert not incrementalizability(plan).supported
+
+    def test_plain_query_supported(self, provider):
+        plan = plan_of(
+            "SELECT cat, count(*) FROM facts GROUP BY cat", provider)
+        assert incrementalizability(plan).supported

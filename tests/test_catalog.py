@@ -1,0 +1,184 @@
+"""Tests for the catalog: DDL, drop/undrop, RBAC, the DDL log."""
+
+import pytest
+
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.errors import CatalogError, EntityDropped, EntityNotFound
+from repro.sql.parser import parse_query
+from repro.storage.catalog import Catalog
+
+
+def schema():
+    return schema_of(("a", SqlType.INT))
+
+
+class TestCreateDrop:
+    def test_create_and_get(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        assert catalog.get("t").kind == "table"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        with pytest.raises(CatalogError):
+            catalog.create_table("t", schema())
+
+    def test_if_not_exists_returns_existing(self):
+        catalog = Catalog()
+        first = catalog.create_table("t", schema())
+        second = catalog.create_table("t", schema(), if_not_exists=True)
+        assert first is second
+
+    def test_or_replace_bumps_generation(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        assert catalog.get("t").generation == 0
+        catalog.create_table("t", schema(), or_replace=True)
+        assert catalog.get("t").generation == 1
+
+    def test_drop_then_get_raises_dropped(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.drop("t")
+        with pytest.raises(EntityDropped):
+            catalog.get("t")
+
+    def test_undrop_restores_storage(self):
+        catalog = Catalog()
+        table = catalog.create_table("t", schema())
+        catalog.drop("t")
+        catalog.undrop("t")
+        assert catalog.versioned_table("t") is table
+
+    def test_drop_unknown(self):
+        catalog = Catalog()
+        with pytest.raises(EntityNotFound):
+            catalog.drop("ghost")
+
+    def test_drop_if_exists_tolerates_missing(self):
+        Catalog().drop("ghost", if_exists=True)
+
+    def test_drop_wrong_kind(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        with pytest.raises(CatalogError):
+            catalog.drop("t", kind="view")
+
+    def test_undrop_requires_dropped(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        with pytest.raises(EntityNotFound):
+            catalog.undrop("t")
+
+    def test_recreate_after_drop_bumps_generation(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.drop("t")
+        catalog.create_table("t", schema())
+        # The replaced (dropped) entry is gone; the new one starts fresh
+        # under a new storage object but the name resolves again.
+        assert catalog.get("t").kind == "table"
+
+
+class TestViews:
+    def test_view_definition(self):
+        catalog = Catalog()
+        query = parse_query("SELECT 1")
+        catalog.create_view("v", "SELECT 1", query)
+        assert catalog.view_definition("v") is query
+
+    def test_view_definition_none_for_tables(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        assert catalog.view_definition("t") is None
+
+    def test_view_has_no_storage(self):
+        catalog = Catalog()
+        catalog.create_view("v", "SELECT 1", parse_query("SELECT 1"))
+        with pytest.raises(EntityNotFound):
+            catalog.versioned_table("v")
+
+
+class TestRename:
+    def test_rename(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.rename("t", "u")
+        assert catalog.exists("u")
+        assert not catalog.exists("t")
+        assert catalog.versioned_table("u").name == "u"
+
+    def test_rename_to_existing_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.create_table("u", schema())
+        with pytest.raises(CatalogError):
+            catalog.rename("t", "u")
+
+
+class TestDdlLog:
+    def test_log_records_operations(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.drop("t")
+        catalog.undrop("t")
+        catalog.rename("t", "u")
+        ops = [event.op for event in catalog.ddl_log]
+        assert ops == ["create", "drop", "undrop", "rename"]
+
+    def test_log_is_monotonic(self):
+        catalog = Catalog()
+        for index in range(5):
+            catalog.create_table(f"t{index}", schema())
+        seqs = [event.seq for event in catalog.ddl_log]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_log_since(self):
+        catalog = Catalog()
+        catalog.create_table("a", schema())
+        cutoff = catalog.ddl_log[-1].seq
+        catalog.create_table("b", schema())
+        later = catalog.ddl_log_since(cutoff)
+        assert [event.name for event in later] == ["b"]
+
+    def test_replace_logged_as_replace(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        catalog.create_table("t", schema(), or_replace=True)
+        assert catalog.ddl_log[-1].op == "replace"
+
+
+class TestGrants:
+    def test_owner_has_everything(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema(), owner="eng")
+        entry = catalog.get("t")
+        assert entry.has_privilege("select", "eng")
+        assert entry.has_privilege("operate", "eng")
+
+    def test_grant_and_revoke(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema(), owner="eng")
+        entry = catalog.get("t")
+        assert not entry.has_privilege("select", "analyst")
+        entry.grant("select", "analyst")
+        assert entry.has_privilege("select", "analyst")
+        entry.revoke("select", "analyst")
+        assert not entry.has_privilege("select", "analyst")
+
+    def test_monitor_operate_privileges_exist(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        entry = catalog.get("t")
+        entry.grant("monitor", "oncall")
+        entry.grant("operate", "oncall")
+        assert entry.has_privilege("monitor", "oncall")
+
+    def test_unknown_privilege_rejected(self):
+        catalog = Catalog()
+        catalog.create_table("t", schema())
+        with pytest.raises(CatalogError):
+            catalog.get("t").grant("fly", "anyone")

@@ -1,0 +1,149 @@
+"""Tests for change sets and consolidation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ChangeIntegrityError
+from repro.ivm.changes import (Action, Change, ChangeSet, consolidate,
+                               invert)
+
+
+def cs(*ops):
+    changes = ChangeSet()
+    for action, row_id, row in ops:
+        if action == "+":
+            changes.insert(row_id, row)
+        else:
+            changes.delete(row_id, row)
+    return changes
+
+
+class TestChangeSetBasics:
+    def test_insert_only_flag(self):
+        assert cs(("+", "a", (1,))).insert_only
+        assert not cs(("+", "a", (1,)), ("-", "b", (2,))).insert_only
+        assert ChangeSet().insert_only
+
+    def test_partition_by_action(self):
+        changes = cs(("+", "a", (1,)), ("-", "b", (2,)), ("+", "c", (3,)))
+        assert len(changes.inserts()) == 2
+        assert len(changes.deletes()) == 1
+
+    def test_bool_and_len(self):
+        assert not ChangeSet()
+        assert len(cs(("+", "a", (1,)))) == 1
+
+
+class TestValidation:
+    def test_duplicate_pair_rejected(self):
+        changes = cs(("+", "a", (1,)), ("+", "a", (2,)))
+        with pytest.raises(ChangeIntegrityError, match="duplicate"):
+            changes.validate()
+
+    def test_same_id_different_actions_ok(self):
+        cs(("-", "a", (1,)), ("+", "a", (2,))).validate()
+
+    def test_delete_of_missing_row(self):
+        changes = cs(("-", "a", (1,)))
+        with pytest.raises(ChangeIntegrityError, match="nonexistent"):
+            changes.validate(existing_row_ids={})
+
+    def test_insert_of_present_row(self):
+        changes = cs(("+", "a", (1,)))
+        with pytest.raises(ChangeIntegrityError, match="already-present"):
+            changes.validate(existing_row_ids={"a": 1})
+
+    def test_update_of_present_row_ok(self):
+        cs(("-", "a", (1,)), ("+", "a", (2,))).validate(
+            existing_row_ids={"a": 1})
+
+
+class TestConsolidate:
+    def test_insert_then_delete_cancels(self):
+        result = consolidate(cs(("+", "a", (1,)), ("-", "a", (1,))))
+        assert len(result) == 0
+
+    def test_delete_then_identical_insert_cancels(self):
+        # The read-amplification case: a copied row must vanish.
+        result = consolidate(cs(("-", "a", (1,)), ("+", "a", (1,))))
+        assert len(result) == 0
+
+    def test_delete_then_changed_insert_is_update(self):
+        result = consolidate(cs(("-", "a", (1,)), ("+", "a", (2,))))
+        assert [c.action for c in result] == [Action.DELETE, Action.INSERT]
+        assert result.deletes()[0].row == (1,)
+        assert result.inserts()[0].row == (2,)
+
+    def test_deletes_precede_inserts(self):
+        result = consolidate(cs(("+", "b", (2,)), ("-", "a", (1,))))
+        assert [c.action for c in result] == [Action.DELETE, Action.INSERT]
+
+    def test_delete_insert_delete_nets_delete(self):
+        result = consolidate(cs(("-", "a", (1,)), ("+", "a", (2,)),
+                                ("-", "a", (2,))))
+        assert [c.action for c in result] == [Action.DELETE]
+        assert result.deletes()[0].row == (1,)
+
+    def test_insert_delete_insert_nets_insert(self):
+        result = consolidate(cs(("+", "a", (1,)), ("-", "a", (1,)),
+                                ("+", "a", (3,))))
+        assert [c.action for c in result] == [Action.INSERT]
+        assert result.inserts()[0].row == (3,)
+
+    def test_duplicate_insert_is_integrity_error(self):
+        with pytest.raises(ChangeIntegrityError):
+            consolidate(cs(("+", "a", (1,)), ("+", "a", (2,))))
+
+    def test_duplicate_delete_is_integrity_error(self):
+        with pytest.raises(ChangeIntegrityError):
+            consolidate(cs(("-", "a", (1,)), ("-", "a", (1,))))
+
+    def test_result_always_validates(self):
+        result = consolidate(cs(
+            ("-", "a", (1,)), ("+", "a", (2,)),
+            ("+", "b", (5,)), ("-", "c", (9,))))
+        result.validate()
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["ins", "del", "upd"]),
+                  st.sampled_from(["r1", "r2", "r3"]),
+                  st.integers(0, 5)),
+        max_size=12))
+    def test_consolidation_matches_state_replay(self, ops):
+        """Property: applying the consolidated set to the initial state
+        produces the same final state as replaying the raw sequence."""
+        state: dict[str, tuple] = {"r1": (0,), "r2": (0,), "r3": (0,)}
+        initial = dict(state)
+        raw = ChangeSet()
+        for kind, row_id, value in ops:
+            if kind == "ins" and row_id not in state:
+                state[row_id] = (value,)
+                raw.insert(row_id, (value,))
+            elif kind == "del" and row_id in state:
+                raw.delete(row_id, state.pop(row_id))
+            elif kind == "upd" and row_id in state:
+                raw.delete(row_id, state[row_id])
+                state[row_id] = (value,)
+                raw.insert(row_id, (value,))
+
+        net = consolidate(raw)
+        net.validate(existing_row_ids=initial)
+        replayed = dict(initial)
+        for change in net.deletes():
+            assert replayed.pop(change.row_id) == change.row
+        for change in net.inserts():
+            assert change.row_id not in replayed
+            replayed[change.row_id] = change.row
+        assert replayed == state
+
+
+class TestInvert:
+    def test_roundtrip(self):
+        changes = cs(("+", "a", (1,)), ("-", "b", (2,)))
+        double = invert(invert(changes))
+        assert [(c.action, c.row_id, c.row) for c in double] == \
+               [(c.action, c.row_id, c.row) for c in changes]
+
+    def test_swaps_actions(self):
+        inverted = invert(cs(("+", "a", (1,))))
+        assert inverted.changes[0].action == Action.DELETE

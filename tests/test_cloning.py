@@ -1,0 +1,121 @@
+"""Tests for zero-copy cloning (section 3.4)."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.errors import CatalogError, NotInitializedError
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int, val int)")
+    database.execute("INSERT INTO src VALUES (1, 10), (2, 20), (3, 30)")
+    return database
+
+
+class TestTableClone:
+    def test_clone_has_same_contents(self, db):
+        db.execute("CREATE TABLE copy CLONE src")
+        assert sorted(db.query("SELECT * FROM copy").rows) == \
+               sorted(db.query("SELECT * FROM src").rows)
+
+    def test_clone_shares_partitions(self, db):
+        db.execute("CREATE TABLE copy CLONE src")
+        source = db.catalog.versioned_table("src")
+        clone = db.catalog.versioned_table("copy")
+        assert clone.current_version.partition_ids <= \
+               source.current_version.partition_ids  # shared by reference
+
+    def test_clone_diverges_after_writes(self, db):
+        db.execute("CREATE TABLE copy CLONE src")
+        db.execute("INSERT INTO copy VALUES (9, 90)")
+        db.execute("DELETE FROM src WHERE id = 1")
+        assert len(db.query("SELECT * FROM copy").rows) == 4
+        assert len(db.query("SELECT * FROM src").rows) == 2
+
+    def test_clone_row_ids_do_not_collide_with_future_source_rows(self, db):
+        db.execute("CREATE TABLE copy CLONE src")
+        db.execute("INSERT INTO src VALUES (4, 40)")
+        db.execute("INSERT INTO copy VALUES (5, 50)")
+        src_ids = set(db.query("SELECT * FROM src").row_ids)
+        copy_new_ids = set(db.query("SELECT * FROM copy").row_ids) - src_ids
+        # The clone's new row got its own namespace.
+        assert len(copy_new_ids) == 1
+
+    def test_clone_wrong_kind_rejected(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM src")
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE copy CLONE v")
+
+    def test_clone_name_collision_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE src CLONE src")
+
+
+class TestDynamicTableClone:
+    def make_dt(self, db):
+        return db.create_dynamic_table(
+            "totals", "SELECT val, count(*) n FROM src GROUP BY val",
+            "1 minute", "wh")
+
+    def test_clone_is_immediately_readable(self, db):
+        self.make_dt(db)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        assert sorted(db.query("SELECT * FROM totals2").rows) == \
+               sorted(db.query("SELECT * FROM totals").rows)
+
+    def test_clone_avoids_reinitialization(self, db):
+        """The headline claim: the clone's next refresh is INCREMENTAL
+        from the copied frontier, not a REINITIALIZE."""
+        self.make_dt(db)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        db.execute("INSERT INTO src VALUES (4, 10)")
+        db.refresh_dynamic_table("totals2")
+        clone = db.dynamic_table("totals2")
+        assert clone.refresh_history[-1].action == RefreshAction.INCREMENTAL
+        assert db.check_dvs("totals2")
+
+    def test_clone_preserves_data_timestamp(self, db):
+        source = self.make_dt(db)
+        db.clock.advance(MINUTE)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        clone = db.dynamic_table("totals2")
+        assert clone.data_timestamp == source.data_timestamp
+
+    def test_clones_diverge(self, db):
+        self.make_dt(db)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        db.execute("INSERT INTO src VALUES (5, 99)")
+        db.refresh_dynamic_table("totals2")
+        source_rows = sorted(db.query("SELECT * FROM totals").rows)
+        clone_rows = sorted(db.query("SELECT * FROM totals2").rows)
+        assert source_rows != clone_rows  # only the clone refreshed
+
+    def test_clone_of_uninitialized_rejected(self, db):
+        db.create_dynamic_table(
+            "lazy", "SELECT id FROM src", "1 minute", "wh",
+            initialize="on_schedule")
+        with pytest.raises(NotInitializedError):
+            db.execute("CREATE DYNAMIC TABLE lazy2 CLONE lazy")
+
+    def test_clone_participates_in_scheduling(self, db):
+        self.make_dt(db)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        db.execute("INSERT INTO src VALUES (6, 60)")
+        db.run_for(3 * MINUTE)
+        assert db.check_dvs("totals")
+        assert db.check_dvs("totals2")
+        assert sorted(db.query("SELECT * FROM totals").rows) == \
+               sorted(db.query("SELECT * FROM totals2").rows)
+
+    def test_downstream_of_clone_reads_exact_versions(self, db):
+        self.make_dt(db)
+        db.execute("CREATE DYNAMIC TABLE totals2 CLONE totals")
+        db.create_dynamic_table(
+            "downstream", "SELECT val FROM totals2 WHERE n > 0",
+            "1 minute", "wh")
+        assert db.check_dvs("downstream")

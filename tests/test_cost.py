@@ -1,0 +1,88 @@
+"""Tests for the refresh cost model (section 3.3.2's fixed+variable)."""
+
+from repro.core.dynamic_table import RefreshAction, RefreshRecord
+from repro.ivm.differentiator import DifferentiationStats
+from repro.scheduler.cost import CostModel
+
+
+def record(action, source_rows=0, inserted=0, deleted=0,
+           endpoint_rows=0, delta_in=0):
+    rec = RefreshRecord(data_timestamp=0, action=action)
+    rec.source_rows_scanned = source_rows
+    rec.rows_inserted = inserted
+    rec.rows_deleted = deleted
+    if action == RefreshAction.INCREMENTAL:
+        stats = DifferentiationStats()
+        stats.endpoint_rows = endpoint_rows
+        stats.delta_rows_in = delta_in
+        rec.ivm_stats = stats
+    return rec
+
+
+class TestDurations:
+    def test_no_data_is_tiny_and_warehouse_free(self):
+        model = CostModel()
+        rec = record(RefreshAction.NO_DATA)
+        assert model.duration_of(rec) == model.no_data_cost
+        assert not model.uses_warehouse(rec)
+
+    def test_full_scales_with_source_rows(self):
+        model = CostModel()
+        small = model.duration_of(record(RefreshAction.FULL, source_rows=100))
+        large = model.duration_of(record(RefreshAction.FULL,
+                                         source_rows=100_000))
+        assert large > small
+
+    def test_incremental_scales_with_delta(self):
+        model = CostModel()
+        small = model.duration_of(record(
+            RefreshAction.INCREMENTAL, inserted=10, delta_in=10))
+        large = model.duration_of(record(
+            RefreshAction.INCREMENTAL, inserted=10_000, delta_in=10_000))
+        assert large > small
+
+    def test_fixed_cost_floor(self):
+        model = CostModel()
+        rec = record(RefreshAction.INCREMENTAL)
+        assert model.duration_of(rec) >= model.fixed_cost
+
+    def test_variable_cost_is_linear(self):
+        """Section 3.3.2: 'variable costs scale linearly with the amount
+        of changed data in the sources.'"""
+        model = CostModel()
+        base = model.duration_of(record(RefreshAction.INCREMENTAL))
+        one = model.duration_of(record(RefreshAction.INCREMENTAL,
+                                       delta_in=1000)) - base
+        two = model.duration_of(record(RefreshAction.INCREMENTAL,
+                                       delta_in=2000)) - base
+        assert two == 2 * one
+
+    def test_bigger_warehouse_is_faster(self):
+        model = CostModel()
+        rec = record(RefreshAction.FULL, source_rows=100_000,
+                     inserted=100_000)
+        assert model.duration_of(rec, warehouse_size=4) < \
+               model.duration_of(rec, warehouse_size=1)
+
+    def test_warehouse_size_does_not_reduce_fixed_cost(self):
+        model = CostModel()
+        rec = record(RefreshAction.FULL)
+        assert model.duration_of(rec, warehouse_size=64) == model.fixed_cost
+
+    def test_small_incremental_cheaper_than_full(self):
+        """The crossover premise: tiny deltas beat recomputation."""
+        model = CostModel()
+        incremental = model.duration_of(record(
+            RefreshAction.INCREMENTAL, inserted=10, delta_in=10,
+            endpoint_rows=100))
+        full = model.duration_of(record(
+            RefreshAction.FULL, source_rows=1_000_000, inserted=1_000_000))
+        assert incremental < full
+
+    def test_initial_and_reinitialize_priced_like_full(self):
+        model = CostModel()
+        args = dict(source_rows=5000, inserted=5000)
+        full = model.duration_of(record(RefreshAction.FULL, **args))
+        initial = model.duration_of(record(RefreshAction.INITIAL, **args))
+        reinit = model.duration_of(record(RefreshAction.REINITIALIZE, **args))
+        assert full == initial == reinit

@@ -1,0 +1,126 @@
+"""Tests for query evolution: upstream DDL handling (sections 3.4, 5.4)."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.core.evolution import (EvolutionOutcome, check_evolution,
+                                  collect_source_names)
+from repro.sql.parser import parse_query
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int, val int)")
+    database.execute("INSERT INTO src VALUES (1, 10), (2, 20)")
+    return database
+
+
+class TestSourceCollection:
+    def test_direct_tables(self, db):
+        names = collect_source_names(
+            parse_query("SELECT a.id FROM src a JOIN src b ON a.id = b.id"),
+            db.catalog)
+        assert names == {"src"}
+
+    def test_views_and_their_sources(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM src")
+        names = collect_source_names(parse_query("SELECT id FROM v"),
+                                     db.catalog)
+        assert names == {"v", "src"}
+
+    def test_subqueries_and_unions(self, db):
+        db.execute("CREATE TABLE other (id int)")
+        names = collect_source_names(parse_query(
+            "SELECT id FROM (SELECT id FROM src) s "
+            "UNION ALL SELECT id FROM other"), db.catalog)
+        assert names == {"src", "other"}
+
+
+class TestDecisions:
+    def test_unchanged_proceeds(self, db):
+        dt = db.create_dynamic_table("d", "SELECT id FROM src",
+                                     "1 minute", "wh")
+        decision = check_evolution(dt.dependencies, db.catalog)
+        assert decision.outcome == EvolutionOutcome.PROCEED
+
+    def test_replace_triggers_reinitialize(self, db):
+        dt = db.create_dynamic_table("d", "SELECT id FROM src",
+                                     "1 minute", "wh")
+        db.execute("CREATE OR REPLACE TABLE src (id int, val int)")
+        decision = check_evolution(dt.dependencies, db.catalog)
+        assert decision.outcome == EvolutionOutcome.REINITIALIZE
+
+    def test_drop_fails(self, db):
+        dt = db.create_dynamic_table("d", "SELECT id FROM src",
+                                     "1 minute", "wh")
+        db.execute("DROP TABLE src")
+        decision = check_evolution(dt.dependencies, db.catalog)
+        assert decision.outcome == EvolutionOutcome.FAIL
+
+
+class TestEndToEnd:
+    def test_replaced_table_causes_reinitialize_refresh(self, db):
+        dt = db.create_dynamic_table("d", "SELECT id, val FROM src",
+                                     "1 minute", "wh")
+        db.execute("CREATE OR REPLACE TABLE src (id int, val int)")
+        db.execute("INSERT INTO src VALUES (9, 90)")
+        db.refresh_dynamic_table("d")
+        assert dt.refresh_history[-1].action == RefreshAction.REINITIALIZE
+        assert db.query("SELECT * FROM d").rows == [(9, 90)]
+
+    def test_reinitialize_rerecords_dependencies(self, db):
+        dt = db.create_dynamic_table("d", "SELECT id, val FROM src",
+                                     "1 minute", "wh")
+        db.execute("CREATE OR REPLACE TABLE src (id int, val int)")
+        db.execute("INSERT INTO src VALUES (9, 90)")
+        db.refresh_dynamic_table("d")
+        db.execute("INSERT INTO src VALUES (10, 100)")
+        db.refresh_dynamic_table("d")
+        # Second refresh after the replace must be incremental again.
+        assert dt.refresh_history[-1].action == RefreshAction.INCREMENTAL
+
+    def test_drop_fails_then_undrop_recovers(self, db):
+        """Section 3.4: 'if a table is dropped, a DT refresh downstream of
+        it will fail. But if the table is UNDROPped, then refreshes should
+        resume without issue.'"""
+        dt = db.create_dynamic_table("d", "SELECT id, val FROM src",
+                                     "1 minute", "wh")
+        db.execute("DROP TABLE src")
+        record = db.engine.refresh(dt, db.now + MINUTE)
+        assert record.error is not None
+        db.execute("UNDROP TABLE src")
+        db.execute("INSERT INTO src VALUES (5, 50)")
+        db.refresh_dynamic_table("d")
+        record = dt.refresh_history[-1]
+        assert record.succeeded
+        assert record.action == RefreshAction.INCREMENTAL
+        assert db.check_dvs("d")
+
+    def test_view_replace_reinitializes_downstream(self, db):
+        db.execute("CREATE VIEW v AS SELECT id FROM src WHERE val > 15")
+        dt = db.create_dynamic_table("d", "SELECT id FROM v",
+                                     "1 minute", "wh")
+        assert db.query("SELECT * FROM d").rows == [(2,)]
+        db.execute("CREATE OR REPLACE VIEW v AS SELECT id FROM src "
+                   "WHERE val > 5")
+        db.refresh_dynamic_table("d")
+        assert dt.refresh_history[-1].action == RefreshAction.REINITIALIZE
+        assert sorted(db.query("SELECT * FROM d").rows) == [(1,), (2,)]
+
+    def test_rename_breaks_then_recreate_recovers(self, db):
+        """Upstream precedence: the rename succeeds; downstream fails until
+        the name exists again."""
+        dt = db.create_dynamic_table("d", "SELECT id FROM src",
+                                     "1 minute", "wh")
+        db.execute("ALTER TABLE src RENAME TO src_new")
+        record = db.engine.refresh(dt, db.now + MINUTE)
+        assert record.error is not None
+        db.execute("CREATE TABLE src (id int, val int)")
+        db.execute("INSERT INTO src VALUES (42, 0)")
+        db.refresh_dynamic_table("d")
+        assert dt.refresh_history[-1].action == RefreshAction.REINITIALIZE
+        assert db.query("SELECT * FROM d").rows == [(42,)]

@@ -1,0 +1,251 @@
+"""Tests for the relational executor."""
+
+import pytest
+
+from repro.engine.executor import evaluate
+from repro.engine.relation import DictResolver, Relation
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.plan.builder import DictSchemaProvider, build_plan
+from repro.sql.parser import parse_query
+
+ORDERS = schema_of(("id", SqlType.INT), ("cust", SqlType.TEXT),
+                   ("amt", SqlType.INT), table="orders")
+CUSTS = schema_of(("name", SqlType.TEXT), ("region", SqlType.TEXT),
+                  table="customers")
+EVENTS = schema_of(("id", SqlType.INT), ("payload", SqlType.VARIANT),
+                   table="events")
+
+PROVIDER = DictSchemaProvider({
+    "orders": ORDERS, "customers": CUSTS, "events": EVENTS})
+
+
+@pytest.fixture
+def resolver():
+    orders = Relation(ORDERS,
+                      [(1, "a", 10), (2, "b", 3), (3, "a", 7), (4, "z", 9),
+                       (5, None, 5)],
+                      [f"b1:{i}" for i in range(5)])
+    customers = Relation(CUSTS,
+                         [("a", "west"), ("b", "east"), ("c", "west")],
+                         [f"b2:{i}" for i in range(3)])
+    events = Relation(EVENTS,
+                      [(1, {"tags": ["x", "y"]}), (2, {"tags": []}),
+                       (3, {"tags": None}), (4, {})],
+                      [f"b3:{i}" for i in range(4)])
+    return DictResolver({"orders": orders, "customers": customers,
+                         "events": events})
+
+
+def run(sql, resolver):
+    plan = build_plan(parse_query(sql), PROVIDER)
+    return evaluate(plan, resolver)
+
+
+class TestScanProjectFilter:
+    def test_project(self, resolver):
+        result = run("SELECT amt * 2 d FROM orders WHERE id = 1", resolver)
+        assert result.rows == [(20,)]
+
+    def test_filter_null_is_dropped(self, resolver):
+        result = run("SELECT id FROM orders WHERE cust = 'a'", resolver)
+        assert sorted(result.rows) == [(1,), (3,)]  # NULL cust not matched
+
+    def test_row_ids_pass_through(self, resolver):
+        result = run("SELECT id FROM orders WHERE amt > 5", resolver)
+        assert set(result.row_ids) <= {f"b1:{i}" for i in range(5)}
+
+    def test_select_without_from(self, resolver):
+        result = run("SELECT 1 + 1", resolver)
+        assert result.rows == [(2,)]
+
+
+class TestJoins:
+    def test_inner(self, resolver):
+        result = run(
+            "SELECT o.id, c.region FROM orders o JOIN customers c "
+            "ON o.cust = c.name", resolver)
+        assert sorted(result.rows) == [(1, "west"), (2, "east"), (3, "west")]
+
+    def test_left_pads_unmatched(self, resolver):
+        result = run(
+            "SELECT o.id, c.region FROM orders o LEFT JOIN customers c "
+            "ON o.cust = c.name", resolver)
+        assert sorted(result.rows, key=repr) == sorted(
+            [(1, "west"), (2, "east"), (3, "west"), (4, None), (5, None)],
+            key=repr)
+
+    def test_null_keys_never_match(self, resolver):
+        result = run(
+            "SELECT o.id FROM orders o JOIN customers c ON o.cust = c.name "
+            "WHERE o.id = 5", resolver)
+        assert result.rows == []
+
+    def test_right_join(self, resolver):
+        result = run(
+            "SELECT c.name, o.id FROM orders o RIGHT JOIN customers c "
+            "ON o.cust = c.name", resolver)
+        names = [row[0] for row in result.rows]
+        assert "c" in names  # unmatched right row padded
+
+    def test_full_join(self, resolver):
+        result = run(
+            "SELECT o.id, c.name FROM orders o FULL JOIN customers c "
+            "ON o.cust = c.name", resolver)
+        assert (None, "c") in result.rows
+        assert (4, None) in result.rows
+
+    def test_cross_join(self, resolver):
+        result = run("SELECT o.id, c.name FROM orders o, customers c",
+                     resolver)
+        assert len(result.rows) == 15
+
+    def test_residual_predicate(self, resolver):
+        result = run(
+            "SELECT o.id FROM orders o JOIN customers c "
+            "ON o.cust = c.name AND o.amt > 5", resolver)
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_non_equi_join(self, resolver):
+        result = run(
+            "SELECT o.id, c.name FROM orders o JOIN customers c "
+            "ON o.amt < 5 AND c.region = 'east'", resolver)
+        assert result.rows == [(2, "b")]
+
+    def test_join_row_ids_unique(self, resolver):
+        result = run(
+            "SELECT o.id FROM orders o LEFT JOIN customers c "
+            "ON o.cust = c.name", resolver)
+        assert len(set(result.row_ids)) == len(result.row_ids)
+
+
+class TestAggregation:
+    def test_group_by(self, resolver):
+        result = run(
+            "SELECT cust, count(*) n, sum(amt) s FROM orders GROUP BY cust",
+            resolver)
+        as_map = {row[0]: row[1:] for row in result.rows}
+        assert as_map["a"] == (2, 17)
+        assert as_map[None] == (1, 5)  # NULLs form their own group
+
+    def test_count_ignores_nulls(self, resolver):
+        result = run("SELECT count(cust) FROM orders", resolver)
+        assert result.rows == [(4,)]
+
+    def test_scalar_aggregate_on_empty(self, resolver):
+        result = run("SELECT count(*), sum(amt) FROM orders WHERE id > 99",
+                     resolver)
+        assert result.rows == [(0, None)]
+
+    def test_count_distinct(self, resolver):
+        result = run("SELECT count(DISTINCT cust) FROM orders", resolver)
+        assert result.rows == [(3,)]
+
+    def test_count_if(self, resolver):
+        result = run("SELECT count_if(amt > 5) FROM orders", resolver)
+        assert result.rows == [(3,)]
+
+    def test_having(self, resolver):
+        result = run(
+            "SELECT cust, count(*) n FROM orders GROUP BY cust "
+            "HAVING count(*) > 1", resolver)
+        assert result.rows == [("a", 2)]
+
+    def test_avg(self, resolver):
+        result = run("SELECT avg(amt) FROM orders WHERE cust = 'a'", resolver)
+        assert result.rows == [(8.5,)]
+
+    def test_distinct(self, resolver):
+        result = run("SELECT DISTINCT cust FROM orders", resolver)
+        assert len(result.rows) == 4
+        assert len(set(result.row_ids)) == 4
+
+
+class TestWindowFunctions:
+    def test_row_number(self, resolver):
+        result = run(
+            "SELECT id, row_number() over (partition by cust order by amt desc) rn "
+            "FROM orders WHERE cust = 'a'", resolver)
+        as_map = dict(result.rows)
+        assert as_map == {1: 1, 3: 2}
+
+    def test_running_sum(self, resolver):
+        result = run(
+            "SELECT id, sum(amt) over (partition by cust order by id) s "
+            "FROM orders WHERE cust = 'a'", resolver)
+        assert dict(result.rows) == {1: 10, 3: 17}
+
+    def test_whole_partition_aggregate(self, resolver):
+        result = run(
+            "SELECT id, count(*) over (partition by cust) c FROM orders",
+            resolver)
+        as_map = dict(result.rows)
+        assert as_map[1] == 2 and as_map[2] == 1
+
+    def test_rank_with_ties(self, resolver):
+        rel = Relation(ORDERS, [(1, "a", 5), (2, "a", 5), (3, "a", 7)],
+                       ["r0", "r1", "r2"])
+        result = evaluate(
+            build_plan(parse_query(
+                "SELECT id, rank() over (partition by cust order by amt) r,"
+                " dense_rank() over (partition by cust order by amt) d"
+                " FROM orders"), PROVIDER),
+            DictResolver({"orders": rel}))
+        ranks = {row[0]: (row[1], row[2]) for row in result.rows}
+        assert ranks[3] == (3, 2)
+        assert ranks[1][0] == 1 and ranks[2][0] == 1
+
+    def test_lag_lead(self, resolver):
+        result = run(
+            "SELECT id, lag(amt) over (partition by cust order by id) l "
+            "FROM orders WHERE cust = 'a'", resolver)
+        assert dict(result.rows) == {1: None, 3: 10}
+
+    def test_qualify(self, resolver):
+        result = run(
+            "SELECT id, row_number() over (partition by cust order by amt desc) rn "
+            "FROM orders QUALIFY rn = 1", resolver)
+        assert len(result.rows) == 4  # one winner per cust group
+
+
+class TestFlattenUnionSortLimit:
+    def test_flatten(self, resolver):
+        result = run(
+            "SELECT id, f.value v, f.index i FROM events, "
+            "LATERAL FLATTEN(input => payload:tags) f", resolver)
+        assert sorted(result.rows) == [(1, "x", 0), (1, "y", 1)]
+
+    def test_flatten_drops_non_arrays(self, resolver):
+        result = run(
+            "SELECT id FROM events, LATERAL FLATTEN(input => payload:tags) f "
+            "WHERE id > 1", resolver)
+        assert result.rows == []
+
+    def test_union_all_keeps_duplicates(self, resolver):
+        result = run(
+            "SELECT cust FROM orders UNION ALL SELECT cust FROM orders",
+            resolver)
+        assert len(result.rows) == 10
+        assert len(set(result.row_ids)) == 10
+
+    def test_order_by(self, resolver):
+        result = run("SELECT id FROM orders ORDER BY amt DESC", resolver)
+        assert [row[0] for row in result.rows][:2] == [1, 4]
+
+    def test_order_by_nulls_last_asc(self, resolver):
+        result = run("SELECT cust FROM orders ORDER BY cust", resolver)
+        assert result.rows[-1] == (None,)
+
+    def test_limit(self, resolver):
+        result = run("SELECT id FROM orders ORDER BY id LIMIT 2", resolver)
+        assert result.rows == [(1,), (2,)]
+
+
+class TestDeterminism:
+    def test_repeated_evaluation_identical(self, resolver):
+        sql = ("SELECT cust, count(*) n FROM orders GROUP BY cust "
+               "UNION ALL SELECT cust, amt FROM orders")
+        first = run(sql, resolver)
+        second = run(sql, resolver)
+        assert first.rows == second.rows
+        assert first.row_ids == second.row_ids

@@ -1,0 +1,132 @@
+"""Tests for automatic query fragmentation (the section 5.5.3 extension)."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.core.fragments import (fragment_name, is_fragment_name,
+                                  split_union)
+from repro.sql.parser import parse_query
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int, grp text, val int)")
+    database.execute(
+        "INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)")
+    return database
+
+UNION_SQL = ("SELECT id, val FROM src WHERE val < 15 "
+             "UNION ALL SELECT id, val * 2 FROM src WHERE val >= 15")
+
+
+class TestSplitting:
+    def test_split_union(self):
+        branches = split_union(parse_query(UNION_SQL))
+        assert len(branches) == 2
+        assert all(not branch.union_all for branch in branches)
+
+    def test_non_union_not_split(self):
+        assert split_union(parse_query("SELECT 1")) is None
+
+    def test_order_by_blocks_split(self):
+        query = parse_query(UNION_SQL + " ORDER BY 1")
+        assert split_union(query) is None
+
+    def test_fragment_naming(self):
+        assert fragment_name("d", 0) == "_d$frag0"
+        assert is_fragment_name("_d$frag0")
+        assert not is_fragment_name("d")
+
+
+class TestFragmentedDts:
+    def test_fragments_created_hidden(self, db):
+        db.create_dynamic_table("u", UNION_SQL, "1 minute", "wh",
+                                auto_fragment=True)
+        visible = [dt.name for dt in db.dynamic_tables()]
+        everything = [dt.name for dt in
+                      db.dynamic_tables(include_hidden=True)]
+        assert visible == ["u"]
+        assert set(everything) == {"u", "_u$frag0", "_u$frag1"}
+
+    def test_results_match_unfragmented(self, db):
+        db.create_dynamic_table("plain", UNION_SQL, "1 minute", "wh")
+        db.create_dynamic_table("frag", UNION_SQL, "1 minute", "wh",
+                                auto_fragment=True)
+        db.execute("INSERT INTO src VALUES (4, 'c', 5), (5, 'c', 50)")
+        db.refresh_dynamic_table("plain")
+        db.refresh_dynamic_table("frag")
+        assert sorted(db.query("SELECT * FROM plain").rows) == \
+               sorted(db.query("SELECT * FROM frag").rows)
+        assert db.check_dvs("frag")
+
+    def test_fragments_refresh_with_downstream_lag(self, db):
+        db.create_dynamic_table("u", UNION_SQL, "1 minute", "wh",
+                                auto_fragment=True)
+        db.execute("INSERT INTO src VALUES (9, 'z', 1)")
+        db.run_for(2 * MINUTE)
+        assert (9, 1) in db.query("SELECT * FROM u").rows
+        for index in range(2):
+            assert db.check_dvs(fragment_name("u", index))
+
+    def test_mixed_refresh_modes(self, db):
+        """The payoff: one non-incrementalizable branch no longer forces
+        the whole query to FULL — only its own fragment."""
+        mixed = ("SELECT id, val FROM src WHERE val < 15 "
+                 "UNION ALL SELECT 0, count(*) FROM src")  # scalar agg
+
+        plain = db.create_dynamic_table("plain", mixed, "1 minute", "wh")
+        assert plain.effective_refresh_mode.value == "full"
+
+        db.create_dynamic_table("frag", mixed, "1 minute", "wh",
+                                auto_fragment=True)
+        frag0 = db.dynamic_table(fragment_name("frag", 0))
+        frag1 = db.dynamic_table(fragment_name("frag", 1))
+        main = db.dynamic_table("frag")
+        assert frag0.effective_refresh_mode.value == "incremental"
+        assert frag1.effective_refresh_mode.value == "full"
+        assert main.effective_refresh_mode.value == "incremental"
+
+        db.execute("INSERT INTO src VALUES (6, 'q', 3)")
+        db.refresh_dynamic_table("frag")
+        assert frag0.refresh_history[-1].action == RefreshAction.INCREMENTAL
+        assert frag1.refresh_history[-1].action == RefreshAction.FULL
+        assert db.check_dvs("frag")
+
+    def test_non_union_query_unaffected_by_flag(self, db):
+        dt = db.create_dynamic_table(
+            "simple", "SELECT id FROM src", "1 minute", "wh",
+            auto_fragment=True)
+        assert [d.name for d in db.dynamic_tables(include_hidden=True)] == \
+               ["simple"]
+
+    def test_scheduled_operation(self, db):
+        db.create_dynamic_table("u", UNION_SQL, "1 minute", "wh",
+                                auto_fragment=True)
+        for step in range(4):
+            db.at((step + 1) * MINUTE,
+                  lambda s=step: db.execute(
+                      f"INSERT INTO src VALUES ({10 + s}, 'x', {s * 9})"))
+        db.run_for(6 * MINUTE)
+        assert db.check_dvs("u")
+        plain_rows = db.query_at(
+            f"SELECT id, val FROM src WHERE val < 15 "
+            f"UNION ALL SELECT id, val * 2 FROM src WHERE val >= 15",
+            db.dynamic_table("u").data_timestamp).sorted_rows()
+        assert db.query("SELECT * FROM u").sorted_rows() == plain_rows
+
+
+class TestExplain:
+    def test_explain_renders_plan(self, db):
+        text = db.explain("SELECT grp, count(*) FROM src GROUP BY grp")
+        assert "Aggregate" in text and "Scan(src)" in text
+
+    def test_explain_unoptimized(self, db):
+        optimized = db.explain(
+            "SELECT id FROM src WHERE 1 = 1")
+        raw = db.explain("SELECT id FROM src WHERE 1 = 1", optimized=False)
+        assert "Filter" not in optimized
+        assert "Filter" in raw

@@ -1,0 +1,95 @@
+"""Tests for the dependency graph and DOWNSTREAM lag resolution."""
+
+import pytest
+
+from repro import Database
+from repro.core.graph import DependencyGraph
+from repro.util.timeutil import MINUTE, minutes
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int)")
+    database.execute("INSERT INTO src VALUES (1)")
+    return database
+
+
+def dt(db, name, sql, lag="1 minute"):
+    return db.create_dynamic_table(name, sql, lag, "wh")
+
+
+class TestTopology:
+    def test_upstream_downstream(self, db):
+        dt(db, "a", "SELECT id FROM src")
+        dt(db, "b", "SELECT id FROM a")
+        graph = DependencyGraph(db.catalog)
+        assert [u.name for u in graph.upstream_dts("b")] == ["a"]
+        assert [d.name for d in graph.downstream_dts("a")] == ["b"]
+        assert graph.upstream["a"] == {"src"}
+
+    def test_topological_order(self, db):
+        dt(db, "a", "SELECT id FROM src")
+        dt(db, "b", "SELECT id FROM a")
+        dt(db, "c", "SELECT x.id FROM b x JOIN a y ON x.id = y.id")
+        order = [node.name for node in
+                 DependencyGraph(db.catalog).topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_upstream_closure(self, db):
+        dt(db, "a", "SELECT id FROM src")
+        dt(db, "b", "SELECT id FROM a")
+        dt(db, "c", "SELECT id FROM b")
+        closure = [node.name for node in
+                   DependencyGraph(db.catalog).upstream_closure("c")]
+        assert closure == ["a", "b"]
+
+    def test_connected_components(self, db):
+        dt(db, "a", "SELECT id FROM src")
+        dt(db, "b", "SELECT id FROM a")
+        dt(db, "solo", "SELECT id FROM src")
+        components = DependencyGraph(db.catalog).connected_components()
+        names = sorted(tuple(node.name for node in component)
+                       for component in components)
+        assert names == [("a", "b"), ("solo",)]
+
+    def test_views_do_not_hide_dt_edges(self, db):
+        dt(db, "a", "SELECT id FROM src")
+        db.execute("CREATE VIEW v AS SELECT id FROM a")
+        dt(db, "b", "SELECT id FROM v")
+        graph = DependencyGraph(db.catalog)
+        assert [u.name for u in graph.upstream_dts("b")] == ["a"]
+
+
+class TestDownstreamLag:
+    def test_concrete_lag_passthrough(self, db):
+        dt(db, "a", "SELECT id FROM src", lag="5 minutes")
+        graph = DependencyGraph(db.catalog)
+        assert graph.effective_lag("a") == minutes(5)
+
+    def test_downstream_takes_minimum(self, db):
+        dt(db, "a", "SELECT id FROM src", lag="downstream")
+        dt(db, "b", "SELECT id FROM a", lag="10 minutes")
+        dt(db, "c", "SELECT id FROM a", lag="2 minutes")
+        graph = DependencyGraph(db.catalog)
+        assert graph.effective_lag("a") == minutes(2)
+
+    def test_downstream_chains(self, db):
+        dt(db, "a", "SELECT id FROM src", lag="downstream")
+        dt(db, "b", "SELECT id FROM a", lag="downstream")
+        dt(db, "c", "SELECT id FROM b", lag="4 minutes")
+        graph = DependencyGraph(db.catalog)
+        assert graph.effective_lag("a") == minutes(4)
+        assert graph.effective_lag("b") == minutes(4)
+
+    def test_downstream_without_consumers_is_none(self, db):
+        dt(db, "a", "SELECT id FROM src", lag="downstream")
+        assert DependencyGraph(db.catalog).effective_lag("a") is None
+
+    def test_listing1_shape(self, db):
+        """Listing 1: DOWNSTREAM upstream aligned to a 1-minute consumer."""
+        dt(db, "arrivals", "SELECT id FROM src", lag="downstream")
+        dt(db, "delayed", "SELECT id FROM arrivals", lag="1 minute")
+        graph = DependencyGraph(db.catalog)
+        assert graph.effective_lag("arrivals") == MINUTE

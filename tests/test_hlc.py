@@ -1,0 +1,83 @@
+"""Tests for the hybrid logical clock."""
+
+from hypothesis import given, strategies as st
+
+from repro.txn.hlc import HLC_ZERO, HlcTimestamp, HybridLogicalClock
+
+
+class TestOrdering:
+    def test_wall_dominates(self):
+        assert HlcTimestamp(1, 99) < HlcTimestamp(2, 0)
+
+    def test_logical_breaks_ties(self):
+        assert HlcTimestamp(5, 1) < HlcTimestamp(5, 2)
+
+    def test_zero_is_minimal(self):
+        assert HLC_ZERO <= HlcTimestamp(0, 0)
+
+    def test_next_is_strictly_greater(self):
+        ts = HlcTimestamp(7, 3)
+        assert ts < ts.next()
+
+
+class TestMonotonicity:
+    def test_stalled_physical_clock_still_advances(self):
+        clock = HybridLogicalClock(lambda: 100)
+        first = clock.now()
+        second = clock.now()
+        third = clock.now()
+        assert first < second < third
+        assert first.wall == second.wall == third.wall == 100
+
+    def test_advancing_physical_clock_resets_logical(self):
+        times = iter([10, 20])
+        clock = HybridLogicalClock(lambda: next(times))
+        first = clock.now()
+        second = clock.now()
+        assert first == HlcTimestamp(10, 0)
+        assert second == HlcTimestamp(20, 0)
+
+    def test_backwards_physical_clock_tolerated(self):
+        times = iter([100, 50, 50])
+        clock = HybridLogicalClock(lambda: next(times))
+        first = clock.now()
+        second = clock.now()
+        third = clock.now()
+        assert first < second < third
+        assert second.wall == 100  # wall never regresses
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=2,
+                    max_size=50))
+    def test_always_strictly_increasing(self, physical_times):
+        iterator = iter(physical_times)
+        clock = HybridLogicalClock(
+            lambda: next(iterator, physical_times[-1]))
+        issued = [clock.now() for __ in physical_times]
+        assert all(a < b for a, b in zip(issued, issued[1:]))
+
+
+class TestUpdate:
+    def test_remote_ahead(self):
+        clock = HybridLogicalClock(lambda: 10)
+        merged = clock.update(HlcTimestamp(50, 3))
+        assert merged > HlcTimestamp(50, 3)
+        assert merged.wall == 50
+
+    def test_remote_behind(self):
+        clock = HybridLogicalClock(lambda: 100)
+        clock.now()
+        merged = clock.update(HlcTimestamp(5, 0))
+        assert merged.wall == 100
+
+    def test_update_then_now_stays_ordered(self):
+        clock = HybridLogicalClock(lambda: 10)
+        merged = clock.update(HlcTimestamp(99, 7))
+        later = clock.now()
+        assert later > merged
+
+    def test_equal_walls_merge_logical(self):
+        clock = HybridLogicalClock(lambda: 10)
+        clock.now()
+        merged = clock.update(HlcTimestamp(10, 5))
+        assert merged.wall == 10
+        assert merged.logical >= 6

@@ -1,0 +1,182 @@
+"""End-to-end integration: a realistic pipeline run for simulated hours.
+
+One scenario exercising most of the system at once: a 7-DT dependency
+graph (diamond + chain + fan-out) over three base tables, mixed refresh
+modes, DOWNSTREAM lags, continuous DML, upstream DDL mid-run, a clone,
+manual refreshes interleaved with scheduled ones — with DVS asserted on
+every DT at multiple checkpoints and fleet-level invariants at the end.
+"""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.core.graph import DependencyGraph
+from repro.scheduler.liveness import slo_report
+from repro.scheduler.metrics import peak_lags
+from repro.util.timeutil import HOUR, MINUTE, minutes
+
+
+@pytest.fixture
+def pipeline():
+    db = Database()
+    db.create_warehouse("etl_wh", size=2)
+    db.create_warehouse("serving_wh", size=1)
+
+    db.execute("CREATE TABLE events (id int, user_id int, kind text,"
+               " amount int)")
+    db.execute("CREATE TABLE users (id int, region text)")
+    db.execute("CREATE TABLE rates (region text, multiplier int)")
+    db.execute("INSERT INTO users VALUES (1, 'na'), (2, 'eu'), (3, 'na'),"
+               " (4, 'apac')")
+    db.execute("INSERT INTO rates VALUES ('na', 2), ('eu', 3),"
+               " ('apac', 5)")
+    db.execute("INSERT INTO events VALUES"
+               " (1, 1, 'buy', 10), (2, 2, 'buy', 20), (3, 3, 'view', 0)")
+
+    # Layer 1: cleaning (DOWNSTREAM lag).
+    db.create_dynamic_table(
+        "purchases", "SELECT id, user_id, amount FROM events "
+        "WHERE kind = 'buy' AND amount > 0", "downstream", "etl_wh")
+    # Layer 2: diamond — two enrichments over the same input.
+    db.create_dynamic_table(
+        "enriched", "SELECT p.id, p.amount, u.region FROM purchases p "
+        "JOIN users u ON p.user_id = u.id", "downstream", "etl_wh")
+    db.create_dynamic_table(
+        "big_spenders", "SELECT DISTINCT user_id FROM purchases "
+        "WHERE amount > 15", "5 minutes", "etl_wh")
+    # Layer 3: join the diamond back together + aggregate.
+    db.create_dynamic_table(
+        "regional", "SELECT e.region, count(*) n, sum(e.amount) total "
+        "FROM enriched e GROUP BY e.region", "downstream", "etl_wh")
+    db.create_dynamic_table(
+        "weighted", "SELECT r.region, r.total * x.multiplier weighted "
+        "FROM regional r LEFT JOIN rates x ON r.region = x.region",
+        "2 minutes", "serving_wh")
+    # A windowed consumer and a FULL-mode consumer.
+    db.create_dynamic_table(
+        "ranked", "SELECT id, region, amount, rank() over "
+        "(partition by region order by amount desc, id) r FROM enriched",
+        "4 minutes", "serving_wh")
+    db.create_dynamic_table(
+        "toplist", "SELECT id, amount FROM enriched ORDER BY amount DESC "
+        "LIMIT 3", "8 minutes", "serving_wh")
+    return db
+
+
+ALL_DTS = ("purchases", "enriched", "big_spenders", "regional",
+           "weighted", "ranked", "toplist")
+
+
+def drive(db, rng, minutes_count, start_id=100):
+    next_id = [start_id]
+    for step in range(minutes_count):
+        def mutate(s=step):
+            kind = rng.choice(["buy", "buy", "view"])
+            db.execute(
+                f"INSERT INTO events VALUES ({next_id[0]}, "
+                f"{rng.randint(1, 4)}, '{kind}', {rng.randint(0, 40)})")
+            next_id[0] += 1
+            if s % 7 == 3:
+                db.execute(f"DELETE FROM events WHERE amount = "
+                           f"{rng.randint(0, 10)}")
+            if s % 11 == 5:
+                db.execute("UPDATE users SET region = 'latam' "
+                           f"WHERE id = {rng.randint(1, 4)}")
+        db.at(db.now + (step + 1) * MINUTE, mutate)
+    db.run_for(minutes(minutes_count + 2))
+
+
+class TestLongRun:
+    def test_hours_of_operation_preserve_dvs(self, pipeline):
+        db = pipeline
+        rng = random.Random(11)
+        for checkpoint in range(3):
+            drive(db, rng, 20, start_id=1000 * (checkpoint + 1))
+            for name in ALL_DTS:
+                assert db.check_dvs(name), name
+
+    def test_mixed_modes_resolved_correctly(self, pipeline):
+        db = pipeline
+        modes = {name: db.dynamic_table(name).effective_refresh_mode.value
+                 for name in ALL_DTS}
+        assert modes["toplist"] == "full"       # ORDER BY/LIMIT
+        del modes["toplist"]
+        assert set(modes.values()) == {"incremental"}
+
+    def test_graph_shape(self, pipeline):
+        graph = DependencyGraph(pipeline.catalog)
+        assert len(graph.connected_components()) == 1
+        order = [dt.name for dt in graph.topological_order()]
+        assert order.index("purchases") < order.index("enriched")
+        assert order.index("regional") < order.index("weighted")
+
+    def test_ddl_midrun_reinitializes_then_recovers(self, pipeline):
+        db = pipeline
+        rng = random.Random(13)
+        drive(db, rng, 10)
+        db.execute("CREATE OR REPLACE TABLE rates "
+                   "(region text, multiplier int)")
+        db.execute("INSERT INTO rates VALUES ('na', 10), ('eu', 10),"
+                   " ('apac', 10), ('latam', 10)")
+        drive(db, rng, 10, start_id=5000)
+        weighted = db.dynamic_table("weighted")
+        actions = [r.action for r in weighted.refresh_history
+                   if r.succeeded]
+        assert RefreshAction.REINITIALIZE in actions
+        # Back to incremental after the reinitialize.
+        post = actions[actions.index(RefreshAction.REINITIALIZE) + 1:]
+        assert RefreshAction.REINITIALIZE not in post
+        for name in ALL_DTS:
+            assert db.check_dvs(name)
+
+    def test_clone_midrun_tracks_source_semantics(self, pipeline):
+        db = pipeline
+        rng = random.Random(17)
+        drive(db, rng, 8)
+        # Clone a DT with a *concrete* lag: a clone of a DOWNSTREAM DT has
+        # no downstream consumers of its own, so it would (correctly)
+        # never be scheduled.
+        db.execute("CREATE DYNAMIC TABLE weighted2 CLONE weighted")
+        drive(db, rng, 8, start_id=7000)
+        assert db.check_dvs("weighted2")
+        assert sorted(db.query("SELECT * FROM weighted2").rows) == \
+               sorted(db.query("SELECT * FROM weighted").rows)
+
+    def test_clone_of_downstream_dt_is_never_scheduled(self, pipeline):
+        db = pipeline
+        drive(db, random.Random(29), 5)
+        db.execute("CREATE DYNAMIC TABLE regional2 CLONE regional")
+        clone = db.dynamic_table("regional2")
+        refreshes_at_clone = len(clone.refresh_history)
+        drive(db, random.Random(31), 5, start_id=9000)
+        # DOWNSTREAM lag + no consumers => refresh only on demand.
+        assert len(clone.refresh_history) == refreshes_at_clone
+        assert db.check_dvs("regional2")  # still self-consistent (stale)
+
+    def test_fleet_invariants_after_run(self, pipeline):
+        db = pipeline
+        drive(db, random.Random(19), 30)
+        # Every DT met its lag; nothing is stuck; SLOs clean.
+        for entry in slo_report(db.dynamic_tables()):
+            assert entry.within_lag, entry
+        assert db.scheduler.liveness.check(db.now) == []
+        # Lag alignment: shared-timestamp components.
+        graph = DependencyGraph(db.catalog)
+        purchases_ts = set(
+            db.dynamic_table("purchases").table.refresh_timestamps())
+        for name in ("enriched", "regional", "weighted"):
+            for ts in db.dynamic_table(name).table.refresh_timestamps():
+                assert ts in purchases_ts
+
+    def test_manual_and_scheduled_interleave(self, pipeline):
+        db = pipeline
+        rng = random.Random(23)
+        drive(db, rng, 5)
+        db.execute("INSERT INTO events VALUES (9999, 1, 'buy', 33)")
+        db.refresh_dynamic_table("weighted")  # manual, mid-schedule
+        drive(db, rng, 5, start_id=8000)
+        for name in ALL_DTS:
+            assert db.check_dvs(name)

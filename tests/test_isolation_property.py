@@ -1,0 +1,106 @@
+"""Property-based tests of Theorem 1 over random histories.
+
+Theorem 1 (Transaction Invariance) claims DSG-equality for *any* history;
+Hypothesis generates random mixes of writes, derivations, and reads, then
+moves each derivation into every other committed transaction and checks
+the dependency sets match.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isolation import Derive, History, Read, Version, Write
+from repro.isolation.dsg import DirectSerializationGraph
+from repro.isolation.levels import classify
+from repro.isolation.phenomena import detect_phenomena
+from repro.isolation.theorems import check_transaction_invariance
+
+OBJECTS = ("x", "y")
+DERIVED = ("u", "v")
+
+
+@st.composite
+def histories(draw):
+    """Random histories: a few base writes, derivations over committed
+    versions, and reads of anything installed."""
+    events = []
+    installed: list[Version] = []
+    base_writes = draw(st.integers(1, 4))
+    txn = 0
+    for __ in range(base_writes):
+        txn += 1
+        obj = draw(st.sampled_from(OBJECTS))
+        version = Version(obj, txn)
+        events.append(Write(txn, version))
+        installed.append(version)
+
+    derivations = draw(st.integers(0, 3))
+    for index in range(derivations):
+        if not installed:
+            break
+        txn += 1
+        obj = DERIVED[index % len(DERIVED)]
+        source_count = draw(st.integers(1, min(2, len(installed))))
+        sources = tuple(draw(st.sampled_from(installed))
+                        for __ in range(source_count))
+        version = Version(obj, txn)
+        events.append(Derive(txn, version, sources))
+        installed.append(version)
+
+    reads = draw(st.integers(0, 4))
+    for __ in range(reads):
+        if not installed:
+            break
+        txn += 1
+        events.append(Read(txn, draw(st.sampled_from(installed))))
+
+    return History(events)
+
+
+@settings(max_examples=80, deadline=None)
+@given(history=histories())
+def test_transaction_invariance_holds(history):
+    derivations = [event for event in history.events
+                   if isinstance(event, Derive)]
+    committed = sorted(history.committed)
+    installs: dict[str, set[int]] = {}
+    for event in history.events:
+        if isinstance(event, (Write, Derive)):
+            installs.setdefault(event.version.obj, set()).add(event.txn)
+    for derivation in derivations:
+        obj = derivation.version.obj
+        for target in committed:
+            if target != derivation.txn and target in installs.get(obj, set()):
+                continue  # would collide with an existing version name
+            assert check_transaction_invariance(history, derivation, target)
+
+
+@settings(max_examples=80, deadline=None)
+@given(history=histories())
+def test_phenomena_detection_is_deterministic(history):
+    first = detect_phenomena(history).exhibited()
+    second = detect_phenomena(history).exhibited()
+    assert first == second
+
+
+@settings(max_examples=80, deadline=None)
+@given(history=histories())
+def test_classification_monotone_with_phenomena(history):
+    """A history with no phenomena must classify PL-3; any G2 caps it
+    below PL-2+."""
+    report = detect_phenomena(history)
+    level = classify(history)
+    if not report.exhibited():
+        assert level.value == "PL-3"
+    if report.g_single:
+        assert level.value in ("PL-0", "PL-1", "PL-2")
+
+
+@settings(max_examples=50, deadline=None)
+@given(history=histories())
+def test_dsg_nodes_are_committed_transactions(history):
+    dsg = DirectSerializationGraph(history)
+    assert dsg.nodes == history.committed
+    for edge in dsg.edges:
+        assert edge.source in history.committed
+        assert edge.target in history.committed
+        assert edge.source != edge.target

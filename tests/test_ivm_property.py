@@ -1,0 +1,150 @@
+"""Property-based testing of query differentiation.
+
+The central invariant (the basis of the paper's production validations and
+its randomized workload test, section 6.1): for ANY query plan and ANY
+source mutation, applying Δ_I Q to Q(I₀) yields exactly Q(I₁) — same rows,
+same row ids — and the change set satisfies the ($ROW_ID, $ACTION)
+invariants.
+
+Hypothesis drives random tables and random mutation scripts through a
+fixed battery of plans covering every derivative rule, for both outer-join
+strategies.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.engine.executor import evaluate
+from repro.engine.relation import DictResolver, Relation
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.ivm.changes import ChangeSet
+from repro.ivm.differentiator import DictDeltaSource, differentiate
+from repro.plan.builder import DictSchemaProvider, build_plan
+from repro.sql.parser import parse_query
+
+ITEMS = schema_of(("id", SqlType.INT), ("grp", SqlType.TEXT),
+                  ("val", SqlType.INT), table="items")
+LOOKUP = schema_of(("key", SqlType.TEXT), ("label", SqlType.TEXT),
+                   table="lookup")
+PROVIDER = DictSchemaProvider({"items": ITEMS, "lookup": LOOKUP})
+
+QUERIES = [
+    "SELECT id, val FROM items WHERE val > 5",
+    "SELECT id, grp, val + 1 v FROM items",
+    "SELECT i.id, l.label FROM items i JOIN lookup l ON i.grp = l.key",
+    "SELECT i.id, i.val, l.label FROM items i LEFT JOIN lookup l "
+    "ON i.grp = l.key",
+    "SELECT i.id, l.label FROM items i FULL JOIN lookup l ON i.grp = l.key",
+    "SELECT grp, count(*) n, sum(val) s, min(val) lo, max(val) hi "
+    "FROM items GROUP BY grp",
+    "SELECT grp, count_if(val > 5) big FROM items GROUP BY grp",
+    "SELECT DISTINCT grp FROM items",
+    "SELECT id FROM items WHERE val > 3 UNION ALL SELECT val FROM items",
+    "SELECT id, grp, row_number() over (partition by grp order by val, id)"
+    " rn FROM items",
+    "SELECT id, grp, sum(val) over (partition by grp order by id) run"
+    " FROM items",
+    "SELECT l.label, count(*) n FROM items i JOIN lookup l "
+    "ON i.grp = l.key GROUP BY l.label",
+]
+
+PLANS = [build_plan(parse_query(sql), PROVIDER) for sql in QUERIES]
+
+GROUPS = ("a", "b", "c")
+KEYS = GROUPS + ("d",)
+
+items_rows = st.lists(
+    st.tuples(st.integers(0, 30), st.sampled_from(GROUPS),
+              st.integers(0, 12)),
+    max_size=10)
+lookup_rows = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.sampled_from(("x", "y"))),
+    max_size=4, unique_by=lambda row: row[0])
+# A mutation script: per existing row index, an op; plus rows to append.
+mutations = st.tuples(
+    st.lists(st.sampled_from(["keep", "delete", "update"]), max_size=10),
+    items_rows)
+
+
+def build_tables(rows, prefix):
+    return Relation(ITEMS if prefix == "i" else LOOKUP,
+                    list(rows), [f"{prefix}{n}" for n in range(len(rows))])
+
+
+def mutate(relation, ops, additions, prefix):
+    """Apply a mutation script, returning (new relation, delta)."""
+    delta = ChangeSet()
+    pairs = []
+    for index, (row_id, row) in enumerate(relation.pairs()):
+        op = ops[index] if index < len(ops) else "keep"
+        if op == "delete":
+            delta.delete(row_id, row)
+        elif op == "update":
+            new_row = row[:-1] + (row[-1] + 100,)
+            delta.delete(row_id, row)
+            delta.insert(row_id, new_row)
+            pairs.append((row_id, new_row))
+        else:
+            pairs.append((row_id, row))
+    for offset, row in enumerate(additions):
+        row_id = f"{prefix}new{offset}"
+        delta.insert(row_id, row)
+        pairs.append((row_id, row))
+    return Relation.from_pairs(relation.schema, pairs), delta
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=items_rows, lookups=lookup_rows, item_mutation=mutations,
+       lookup_ops=st.lists(st.sampled_from(["keep", "delete"]), max_size=4),
+       strategy=st.sampled_from(["direct", "rewrite"]))
+def test_delta_reproduces_full_recompute(items, lookups, item_mutation,
+                                         lookup_ops, strategy):
+    items_old = build_tables(items, "i")
+    lookup_old = build_tables(lookups, "l")
+    item_ops, additions = item_mutation
+    items_new, items_delta = mutate(items_old, item_ops, additions, "i")
+    lookup_new, lookup_delta = mutate(lookup_old, lookup_ops, [], "l")
+
+    old_rels = {"items": items_old, "lookup": lookup_old}
+    new_rels = {"items": items_new, "lookup": lookup_new}
+    source = DictDeltaSource(old_rels, new_rels,
+                             {"items": items_delta, "lookup": lookup_delta})
+
+    for plan in PLANS:
+        old_out = evaluate(plan, DictResolver(old_rels))
+        new_out = evaluate(plan, DictResolver(new_rels))
+        changes, __ = differentiate(plan, source,
+                                    outer_join_strategy=strategy)
+        changes.validate(dict(old_out.pairs()))
+
+        state = dict(old_out.pairs())
+        for change in changes.deletes():
+            assert state.pop(change.row_id) == change.row
+        for change in changes.inserts():
+            assert change.row_id not in state
+            state[change.row_id] = change.row
+        assert state == dict(new_out.pairs())
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=items_rows, additions=items_rows)
+def test_insert_only_fast_path_matches(items, additions):
+    """The consolidation-skipping insert-only path must produce the same
+    net effect as the consolidating path."""
+    plan = build_plan(parse_query(
+        "SELECT id, val FROM items WHERE val > 2"), PROVIDER)
+    items_old = build_tables(items, "i")
+    items_new, delta = mutate(items_old, [], additions, "i")
+    source = DictDeltaSource(
+        {"items": items_old, "lookup": build_tables([], "l")},
+        {"items": items_new, "lookup": build_tables([], "l")},
+        {"items": delta})
+    changes, stats = differentiate(plan, source)
+    assert stats.consolidation_skipped
+    old_out = evaluate(plan, DictResolver({"items": items_old}))
+    new_out = evaluate(plan, DictResolver({"items": items_new}))
+    state = dict(old_out.pairs())
+    for change in changes.inserts():
+        state[change.row_id] = change.row
+    assert state == dict(new_out.pairs())

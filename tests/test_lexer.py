@@ -1,0 +1,97 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(token.type, token.text) for token in tokenize(sql)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        assert kinds("SELECT From")[0] == (TokenType.KEYWORD, "select")
+        assert kinds("SELECT From")[1] == (TokenType.KEYWORD, "from")
+
+    def test_identifiers_lowercased(self):
+        assert kinds("MyTable") == [(TokenType.IDENT, "mytable")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"MyTable"') == [(TokenType.IDENT, "MyTable")]
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].type == TokenType.EOF
+
+    def test_numbers(self):
+        assert kinds("1 2.5") == [(TokenType.NUMBER, "1"),
+                                  (TokenType.NUMBER, "2.5")]
+
+    def test_integer_dot_not_decimal_without_digits(self):
+        # "1." followed by an identifier must not merge into a decimal.
+        tokens = kinds("1.a")
+        assert tokens[0] == (TokenType.NUMBER, "1")
+        assert tokens[1] == (TokenType.OPERATOR, ".")
+
+
+class TestStrings:
+    def test_simple(self):
+        assert kinds("'hello'") == [(TokenType.STRING, "hello")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_string_keeps_case(self):
+        assert kinds("'MiXeD'") == [(TokenType.STRING, "MiXeD")]
+
+
+class TestOperators:
+    def test_double_colon_beats_single(self):
+        assert kinds("a::int")[1] == (TokenType.OPERATOR, "::")
+
+    def test_variant_colon(self):
+        tokens = kinds("payload:time")
+        assert tokens[1] == (TokenType.OPERATOR, ":")
+
+    def test_comparison_operators(self):
+        texts = [text for __, text in kinds("< <= > >= != <> =")]
+        assert texts == ["<", "<=", ">", ">=", "!=", "<>", "="]
+
+    def test_arrow(self):
+        assert (TokenType.OPERATOR, "=>") in kinds("input => x")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a ~ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("select -- comment\n 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_block_comment(self):
+        assert kinds("select /* x\ny */ 1") == [
+            (TokenType.KEYWORD, "select"), (TokenType.NUMBER, "1")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            tokenize("select /* oops")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        tokens = tokenize("select\n  foo")
+        foo = tokens[1]
+        assert foo.line == 2
+        assert foo.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("a\n  ~")
+        assert "line 2" in str(info.value)

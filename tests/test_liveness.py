@@ -1,0 +1,115 @@
+"""Tests for liveness monitoring and SLO attribution (section 6.2)."""
+
+import pytest
+
+from repro import Database
+from repro.scheduler.cost import CostModel
+from repro.scheduler.liveness import (LivenessMonitor, RefreshState,
+                                      slo_report)
+from repro.util.timeutil import MINUTE, SECOND, minutes
+
+
+class TestHeartbeats:
+    def test_executing_with_fresh_heartbeat_is_healthy(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", data_timestamp=0, started_at=0)
+        monitor.heartbeat("d", 25 * SECOND)
+        assert monitor.check(now=40 * SECOND) == []
+
+    def test_stale_heartbeat_flagged(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", data_timestamp=0, started_at=0)
+        violations = monitor.check(now=60 * SECOND)
+        assert len(violations) == 1
+        assert violations[0].dt_name == "d"
+
+    def test_ended_refresh_not_flagged(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", 0, 0)
+        monitor.end("d", 5 * SECOND, succeeded=True)
+        assert monitor.check(now=10 * MINUTE) == []
+        assert monitor.history[-1].state == RefreshState.SUCCEEDED
+
+    def test_failed_state_recorded(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", 0, 0)
+        monitor.end("d", 5 * SECOND, succeeded=False)
+        assert monitor.history[-1].state == RefreshState.FAILED
+
+    def test_simulated_heartbeats_cover_interval(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", 0, 0)
+        monitor.simulate_heartbeats("d", 0, 2 * MINUTE)
+        # Last heartbeat within one interval of the end.
+        trace = monitor.executing()[0]
+        assert 2 * MINUTE - trace.last_heartbeat <= \
+               LivenessMonitor.HEARTBEAT_INTERVAL
+
+    def test_heartbeats_monotonic(self):
+        monitor = LivenessMonitor()
+        monitor.begin("d", 0, 0)
+        monitor.heartbeat("d", 30 * SECOND)
+        monitor.heartbeat("d", 10 * SECOND)  # late arrival, ignored
+        assert monitor.executing()[0].last_heartbeat == 30 * SECOND
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_emits_heartbeats(self):
+        db = Database()
+        db.create_warehouse("wh")
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.create_dynamic_table("d", "SELECT a FROM t", "1 minute", "wh")
+        db.at(MINUTE, lambda: db.execute("INSERT INTO t VALUES (2)"))
+        db.run_for(3 * MINUTE)
+        monitor = db.scheduler.liveness
+        assert monitor.history  # refreshes were traced
+        assert all(trace.state in (RefreshState.SUCCEEDED,
+                                   RefreshState.FAILED)
+                   for trace in monitor.history)
+        assert monitor.check(db.now) == []  # nothing stuck
+
+
+class TestSloReport:
+    def make_db(self, cost_model=None):
+        db = Database(cost_model=cost_model)
+        db.create_warehouse("wh")
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        return db
+
+    def test_healthy_dt_within_lag(self):
+        db = self.make_db()
+        db.create_dynamic_table("d", "SELECT a FROM t", "2 minutes", "wh")
+        for step in range(6):
+            db.at((step + 1) * MINUTE,
+                  lambda s=step: db.execute(f"INSERT INTO t VALUES ({s})"))
+        db.run_for(8 * MINUTE)
+        (entry,) = slo_report([db.dynamic_table("d")])
+        assert entry.within_lag
+        assert entry.responsibility is None
+        assert entry.refreshes > 0
+
+    def test_slow_refreshes_attributed_to_customer(self):
+        # Refreshes take longer than the 1-minute target allows.
+        db = self.make_db(cost_model=CostModel(fixed_cost=90 * SECOND))
+        db.create_dynamic_table("d", "SELECT a FROM t", "1 minute", "wh")
+        for step in range(10):
+            db.at((step + 1) * 30 * SECOND,
+                  lambda s=step: db.execute(f"INSERT INTO t VALUES ({s})"))
+        db.run_for(8 * MINUTE)
+        (entry,) = slo_report([db.dynamic_table("d")])
+        assert not entry.within_lag
+        assert entry.responsibility == "customer"
+        assert entry.skips > 0  # the overload showed up as skips too
+
+    def test_downstream_lag_has_no_target(self):
+        db = self.make_db()
+        db.create_dynamic_table("up", "SELECT a FROM t",
+                                "downstream", "wh")
+        db.create_dynamic_table("down", "SELECT a FROM up",
+                                "2 minutes", "wh")
+        entries = {entry.dt_name: entry
+                   for entry in slo_report(db.dynamic_tables())}
+        assert entries["up"].target_lag is None
+        assert entries["up"].within_lag

@@ -1,0 +1,99 @@
+"""Tests for logical plan helpers: traversal, equi-key extraction."""
+
+import pytest
+
+from repro.engine import expressions as e
+from repro.engine.schema import schema_of
+from repro.engine.types import SqlType
+from repro.plan import logical as lp
+
+LEFT = schema_of(("a", SqlType.INT), ("b", SqlType.TEXT), table="l")
+RIGHT = schema_of(("c", SqlType.INT), ("d", SqlType.TEXT), table="r")
+
+
+def join_with(condition, kind="inner"):
+    return lp.Join(kind, lp.Scan("l", LEFT), lp.Scan("r", RIGHT), condition)
+
+
+def col(index, sql_type=SqlType.INT):
+    return e.ColumnRef(index, sql_type)
+
+
+class TestEquiKeys:
+    def test_simple_equality(self):
+        # l.a (index 0) = r.c (index 2)
+        join = join_with(e.Comparison("=", col(0), col(2)))
+        keys = lp.extract_equi_keys(join)
+        assert len(keys.left_keys) == 1
+        assert keys.left_keys[0].index == 0
+        assert keys.right_keys[0].index == 0  # rebased to right schema
+        assert keys.residual is None
+
+    def test_reversed_sides(self):
+        join = join_with(e.Comparison("=", col(2), col(0)))
+        keys = lp.extract_equi_keys(join)
+        assert len(keys.left_keys) == 1
+
+    def test_expression_keys(self):
+        doubled = e.Arithmetic("*", col(0), e.Literal(2))
+        join = join_with(e.Comparison("=", doubled, col(2)))
+        keys = lp.extract_equi_keys(join)
+        assert len(keys.left_keys) == 1
+        assert isinstance(keys.left_keys[0], e.Arithmetic)
+
+    def test_residual_preserved(self):
+        condition = e.BooleanOp("and", (
+            e.Comparison("=", col(0), col(2)),
+            e.Comparison(">", col(0), e.Literal(5))))
+        keys = lp.extract_equi_keys(join_with(condition))
+        assert len(keys.left_keys) == 1
+        assert keys.residual is not None
+
+    def test_same_side_equality_is_residual(self):
+        condition = e.Comparison("=", col(0),
+                                 e.ColumnRef(1, SqlType.INT))
+        keys = lp.extract_equi_keys(join_with(condition))
+        assert not keys.left_keys
+        assert keys.residual is not None
+
+    def test_inequality_is_residual(self):
+        keys = lp.extract_equi_keys(
+            join_with(e.Comparison("<", col(0), col(2))))
+        assert not keys.left_keys
+        assert keys.residual is not None
+
+    def test_cross_join_no_keys(self):
+        keys = lp.extract_equi_keys(join_with(None, kind="cross"))
+        assert not keys.left_keys and keys.residual is None
+
+
+class TestPlanStructure:
+    def test_walk_preorder(self):
+        join = join_with(e.Comparison("=", col(0), col(2)))
+        filtered = lp.Filter(join, e.Literal(True, SqlType.BOOL))
+        names = [type(node).__name__ for node in filtered.walk()]
+        assert names == ["Filter", "Join", "Scan", "Scan"]
+
+    def test_scans_of(self):
+        join = join_with(e.Comparison("=", col(0), col(2)))
+        assert lp.scans_of(join) == ["l", "r"]
+
+    def test_with_children_preserves_type(self):
+        join = join_with(e.Comparison("=", col(0), col(2)))
+        rebuilt = join.with_children(list(join.children()))
+        assert isinstance(rebuilt, lp.Join)
+        assert rebuilt.kind == "inner"
+
+    def test_join_schema_concatenates(self):
+        join = join_with(None, kind="cross")
+        assert join.schema.names == ["a", "b", "c", "d"]
+
+    def test_unknown_join_kind_rejected(self):
+        with pytest.raises(ValueError):
+            lp.Join("sideways", lp.Scan("l", LEFT), lp.Scan("r", RIGHT), None)
+
+    def test_pretty_renders_tree(self):
+        join = join_with(e.Comparison("=", col(0), col(2)))
+        text = lp.Filter(join, e.Literal(True, SqlType.BOOL)).pretty()
+        assert "Scan(l)" in text and "\n" in text
+        assert text.splitlines()[0].startswith("Filter")

@@ -1,0 +1,108 @@
+"""Tests for lag metrics: the Figure 4 sawtooth algebra."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshRecord
+from repro.scheduler import metrics
+from repro.util.timeutil import MINUTE, SECOND, minutes
+
+
+def synthetic_dt():
+    """A DT-shaped object with a hand-written refresh history matching
+    Figure 4's structure: refreshes with v_i < s_i < e_i."""
+    db = Database()
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE t (a int)")
+    dt = db.create_dynamic_table("d", "SELECT a FROM t", "1 minute", "wh")
+    dt.refresh_history.clear()
+    # (v_i, s_i, e_i) in seconds: refresh durations of 5s, waits vary.
+    for v, s, e in [(0, 2, 7), (48, 50, 55), (96, 100, 103), (144, 146, 152)]:
+        record = RefreshRecord(data_timestamp=v * SECOND)
+        record.start_wall = s * SECOND
+        record.end_wall = e * SECOND
+        dt.refresh_history.append(record)
+    return dt
+
+
+class TestSawtoothAlgebra:
+    def test_trough_is_end_minus_own_data_ts(self):
+        dt = synthetic_dt()
+        troughs = metrics.trough_lags(dt)
+        assert troughs == [7 * SECOND, 7 * SECOND, 7 * SECOND, 8 * SECOND]
+
+    def test_peak_is_end_minus_previous_data_ts(self):
+        dt = synthetic_dt()
+        peaks = metrics.peak_lags(dt)
+        # e1 - v0 = 55, e2 - v1 = 55, e3 - v2 = 56.
+        assert peaks == [55 * SECOND, 55 * SECOND, 56 * SECOND]
+
+    def test_peak_exceeds_trough(self):
+        dt = synthetic_dt()
+        for peak, trough in zip(metrics.peak_lags(dt),
+                                metrics.trough_lags(dt)[1:]):
+            assert peak > trough
+
+    def test_decomposition_sums_to_peak(self):
+        """Section 5.2: peak lag = p + w + d exactly."""
+        dt = synthetic_dt()
+        for decomposition, peak in zip(metrics.decompose_peaks(dt),
+                                       metrics.peak_lags(dt)):
+            assert decomposition.peak_lag == peak
+            assert decomposition.p == 48 * SECOND
+            assert decomposition.d > 0
+
+    def test_sawtooth_points_alternate(self):
+        dt = synthetic_dt()
+        points = metrics.sawtooth(dt)
+        kinds = [point.kind for point in points]
+        assert kinds[0] == "start"
+        assert kinds[1::2] == ["peak"] * 3
+        assert kinds[2::2] == ["trough"] * 3
+
+    def test_lag_at_rises_linearly(self):
+        dt = synthetic_dt()
+        base = metrics.lag_at(dt, 60 * SECOND)
+        later = metrics.lag_at(dt, 70 * SECOND)
+        assert later - base == 10 * SECOND
+
+    def test_lag_at_before_first_commit_is_none(self):
+        dt = synthetic_dt()
+        assert metrics.lag_at(dt, 1 * SECOND) is None
+
+    def test_fraction_within_target(self):
+        dt = synthetic_dt()
+        always = metrics.fraction_within_target(
+            dt, minutes(5), 10 * SECOND, 150 * SECOND)
+        assert always == 1.0
+        never = metrics.fraction_within_target(
+            dt, 1 * SECOND, 10 * SECOND, 150 * SECOND)
+        assert never < 0.1
+
+    def test_skipped_and_failed_excluded(self):
+        dt = synthetic_dt()
+        dt.refresh_history.append(RefreshRecord(data_timestamp=0,
+                                                skipped=True))
+        failed = RefreshRecord(data_timestamp=0)
+        failed.error = "boom"
+        dt.refresh_history.append(failed)
+        assert len(metrics.successful_refreshes(dt)) == 4
+
+
+class TestOnRealScheduler:
+    def test_sawtooth_from_live_history(self):
+        db = Database()
+        db.create_warehouse("wh")
+        db.execute("CREATE TABLE t (a int)")
+        db.execute("INSERT INTO t VALUES (1)")
+        dt = db.create_dynamic_table("d", "SELECT a FROM t", "1 minute", "wh")
+        for step in range(8):
+            db.at((step + 1) * MINUTE,
+                  lambda s=step: db.execute(f"INSERT INTO t VALUES ({s})"))
+        db.run_for(10 * MINUTE)
+        peaks = metrics.peak_lags(dt)
+        troughs = metrics.trough_lags(dt)
+        assert peaks and troughs
+        assert min(troughs) >= 0
+        decompositions = metrics.decompose_peaks(dt)
+        assert all(d.w >= 0 and d.d >= 0 for d in decompositions)

@@ -1,0 +1,308 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import nodes as n
+from repro.sql.parser import parse_query, parse_statement, parse_statements
+
+
+class TestSelectCore:
+    def test_simple(self):
+        select = parse_query("SELECT a, b FROM t")
+        assert len(select.items) == 2
+        assert isinstance(select.from_, n.NamedTable)
+
+    def test_aliases(self):
+        select = parse_query("SELECT a AS x, b y FROM t")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+
+    def test_star(self):
+        select = parse_query("SELECT * FROM t")
+        assert isinstance(select.items[0].expr, n.Star)
+
+    def test_qualified_star(self):
+        select = parse_query("SELECT t.* FROM t")
+        assert select.items[0].expr == n.Star(table="t")
+
+    def test_where(self):
+        select = parse_query("SELECT a FROM t WHERE a > 1")
+        assert isinstance(select.where, n.BinOp)
+
+    def test_distinct(self):
+        assert parse_query("SELECT DISTINCT a FROM t").distinct
+
+    def test_group_by_exprs(self):
+        select = parse_query("SELECT a, count(*) FROM t GROUP BY a")
+        assert select.group_by == (n.Name("a"),)
+
+    def test_group_by_all(self):
+        select = parse_query("SELECT a, count(*) FROM t GROUP BY ALL")
+        assert isinstance(select.group_by, n.GroupByAll)
+
+    def test_having(self):
+        select = parse_query(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 2")
+        assert select.having is not None
+
+    def test_qualify(self):
+        select = parse_query(
+            "SELECT a, row_number() over (partition by a) rn FROM t "
+            "QUALIFY rn = 1")
+        assert select.qualify is not None
+
+    def test_order_by_limit(self):
+        select = parse_query("SELECT a FROM t ORDER BY a DESC, 2 LIMIT 5")
+        assert select.order_by[0][1] is True
+        assert select.order_by[1] == (n.Lit(2), False)
+        assert select.limit == 5
+
+    def test_union_all(self):
+        select = parse_query("SELECT a FROM t UNION ALL SELECT b FROM u")
+        assert len(select.union_all) == 1
+
+    def test_select_without_from(self):
+        select = parse_query("SELECT 1")
+        assert select.from_ is None
+
+
+class TestJoins:
+    def test_inner_join(self):
+        select = parse_query("SELECT 1 FROM a JOIN b ON a.x = b.y")
+        assert isinstance(select.from_, n.JoinRef)
+        assert select.from_.kind == "inner"
+
+    def test_left_outer(self):
+        select = parse_query("SELECT 1 FROM a LEFT OUTER JOIN b ON a.x = b.y")
+        assert select.from_.kind == "left"
+
+    def test_full(self):
+        select = parse_query("SELECT 1 FROM a FULL JOIN b ON a.x = b.y")
+        assert select.from_.kind == "full"
+
+    def test_cross_join_keyword(self):
+        select = parse_query("SELECT 1 FROM a CROSS JOIN b")
+        assert select.from_.kind == "cross"
+        assert select.from_.condition is None
+
+    def test_comma_is_cross_join(self):
+        select = parse_query("SELECT 1 FROM a, b")
+        assert select.from_.kind == "cross"
+
+    def test_chained_joins(self):
+        select = parse_query(
+            "SELECT 1 FROM a JOIN b ON a.x = b.y JOIN c ON b.y = c.z")
+        outer = select.from_
+        assert isinstance(outer.left, n.JoinRef)
+
+    def test_subquery(self):
+        select = parse_query("SELECT s.a FROM (SELECT a FROM t) s")
+        assert isinstance(select.from_, n.SubqueryRef)
+        assert select.from_.alias == "s"
+
+    def test_lateral_flatten(self):
+        select = parse_query(
+            "SELECT f.value FROM t, LATERAL FLATTEN(input => t.tags) f")
+        assert isinstance(select.from_, n.FlattenRef)
+        assert select.from_.alias == "f"
+
+
+class TestExpressions:
+    def expr(self, text):
+        return parse_query(f"SELECT {text}").items[0].expr
+
+    def test_precedence_arith(self):
+        tree = self.expr("1 + 2 * 3")
+        assert tree == n.BinOp("+", n.Lit(1), n.BinOp("*", n.Lit(2), n.Lit(3)))
+
+    def test_precedence_bool(self):
+        tree = self.expr("a = 1 OR b = 2 AND c = 3")
+        assert tree.op == "or"
+        assert tree.right.op == "and"
+
+    def test_not(self):
+        assert self.expr("NOT a") == n.UnOp("not", n.Name("a"))
+
+    def test_unary_minus(self):
+        assert self.expr("-a") == n.UnOp("-", n.Name("a"))
+
+    def test_is_null(self):
+        assert self.expr("a IS NULL") == n.IsNullExpr(n.Name("a"))
+        assert self.expr("a IS NOT NULL") == n.IsNullExpr(n.Name("a"), True)
+
+    def test_in_list(self):
+        tree = self.expr("a IN (1, 2)")
+        assert tree == n.InListExpr(n.Name("a"), (n.Lit(1), n.Lit(2)))
+
+    def test_not_in(self):
+        assert self.expr("a NOT IN (1)").negated
+
+    def test_between(self):
+        tree = self.expr("a BETWEEN 1 AND 5")
+        assert tree == n.BetweenExpr(n.Name("a"), n.Lit(1), n.Lit(5))
+
+    def test_like(self):
+        tree = self.expr("a LIKE 'x%'")
+        assert tree == n.LikeExpr(n.Name("a"), n.Lit("x%"))
+
+    def test_case_searched(self):
+        tree = self.expr("CASE WHEN a THEN 1 ELSE 2 END")
+        assert isinstance(tree, n.CaseExpr)
+        assert tree.operand is None
+
+    def test_case_simple(self):
+        tree = self.expr("CASE a WHEN 1 THEN 'x' END")
+        assert tree.operand == n.Name("a")
+
+    def test_cast_function(self):
+        assert self.expr("CAST(a AS int)") == n.CastExpr(n.Name("a"), "int")
+
+    def test_postfix_cast(self):
+        assert self.expr("a::int") == n.CastExpr(n.Name("a"), "int")
+
+    def test_variant_path(self):
+        tree = self.expr("payload:time")
+        assert tree == n.PathExpr(n.Name("payload"), ("time",))
+
+    def test_variant_path_then_cast(self):
+        tree = self.expr("e.payload:time::timestamp")
+        assert isinstance(tree, n.CastExpr)
+        assert isinstance(tree.operand, n.PathExpr)
+        assert tree.operand.operand == n.Name("payload", table="e")
+
+    def test_deep_variant_path(self):
+        tree = self.expr("payload:a.b.c")
+        assert tree.path == ("a", "b", "c")
+
+    def test_string_escape(self):
+        assert self.expr("'it''s'") == n.Lit("it's")
+
+    def test_count_star(self):
+        tree = self.expr("count(*)")
+        assert tree == n.FnCall("count", (n.Star(),))
+
+    def test_count_distinct(self):
+        assert self.expr("count(DISTINCT a)").distinct
+
+    def test_window_function(self):
+        tree = self.expr("sum(a) OVER (PARTITION BY b ORDER BY c DESC)")
+        assert tree.window.partition_by == (n.Name("b"),)
+        assert tree.window.order_by == ((n.Name("c"), True),)
+
+    def test_concat_operator(self):
+        assert self.expr("a || b").op == "||"
+
+    def test_literals(self):
+        assert self.expr("NULL") == n.Lit(None)
+        assert self.expr("TRUE") == n.Lit(True)
+        assert self.expr("2.5") == n.Lit(2.5)
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse_statement("CREATE TABLE t (a int, b text)")
+        assert isinstance(stmt, n.CreateTable)
+        assert stmt.columns == (n.ColumnDef("a", "int"),
+                                n.ColumnDef("b", "text"))
+
+    def test_create_or_replace(self):
+        stmt = parse_statement("CREATE OR REPLACE TABLE t (a int)")
+        assert stmt.or_replace
+
+    def test_create_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert stmt.if_not_exists
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT 1")
+        assert isinstance(stmt, n.CreateView)
+
+    def test_create_dynamic_table(self):
+        stmt = parse_statement(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' "
+            "WAREHOUSE = wh AS SELECT a FROM t")
+        assert isinstance(stmt, n.CreateDynamicTable)
+        assert stmt.target_lag == "1 minute"
+        assert stmt.warehouse == "wh"
+        assert stmt.refresh_mode == "auto"
+
+    def test_create_dynamic_table_downstream(self):
+        stmt = parse_statement(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = DOWNSTREAM "
+            "WAREHOUSE = wh AS SELECT a FROM t")
+        assert stmt.target_lag == "downstream"
+
+    def test_create_dynamic_table_options(self):
+        stmt = parse_statement(
+            "CREATE DYNAMIC TABLE d TARGET_LAG = '5 minutes' WAREHOUSE = wh "
+            "REFRESH_MODE = incremental INITIALIZE = on_schedule "
+            "AS SELECT a FROM t")
+        assert stmt.refresh_mode == "incremental"
+        assert stmt.initialize == "on_schedule"
+
+    def test_dynamic_table_requires_lag(self):
+        with pytest.raises(ParseError):
+            parse_statement(
+                "CREATE DYNAMIC TABLE d WAREHOUSE = wh AS SELECT 1")
+
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, n.Insert)
+        assert len(stmt.rows) == 2
+
+    def test_insert_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM u")
+        assert stmt.query is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, n.Delete)
+        assert stmt.where is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert isinstance(stmt, n.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_drop_kinds(self):
+        assert parse_statement("DROP TABLE t").kind == "table"
+        assert parse_statement("DROP VIEW v").kind == "view"
+        assert parse_statement("DROP DYNAMIC TABLE d").kind == "dynamic table"
+
+    def test_drop_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_undrop(self):
+        stmt = parse_statement("UNDROP TABLE t")
+        assert isinstance(stmt, n.Undrop)
+
+    def test_alter_dynamic_table(self):
+        for action in ("SUSPEND", "RESUME", "REFRESH"):
+            stmt = parse_statement(f"ALTER DYNAMIC TABLE d {action}")
+            assert stmt.action == action.lower()
+
+    def test_alter_rename(self):
+        stmt = parse_statement("ALTER TABLE t RENAME TO u")
+        assert isinstance(stmt, n.AlterTableRename)
+
+    def test_recluster(self):
+        stmt = parse_statement("ALTER TABLE t RECLUSTER")
+        assert isinstance(stmt, n.Recluster)
+
+    def test_script(self):
+        statements = parse_statements("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 garbage extra ,")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_statement("SELECT FROM t")
+        assert "line" in str(info.value)

@@ -1,0 +1,44 @@
+"""Fuzz tests: the SQL frontend must fail cleanly, never crash."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SqlError
+from repro.sql.lexer import tokenize
+from repro.sql.parser import parse_statement
+
+SQL_CHARS = st.text(
+    alphabet="abcdefgSELECT FROMWHERE*(),;'\"=<>!.:0123456789_\n\t-/%+",
+    max_size=80)
+
+
+@settings(max_examples=300, deadline=None)
+@given(SQL_CHARS)
+def test_lexer_never_crashes(text):
+    try:
+        tokens = tokenize(text)
+        assert tokens  # at least EOF
+    except SqlError:
+        pass  # clean rejection
+
+
+@settings(max_examples=300, deadline=None)
+@given(SQL_CHARS)
+def test_parser_never_crashes(text):
+    try:
+        parse_statement(text)
+    except SqlError:
+        pass  # clean rejection
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from([
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "JOIN", "ON",
+    "t", "a", "b", "1", "'x'", "*", ",", "(", ")", "=", "AND", "count",
+    "UNION", "ALL", "HAVING", "LIMIT", "AS", "::int", "CASE", "WHEN",
+    "THEN", "END", "NOT", "NULL", "IS",
+]), max_size=25))
+def test_token_soup_never_crashes(words):
+    try:
+        parse_statement(" ".join(words))
+    except SqlError:
+        pass

@@ -1,0 +1,84 @@
+"""Tests for canonical refresh periods (section 5.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.scheduler.periods import (BASE_PERIOD, canonical_periods,
+                                     choose_period, clamp_to_upstream,
+                                     is_tick, next_tick)
+from repro.util.timeutil import MINUTE, SECOND, hours, minutes
+
+
+class TestCanonicalSet:
+    def test_base_is_48s(self):
+        assert BASE_PERIOD == 48 * SECOND
+
+    def test_powers_of_two(self):
+        periods = canonical_periods()
+        assert periods[0] == 48 * SECOND
+        assert all(b == 2 * a for a, b in zip(periods, periods[1:]))
+
+    def test_mutual_divisibility(self):
+        periods = canonical_periods()
+        for small in periods:
+            for large in periods:
+                if large >= small:
+                    assert large % small == 0
+
+
+class TestChoosePeriod:
+    def test_one_minute_lag_gets_base(self):
+        assert choose_period(MINUTE) == BASE_PERIOD
+
+    def test_larger_lags_get_larger_periods(self):
+        assert choose_period(minutes(10)) > choose_period(MINUTE)
+
+    def test_period_leaves_headroom(self):
+        for lag in (MINUTE, minutes(5), minutes(30), hours(1), hours(16)):
+            assert choose_period(lag) <= max(lag // 2, BASE_PERIOD)
+
+    def test_period_smaller_than_lag_surprise(self):
+        """The paper: users are surprised that the chosen period 'can be
+        substantially smaller than the provided target lag'."""
+        assert choose_period(hours(16)) <= hours(8)
+
+    @given(st.integers(min_value=MINUTE, max_value=hours(48)))
+    def test_always_canonical(self, lag):
+        assert choose_period(lag) in canonical_periods()
+
+
+class TestUpstreamConstraint:
+    def test_clamps_up(self):
+        assert clamp_to_upstream(BASE_PERIOD, [4 * BASE_PERIOD]) == \
+               4 * BASE_PERIOD
+
+    def test_no_upstream_keeps_choice(self):
+        assert clamp_to_upstream(2 * BASE_PERIOD, []) == 2 * BASE_PERIOD
+
+    def test_larger_choice_kept(self):
+        assert clamp_to_upstream(8 * BASE_PERIOD, [2 * BASE_PERIOD]) == \
+               8 * BASE_PERIOD
+
+
+class TestTicks:
+    def test_is_tick(self):
+        assert is_tick(96 * SECOND, BASE_PERIOD)
+        assert not is_tick(50 * SECOND, BASE_PERIOD)
+
+    def test_phase_shifts_grid(self):
+        phase = 7 * SECOND
+        assert is_tick(BASE_PERIOD + phase, BASE_PERIOD, phase)
+        assert not is_tick(BASE_PERIOD, BASE_PERIOD, phase)
+
+    def test_next_tick(self):
+        assert next_tick(0, BASE_PERIOD) == BASE_PERIOD
+        assert next_tick(BASE_PERIOD, BASE_PERIOD) == 2 * BASE_PERIOD
+        assert next_tick(50 * SECOND, BASE_PERIOD) == 96 * SECOND
+
+    @given(st.integers(0, 10**6), st.sampled_from(canonical_periods()[:6]))
+    def test_alignment_property(self, time, period):
+        """A tick of a larger period is always a tick of every smaller
+        canonical period — the data-timestamp alignment guarantee."""
+        if is_tick(time, period):
+            for smaller in canonical_periods():
+                if smaller <= period:
+                    assert is_tick(time, smaller)

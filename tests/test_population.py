@@ -1,0 +1,80 @@
+"""Tests for the synthetic DT population (Figures 5–6 calibration)."""
+
+from repro.plan.properties import OPERATOR_CATEGORIES
+from repro.workload.population import (INCREMENTAL_FRACTION,
+                                       TARGET_LAG_BUCKETS,
+                                       generate_population, summarize)
+from repro.util.timeutil import HOUR, MINUTE
+
+
+class TestCalibration:
+    def test_bucket_probabilities_sum_to_one(self):
+        total = sum(weight for __, __, weight in TARGET_LAG_BUCKETS)
+        assert abs(total - 1.0) < 1e-9
+
+    def test_bucket_marginals_match_paper(self):
+        """The generator's parameters must encode the paper's marginals
+        exactly: <5min ≈ 20%, ≥16h ≈ 26%."""
+        below = sum(w for __, lag, w in TARGET_LAG_BUCKETS
+                    if lag < 5 * MINUTE)
+        above = sum(w for __, lag, w in TARGET_LAG_BUCKETS
+                    if lag >= 16 * HOUR)
+        assert abs(below - 0.20) < 0.01
+        assert abs(above - 0.26) < 0.01
+
+
+class TestGeneration:
+    def test_population_size(self):
+        assert len(generate_population(200, seed=1)) == 200
+
+    def test_deterministic_under_seed(self):
+        first = generate_population(50, seed=3)
+        second = generate_population(50, seed=3)
+        assert [dt.query_sql for dt in first] == \
+               [dt.query_sql for dt in second]
+
+    def test_queries_are_buildable(self):
+        for dt in generate_population(50, seed=5):
+            assert dt.operators  # inventory computed from a bound plan
+
+    def test_full_mode_only_on_unsupported_or_choice(self):
+        population = generate_population(300, seed=2)
+        assert {dt.refresh_mode for dt in population} == {
+            "incremental", "full"}
+
+
+class TestMeasuredMarginals:
+    def test_lag_marginals_close_to_paper(self):
+        summary = summarize(generate_population(4000, seed=0))
+        assert abs(summary.fraction_below_5m - 0.20) < 0.03
+        assert abs(summary.fraction_at_least_16h - 0.26) < 0.03
+        assert abs(summary.fraction_between - 0.54) < 0.03
+
+    def test_incremental_fraction_close_to_70pct(self):
+        summary = summarize(generate_population(4000, seed=0))
+        # Some sampled queries are not incrementalizable, so the measured
+        # fraction sits at or slightly below the 70% knob.
+        assert 0.55 <= summary.incremental_fraction <= INCREMENTAL_FRACTION + 0.05
+
+    def test_cloned_and_shared_fractions(self):
+        summary = summarize(generate_population(4000, seed=0))
+        assert abs(summary.cloned_fraction - 0.20) < 0.03
+        assert abs(summary.shared_fraction - 0.20) < 0.03
+
+    def test_operator_frequencies_have_expected_shape(self):
+        """Figure 6's qualitative shape: projections/filters dominate;
+        joins and aggregates are common; flatten & scalar aggregates are
+        rare among incremental DTs."""
+        summary = summarize(generate_population(4000, seed=0))
+        frequency = summary.operator_frequency
+        assert frequency["project"] > 0.9
+        assert frequency["inner_join"] > 0.2
+        assert frequency["grouped_aggregate"] > 0.1
+        assert frequency["window_function"] > 0.05
+        assert frequency["scalar_aggregate"] == 0.0  # never incremental
+        assert set(frequency) == set(OPERATOR_CATEGORIES)
+
+    def test_histogram_covers_all_buckets(self):
+        summary = summarize(generate_population(4000, seed=0))
+        assert sum(summary.lag_histogram.values()) == 4000
+        assert all(count > 0 for count in summary.lag_histogram.values())

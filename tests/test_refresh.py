@@ -1,0 +1,237 @@
+"""Tests for the refresh engine: actions, frontiers, failure handling."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.errors import NotInitializedError, UserError, VersionNotFound
+from repro.util.timeutil import MINUTE, SECOND
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int, grp text, val int)")
+    database.execute(
+        "INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)")
+    return database
+
+
+def make_dt(db, name="d", sql="SELECT grp, sum(val) s FROM src GROUP BY grp",
+            **kwargs):
+    return db.create_dynamic_table(name, sql, "1 minute", "wh", **kwargs)
+
+
+class TestActions:
+    def test_initial_refresh(self, db):
+        dt = make_dt(db)
+        assert dt.refresh_history[0].action == RefreshAction.INITIAL
+        assert dt.initialized
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 40), ("b", 20)]
+
+    def test_no_data_when_sources_unchanged(self, db):
+        dt = make_dt(db)
+        db.refresh_dynamic_table("d")
+        assert dt.refresh_history[-1].action == RefreshAction.NO_DATA
+        assert dt.refresh_history[-1].rows_changed == 0
+
+    def test_no_data_still_advances_data_timestamp(self, db):
+        dt = make_dt(db)
+        before = dt.data_timestamp
+        db.clock.advance(MINUTE)
+        db.refresh_dynamic_table("d")
+        assert dt.data_timestamp > before
+
+    def test_incremental_on_change(self, db):
+        dt = make_dt(db)
+        db.execute("INSERT INTO src VALUES (4, 'a', 5)")
+        db.refresh_dynamic_table("d")
+        record = dt.refresh_history[-1]
+        assert record.action == RefreshAction.INCREMENTAL
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 45), ("b", 20)]
+
+    def test_full_mode_forces_full_action(self, db):
+        dt = make_dt(db, name="f", refresh_mode="full")
+        db.execute("INSERT INTO src VALUES (4, 'a', 5)")
+        db.refresh_dynamic_table("f")
+        assert dt.refresh_history[-1].action == RefreshAction.FULL
+
+    def test_full_only_query_auto_resolves_to_full(self, db):
+        dt = make_dt(db, name="f2", sql="SELECT count(*) n FROM src")
+        assert dt.effective_refresh_mode.value == "full"
+        db.execute("INSERT INTO src VALUES (9, 'z', 1)")
+        db.refresh_dynamic_table("f2")
+        assert dt.refresh_history[-1].action == RefreshAction.FULL
+        assert db.query("SELECT * FROM f2").rows == [(4,)]
+
+    def test_incremental_mode_on_unsupported_query_rejected(self, db):
+        from repro.errors import NotIncrementalizableError
+
+        with pytest.raises(NotIncrementalizableError):
+            make_dt(db, name="bad", sql="SELECT count(*) n FROM src",
+                    refresh_mode="incremental")
+
+
+class TestDvsInvariant:
+    def test_dvs_after_each_refresh(self, db):
+        make_dt(db)
+        for step in range(5):
+            db.execute(f"INSERT INTO src VALUES ({10 + step}, 'c', {step})")
+            if step % 2:
+                db.execute("DELETE FROM src WHERE val > 25")
+            db.refresh_dynamic_table("d")
+            assert db.check_dvs("d")
+
+    def test_update_workload(self, db):
+        make_dt(db)
+        db.execute("UPDATE src SET val = val + 1 WHERE grp = 'a'")
+        db.refresh_dynamic_table("d")
+        assert db.check_dvs("d")
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 42), ("b", 20)]
+
+    def test_incremental_equals_full_recompute(self, db):
+        incremental = make_dt(db, name="inc")
+        full = make_dt(db, name="ful", refresh_mode="full")
+        for step in range(4):
+            db.execute(f"INSERT INTO src VALUES ({20 + step}, 'a', {step})")
+            db.execute("DELETE FROM src WHERE val = 20")
+            db.refresh_dynamic_table("inc")
+            db.refresh_dynamic_table("ful")
+            assert sorted(db.query("SELECT * FROM inc").rows) == \
+                   sorted(db.query("SELECT * FROM ful").rows)
+
+
+class TestStackedDts:
+    def test_dt_over_dt(self, db):
+        make_dt(db, name="base_dt",
+                sql="SELECT id, grp, val FROM src WHERE val > 5")
+        make_dt(db, name="top_dt",
+                sql="SELECT grp, count(*) n FROM base_dt GROUP BY grp")
+        db.execute("INSERT INTO src VALUES (7, 'b', 100)")
+        db.refresh_dynamic_table("top_dt")
+        assert sorted(db.query("SELECT * FROM top_dt").rows) == [
+            ("a", 2), ("b", 2)]
+        assert db.check_dvs("top_dt")
+
+    def test_exact_version_lookup_enforced(self, db):
+        dt = make_dt(db, name="up")
+        make_dt(db, name="down", sql="SELECT grp FROM up")
+        # Refreshing `down` directly at a timestamp `up` never refreshed
+        # at must fail (section 6.1 validation #1).
+        record = db.engine.refresh(db.dynamic_table("down"),
+                                   db.now + 5 * SECOND)
+        assert record.error is not None
+        assert "VersionNotFound" in record.error
+
+    def test_reading_uninitialized_dt_fails(self, db):
+        make_dt(db, name="lazy", initialize="on_schedule")
+        with pytest.raises(NotInitializedError):
+            db.query("SELECT * FROM lazy")
+
+    def test_on_schedule_initialization_via_scheduler(self, db):
+        dt = make_dt(db, name="lazy", initialize="on_schedule")
+        assert not dt.initialized
+        db.run_for(2 * MINUTE)
+        assert dt.initialized
+
+
+class TestErrorsAndSuspension:
+    def test_user_error_recorded_not_raised(self, db):
+        dt = make_dt(db, name="boom",
+                     sql="SELECT grp, sum(val / (val - 10)) s FROM src "
+                         "GROUP BY grp", initialize="on_schedule")
+        record = db.engine.refresh(dt, db.now + SECOND)
+        assert record.error is not None
+        assert "division by zero" in record.error
+
+    def test_consecutive_failures_suspend(self, db):
+        dt = make_dt(db, name="boom",
+                     sql="SELECT grp, sum(val / (val - 10)) s FROM src "
+                         "GROUP BY grp", initialize="on_schedule")
+        for attempt in range(5):
+            db.engine.refresh(dt, db.now + (attempt + 1) * SECOND)
+        assert dt.suspended
+
+    def test_resume_resets_counter(self, db):
+        dt = make_dt(db, name="boom",
+                     sql="SELECT grp, sum(val / (val - 10)) s FROM src "
+                         "GROUP BY grp", initialize="on_schedule")
+        for attempt in range(5):
+            db.engine.refresh(dt, db.now + (attempt + 1) * SECOND)
+        db.execute("DELETE FROM src WHERE val = 10")  # fix the data
+        db.execute("ALTER DYNAMIC TABLE boom RESUME")
+        assert not dt.suspended
+        assert dt.consecutive_failures == 0
+        db.refresh_dynamic_table("boom")
+        assert dt.initialized
+
+    def test_success_resets_failure_counter(self, db):
+        dt = make_dt(db)
+        dt.consecutive_failures = 3
+        db.execute("INSERT INTO src VALUES (9, 'z', 1)")
+        db.refresh_dynamic_table("d")
+        assert dt.consecutive_failures == 0
+
+    def test_suspended_dt_rejects_refresh(self, db):
+        make_dt(db)
+        db.execute("ALTER DYNAMIC TABLE d SUSPEND")
+        with pytest.raises(UserError):
+            db.refresh_dynamic_table("d")
+
+
+class TestFrontier:
+    def test_frontier_tracks_each_source(self, db):
+        db.execute("CREATE TABLE other (k int)")
+        db.execute("INSERT INTO other VALUES (1)")
+        dt = make_dt(db, name="joined",
+                     sql="SELECT s.id, o.k FROM src s JOIN other o "
+                         "ON s.id = o.k")
+        assert set(dt.frontier.cursors) == {"src", "other"}
+
+    def test_frontier_advances_only_changed_sources(self, db):
+        db.execute("CREATE TABLE other (k int)")
+        db.execute("INSERT INTO other VALUES (1)")
+        dt = make_dt(db, name="joined",
+                     sql="SELECT s.id, o.k FROM src s JOIN other o "
+                         "ON s.id = o.k")
+        before = dt.frontier
+        db.execute("INSERT INTO other VALUES (2)")
+        db.refresh_dynamic_table("joined")
+        moved = dt.frontier.advanced_from(before)
+        assert moved == ["other"]
+
+
+class TestContextFunctions:
+    """Section 3.4: context functions are handled so DVS stays exact —
+    queries using them fall back to FULL refresh."""
+
+    def test_current_timestamp_forces_full_mode(self, db):
+        dt = make_dt(db, name="stamped",
+                     sql="SELECT id, current_timestamp() ts FROM src")
+        assert dt.effective_refresh_mode.value == "full"
+
+    def test_dvs_holds_for_context_queries(self, db):
+        from repro.util.timeutil import MINUTE
+
+        make_dt(db, name="stamped",
+                sql="SELECT id, current_timestamp() ts FROM src")
+        db.clock.advance(MINUTE)
+        db.execute("INSERT INTO src VALUES (9, 'z', 1)")
+        db.refresh_dynamic_table("stamped")
+        assert db.check_dvs("stamped")
+        # Every row carries the refresh's data timestamp.
+        timestamps = {row[1] for row in
+                      db.query("SELECT * FROM stamped").rows}
+        assert len(timestamps) == 1
+
+    def test_incremental_mode_with_context_rejected(self, db):
+        from repro.errors import NotIncrementalizableError
+
+        with pytest.raises(NotIncrementalizableError):
+            make_dt(db, name="bad",
+                    sql="SELECT id, current_timestamp() ts FROM src",
+                    refresh_mode="incremental")

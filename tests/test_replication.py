@@ -1,0 +1,104 @@
+"""Tests for cross-region replication (section 3.4)."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.core.replication import replicate_subgraph
+from repro.errors import CatalogError
+from repro.util.timeutil import MINUTE
+
+
+@pytest.fixture
+def primary():
+    db = Database()
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE src (id int, grp text, val int)")
+    db.execute("INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20),"
+               " (3, 'a', 30)")
+    db.create_dynamic_table(
+        "clean", "SELECT id, grp, val FROM src WHERE val > 5",
+        "downstream", "wh")
+    db.create_dynamic_table(
+        "totals", "SELECT grp, count(*) n, sum(val) s FROM clean "
+        "GROUP BY grp", "1 minute", "wh")
+    return db
+
+
+class TestReplication:
+    def test_replica_matches_primary(self, primary):
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["totals"])
+        for name in ("src", "clean", "totals"):
+            assert sorted(secondary.query(f"SELECT * FROM {name}").rows) \
+                   == sorted(primary.query(f"SELECT * FROM {name}").rows)
+
+    def test_replica_preserves_dvs_and_data_timestamp(self, primary):
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["totals"])
+        assert secondary.check_dvs("clean")
+        assert secondary.check_dvs("totals")
+        assert secondary.dynamic_table("totals").data_timestamp == \
+               primary.dynamic_table("totals").data_timestamp
+
+    def test_failover_continues_incrementally(self, primary):
+        """Disaster recovery: the replica resumes refreshes on its own,
+        incrementally, with no reinitialization."""
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["totals"])
+        secondary.execute("INSERT INTO src VALUES (9, 'b', 40)")
+        secondary.refresh_dynamic_table("totals")
+        totals = secondary.dynamic_table("totals")
+        assert totals.refresh_history[-1].action == \
+               RefreshAction.INCREMENTAL
+        assert secondary.check_dvs("totals")
+        assert ("b", 2, 60) in secondary.query(
+            "SELECT * FROM totals").rows
+
+    def test_replica_scheduler_operates_independently(self, primary):
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["totals"])
+        secondary.at(secondary.now + MINUTE,
+                     lambda: secondary.execute(
+                         "INSERT INTO src VALUES (10, 'a', 7)"))
+        secondary.run_for(4 * MINUTE)
+        assert secondary.check_dvs("totals")
+        # The primary is untouched.
+        assert (10, "a", 7) not in primary.query(
+            "SELECT * FROM src").rows
+
+    def test_views_replicate(self, primary):
+        primary.execute("CREATE VIEW big AS SELECT id FROM src "
+                        "WHERE val > 15")
+        primary.create_dynamic_table("over_view",
+                                     "SELECT id FROM big", "1 minute", "wh")
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["over_view"])
+        assert sorted(secondary.query("SELECT * FROM over_view").rows) == \
+               sorted(primary.query("SELECT * FROM over_view").rows)
+
+    def test_re_replication_advances_replica(self, primary):
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["clean"])
+        primary.execute("INSERT INTO src VALUES (11, 'c', 50)")
+        # Re-replicating the base table refreshes the replica's copy;
+        # its DT catches up via its own refresh.
+        from repro.core.replication import _replicate_base_table
+
+        _replicate_base_table(primary, secondary, "src")
+        secondary.refresh_dynamic_table("clean")
+        assert (11, "c", 50) in secondary.query(
+            "SELECT * FROM clean").rows
+        assert secondary.check_dvs("clean")
+
+    def test_existing_dt_on_replica_rejected(self, primary):
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["clean"])
+        with pytest.raises(CatalogError):
+            replicate_subgraph(primary, secondary, ["clean"])
+
+    def test_clock_advances_to_primary(self, primary):
+        primary.clock.advance(10 * MINUTE)
+        secondary = Database()
+        replicate_subgraph(primary, secondary, ["totals"])
+        assert secondary.now >= primary.now

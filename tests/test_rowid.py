@@ -1,0 +1,53 @@
+"""Tests for deterministic row-id derivation (section 5.5 / 5.5.2)."""
+
+from hypothesis import given, strategies as st
+
+from repro.ivm import rowid
+
+
+class TestPrefixes:
+    def test_plaintext_prefixes(self):
+        """Section 5.5.2: row ids 'contain plaintext prefixes to improve
+        the performance of joins using row IDs as a key'."""
+        assert rowid.base_id(1, 2).startswith("b")
+        assert rowid.join_id("a", "b").startswith("j:")
+        assert rowid.outer_left_id("a").startswith("lo:")
+        assert rowid.outer_right_id("a").startswith("ro:")
+        assert rowid.union_id(0, "a").startswith("u0:")
+        assert rowid.group_id(("k",)).startswith("g:")
+        assert rowid.distinct_id((1,)).startswith("d:")
+        assert rowid.flatten_id("a", 0).startswith("f:")
+
+    def test_prefixes_disjoint_across_operators(self):
+        derived = {
+            rowid.join_id("x", "y"), rowid.outer_left_id("x"),
+            rowid.outer_right_id("x"), rowid.union_id(1, "x"),
+            rowid.group_id(("x",)), rowid.distinct_id(("x",)),
+            rowid.flatten_id("x", 0)}
+        assert len(derived) == 7
+
+
+class TestDeterminism:
+    def test_join_id_depends_on_both_sides(self):
+        assert rowid.join_id("a", "b") != rowid.join_id("a", "c")
+        assert rowid.join_id("a", "b") != rowid.join_id("b", "a")
+
+    def test_join_id_injective_on_boundaries(self):
+        # ("ab","c") must differ from ("a","bc") — separator matters.
+        assert rowid.join_id("ab", "c") != rowid.join_id("a", "bc")
+
+    def test_group_id_value_based(self):
+        assert rowid.group_id((1, "x")) == rowid.group_id((1, "x"))
+        assert rowid.group_id((1,)) != rowid.group_id((2,))
+
+    def test_flatten_id_per_element(self):
+        assert rowid.flatten_id("r", 0) != rowid.flatten_id("r", 1)
+
+    @given(st.text(min_size=1, max_size=10), st.text(min_size=1, max_size=10))
+    def test_stable_across_calls(self, left, right):
+        assert rowid.join_id(left, right) == rowid.join_id(left, right)
+
+    @given(st.integers(0, 5), st.text(max_size=8))
+    def test_union_branches_distinct(self, branch, input_id):
+        assert rowid.union_id(branch, input_id) != \
+               rowid.union_id(branch + 1, input_id)

@@ -1,0 +1,73 @@
+"""Tests for schemas and name resolution."""
+
+import pytest
+
+from repro.engine.schema import Column, Schema, schema_of
+from repro.engine.types import SqlType
+from repro.errors import BindError
+
+
+@pytest.fixture
+def joined():
+    left = schema_of(("id", SqlType.INT), ("name", SqlType.TEXT), table="a")
+    right = schema_of(("id", SqlType.INT), ("region", SqlType.TEXT), table="b")
+    return left.concat(right)
+
+
+class TestResolve:
+    def test_unqualified_unique(self, joined):
+        assert joined.resolve("name") == 1
+        assert joined.resolve("region") == 3
+
+    def test_unqualified_ambiguous(self, joined):
+        with pytest.raises(BindError, match="ambiguous"):
+            joined.resolve("id")
+
+    def test_qualified(self, joined):
+        assert joined.resolve("id", "a") == 0
+        assert joined.resolve("id", "b") == 2
+
+    def test_unknown(self, joined):
+        with pytest.raises(BindError, match="unknown"):
+            joined.resolve("nope")
+
+    def test_unknown_qualifier(self, joined):
+        with pytest.raises(BindError):
+            joined.resolve("id", "c")
+
+    def test_maybe_resolve_none_for_missing(self, joined):
+        assert joined.maybe_resolve("nope") is None
+
+    def test_maybe_resolve_still_raises_on_ambiguity(self, joined):
+        with pytest.raises(BindError):
+            joined.maybe_resolve("id")
+
+
+class TestTransforms:
+    def test_requalify(self):
+        schema = schema_of(("x", SqlType.INT), table="t").requalified("alias")
+        assert schema.resolve("x", "alias") == 0
+
+    def test_project(self, joined):
+        projected = joined.project([3, 0])
+        assert projected.names == ["region", "id"]
+
+    def test_index_map_skips_duplicates(self, joined):
+        mapping = joined.index_map()
+        assert "id" not in mapping
+        assert mapping["name"] == 1
+
+    def test_equality_and_hash(self):
+        a = schema_of(("x", SqlType.INT))
+        b = schema_of(("x", SqlType.INT))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_column_renamed(self):
+        column = Column("a", SqlType.INT, "t").renamed("b")
+        assert column.name == "b"
+        assert column.table == "t"
+
+    def test_iteration_and_len(self, joined):
+        assert len(joined) == 4
+        assert [c.name for c in joined] == ["id", "name", "id", "region"]

@@ -1,0 +1,77 @@
+"""Tests for duration/timestamp helpers."""
+
+import pytest
+
+from repro.errors import UserError
+from repro.util import timeutil as tu
+
+
+class TestParseDuration:
+    def test_minutes(self):
+        assert tu.parse_duration("1 minute") == tu.MINUTE
+
+    def test_plural(self):
+        assert tu.parse_duration("5 minutes") == 5 * tu.MINUTE
+
+    def test_seconds_abbreviation(self):
+        assert tu.parse_duration("30 s") == 30 * tu.SECOND
+
+    def test_hours(self):
+        assert tu.parse_duration("2 hours") == 2 * tu.HOUR
+
+    def test_days(self):
+        assert tu.parse_duration("3 days") == 3 * tu.DAY
+
+    def test_no_space(self):
+        assert tu.parse_duration("10min") == 10 * tu.MINUTE
+
+    def test_case_insensitive(self):
+        assert tu.parse_duration("1 Minute") == tu.MINUTE
+
+    def test_rejects_garbage(self):
+        with pytest.raises(UserError):
+            tu.parse_duration("soon")
+
+    def test_rejects_unknown_unit(self):
+        with pytest.raises(UserError):
+            tu.parse_duration("3 fortnights")
+
+    def test_rejects_zero(self):
+        with pytest.raises(UserError):
+            tu.parse_duration("0 minutes")
+
+    def test_rejects_negative_magnitude(self):
+        with pytest.raises(UserError):
+            tu.parse_duration("-1 minute")
+
+
+class TestFormatDuration:
+    def test_single_minute(self):
+        assert tu.format_duration(tu.MINUTE) == "1 minute"
+
+    def test_non_divisible_falls_to_seconds(self):
+        assert tu.format_duration(90 * tu.SECOND) == "90 seconds"
+
+    def test_hours(self):
+        assert tu.format_duration(2 * tu.HOUR) == "2 hours"
+
+    def test_zero(self):
+        assert tu.format_duration(0) == "0 seconds"
+
+    def test_roundtrip(self):
+        for text in ("1 minute", "16 hours", "2 days", "45 seconds"):
+            assert tu.format_duration(tu.parse_duration(text)) == text
+
+
+class TestHelpers:
+    def test_seconds(self):
+        assert tu.seconds(1.5) == 1_500_000_000
+
+    def test_minutes(self):
+        assert tu.minutes(2) == 2 * tu.MINUTE
+
+    def test_hours_days(self):
+        assert tu.hours(24) == tu.days(1)
+
+    def test_format_timestamp(self):
+        assert tu.format_timestamp(tu.SECOND) == "t=1.000s"

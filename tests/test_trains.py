@@ -1,0 +1,77 @@
+"""Tests for the Listing 1 train-delay pipeline."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.util.timeutil import MINUTE
+from repro.workload.trains import TrainWorkload
+
+
+@pytest.fixture
+def setup():
+    db = Database()
+    workload = TrainWorkload()
+    workload.setup(db)
+    return db, workload
+
+
+class TestPipeline:
+    def test_initialized_empty(self, setup):
+        db, __ = setup
+        assert db.query("SELECT * FROM train_arrivals").rows == []
+        assert db.query("SELECT * FROM delayed_trains").rows == []
+
+    def test_counts_late_arrivals_exactly(self, setup):
+        db, workload = setup
+        late = workload.emit_arrivals(db, 40, late_fraction=0.4)
+        db.refresh_dynamic_table("delayed_trains")
+        total = sum(row[2] for row in
+                    db.query("SELECT * FROM delayed_trains").rows)
+        assert total == late
+
+    def test_non_arrival_events_filtered(self, setup):
+        db, workload = setup
+        workload.emit_arrivals(db, 20)
+        db.refresh_dynamic_table("train_arrivals")
+        arrivals = db.query("SELECT count(*) FROM train_arrivals").rows[0][0]
+        all_events = db.query("SELECT count(*) FROM train_events").rows[0][0]
+        typed = db.query(
+            "SELECT count(*) FROM train_events WHERE type = 'ARRIVAL'"
+        ).rows[0][0]
+        assert arrivals == typed <= all_events
+
+    def test_incremental_refreshes_after_initial(self, setup):
+        db, workload = setup
+        workload.emit_arrivals(db, 10)
+        db.refresh_dynamic_table("delayed_trains")
+        workload.emit_arrivals(db, 10)
+        db.refresh_dynamic_table("delayed_trains")
+        arrivals = db.dynamic_table("train_arrivals")
+        delayed = db.dynamic_table("delayed_trains")
+        assert arrivals.refresh_history[-1].action == RefreshAction.INCREMENTAL
+        assert delayed.refresh_history[-1].action == RefreshAction.INCREMENTAL
+
+    def test_downstream_lag_resolution(self, setup):
+        db, __ = setup
+        from repro.core.graph import DependencyGraph
+
+        graph = DependencyGraph(db.catalog)
+        assert graph.effective_lag("train_arrivals") == MINUTE
+
+    def test_dvs_through_scheduled_operation(self, setup):
+        db, workload = setup
+        for step in range(6):
+            db.at((step + 1) * MINUTE,
+                  lambda: workload.emit_arrivals(db, 5))
+        db.run_for(8 * MINUTE)
+        assert db.check_dvs("train_arrivals")
+        assert db.check_dvs("delayed_trains")
+
+    def test_hour_bucketing(self, setup):
+        db, workload = setup
+        workload.emit_arrivals(db, 30)
+        db.refresh_dynamic_table("delayed_trains")
+        hour_ns = 3_600_000_000_000
+        for row in db.query("SELECT * FROM delayed_trains").rows:
+            assert row[1] % hour_ns == 0  # date_trunc(hour, ...) applied

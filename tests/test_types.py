@@ -1,0 +1,161 @@
+"""Tests for the SQL value model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import types as t
+from repro.engine.types import SqlType
+from repro.errors import EvaluationError, TypeError_
+
+
+class TestTypeNames:
+    def test_aliases(self):
+        assert t.type_from_name("integer") == SqlType.INT
+        assert t.type_from_name("VARCHAR") == SqlType.TEXT
+        assert t.type_from_name("double") == SqlType.FLOAT
+        assert t.type_from_name("object") == SqlType.VARIANT
+
+    def test_unknown(self):
+        with pytest.raises(TypeError_):
+            t.type_from_name("blob")
+
+
+class TestTypeOfValue:
+    def test_bool_before_int(self):
+        assert t.type_of_value(True) == SqlType.BOOL
+
+    def test_null(self):
+        assert t.type_of_value(None) == SqlType.NULL
+
+    def test_variant(self):
+        assert t.type_of_value({"a": 1}) == SqlType.VARIANT
+        assert t.type_of_value([1, 2]) == SqlType.VARIANT
+
+
+class TestUnify:
+    def test_null_unifies_with_anything(self):
+        assert t.unify_types(SqlType.NULL, SqlType.TEXT) == SqlType.TEXT
+        assert t.unify_types(SqlType.INT, SqlType.NULL) == SqlType.INT
+
+    def test_numeric_widening(self):
+        assert t.unify_types(SqlType.INT, SqlType.FLOAT) == SqlType.FLOAT
+
+    def test_mismatch(self):
+        with pytest.raises(TypeError_):
+            t.unify_types(SqlType.INT, SqlType.TEXT)
+
+
+class TestThreeValuedLogic:
+    def test_and_null_false(self):
+        assert t.sql_and(None, False) is False
+
+    def test_and_null_true(self):
+        assert t.sql_and(None, True) is None
+
+    def test_or_null_true(self):
+        assert t.sql_or(None, True) is True
+
+    def test_or_null_false(self):
+        assert t.sql_or(None, False) is None
+
+    def test_not_null(self):
+        assert t.sql_not(None) is None
+
+    def test_is_true_excludes_null(self):
+        assert not t.is_true(None)
+        assert t.is_true(True)
+        assert not t.is_true(False)
+
+
+class TestCompare:
+    def test_null_propagates(self):
+        assert t.compare(None, 1) is None
+        assert t.compare(1, None) is None
+
+    def test_cross_numeric(self):
+        assert t.compare(1, 1.0) == 0
+        assert t.compare(1, 2.5) == -1
+
+    def test_text(self):
+        assert t.compare("a", "b") == -1
+
+    def test_incomparable(self):
+        with pytest.raises(EvaluationError):
+            t.compare("a", 1)
+
+    def test_bool_not_numeric(self):
+        with pytest.raises(EvaluationError):
+            t.compare(True, 1)
+
+
+class TestGroupKey:
+    def test_nulls_equal(self):
+        assert t.group_key([None]) == t.group_key([None])
+
+    def test_int_float_coincide(self):
+        assert t.group_key([1]) == t.group_key([1.0])
+
+    def test_null_distinct_from_values(self):
+        assert t.group_key([None]) != t.group_key([0])
+        assert t.group_key([None]) != t.group_key([""])
+
+    def test_variant_normalized(self):
+        assert t.group_key([{"b": 2, "a": 1}]) == t.group_key([{"a": 1, "b": 2}])
+
+    def test_hashable(self):
+        {t.group_key([1, "x", None, {"k": [1]}])}
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert t.stable_hash((1, "a", None)) == t.stable_hash((1, "a", None))
+
+    def test_discriminates_types(self):
+        assert t.stable_hash(("1",)) != t.stable_hash((1,))
+        assert t.stable_hash((True,)) != t.stable_hash((1,))
+
+    def test_discriminates_none_from_empty(self):
+        assert t.stable_hash((None,)) != t.stable_hash(("",))
+
+    @given(st.lists(st.one_of(st.integers(), st.text(), st.booleans(),
+                              st.none()), max_size=6))
+    def test_pure_function(self, values):
+        assert t.stable_hash(tuple(values)) == t.stable_hash(tuple(values))
+
+
+class TestCast:
+    def test_null_passthrough(self):
+        assert t.cast_value(None, SqlType.INT) is None
+
+    def test_text_to_int(self):
+        assert t.cast_value(" 42 ", SqlType.INT) == 42
+
+    def test_float_to_int_truncates(self):
+        assert t.cast_value(3.9, SqlType.INT) == 3
+
+    def test_bool_text(self):
+        assert t.cast_value("true", SqlType.BOOL) is True
+        assert t.cast_value("NO", SqlType.BOOL) is False
+
+    def test_bad_cast_raises(self):
+        with pytest.raises(EvaluationError):
+            t.cast_value("abc", SqlType.INT)
+
+    def test_variant_parses_json(self):
+        assert t.cast_value('{"a": 1}', SqlType.VARIANT) == {"a": 1}
+
+    def test_variant_keeps_plain_text(self):
+        assert t.cast_value("not json", SqlType.VARIANT) == "not json"
+
+    def test_timestamp_from_int(self):
+        assert t.cast_value(5, SqlType.TIMESTAMP) == 5
+
+    def test_timestamp_from_clock_text(self):
+        assert t.cast_value("01:00", SqlType.TIMESTAMP) == 3_600_000_000_000
+
+    def test_timestamp_with_seconds(self):
+        assert t.cast_value("00:01:30", SqlType.TIMESTAMP) == 90_000_000_000
+
+    def test_to_text(self):
+        assert t.cast_value(12, SqlType.TEXT) == "12"
+        assert t.cast_value(True, SqlType.TEXT) == "true"

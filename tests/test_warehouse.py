@@ -1,0 +1,101 @@
+"""Tests for simulated virtual warehouses."""
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.scheduler.warehouse import Warehouse, WarehousePool
+from repro.util.timeutil import MINUTE, SECOND
+
+
+class TestSubmission:
+    def test_idle_warehouse_starts_immediately(self):
+        warehouse = Warehouse("wh", size=1)
+        start, end = warehouse.submit(arrival=100, duration=50)
+        assert (start, end) == (100, 150)
+
+    def test_busy_slot_queues(self):
+        warehouse = Warehouse("wh", size=1)
+        warehouse.submit(arrival=0, duration=100)
+        start, end = warehouse.submit(arrival=10, duration=20)
+        assert start == 100
+        assert end == 120
+
+    def test_parallel_slots(self):
+        warehouse = Warehouse("wh", size=2)
+        warehouse.submit(arrival=0, duration=100)
+        start, __ = warehouse.submit(arrival=10, duration=20)
+        assert start == 10  # second slot free
+
+    def test_next_free(self):
+        warehouse = Warehouse("wh", size=1)
+        warehouse.submit(arrival=0, duration=100)
+        assert warehouse.next_free(50) == 100
+        assert warehouse.next_free(200) == 200
+
+    def test_size_validation(self):
+        with pytest.raises(CatalogError):
+            Warehouse("wh", size=0)
+
+
+class TestCredits:
+    def test_credits_scale_with_size(self):
+        small = Warehouse("s", size=1, auto_suspend=None)
+        big = Warehouse("b", size=4, auto_suspend=None)
+        small.submit(0, 10 * SECOND)
+        big.submit(0, 10 * SECOND)
+        assert big.credits_used() == 4 * small.credits_used()
+
+    def test_bursts_merge_within_auto_suspend(self):
+        warehouse = Warehouse("wh", size=1, auto_suspend=MINUTE)
+        warehouse.submit(0, SECOND)
+        warehouse.submit(30 * SECOND, SECOND)  # within the idle window
+        assert len(warehouse._activity) == 1
+
+    def test_separate_bursts_after_suspension(self):
+        warehouse = Warehouse("wh", size=1, auto_suspend=MINUTE)
+        warehouse.submit(0, SECOND)
+        warehouse.submit(10 * MINUTE, SECOND)
+        assert len(warehouse._activity) == 2
+
+    def test_colocation_is_cheaper_than_isolation(self):
+        """The pattern from section 3.3.1: co-locating related DTs in one
+        warehouse saves credits versus one warehouse each."""
+        shared = Warehouse("shared", size=1, auto_suspend=MINUTE)
+        for job in range(5):
+            shared.submit(job * 10 * SECOND, 5 * SECOND)
+        isolated = [Warehouse(f"iso{j}", size=1, auto_suspend=MINUTE)
+                    for j in range(5)]
+        for job, warehouse in enumerate(isolated):
+            warehouse.submit(job * 10 * SECOND, 5 * SECOND)
+        assert shared.credits_used() < sum(w.credits_used()
+                                           for w in isolated)
+
+    def test_utilization(self):
+        warehouse = Warehouse("wh", size=2, auto_suspend=None)
+        warehouse.submit(0, 10 * SECOND)
+        assert warehouse.utilization(10 * SECOND) == pytest.approx(0.5)
+
+    def test_is_active_at(self):
+        warehouse = Warehouse("wh", size=1, auto_suspend=MINUTE)
+        warehouse.submit(0, SECOND)
+        assert warehouse.is_active_at(SECOND // 2)
+        assert warehouse.is_active_at(30 * SECOND)  # idling, not suspended
+        assert not warehouse.is_active_at(10 * MINUTE)
+
+
+class TestPool:
+    def test_create_get(self):
+        pool = WarehousePool()
+        created = pool.create("wh", size=2)
+        assert pool.get("wh") is created
+        assert pool.exists("wh")
+
+    def test_duplicate_rejected(self):
+        pool = WarehousePool()
+        pool.create("wh")
+        with pytest.raises(CatalogError):
+            pool.create("wh")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(CatalogError):
+            WarehousePool().get("ghost")

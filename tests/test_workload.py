@@ -1,0 +1,90 @@
+"""Tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro import Database
+from repro.plan.builder import build_plan
+from repro.plan.properties import incrementalizability
+from repro.sql.parser import parse_query
+from repro.workload.generator import (QueryGenerator, UpdateWorkload,
+                                      create_workload_schema)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    create_workload_schema(database)
+    return database
+
+
+class TestQueryGenerator:
+    def test_queries_parse_and_bind(self, db):
+        generator = QueryGenerator(rng=random.Random(0))
+        for __ in range(60):
+            sql = generator.query()
+            plan = build_plan(parse_query(sql), db.catalog)
+            assert plan.schema.names
+
+    def test_incremental_only_by_default(self, db):
+        generator = QueryGenerator(rng=random.Random(1))
+        for __ in range(60):
+            plan = build_plan(parse_query(generator.query()), db.catalog)
+            assert incrementalizability(plan).supported
+
+    def test_full_only_mode_produces_some_unsupported(self, db):
+        generator = QueryGenerator(rng=random.Random(2),
+                                   allow_full_only=True)
+        supported = []
+        for __ in range(60):
+            plan = build_plan(parse_query(generator.query()), db.catalog)
+            supported.append(incrementalizability(plan).supported)
+        assert not all(supported)
+
+    def test_deterministic_under_seed(self):
+        first = QueryGenerator(rng=random.Random(9))
+        second = QueryGenerator(rng=random.Random(9))
+        assert [first.query() for __ in range(20)] == \
+               [second.query() for __ in range(20)]
+
+    def test_covers_operator_classes(self, db):
+        from repro.plan.properties import operator_inventory
+
+        generator = QueryGenerator(rng=random.Random(3))
+        seen = set()
+        for __ in range(120):
+            plan = build_plan(parse_query(generator.query()), db.catalog)
+            for category, count in operator_inventory(plan).items():
+                if count:
+                    seen.add(category)
+        assert {"filter", "project", "inner_join", "outer_join",
+                "grouped_aggregate", "distinct", "window_function",
+                "union_all"} <= seen
+
+
+class TestUpdateWorkload:
+    def test_seed_populates_tables(self, db):
+        workload = UpdateWorkload(rng=random.Random(0))
+        workload.seed(db, facts=40, dims=6)
+        assert db.query("SELECT count(*) FROM facts").rows == [(40,)]
+        assert db.query("SELECT count(*) FROM dims").rows == [(6,)]
+
+    def test_steps_mutate(self, db):
+        workload = UpdateWorkload(rng=random.Random(0), insert_rate=10,
+                                  churn=0.5)
+        workload.seed(db, facts=30, dims=5)
+        table = db.catalog.versioned_table("facts")
+        versions_before = len(table.versions)
+        for __ in range(5):
+            workload.step(db)
+        assert len(table.versions) > versions_before
+
+    def test_ids_never_collide(self, db):
+        workload = UpdateWorkload(rng=random.Random(0), insert_rate=8)
+        workload.seed(db, facts=30, dims=5)
+        for __ in range(10):
+            workload.step(db)
+        ids = [row[0] for row in db.query("SELECT id FROM facts").rows]
+        assert len(ids) == len(set(ids))
