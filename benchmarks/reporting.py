@@ -9,10 +9,23 @@ tables on disk. ``EXPERIMENTS.md`` summarizes the same numbers.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit_json(filename: str, payload: dict) -> str:
+    """Write a benchmark artifact as deterministic JSON under
+    ``benchmarks/``. Committed snapshots (e.g. ``BENCH_t2.json``) use only
+    deterministic fields — row counts, ratios — so regeneration is
+    byte-stable; wall-clock timings belong in ``results.txt``."""
+    path = os.path.join(os.path.dirname(__file__), filename)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 _seen_sections: set[str] = set()
 

@@ -533,7 +533,7 @@ class _FrontierReader:
         versioned = self._db.catalog.versioned_table(table)
         cursor = self._dt.frontier.cursor(table) if self._dt.frontier else None
         if cursor is not None:
-            version = versioned.versions[cursor.version_index]
+            version = versioned.version(cursor.version_index)
         else:
             version = versioned.version_at(self._dt.frontier.data_timestamp)
         return versioned.relation(version)

@@ -54,6 +54,10 @@ from repro.txn.manager import TransactionManager
 from repro.util.timeutil import Timestamp
 
 
+#: Compiled-plan cache size that triggers a stale-entry purge.
+_PLAN_CACHE_LIMIT = 128
+
+
 class _VersionResolver:
     """SnapshotResolver over an explicit {table: version} pinning."""
 
@@ -66,10 +70,19 @@ class _VersionResolver:
         versioned = self._catalog.versioned_table(table)
         return versioned.relation(self._versions[table])
 
+    def scan_pruned(self, table: str, bounds) -> Relation:
+        """Zone-map pruned scan for filters pushed down by the executor."""
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation_pruned(self._versions[table], bounds)
+
 
 class _FrontierDeltaSource:
     """DeltaSource for one refresh interval: frontier versions → resolved
-    new versions, with per-table change streams from the storage layer."""
+    new versions, with per-table change streams from the storage layer.
+
+    Change streams are memoized: differentiation consults them once per
+    Scan rule and once more for the insert-only consolidation-skip check,
+    and the partition diff should only be paid once per refresh."""
 
     def __init__(self, catalog: Catalog,
                  old_versions: dict[str, TableVersion],
@@ -77,6 +90,7 @@ class _FrontierDeltaSource:
         self._catalog = catalog
         self._old = old_versions
         self._new = new_versions
+        self._delta_cache: dict[str, ChangeSet] = {}
 
     def scan_old(self, table: str) -> Relation:
         versioned = self._catalog.versioned_table(table)
@@ -86,9 +100,22 @@ class _FrontierDeltaSource:
         versioned = self._catalog.versioned_table(table)
         return versioned.relation(self._new[table])
 
-    def scan_delta(self, table: str) -> ChangeSet:
+    def scan_old_pruned(self, table: str, bounds) -> Relation:
         versioned = self._catalog.versioned_table(table)
-        return changes_between(versioned, self._old[table], self._new[table])
+        return versioned.relation_pruned(self._old[table], bounds)
+
+    def scan_new_pruned(self, table: str, bounds) -> Relation:
+        versioned = self._catalog.versioned_table(table)
+        return versioned.relation_pruned(self._new[table], bounds)
+
+    def scan_delta(self, table: str) -> ChangeSet:
+        cached = self._delta_cache.get(table)
+        if cached is None:
+            versioned = self._catalog.versioned_table(table)
+            cached = changes_between(versioned, self._old[table],
+                                     self._new[table])
+            self._delta_cache[table] = cached
+        return cached
 
 
 class RefreshEngine:
@@ -101,6 +128,12 @@ class RefreshEngine:
         self.txn_manager = txn_manager
         self.registry = registry
         self.outer_join_strategy = outer_join_strategy
+        #: Per-DT compiled-plan cache: name -> (catalog epoch, registry
+        #: version, query text, optimized plan). Any DDL bumps the epoch,
+        #: a UDF (re-)registration bumps the registry version, and an
+        #: ALTER of the DT's own query changes the query text — each
+        #: invalidates the entry.
+        self._plan_cache: dict[str, tuple[int, int, str, lp.PlanNode]] = {}
 
     # -- public API ----------------------------------------------------------------
 
@@ -127,9 +160,32 @@ class RefreshEngine:
         return record
 
     def build_plan(self, dt: DynamicTable) -> lp.PlanNode:
-        """(Re)build the DT's defining plan against the current catalog —
-        done per refresh, as in section 5.4's rewrite pipeline."""
-        return optimize(build_plan(dt.query, self.catalog, self.registry))
+        """The DT's optimized defining plan against the current catalog.
+
+        Cached per DT and keyed by (query text, catalog epoch, function
+        registry version): section 5.4's rewrite pipeline only needs to
+        re-run when the catalog or the UDF registry — and hence
+        potentially name resolution, schemas, view expansions, or bound
+        function implementations — has changed since the last refresh.
+        Plans are immutable, so reuse across refreshes is safe."""
+        epoch = self.catalog.epoch
+        registry_version = self.registry.version
+        cached = self._plan_cache.get(dt.name)
+        if (cached is not None and cached[0] == epoch
+                and cached[1] == registry_version
+                and cached[2] == dt.query_text):
+            return cached[3]
+        plan = optimize(build_plan(dt.query, self.catalog, self.registry))
+        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
+            # Entries for dropped/stale DTs carry an old epoch (any DDL —
+            # including the DROP itself — bumped it); purge them so the
+            # cache tracks live DTs instead of every name ever refreshed.
+            self._plan_cache = {
+                name: entry for name, entry in self._plan_cache.items()
+                if entry[0] == epoch}
+        self._plan_cache[dt.name] = (epoch, registry_version, dt.query_text,
+                                     plan)
+        return plan
 
     # -- internals --------------------------------------------------------------------
 
@@ -231,9 +287,9 @@ class RefreshEngine:
             if cursor is None:
                 # A new source appeared without evolution noticing; treat
                 # the empty version 0 as the starting point.
-                old_versions[table_name] = versioned.versions[0]
+                old_versions[table_name] = versioned.version(0)
             else:
-                old_versions[table_name] = versioned.versions[cursor.version_index]
+                old_versions[table_name] = versioned.version(cursor.version_index)
         return old_versions
 
     def _no_source_changed(self, dt: DynamicTable,

@@ -14,24 +14,33 @@ Listing 1.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.engine import types as t
-from repro.engine.expressions import EvalContext, Expression
+from repro.engine.expressions import EvalContext, Expression, compile_expression
 from repro.engine.types import Value
 from repro.errors import EvaluationError
 
 
 def evaluate_aggregate(function: str, arg: Optional[Expression],
                        distinct: bool, rows: Sequence[tuple],
-                       ctx: EvalContext) -> Value:
-    """Evaluate one aggregate over the rows of a single group."""
+                       ctx: EvalContext,
+                       arg_fn: Optional[Callable[[tuple], Value]] = None,
+                       ) -> Value:
+    """Evaluate one aggregate over the rows of a single group.
+
+    ``arg_fn`` is an optional pre-compiled evaluator for ``arg``; callers
+    evaluating many groups compile once and pass it to avoid recompiling
+    per group.
+    """
     if function == "count" and arg is None:
         return len(rows)
 
     if arg is None:
         raise EvaluationError(f"aggregate {function} requires an argument")
-    values: Iterable[Value] = (arg.eval(row, ctx) for row in rows)
+    if arg_fn is None:
+        arg_fn = compile_expression(arg, ctx)
+    values: Iterable[Value] = (arg_fn(row) for row in rows)
 
     if function == "count_if":
         # count_if counts rows where the predicate is TRUE.

@@ -8,11 +8,19 @@ a REINITIALIZE, and a long chain of INCREMENTAL refreshes all converge on
 byte-identical table states — the property the paper's randomized
 production validation (section 6.1) checks.
 
-The executor is a straightforward pull-based interpreter: each operator
-materializes its output. Joins hash on equi-keys when the condition allows
-(falling back to nested loops), aggregation and DISTINCT hash on SQL group
-keys (NULLs equal), and window functions evaluate per partition via
-:mod:`repro.engine.window`.
+The executor is a pull-based engine: each operator materializes its
+output. Expressions are *compiled* to closures once per operator
+(:mod:`repro.engine.expressions`' closure compiler) and applied over row
+batches, rather than interpreted per row per node. Joins hash on
+equi-keys when the condition allows (falling back to nested loops),
+aggregation and DISTINCT hash on SQL group keys (NULLs equal), and window
+functions evaluate per partition via :mod:`repro.engine.window`.
+
+Filters directly over scans additionally push simple column-vs-literal
+bounds into the storage layer when the resolver supports it
+(``scan_pruned``), letting zone-mapped micro-partitions be skipped
+wholesale. Pruning only ever removes rows the predicate would reject, so
+output rows, order, and row ids are unchanged.
 """
 
 from __future__ import annotations
@@ -20,10 +28,15 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.engine import types as t
-from repro.engine.expressions import DEFAULT_CONTEXT, EvalContext
+from repro.engine.expressions import (ColumnRef, Comparison, Expression,
+                                      IsNull, Literal, DEFAULT_CONTEXT,
+                                      EvalContext, compile_expression,
+                                      compile_group_key, compile_row,
+                                      conjuncts)
 from repro.engine.relation import Relation, SnapshotResolver
-from repro.engine.window import evaluate_window_calls, sort_partition
-from repro.errors import InternalError
+from repro.engine.window import (compile_window_calls, evaluate_window_calls,
+                                 sort_partition)
+from repro.errors import InternalError, UserError
 from repro.ivm import rowid
 from repro.plan import logical as lp
 from repro.engine.aggregates import evaluate_aggregate
@@ -33,6 +46,59 @@ def evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
              ctx: EvalContext = DEFAULT_CONTEXT) -> Relation:
     """Evaluate ``plan`` against ``resolver``'s snapshot."""
     return _Executor(resolver, ctx).run(plan)
+
+
+#: A pushed-down scan bound: either ``("cmp", column_index, op, value)``
+#: for ``col <op> literal`` conjuncts (op in ``= != <> < <= > >=``) or
+#: ``("null", column_index, negated)`` for ``col IS [NOT] NULL``. Storage
+#: may use zone maps to skip partitions where no row can satisfy the
+#: conjunction.
+ScanBound = tuple
+
+_SAFE_CMP_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
+            "!=": "!=", "<>": "<>"}
+
+
+def extract_scan_bounds(predicate: Expression) -> list[ScanBound]:
+    """Decompose a filter predicate into prunable scan bounds.
+
+    Pruning is only sound when skipping a partition cannot change *any*
+    observable behaviour — including runtime errors the predicate would
+    raise on the skipped rows (a conjunct like ``1 % b = 0`` raises on
+    ``b = 0`` rows even when another conjunct already excludes them). So
+    bounds are returned only when **every** top-level conjunct is a
+    provably non-raising shape — ``col <op> literal`` (either side),
+    ``col IS [NOT] NULL``, or a bare TRUE literal — and the per-partition
+    check (:meth:`Partition.might_match`) additionally verifies that each
+    compared column's zone kind matches the literal, so ``t.compare``
+    cannot raise on any row of a skipped partition. Any other conjunct
+    disables pruning for the whole predicate (empty result).
+    """
+    bounds: list[ScanBound] = []
+    for part in conjuncts(predicate):
+        if isinstance(part, Comparison) and part.op in _SAFE_CMP_OPS:
+            left, right, op = part.left, part.right, part.op
+            if isinstance(left, Literal) and isinstance(right, ColumnRef):
+                left, right, op = right, left, _FLIPPED[op]
+            if not (isinstance(left, ColumnRef)
+                    and isinstance(right, Literal)):
+                return []
+            value = right.value
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float, str))):
+                return []  # bools and non-scalars don't zone-map cleanly
+            if isinstance(value, float) and value != value:
+                return []  # NaN comparisons keep t.compare's odd semantics
+            bounds.append(("cmp", left.index, op, value))
+            continue
+        if isinstance(part, IsNull) and isinstance(part.operand, ColumnRef):
+            bounds.append(("null", part.operand.index, part.negated))
+            continue
+        if isinstance(part, Literal) and part.value is True:
+            continue  # trivial conjunct (e.g. from conjoin of nothing)
+        return []  # anything else might raise on skipped rows: no pruning
+    return bounds
 
 
 class _Executor:
@@ -63,19 +129,33 @@ class _Executor:
 
     def _run_project(self, plan: lp.Project) -> Relation:
         child = self.run(plan.child)
-        output = Relation(plan.schema)
-        for row_id, row in child.pairs():
-            output.append(row_id, tuple(expr.eval(row, self._ctx)
-                                        for expr in plan.exprs))
-        return output
+        row_fn = compile_row(plan.exprs, self._ctx)
+        return Relation(plan.schema, [row_fn(row) for row in child.rows],
+                        list(child.row_ids))
 
     def _run_filter(self, plan: lp.Filter) -> Relation:
-        child = self.run(plan.child)
-        output = Relation(plan.schema)
-        for row_id, row in child.pairs():
-            if t.is_true(plan.predicate.eval(row, self._ctx)):
-                output.append(row_id, row)
-        return output
+        child = self._filter_input(plan)
+        predicate = compile_expression(plan.predicate, self._ctx)
+        rows: list[tuple] = []
+        ids: list[str] = []
+        for row_id, row in zip(child.row_ids, child.rows):
+            if predicate(row) is True:
+                rows.append(row)
+                ids.append(row_id)
+        return Relation(plan.schema, rows, ids)
+
+    def _filter_input(self, plan: lp.Filter) -> Relation:
+        """The filter's input, zone-map pruned when it is a direct scan and
+        the resolver supports pruned reads."""
+        child = plan.child
+        if isinstance(child, lp.Scan):
+            scan_pruned = getattr(self._resolver, "scan_pruned", None)
+            if scan_pruned is not None:
+                bounds = extract_scan_bounds(plan.predicate)
+                if bounds:
+                    source = scan_pruned(child.table, bounds)
+                    return Relation(child.schema, source.rows, source.row_ids)
+        return self.run(child)
 
     # -- joins ----------------------------------------------------------------
 
@@ -127,11 +207,14 @@ class _Executor:
         return output
 
     def _run_limit(self, plan: lp.Limit) -> Relation:
+        if plan.count < 0:
+            raise UserError(f"LIMIT count must be non-negative, got {plan.count}")
+        # The executor materializes each child, so LIMIT cannot stream the
+        # subtree; it does avoid the former full ``list(pairs())`` copy by
+        # slicing the child's backing lists directly.
         child = self.run(plan.child)
-        output = Relation(plan.schema)
-        for row_id, row in list(child.pairs())[:plan.count]:
-            output.append(row_id, row)
-        return output
+        return Relation(plan.schema, child.rows[:plan.count],
+                        child.row_ids[:plan.count])
 
 
 # ---------------------------------------------------------------------------
@@ -154,45 +237,52 @@ def join_relations(plan: lp.Join, left: Relation, right: Relation,
 
     keys = lp.extract_equi_keys(plan)
     matched_right: set[int] = set()
+    group_key = t.group_key
 
     if keys.left_keys:
         # Hash join on the equi-keys.
+        left_key_fn = compile_row(keys.left_keys, ctx)
+        right_key_fn = compile_row(keys.right_keys, ctx)
+        residual = (compile_expression(keys.residual, ctx)
+                    if keys.residual is not None else None)
         buckets: dict[tuple, list[int]] = {}
         for index, row in enumerate(right.rows):
-            values = tuple(expr.eval(row, ctx) for expr in keys.right_keys)
+            values = right_key_fn(row)
             if any(value is None for value in values):
                 continue  # NULL keys never match
-            buckets.setdefault(t.group_key(values), []).append(index)
+            buckets.setdefault(group_key(values), []).append(index)
 
+        right_rows = right.rows
+        right_ids = right.row_ids
         for left_index, left_row in enumerate(left.rows):
-            values = tuple(expr.eval(left_row, ctx) for expr in keys.left_keys)
+            values = left_key_fn(left_row)
             candidates: Sequence[int]
             if any(value is None for value in values):
                 candidates = ()
             else:
-                candidates = buckets.get(t.group_key(values), ())
+                candidates = buckets.get(group_key(values), ())
             found = False
             for right_index in candidates:
-                combined = left_row + right.rows[right_index]
-                if keys.residual is not None and not t.is_true(
-                        keys.residual.eval(combined, ctx)):
+                combined = left_row + right_rows[right_index]
+                if residual is not None and residual(combined) is not True:
                     continue
                 found = True
                 matched_right.add(right_index)
                 output.append(
                     rowid.join_id(left.row_ids[left_index],
-                                  right.row_ids[right_index]), combined)
+                                  right_ids[right_index]), combined)
             if not found and plan.kind in ("left", "full"):
                 output.append(rowid.outer_left_id(left.row_ids[left_index]),
                               left_row + (None,) * right_width)
     else:
         # No equi-keys: nested loops on the full condition.
+        condition = (compile_expression(plan.condition, ctx)
+                     if plan.condition is not None else None)
         for left_index, left_row in enumerate(left.rows):
             found = False
             for right_index, right_row in enumerate(right.rows):
                 combined = left_row + right_row
-                if plan.condition is not None and not t.is_true(
-                        plan.condition.eval(combined, ctx)):
+                if condition is not None and condition(combined) is not True:
                     continue
                 found = True
                 matched_right.add(right_index)
@@ -215,21 +305,28 @@ def aggregate_relation(plan: lp.Aggregate, child: Relation,
                        ctx: EvalContext) -> Relation:
     """Evaluate grouped (or scalar) aggregation over a materialized input."""
     groups: dict[tuple, tuple[tuple, list[tuple]]] = {}
+    values_fn = compile_row(plan.group_exprs, ctx) if plan.group_exprs else None
+    group_key = t.group_key
     for row in child.rows:
-        key_values = tuple(expr.eval(row, ctx) for expr in plan.group_exprs)
-        key = t.group_key(key_values)
-        if key not in groups:
-            groups[key] = (key_values, [])
-        groups[key][1].append(row)
+        key_values = values_fn(row) if values_fn is not None else ()
+        key = group_key(key_values)
+        entry = groups.get(key)
+        if entry is None:
+            groups[key] = entry = (key_values, [])
+        entry[1].append(row)
 
     output = Relation(plan.schema)
     if plan.is_scalar and not groups:
         # Scalar aggregate over empty input still yields one row.
-        groups[t.group_key(())] = ((), [])
+        groups[group_key(())] = ((), [])
+    arg_fns = [(None if call.arg is None
+                else compile_expression(call.arg, ctx))
+               for call in plan.aggregates]
     for key_values, rows in groups.values():
         aggregates = tuple(
-            evaluate_aggregate(call.function, call.arg, call.distinct, rows, ctx)
-            for call in plan.aggregates)
+            evaluate_aggregate(call.function, call.arg, call.distinct, rows,
+                               ctx, arg_fn=arg_fn)
+            for call, arg_fn in zip(plan.aggregates, arg_fns))
         output.append(rowid.group_id(key_values), key_values + aggregates)
     return output
 
@@ -237,8 +334,9 @@ def aggregate_relation(plan: lp.Aggregate, child: Relation,
 def distinct_relation(schema, child: Relation) -> Relation:
     output = Relation(schema)
     seen: set[tuple] = set()
+    group_key = t.group_key
     for row in child.rows:
-        key = t.group_key(row)
+        key = group_key(row)
         if key in seen:
             continue
         seen.add(key)
@@ -250,15 +348,17 @@ def window_relation(plan: lp.Window, child: Relation,
                     ctx: EvalContext) -> Relation:
     """Evaluate partitioned window calls, appending one column per call."""
     partitions: dict[tuple, list[int]] = {}
+    key_fn = compile_group_key(plan.partition_exprs, ctx)
     for index, row in enumerate(child.rows):
-        key = t.group_key(expr.eval(row, ctx) for expr in plan.partition_exprs)
-        partitions.setdefault(key, []).append(index)
+        partitions.setdefault(key_fn(row), []).append(index)
 
     extra: list[list] = [[] for __ in child.rows]
+    compiled = compile_window_calls(plan.calls, ctx)
     for indices in partitions.values():
         rows = [child.rows[index] for index in indices]
         ids = [child.row_ids[index] for index in indices]
-        outputs = evaluate_window_calls(plan.calls, rows, ids, ctx)
+        outputs = evaluate_window_calls(plan.calls, rows, ids, ctx,
+                                        compiled=compiled)
         for local, index in enumerate(indices):
             extra[index] = outputs[local]
 
@@ -273,8 +373,9 @@ def flatten_relation(plan: lp.Flatten, child: Relation,
     """LATERAL FLATTEN: one output row per array element; non-array or NULL
     inputs contribute no rows (Snowflake's default OUTER => FALSE)."""
     output = Relation(plan.schema)
-    for row_id, row in child.pairs():
-        value = plan.input_expr.eval(row, ctx)
+    input_fn = compile_expression(plan.input_expr, ctx)
+    for row_id, row in zip(child.row_ids, child.rows):
+        value = input_fn(row)
         if not isinstance(value, list):
             continue
         for index, element in enumerate(value):

@@ -26,8 +26,11 @@ Every expression knows:
 
 from __future__ import annotations
 
+import operator as _operator
 import re
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from operator import itemgetter
 from typing import Callable, Sequence
 
 from repro.engine import types as t
@@ -61,6 +64,16 @@ class Expression:
 
     def eval(self, row: tuple, ctx: EvalContext) -> Value:
         raise NotImplementedError
+
+    def compile(self, ctx: EvalContext = DEFAULT_CONTEXT) -> "RowEvaluator":
+        """A closure evaluating this expression over a row.
+
+        The compiled form is semantically identical to :meth:`eval` under
+        the same (pinned) context — same values, same NULL handling, same
+        runtime errors — but avoids the per-row recursive method dispatch.
+        See :func:`compile_expression`.
+        """
+        return compile_expression(self, ctx)
 
     @property
     def is_deterministic(self) -> bool:
@@ -313,6 +326,12 @@ class InList(Expression):
                       self.negated)
 
 
+def _like_regex(pattern: str) -> str:
+    """Translate a SQL LIKE pattern to a regex (``%`` → ``.*``, ``_`` →
+    ``.``). Single source of truth for interpreted and compiled LIKE."""
+    return re.escape(pattern).replace("%", ".*").replace("_", ".")
+
+
 @dataclass(frozen=True)
 class Like(Expression):
     """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
@@ -332,8 +351,8 @@ class Like(Expression):
             return None
         if not isinstance(text, str) or not isinstance(pattern, str):
             raise EvaluationError("LIKE requires text operands")
-        regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
-        matched = re.fullmatch(regex, text, flags=re.DOTALL) is not None
+        matched = re.fullmatch(_like_regex(pattern), text,
+                               flags=re.DOTALL) is not None
         return not matched if self.negated else matched
 
     def remap(self, mapping: dict[int, int]) -> "Expression":
@@ -528,6 +547,13 @@ class FunctionRegistry:
 
     def __init__(self):
         self._functions: dict[str, ScalarFunction] = dict(_BUILTIN_FUNCTIONS)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Bumped on every UDF (re-)registration. Plans bind ScalarFunction
+        objects at build time, so plan caches must key on this."""
+        return self._version
 
     def register_udf(self, name: str, impl: Callable[..., Value],
                      return_type: SqlType = SqlType.VARIANT,
@@ -537,6 +563,7 @@ class FunctionRegistry:
             raise TypeError_(f"cannot shadow builtin function {name!r}")
         self._functions[lowered] = ScalarFunction(
             lowered, impl, _fixed(return_type), immutable, null_on_null=False)
+        self._version += 1
 
     def lookup(self, name: str) -> ScalarFunction:
         function = self._functions.get(name.lower())
@@ -633,3 +660,424 @@ def conjoin(parts: Sequence[Expression]) -> Expression:
     if len(parts) == 1:
         return parts[0]
     return BooleanOp("and", tuple(parts))
+
+
+# ---------------------------------------------------------------------------
+# The closure compiler
+# ---------------------------------------------------------------------------
+#
+# ``eval`` is a recursive interpreter: every node pays a bound-method call,
+# an attribute load per child, and a string compare for operator dispatch —
+# *per row*. The compiler pays those costs once, at compile time, and
+# returns a closure ``row -> value`` built from the closures of the node's
+# children. Operator dispatch happens while compiling (one closure per op),
+# column loads become C-level ``itemgetter`` calls, and any sub-expression
+# that reads no columns and is deterministic is folded to a constant (the
+# context is pinned, so context functions fold too).
+#
+# Invariant (load-bearing for the repro): for every row, the compiled
+# closure returns exactly what ``eval`` returns — same values, same NULL
+# semantics, same error types. ``force_interpreted`` swaps every compiled
+# closure for an ``eval`` shim so a property test can assert this.
+
+RowEvaluator = Callable[[tuple], Value]
+
+_FORCE_INTERPRET = False
+
+
+@contextmanager
+def force_interpreted():
+    """Make :func:`compile_expression` return interpreter shims, so callers
+    can diff the batched path against the reference interpreter."""
+    global _FORCE_INTERPRET
+    saved = _FORCE_INTERPRET
+    _FORCE_INTERPRET = True
+    try:
+        yield
+    finally:
+        _FORCE_INTERPRET = saved
+
+
+_COMPILERS: dict[type, Callable[..., RowEvaluator]] = {}
+
+
+def _compiles(cls: type):
+    def register(fn):
+        _COMPILERS[cls] = fn
+        return fn
+    return register
+
+
+def compile_expression(expr: Expression,
+                       ctx: EvalContext = DEFAULT_CONTEXT) -> RowEvaluator:
+    """Compile ``expr`` into a ``row -> value`` closure under ``ctx``."""
+    if _FORCE_INTERPRET:
+        return lambda row: expr.eval(row, ctx)
+    if not expr.column_indices() and expr.is_deterministic:
+        # Constant folding. If folding raises, the expression is an
+        # always-erroring constant (e.g. ``1/0``): compile it normally so
+        # the error still surfaces at run time, per-row, like eval does.
+        try:
+            value = expr.eval((), ctx)
+        except EvaluationError:
+            pass
+        else:
+            return lambda row: value
+    compiler = _COMPILERS.get(type(expr))
+    if compiler is None:
+        return lambda row: expr.eval(row, ctx)
+    return compiler(expr, ctx)
+
+
+def compile_row(exprs: Sequence[Expression],
+                ctx: EvalContext = DEFAULT_CONTEXT) -> Callable[[tuple], tuple]:
+    """Compile a projection list into a ``row -> tuple`` closure."""
+    fns = [compile_expression(expr, ctx) for expr in exprs]
+    if len(fns) == 1:
+        f0, = fns
+        return lambda row: (f0(row),)
+    if len(fns) == 2:
+        f0, f1 = fns
+        return lambda row: (f0(row), f1(row))
+    if len(fns) == 3:
+        f0, f1, f2 = fns
+        return lambda row: (f0(row), f1(row), f2(row))
+    if len(fns) == 4:
+        f0, f1, f2, f3 = fns
+        return lambda row: (f0(row), f1(row), f2(row), f3(row))
+    return lambda row: tuple(fn(row) for fn in fns)
+
+
+def compile_group_key(exprs: Sequence[Expression],
+                      ctx: EvalContext = DEFAULT_CONTEXT,
+                      ) -> Callable[[tuple], tuple]:
+    """Compile grouping expressions into a ``row -> group_key`` closure
+    (NULL-safe hashable key, per :func:`repro.engine.types.group_key`)."""
+    values = compile_row(exprs, ctx)
+    key = t.group_key
+    return lambda row: key(values(row))
+
+
+@_compiles(Literal)
+def _compile_literal(expr: Literal, ctx: EvalContext) -> RowEvaluator:
+    value = expr.value
+    return lambda row: value
+
+
+@_compiles(ColumnRef)
+def _compile_column(expr: ColumnRef, ctx: EvalContext) -> RowEvaluator:
+    return itemgetter(expr.index)
+
+
+def _constant_of(expr: Expression, ctx: EvalContext):
+    """``(True, value)`` when ``expr`` folds to a constant, else
+    ``(False, None)``. Used to specialize binary operators whose one side
+    is constant — the overwhelmingly common shape of filter predicates."""
+    if not expr.column_indices() and expr.is_deterministic:
+        try:
+            return True, expr.eval((), ctx)
+        except EvaluationError:
+            pass
+    return False, None
+
+
+_ARITH_APPLY = {"+": _operator.add, "-": _operator.sub, "*": _operator.mul}
+
+
+@_compiles(Arithmetic)
+def _compile_arithmetic(expr: Arithmetic, ctx: EvalContext) -> RowEvaluator:
+    left = compile_expression(expr.left, ctx)
+    op = expr.op
+
+    apply = _ARITH_APPLY.get(op)
+    if apply is not None:
+        is_const, const = _constant_of(expr.right, ctx)
+        if is_const and const is not None:
+            def run(row):
+                a = left(row)
+                if a is None:
+                    return None
+                try:
+                    return apply(a, const)
+                except TypeError as exc:
+                    raise EvaluationError(
+                        f"bad operands for {op}: {a!r}, {const!r}") from exc
+            return run
+
+        right = compile_expression(expr.right, ctx)
+
+        def run(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            try:
+                return apply(a, b)
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad operands for {op}: {a!r}, {b!r}") from exc
+        return run
+
+    if op in ("/", "%"):
+        right = compile_expression(expr.right, ctx)
+
+        def run(row):
+            a = left(row)
+            b = right(row)
+            if a is None or b is None:
+                return None
+            if b == 0:
+                raise EvaluationError("division by zero")
+            try:
+                return a / b if op == "/" else a % b
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"bad operands for {op}: {a!r}, {b!r}") from exc
+        return run
+
+    def run(row):  # unknown operator: defer to eval's error
+        return expr.eval(row, ctx)
+    return run
+
+
+_COMPARISON_TESTS = {
+    "=": lambda c: c == 0,
+    "!=": lambda c: c != 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    ">": lambda c: c > 0,
+    ">=": lambda c: c >= 0,
+}
+
+
+_DIRECT_COMPARE = {"=": _operator.eq, "!=": _operator.ne, "<>": _operator.ne,
+                   "<": _operator.lt, "<=": _operator.le,
+                   ">": _operator.gt, ">=": _operator.ge}
+
+
+@_compiles(Comparison)
+def _compile_comparison(expr: Comparison, ctx: EvalContext) -> RowEvaluator:
+    left = compile_expression(expr.left, ctx)
+    test = _COMPARISON_TESTS.get(expr.op)
+    if test is None:
+        return lambda row: expr.eval(row, ctx)
+    compare = t.compare
+
+    # Constant right operand of a uniform scalar kind: compare directly,
+    # falling back to t.compare (which may raise, matching eval) whenever
+    # the row value is not of the same kind.
+    is_const, const = _constant_of(expr.right, ctx)
+    if is_const and const is not None:
+        direct = _DIRECT_COMPARE[expr.op]
+        if (isinstance(const, (int, float)) and not isinstance(const, bool)
+                and const == const):  # NaN keeps t.compare's odd semantics
+            def run(row):
+                a = left(row)
+                if a is None:
+                    return None
+                if type(a) is int or (type(a) is float and a == a):
+                    return direct(a, const)
+                result = compare(a, const)
+                return None if result is None else test(result)
+            return run
+        if isinstance(const, str):
+            def run(row):
+                a = left(row)
+                if a is None:
+                    return None
+                if type(a) is str:
+                    return direct(a, const)
+                result = compare(a, const)
+                return None if result is None else test(result)
+            return run
+
+    right = compile_expression(expr.right, ctx)
+
+    def run(row):
+        result = compare(left(row), right(row))
+        if result is None:
+            return None
+        return test(result)
+    return run
+
+
+@_compiles(BooleanOp)
+def _compile_boolean(expr: BooleanOp, ctx: EvalContext) -> RowEvaluator:
+    fns = [compile_expression(operand, ctx) for operand in expr.operands]
+    if expr.op == "and":
+        def run(row):
+            result: Value = True
+            for fn in fns:
+                value = fn(row)
+                if value is False:
+                    return False
+                if value is None:
+                    result = None
+            return result
+        return run
+
+    def run(row):
+        result: Value = False
+        for fn in fns:
+            value = fn(row)
+            if value is True:
+                return True
+            if value is None:
+                result = None
+        return result
+    return run
+
+
+@_compiles(Not)
+def _compile_not(expr: Not, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+
+    def run(row):
+        value = operand(row)
+        if value is None:
+            return None
+        return not value
+    return run
+
+
+@_compiles(IsNull)
+def _compile_is_null(expr: IsNull, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+    if expr.negated:
+        return lambda row: operand(row) is not None
+    return lambda row: operand(row) is None
+
+
+@_compiles(InList)
+def _compile_in_list(expr: InList, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+    items = [compile_expression(item, ctx) for item in expr.items]
+    negated = expr.negated
+    compare = t.compare
+
+    def run(row):
+        needle = operand(row)
+        if needle is None:
+            return None
+        saw_null = False
+        for item in items:
+            value = item(row)
+            if value is None:
+                saw_null = True
+                continue
+            if compare(needle, value) == 0:
+                return not negated
+        if saw_null:
+            return None
+        return negated
+    return run
+
+
+@_compiles(Like)
+def _compile_like(expr: Like, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+    negated = expr.negated
+
+    is_const, const = _constant_of(expr.pattern, ctx)
+    if is_const and isinstance(const, str):
+        # Constant pattern (the common case): translate and compile the
+        # regex once instead of per row.
+        matcher = re.compile(_like_regex(const), re.DOTALL).fullmatch
+
+        def run(row):
+            text = operand(row)
+            if text is None:
+                return None
+            if not isinstance(text, str):
+                raise EvaluationError("LIKE requires text operands")
+            matched = matcher(text) is not None
+            return not matched if negated else matched
+        return run
+
+    pattern_fn = compile_expression(expr.pattern, ctx)
+
+    def run(row):
+        text = operand(row)
+        pattern = pattern_fn(row)
+        if text is None or pattern is None:
+            return None
+        if not isinstance(text, str) or not isinstance(pattern, str):
+            raise EvaluationError("LIKE requires text operands")
+        matched = re.fullmatch(_like_regex(pattern), text,
+                               flags=re.DOTALL) is not None
+        return not matched if negated else matched
+    return run
+
+
+@_compiles(Case)
+def _compile_case(expr: Case, ctx: EvalContext) -> RowEvaluator:
+    whens = [(compile_expression(cond, ctx), compile_expression(value, ctx))
+             for cond, value in expr.whens]
+    otherwise = compile_expression(expr.otherwise, ctx)
+
+    def run(row):
+        for cond, value in whens:
+            if cond(row) is True:
+                return value(row)
+        return otherwise(row)
+    return run
+
+
+@_compiles(Cast)
+def _compile_cast(expr: Cast, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+    target = expr.target
+    cast = t.cast_value
+    return lambda row: cast(operand(row), target)
+
+
+@_compiles(VariantPath)
+def _compile_variant_path(expr: VariantPath, ctx: EvalContext) -> RowEvaluator:
+    operand = compile_expression(expr.operand, ctx)
+    path = expr.path
+
+    def run(row):
+        value = operand(row)
+        for key in path:
+            if value is None:
+                return None
+            if isinstance(value, dict):
+                value = value.get(key)
+            elif isinstance(value, list):
+                try:
+                    value = value[int(key)]
+                except (ValueError, IndexError):
+                    return None
+            else:
+                return None
+        return value
+    return run
+
+
+@_compiles(ContextFunction)
+def _compile_context_function(expr: ContextFunction,
+                              ctx: EvalContext) -> RowEvaluator:
+    value = expr.eval((), ctx)  # pinned context: a constant per compilation
+    return lambda row: value
+
+
+@_compiles(FunctionCall)
+def _compile_function_call(expr: FunctionCall,
+                           ctx: EvalContext) -> RowEvaluator:
+    args = [compile_expression(arg, ctx) for arg in expr.args]
+    impl = expr.function.impl
+    name = expr.function.name
+    null_on_null = expr.function.null_on_null
+
+    def run(row):
+        values = [arg(row) for arg in args]
+        if null_on_null and None in values:
+            return None
+        try:
+            return impl(*values)
+        except EvaluationError:
+            raise
+        except Exception as exc:
+            raise EvaluationError(f"error in function {name}: {exc}") from exc
+    return run

@@ -7,6 +7,11 @@ BY are broken repeatably". We therefore always break ORDER BY ties with a
 stable final key (the row's own encoded value plus its row id), making a
 partition's output a pure function of its row multiset.
 
+Evaluation is batched: ORDER BY keys, tie-break digests, and call
+arguments are computed once per row (via compiled closures from
+:mod:`repro.engine.expressions`) rather than once per comparison, which
+turns the sort from O(n log n) expression evaluations into O(n).
+
 Frames follow the SQL defaults:
 
 * no ORDER BY → the whole partition is the frame (for aggregate functions);
@@ -17,42 +22,67 @@ Frames follow the SQL defaults:
 from __future__ import annotations
 
 import functools
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.engine import types as t
 from repro.engine.aggregates import evaluate_aggregate
-from repro.engine.expressions import EvalContext
+from repro.engine.expressions import EvalContext, compile_expression
 from repro.engine.types import Value
 from repro.errors import EvaluationError
 from repro.plan.logical import WindowCall
 
 
 def sort_partition(rows: Sequence[tuple], row_ids: Sequence[str],
-                   order_by, ctx: EvalContext) -> list[int]:
+                   order_by, ctx: EvalContext,
+                   key_fns: Optional[list] = None,
+                   keys: Optional[list[tuple]] = None,
+                   tie_cache: Optional[list] = None) -> list[int]:
     """Return row indices in window evaluation order.
 
     Sorts by the ORDER BY keys (NULLS LAST ascending / NULLS FIRST
     descending, Snowflake's defaults), breaking ties with the stable hash
     of the full row and finally the row id — the "repeatable tie-break" the
     paper's window derivative requires.
+
+    Key values are computed once per row (``keys`` lets callers supply
+    them precomputed; ``key_fns`` reuses already-compiled evaluators). The
+    tie-break digest is computed lazily — only for rows that actually tie
+    — and memoized in ``tie_cache``, which callers sorting the same rows
+    repeatedly (one Window node, several calls) can share across calls.
     """
-    indices = list(range(len(rows)))
+    if key_fns is None:
+        key_fns = [(compile_expression(expr, ctx), descending)
+                   for expr, descending in order_by]
+    if keys is None:
+        keys = [tuple(fn(row) for fn, __ in key_fns) for row in rows]
+    if tie_cache is None:
+        tie_cache = [None] * len(rows)
+    descending_flags = [descending for __, descending in key_fns]
+
+    def tie_key(index: int) -> tuple:
+        value = tie_cache[index]
+        if value is None:
+            value = tie_cache[index] = (t.stable_hash(rows[index]),
+                                        row_ids[index])
+        return value
 
     def compare_rows(left: int, right: int) -> int:
-        for expr, descending in order_by:
-            left_value = expr.eval(rows[left], ctx)
-            right_value = expr.eval(rows[right], ctx)
-            result = _compare_with_nulls(left_value, right_value, descending)
+        left_keys = keys[left]
+        right_keys = keys[right]
+        for position, descending in enumerate(descending_flags):
+            result = _compare_with_nulls(left_keys[position],
+                                         right_keys[position], descending)
             if result != 0:
                 return result
-        left_tie = (t.stable_hash(rows[left]), row_ids[left])
-        right_tie = (t.stable_hash(rows[right]), row_ids[right])
+        left_tie = tie_key(left)
+        right_tie = tie_key(right)
         if left_tie < right_tie:
             return -1
         if left_tie > right_tie:
             return 1
         return 0
 
+    indices = list(range(len(rows)))
     indices.sort(key=functools.cmp_to_key(compare_rows))
     return indices
 
@@ -70,79 +100,113 @@ def _compare_with_nulls(left: Value, right: Value, descending: bool) -> int:
     return -result if descending else result
 
 
+class CompiledWindowCall:
+    """A window call with its argument and ORDER BY keys compiled once."""
+
+    __slots__ = ("call", "arg_fn", "key_fns")
+
+    def __init__(self, call: WindowCall, ctx: EvalContext):
+        self.call = call
+        self.arg_fn: Optional[Callable[[tuple], Value]] = (
+            compile_expression(call.arg, ctx) if call.arg is not None else None)
+        self.key_fns = [(compile_expression(expr, ctx), descending)
+                        for expr, descending in call.order_by]
+
+
+def compile_window_calls(calls: Sequence[WindowCall],
+                         ctx: EvalContext) -> list[CompiledWindowCall]:
+    return [CompiledWindowCall(call, ctx) for call in calls]
+
+
 def evaluate_window_calls(calls: Sequence[WindowCall], rows: Sequence[tuple],
-                          row_ids: Sequence[str],
-                          ctx: EvalContext) -> list[list[Value]]:
+                          row_ids: Sequence[str], ctx: EvalContext,
+                          compiled: Optional[Sequence[CompiledWindowCall]] = None,
+                          ) -> list[list[Value]]:
     """Evaluate every window call over one partition.
 
     Returns ``outputs[row_index][call_index]`` aligned with the *input*
     order of ``rows`` (the caller appends these as extra columns).
+    ``compiled`` lets the executor share compiled calls across partitions.
     """
+    if compiled is None:
+        compiled = compile_window_calls(calls, ctx)
     outputs: list[list[Value]] = [[None] * len(calls) for __ in rows]
-    for call_index, call in enumerate(calls):
-        ordered = sort_partition(rows, row_ids, call.order_by, ctx)
-        values = _evaluate_one(call, rows, ordered, ctx)
+    tie_cache: list = [None] * len(rows)  # shared: ties are key-independent
+    for call_index, cc in enumerate(compiled):
+        keys = [tuple(fn(row) for fn, __ in cc.key_fns) for row in rows]
+        ordered = sort_partition(rows, row_ids, cc.call.order_by, ctx,
+                                 key_fns=cc.key_fns, keys=keys,
+                                 tie_cache=tie_cache)
+        values = _evaluate_one(cc, rows, ordered, ctx, keys)
         for position, row_index in enumerate(ordered):
             outputs[row_index][call_index] = values[position]
     return outputs
 
 
-def _evaluate_one(call: WindowCall, rows: Sequence[tuple],
-                  ordered: Sequence[int], ctx: EvalContext) -> list[Value]:
+def _order_keys(keys: Sequence[tuple], ordered: Sequence[int]) -> list[tuple]:
+    """Group keys of the (already computed) ORDER BY values, aligned with
+    ``ordered``."""
+    group_key = t.group_key
+    return [group_key(keys[index]) for index in ordered]
+
+
+def _evaluate_one(cc: CompiledWindowCall, rows: Sequence[tuple],
+                  ordered: Sequence[int], ctx: EvalContext,
+                  keys: Sequence[tuple]) -> list[Value]:
     """Values for one call, positionally aligned with ``ordered``."""
+    call = cc.call
+    arg_fn = cc.arg_fn
     size = len(ordered)
 
     if call.function == "row_number":
         return list(range(1, size + 1))
 
     if call.function in ("rank", "dense_rank"):
-        return _rank_values(call, rows, ordered, ctx,
+        return _rank_values(keys, ordered,
                             dense=call.function == "dense_rank")
 
     if call.function in ("lag", "lead"):
-        assert call.arg is not None
+        assert arg_fn is not None
         values: list[Value] = []
         direction = -call.offset if call.function == "lag" else call.offset
         for position in range(size):
             source = position + direction
             if 0 <= source < size:
-                values.append(call.arg.eval(rows[ordered[source]], ctx))
+                values.append(arg_fn(rows[ordered[source]]))
             else:
                 values.append(None)
         return values
 
     if call.function == "first_value":
-        assert call.arg is not None
-        first = call.arg.eval(rows[ordered[0]], ctx) if size else None
+        assert arg_fn is not None
+        first = arg_fn(rows[ordered[0]]) if size else None
         return [first] * size
 
     if call.function == "last_value":
-        assert call.arg is not None
-        last = call.arg.eval(rows[ordered[-1]], ctx) if size else None
+        assert arg_fn is not None
+        last = arg_fn(rows[ordered[-1]]) if size else None
         return [last] * size
 
     if call.function in ("sum", "count", "avg", "min", "max", "count_if"):
         if not call.order_by:
             # Whole-partition frame.
             frame = [rows[index] for index in ordered]
-            value = evaluate_aggregate(call.function, call.arg, False, frame, ctx)
+            value = evaluate_aggregate(call.function, call.arg, False, frame,
+                                       ctx, arg_fn=arg_fn)
             return [value] * size
-        return _cumulative_values(call, rows, ordered, ctx)
+        return _cumulative_values(cc, rows, ordered, ctx, keys)
 
     raise EvaluationError(f"unknown window function {call.function}")
 
 
-def _rank_values(call: WindowCall, rows: Sequence[tuple],
-                 ordered: Sequence[int], ctx: EvalContext,
+def _rank_values(keys: Sequence[tuple], ordered: Sequence[int],
                  dense: bool) -> list[Value]:
+    order_keys = _order_keys(keys, ordered)
     values: list[Value] = []
     rank = 0
     dense_rank = 0
     previous_key: tuple | None = None
-    for position, row_index in enumerate(ordered):
-        key = tuple(expr.eval(rows[row_index], ctx)
-                    for expr, __ in call.order_by)
-        key = t.group_key(key)
+    for position, key in enumerate(order_keys):
         if key != previous_key:
             rank = position + 1
             dense_rank += 1
@@ -151,24 +215,22 @@ def _rank_values(call: WindowCall, rows: Sequence[tuple],
     return values
 
 
-def _cumulative_values(call: WindowCall, rows: Sequence[tuple],
-                       ordered: Sequence[int], ctx: EvalContext) -> list[Value]:
+def _cumulative_values(cc: CompiledWindowCall, rows: Sequence[tuple],
+                       ordered: Sequence[int], ctx: EvalContext,
+                       keys: Sequence[tuple]) -> list[Value]:
     """Cumulative (RANGE UNBOUNDED PRECEDING) frame: peers share results."""
     # Identify peer groups by order-key equality.
+    order_keys = _order_keys(keys, ordered)
     values: list[Value] = [None] * len(ordered)
     position = 0
     while position < len(ordered):
-        key = t.group_key(expr.eval(rows[ordered[position]], ctx)
-                          for expr, __ in call.order_by)
+        key = order_keys[position]
         end = position + 1
-        while end < len(ordered):
-            next_key = t.group_key(expr.eval(rows[ordered[end]], ctx)
-                                   for expr, __ in call.order_by)
-            if next_key != key:
-                break
+        while end < len(ordered) and order_keys[end] == key:
             end += 1
         frame = [rows[index] for index in ordered[:end]]
-        value = evaluate_aggregate(call.function, call.arg, False, frame, ctx)
+        value = evaluate_aggregate(cc.call.function, cc.call.arg, False, frame,
+                                   ctx, arg_fn=cc.arg_fn)
         for index in range(position, end):
             values[index] = value
         position = end

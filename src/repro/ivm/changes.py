@@ -19,10 +19,12 @@ section 6.1 that "shielded customers from data corruption".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping
+from operator import itemgetter
+from typing import Iterable, Iterator, Mapping, NamedTuple
 
 from repro.errors import ChangeIntegrityError
+
+_ACTION_OF = itemgetter(0)
 
 
 class Action(enum.Enum):
@@ -35,9 +37,13 @@ class Action(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class Change:
-    """One delta row: ``($ACTION, $ROW_ID, values...)``."""
+class Change(NamedTuple):
+    """One delta row: ``($ACTION, $ROW_ID, values...)``.
+
+    A NamedTuple rather than a dataclass: changes are allocated once per
+    delta row on the refresh hot path, and tuple construction skips the
+    per-field ``object.__setattr__`` cost of frozen dataclasses.
+    """
 
     action: Action
     row_id: str
@@ -86,18 +92,19 @@ class ChangeSet:
         self.changes.extend(other)
 
     def inserts(self) -> list[Change]:
-        return [change for change in self.changes
-                if change.action == Action.INSERT]
+        insert = Action.INSERT
+        return [change for change in self.changes if change.action is insert]
 
     def deletes(self) -> list[Change]:
-        return [change for change in self.changes
-                if change.action == Action.DELETE]
+        delete = Action.DELETE
+        return [change for change in self.changes if change.action is delete]
 
     @property
     def insert_only(self) -> bool:
         """True when the set contains no deletions — the extremely common
         workload shape that section 5.5.2 specializes for."""
-        return all(change.action == Action.INSERT for change in self.changes)
+        # `map` + `in` keeps the scan in C: enum equality is identity.
+        return Action.DELETE not in map(_ACTION_OF, self.changes)
 
     def validate(self, existing_row_ids: Mapping[str, object] | None = None) -> None:
         """Check the section 6.1 incremental-refresh invariants.
@@ -112,24 +119,23 @@ class ChangeSet:
 
         Raises :class:`~repro.errors.ChangeIntegrityError`.
         """
-        seen: set[tuple[str, Action]] = set()
+        delete = Action.DELETE
+        inserted: set[str] = set()
         deleted: set[str] = set()
-        for change in self.changes:
-            key = (change.row_id, change.action)
-            if key in seen:
+        for action, row_id, __ in self.changes:
+            seen = deleted if action is delete else inserted
+            if row_id in seen:
                 raise ChangeIntegrityError(
-                    f"duplicate ($ROW_ID, $ACTION) pair: {key}")
-            seen.add(key)
-            if change.action == Action.DELETE:
-                deleted.add(change.row_id)
+                    f"duplicate ($ROW_ID, $ACTION) pair: {(row_id, action)}")
+            seen.add(row_id)
         if existing_row_ids is not None:
             for change in self.changes:
                 exists = change.row_id in existing_row_ids
-                if change.action == Action.DELETE and not exists:
-                    raise ChangeIntegrityError(
-                        f"delete of nonexistent row: {change.row_id}")
-                if (change.action == Action.INSERT and exists
-                        and change.row_id not in deleted):
+                if change.action is delete:
+                    if not exists:
+                        raise ChangeIntegrityError(
+                            f"delete of nonexistent row: {change.row_id}")
+                elif exists and change.row_id not in deleted:
                     raise ChangeIntegrityError(
                         f"insert of already-present row: {change.row_id}")
 

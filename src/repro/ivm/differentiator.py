@@ -99,6 +99,14 @@ class _EndpointResolver:
             return self._source.scan_old(table)
         return self._source.scan_new(table)
 
+    def scan_pruned(self, table: str, bounds) -> Relation:
+        """Zone-map pruned endpoint scan, when the delta source's storage
+        supports it; falls back to a full scan otherwise."""
+        pruned = getattr(self._source, f"scan_{self._which}_pruned", None)
+        if pruned is None:
+            return self.scan(table)
+        return pruned(table, bounds)
+
 
 #: Rule registry: operator class name -> rule(differ, plan) -> ChangeSet.
 RULES: dict[str, Callable[["Differentiator", lp.PlanNode], ChangeSet]] = {}
@@ -148,6 +156,10 @@ class Differentiator:
         self._old_cache: dict[int, Relation] = {}
         self._new_cache: dict[int, Relation] = {}
         self._delta_cache: dict[int, ChangeSet] = {}
+        #: table -> whether its source delta was insert-only, recorded when
+        #: the Scan rule's result passes through :meth:`delta` so the
+        #: consolidation-skip analysis need not rescan the delta.
+        self.source_insert_only: dict[str, bool] = {}
 
     # -- endpoint evaluation (memoized term reuse) ------------------------------
 
@@ -192,8 +204,13 @@ class Differentiator:
                 f"operator {type(plan).__name__} has no derivative rule")
         result = rule_fn(self, plan)
         self.stats.delta_rows_out += len(result)
-        if not result.insert_only:
+        insert_only = result.insert_only
+        if not insert_only:
             result = consolidate(result)
+        if isinstance(plan, lp.Scan):
+            # Scan rules return the source delta verbatim, so this is the
+            # table's change-stream insert-only flag.
+            self.source_insert_only[plan.table] = insert_only
         self._delta_cache[key] = result
         return result
 
@@ -216,8 +233,10 @@ def differentiate(plan: lp.PlanNode, source: DeltaSource,
     raw = differ.delta(plan)
 
     if is_append_only_plan(plan):
+        recorded = differ.source_insert_only
         insert_only = all(
-            source.scan_delta(table).insert_only
+            recorded[table] if table in recorded
+            else source.scan_delta(table).insert_only
             for table in lp.scans_of(plan))
         if insert_only:
             differ.stats.consolidation_skipped = True
@@ -225,6 +244,17 @@ def differentiate(plan: lp.PlanNode, source: DeltaSource,
             return raw, differ.stats
 
     return consolidate(raw), differ.stats
+
+
+def semi_join_keys(relation: Relation, key_fn, affected: set) -> Relation:
+    """Rows of ``relation`` whose compiled key is in ``affected`` — the
+    ``Q ⋉_k ΔQ`` restriction shared by the affected-key rules (outer
+    joins, aggregates, DISTINCT, windows)."""
+    restricted = Relation(relation.schema)
+    for row_id, row in zip(relation.row_ids, relation.rows):
+        if key_fn(row) in affected:
+            restricted.append(row_id, row)
+    return restricted
 
 
 def diff_relations(old: Relation, new: Relation) -> ChangeSet:

@@ -18,21 +18,12 @@ from __future__ import annotations
 
 from repro.engine import types as t
 from repro.engine.executor import aggregate_relation, distinct_relation
-from repro.engine.relation import Relation
+from repro.engine.expressions import compile_group_key
 from repro.errors import NotIncrementalizableError
 from repro.ivm.changes import ChangeSet
-from repro.ivm.differentiator import Differentiator, diff_relations, rule
+from repro.ivm.differentiator import (Differentiator, diff_relations, rule,
+                                      semi_join_keys)
 from repro.plan import logical as lp
-
-
-def _restrict_to_keys(relation: Relation, key_exprs, affected: set[tuple],
-                      differ: Differentiator) -> Relation:
-    restricted = Relation(relation.schema)
-    for row_id, row in relation.pairs():
-        key = t.group_key(expr.eval(row, differ.ctx) for expr in key_exprs)
-        if key in affected:
-            restricted.append(row_id, row)
-    return restricted
 
 
 @rule("Aggregate")
@@ -46,15 +37,11 @@ def delta_aggregate(differ: Differentiator, plan: lp.Aggregate) -> ChangeSet:
     if not child_delta:
         return ChangeSet()
 
-    affected: set[tuple] = set()
-    for change in child_delta:
-        affected.add(t.group_key(
-            expr.eval(change.row, differ.ctx) for expr in plan.group_exprs))
+    key_fn = compile_group_key(plan.group_exprs, differ.ctx)
+    affected = {key_fn(change.row) for change in child_delta}
 
-    child_old = _restrict_to_keys(differ.old(plan.child), plan.group_exprs,
-                                  affected, differ)
-    child_new = _restrict_to_keys(differ.new(plan.child), plan.group_exprs,
-                                  affected, differ)
+    child_old = semi_join_keys(differ.old(plan.child), key_fn, affected)
+    child_new = semi_join_keys(differ.new(plan.child), key_fn, affected)
 
     old_result = aggregate_relation(plan, child_old, differ.ctx)
     new_result = aggregate_relation(plan, child_new, differ.ctx)
@@ -71,13 +58,10 @@ def delta_distinct(differ: Differentiator, plan: lp.Distinct) -> ChangeSet:
 
     affected = {t.group_key(change.row) for change in child_delta}
 
-    def restrict(relation: Relation) -> Relation:
-        restricted = Relation(relation.schema)
-        for row_id, row in relation.pairs():
-            if t.group_key(row) in affected:
-                restricted.append(row_id, row)
-        return restricted
-
-    old_result = distinct_relation(plan.schema, restrict(differ.old(plan.child)))
-    new_result = distinct_relation(plan.schema, restrict(differ.new(plan.child)))
+    old_result = distinct_relation(
+        plan.schema,
+        semi_join_keys(differ.old(plan.child), t.group_key, affected))
+    new_result = distinct_relation(
+        plan.schema,
+        semi_join_keys(differ.new(plan.child), t.group_key, affected))
     return diff_relations(old_result, new_result)

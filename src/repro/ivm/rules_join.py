@@ -33,13 +33,13 @@ difference.
 
 from __future__ import annotations
 
-from repro.engine import types as t
 from repro.engine.executor import join_relations
+from repro.engine.expressions import compile_group_key
 from repro.engine.relation import Relation
 from repro.errors import NotIncrementalizableError
 from repro.ivm.changes import Action, Change, ChangeSet
 from repro.ivm.differentiator import (OUTER_JOIN_REWRITE, Differentiator,
-                                      diff_relations, rule)
+                                      diff_relations, rule, semi_join_keys)
 from repro.plan import logical as lp
 
 
@@ -116,26 +116,18 @@ def _delta_outer_direct(differ: Differentiator, plan: lp.Join) -> ChangeSet:
         # endpoint diff (still correct, cost ∝ |Q| + |R|).
         return diff_relations(differ.old(plan), differ.new(plan))
 
+    left_key_fn = compile_group_key(keys.left_keys, differ.ctx)
+    right_key_fn = compile_group_key(keys.right_keys, differ.ctx)
     affected: set[tuple] = set()
     for change in delta_left:
-        affected.add(t.group_key(
-            expr.eval(change.row, differ.ctx) for expr in keys.left_keys))
+        affected.add(left_key_fn(change.row))
     for change in delta_right:
-        affected.add(t.group_key(
-            expr.eval(change.row, differ.ctx) for expr in keys.right_keys))
+        affected.add(right_key_fn(change.row))
 
-    def restrict(relation: Relation, key_exprs) -> Relation:
-        restricted = Relation(relation.schema)
-        for row_id, row in relation.pairs():
-            key = t.group_key(expr.eval(row, differ.ctx) for expr in key_exprs)
-            if key in affected:
-                restricted.append(row_id, row)
-        return restricted
-
-    left_old = restrict(differ.old(plan.left), keys.left_keys)
-    left_new = restrict(differ.new(plan.left), keys.left_keys)
-    right_old = restrict(differ.old(plan.right), keys.right_keys)
-    right_new = restrict(differ.new(plan.right), keys.right_keys)
+    left_old = semi_join_keys(differ.old(plan.left), left_key_fn, affected)
+    left_new = semi_join_keys(differ.new(plan.left), left_key_fn, affected)
+    right_old = semi_join_keys(differ.old(plan.right), right_key_fn, affected)
+    right_new = semi_join_keys(differ.new(plan.right), right_key_fn, affected)
 
     differ.stats.join_input_rows += (len(left_old) + len(right_old)
                                      + len(left_new) + len(right_new))

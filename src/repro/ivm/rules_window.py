@@ -29,11 +29,11 @@ ablation benchmark honest.
 
 from __future__ import annotations
 
-from repro.engine import types as t
 from repro.engine.executor import window_relation
-from repro.engine.relation import Relation
+from repro.engine.expressions import compile_group_key
 from repro.ivm.changes import ChangeSet
-from repro.ivm.differentiator import Differentiator, diff_relations, rule
+from repro.ivm.differentiator import (Differentiator, diff_relations, rule,
+                                      semi_join_keys)
 from repro.plan import logical as lp
 
 
@@ -44,24 +44,14 @@ def delta_window(differ: Differentiator, plan: lp.Window) -> ChangeSet:
         return ChangeSet()
 
     # Changed partitions: partition keys of every delta row (Q|_I ⋉_k ΔQ).
-    affected: set[tuple] = set()
-    for change in child_delta:
-        affected.add(t.group_key(
-            expr.eval(change.row, differ.ctx)
-            for expr in plan.partition_exprs))
+    key_fn = compile_group_key(plan.partition_exprs, differ.ctx)
+    affected = {key_fn(change.row) for change in child_delta}
 
-    def semi_join(relation: Relation) -> Relation:
-        restricted = Relation(relation.schema)
-        for row_id, row in relation.pairs():
-            key = t.group_key(expr.eval(row, differ.ctx)
-                              for expr in plan.partition_exprs)
-            if key in affected:
-                restricted.append(row_id, row)
-        return restricted
-
-    old_windows = window_relation(plan, semi_join(differ.old(plan.child)),
-                                  differ.ctx)
-    new_windows = window_relation(plan, semi_join(differ.new(plan.child)),
-                                  differ.ctx)
+    old_windows = window_relation(
+        plan, semi_join_keys(differ.old(plan.child), key_fn, affected),
+        differ.ctx)
+    new_windows = window_relation(
+        plan, semi_join_keys(differ.new(plan.child), key_fn, affected),
+        differ.ctx)
     # π₋(old) + π₊(new), with unchanged rows cancelling via the row-id diff.
     return diff_relations(old_windows, new_windows)

@@ -170,6 +170,14 @@ class Catalog:
     def ddl_log(self) -> list[DdlEvent]:
         return list(self._ddl_log)
 
+    @property
+    def epoch(self) -> int:
+        """A monotonically increasing DDL epoch: the sequence number of the
+        latest DDL event (0 before any DDL). Any catalog change — create,
+        replace, drop, undrop, rename, alter — bumps it, so cached compiled
+        plans keyed by epoch are invalidated by every schema change."""
+        return self._ddl_log[-1].seq if self._ddl_log else 0
+
     def ddl_log_since(self, seq: int) -> list[DdlEvent]:
         """DDL events with sequence number > ``seq`` (scheduler polling)."""
         return [event for event in self._ddl_log if event.seq > seq]

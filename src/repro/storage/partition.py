@@ -1,4 +1,4 @@
-"""Immutable micro-partitions.
+"""Immutable micro-partitions with per-column zone maps.
 
 Snowflake tables are stored as immutable micro-partitions; a table version
 is a set of partitions, and every change is expressed as partitions added
@@ -14,12 +14,21 @@ the paper discusses fall out of it naturally:
 * **data-equivalent operations** (section 5.5.2): background reclustering
   rewrites partitions without changing logical contents; versions flagged
   data-equivalent are skipped by the differ.
+
+Each partition is stamped at creation with per-column **zone maps**
+(min/max plus a value-kind tag), mirroring Snowflake's per-micro-partition
+metadata. Scans with pushed-down column bounds use them to skip partitions
+wholesale; the pruning is conservative — a partition is only skipped when
+*no* row in it could satisfy the bounds under exact SQL semantics
+(including NULL comparisons evaluating to NULL, and mixed-type columns
+never being pruned so runtime type errors still surface).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
 
 
 #: Global partition id allocator (ids only need to be unique per process).
@@ -27,21 +36,155 @@ _partition_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
+class ColumnStats:
+    """Zone-map entry for one column of one partition.
+
+    ``kind`` is ``"num"`` (all non-NULL values are int/float, no NaN),
+    ``"str"`` (all non-NULL values are text), ``None`` (every value is
+    NULL), or ``"other"`` (mixed or non-orderable values — never pruned).
+    ``low``/``high`` are only meaningful for ``"num"`` and ``"str"``.
+    """
+
+    kind: Optional[str]
+    low: object = None
+    high: object = None
+    has_null: bool = False
+
+
+def _column_stats(values: Iterable[object]) -> ColumnStats:
+    kind: Optional[str] = None
+    low = high = None
+    has_null = False
+    other = False
+    for value in values:
+        # has_null must stay accurate even for "other"-kind columns: the
+        # IS NULL pruning rule relies on it, so the scan never stops early.
+        if value is None:
+            has_null = True
+            continue
+        if other:
+            continue
+        if isinstance(value, bool):
+            other = True
+            continue
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and value != value:  # NaN
+                other = True
+                continue
+            value_kind = "num"
+        elif isinstance(value, str):
+            value_kind = "str"
+        else:
+            other = True
+            continue
+        if kind is None:
+            kind = value_kind
+            low = high = value
+        elif kind != value_kind:
+            other = True
+        else:
+            if value < low:
+                low = value
+            if value > high:
+                high = value
+    if other:
+        return ColumnStats("other", has_null=has_null)
+    return ColumnStats(kind, low, high, has_null)
+
+
+def build_zone_maps(rows: Sequence[tuple[str, tuple]]) -> tuple[ColumnStats, ...]:
+    """Per-column stats over the ``(row_id, row)`` pairs of a partition."""
+    if not rows:
+        return ()
+    width = len(rows[0][1])
+    return tuple(
+        _column_stats(row[index] if index < len(row) else None
+                      for __, row in rows)
+        for index in range(width))
+
+
+def _range_allows(stats: ColumnStats, op: str, value: object) -> bool:
+    """Whether any non-NULL value in [low, high] could satisfy
+    ``col <op> value``. Callers must have established kind safety first."""
+    if op == "=":
+        return stats.low <= value <= stats.high
+    if op == "<":
+        return stats.low < value
+    if op == "<=":
+        return stats.low <= value
+    if op == ">":
+        return stats.high > value
+    if op == ">=":
+        return stats.high >= value
+    if op in ("!=", "<>"):
+        # Excludable only when every non-NULL value equals the literal.
+        return not (stats.low == value == stats.high)
+    return True
+
+
+@dataclass(frozen=True)
 class Partition:
-    """An immutable bundle of ``(row_id, row)`` pairs."""
+    """An immutable bundle of ``(row_id, row)`` pairs with zone maps."""
 
     id: int
     rows: tuple[tuple[str, tuple], ...]
+    zone_maps: tuple[ColumnStats, ...] = ()
 
     @staticmethod
     def create(rows: tuple[tuple[str, tuple], ...]) -> "Partition":
-        return Partition(next(_partition_ids), rows)
+        return Partition(next(_partition_ids), rows, build_zone_maps(rows))
 
     def __len__(self) -> int:
         return len(self.rows)
 
     def row_ids(self) -> list[str]:
         return [row_id for row_id, __ in self.rows]
+
+    def might_match(self, bounds: Sequence[tuple]) -> bool:
+        """Whether this partition could contain a row satisfying the
+        conjunction of scan bounds (see
+        :func:`repro.engine.executor.extract_scan_bounds`). False means
+        the partition can be skipped.
+
+        Soundness: the partition is only skipped when, for every row, the
+        full predicate provably evaluates to FALSE or NULL *without
+        raising*. Each ``("cmp", ...)`` bound therefore first checks kind
+        safety — a column whose values are mixed-kind, boolean, NaN, or of
+        a different kind than the literal could make ``t.compare`` raise,
+        so such a partition is never skipped (returns True immediately).
+        """
+        zone_maps = self.zone_maps
+        excluded = False
+        for bound in bounds:
+            if bound[0] == "cmp":
+                __, index, op, value = bound
+                if index >= len(zone_maps):
+                    return True  # ragged row shape: cannot reason
+                stats = zone_maps[index]
+                if stats.kind is None:
+                    # All NULL: the comparison is NULL on every row —
+                    # never raises, never selects.
+                    excluded = True
+                    continue
+                value_kind = ("num" if isinstance(value, (int, float))
+                              and not isinstance(value, bool) else "str")
+                if stats.kind != value_kind:
+                    # Mixed/boolean column or kind mismatch: evaluating
+                    # this conjunct could raise; keep the partition.
+                    return True
+                if not _range_allows(stats, op, value):
+                    excluded = True
+            else:  # ("null", index, negated) — IS [NOT] NULL never raises
+                __, index, negated = bound
+                if index >= len(zone_maps):
+                    return True
+                stats = zone_maps[index]
+                if not negated:
+                    if not stats.has_null:
+                        excluded = True  # no NULLs: IS NULL false per row
+                elif stats.kind is None:
+                    excluded = True  # all NULL: IS NOT NULL false per row
+        return not excluded
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Partition(id={self.id}, rows={len(self.rows)})"

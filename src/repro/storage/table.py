@@ -20,8 +20,9 @@ first production validation.
 from __future__ import annotations
 
 import bisect
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
 
 from repro.engine.relation import Relation
 from repro.engine.schema import Schema
@@ -34,6 +35,15 @@ from repro.util.timeutil import Timestamp
 
 #: Default micro-partition capacity, in rows.
 DEFAULT_PARTITION_ROWS = 4096
+
+#: How many materialized versions the per-table relation cache retains.
+#: Long refresh histories produce unboundedly many versions; only the most
+#: recently read few are worth keeping in memory.
+RELATION_CACHE_VERSIONS = 8
+
+#: Upper bound on HLC logical components, used when resolving a bare wall
+#: timestamp: every commit at that wall clock is visible.
+_MAX_LOGICAL = float("inf")
 
 
 @dataclass(frozen=True)
@@ -86,14 +96,19 @@ class VersionedTable:
         self._partitions: dict[int, Partition] = {}
         self._versions: list[TableVersion] = [
             TableVersion(0, HLC_ZERO, frozenset())]
-        self._commit_walls: list[Timestamp] = [HLC_ZERO.wall]
+        #: Commit timestamps as (wall, logical) pairs, parallel to
+        #: ``_versions``; bisected on the *full* HLC order so commits that
+        #: share a wall clock still resolve deterministically.
+        self._commit_keys: list[tuple[Timestamp, int]] = [
+            (HLC_ZERO.wall, HLC_ZERO.logical)]
         self._next_row_seq = 0
         #: Row locator for the *latest* version: row_id -> partition id.
         self._locator: dict[str, int] = {}
         #: refresh data timestamp -> version index (dynamic tables only).
         self._refresh_versions: dict[Timestamp, int] = {}
-        #: Relation cache keyed by version index.
-        self._relation_cache: dict[int, Relation] = {}
+        #: Bounded LRU of materialized relations keyed by version index.
+        self._relation_cache: OrderedDict[int, Relation] = OrderedDict()
+        self._relation_cache_limit = RELATION_CACHE_VERSIONS
 
     # -- version resolution ---------------------------------------------------
 
@@ -103,15 +118,34 @@ class VersionedTable:
 
     @property
     def versions(self) -> list[TableVersion]:
+        """A snapshot copy of all versions. O(V) — hot paths should use
+        :meth:`version` / :attr:`version_count` instead."""
         return list(self._versions)
 
-    def version_at(self, wall: Timestamp) -> TableVersion:
-        """The version with the largest commit timestamp whose wall clock
-        is ≤ ``wall`` (section 5.3's visibility rule for regular tables)."""
-        index = bisect.bisect_right(self._commit_walls, wall) - 1
+    def version(self, index: int) -> TableVersion:
+        """O(1) access to the version with the given index."""
+        return self._versions[index]
+
+    @property
+    def version_count(self) -> int:
+        return len(self._versions)
+
+    def version_at(self, point: Timestamp | HlcTimestamp) -> TableVersion:
+        """The version with the largest commit timestamp ≤ ``point``
+        (section 5.3's visibility rule for regular tables).
+
+        ``point`` may be a plain wall timestamp — in which case every
+        commit at that wall clock, whatever its logical component, is
+        visible — or a full :class:`HlcTimestamp`, which discriminates
+        between commits sharing a wall clock."""
+        if isinstance(point, HlcTimestamp):
+            key = (point.wall, point.logical)
+        else:
+            key = (point, _MAX_LOGICAL)
+        index = bisect.bisect_right(self._commit_keys, key) - 1
         if index < 0:
             raise VersionNotFound(
-                f"table {self.name!r} has no version at or before t={wall}")
+                f"table {self.name!r} has no version at or before t={point}")
         return self._versions[index]
 
     def register_refresh(self, refresh_ts: Timestamp,
@@ -136,17 +170,43 @@ class VersionedTable:
     # -- reads ------------------------------------------------------------------
 
     def relation(self, version: TableVersion | None = None) -> Relation:
-        """Materialize a version as a Relation (cached)."""
+        """Materialize a version as a Relation (bounded LRU cache)."""
         if version is None:
             version = self.current_version
         cached = self._relation_cache.get(version.index)
         if cached is not None:
+            self._relation_cache.move_to_end(version.index)
             return cached
         relation = Relation(self.schema)
         for partition_id in sorted(version.partition_ids):
             for row_id, row in self._partitions[partition_id].rows:
                 relation.append(row_id, row)
         self._relation_cache[version.index] = relation
+        while len(self._relation_cache) > self._relation_cache_limit:
+            self._relation_cache.popitem(last=False)
+        return relation
+
+    def relation_pruned(self, version: TableVersion | None,
+                        bounds: Sequence[tuple[int, str, object]]) -> Relation:
+        """Materialize a version, skipping partitions whose zone maps prove
+        no row can satisfy the pushed-down ``(column, op, value)`` bounds.
+
+        The result preserves partition-id scan order, so it is the
+        :meth:`relation` output minus rows the caller's predicate would
+        reject anyway — pruning never changes query results."""
+        if version is None:
+            version = self.current_version
+        ordered = sorted(version.partition_ids)
+        kept = [partition_id for partition_id in ordered
+                if self._partitions[partition_id].might_match(bounds)]
+        if len(kept) == len(ordered):
+            # Nothing pruned: serve the (cached) full materialization
+            # instead of rebuilding an identical relation per call.
+            return self.relation(version)
+        relation = Relation(self.schema)
+        for partition_id in kept:
+            for row_id, row in self._partitions[partition_id].rows:
+                relation.append(row_id, row)
         return relation
 
     def rows_by_id(self, version: TableVersion | None = None) -> dict[str, tuple]:
@@ -160,6 +220,10 @@ class VersionedTable:
 
     def partitions_of(self, version: TableVersion) -> list[Partition]:
         return [self._partitions[pid] for pid in sorted(version.partition_ids)]
+
+    def partition(self, partition_id: int) -> Partition:
+        """O(1) access to one partition by id (change-query pruning)."""
+        return self._partitions[partition_id]
 
     # -- mutation (called by the transaction manager at commit) ---------------
 
@@ -276,7 +340,7 @@ class VersionedTable:
             cloned._partitions[partition_id] = self._partitions[partition_id]
         version = TableVersion(1, commit_ts, current.partition_ids)
         cloned._versions.append(version)
-        cloned._commit_walls.append(commit_ts.wall)
+        cloned._commit_keys.append((commit_ts.wall, commit_ts.logical))
         for partition_id in current.partition_ids:
             for row_id, __ in cloned._partitions[partition_id].rows:
                 cloned._locator[row_id] = partition_id
@@ -311,7 +375,7 @@ class VersionedTable:
                 if self._locator.get(row_id) == partition_id:
                     del self._locator[row_id]
         self._versions.append(version)
-        self._commit_walls.append(commit_ts.wall)
+        self._commit_keys.append((commit_ts.wall, commit_ts.logical))
         return version
 
     # -- introspection -----------------------------------------------------------

@@ -28,24 +28,31 @@ def changes_between(table: VersionedTable, old: TableVersion,
     ``old`` must not be newer than ``new``. The result satisfies the
     ``($ROW_ID, $ACTION)`` uniqueness invariant, deletions precede
     insertions, and copied (identical) rows cancel.
+
+    Only the *symmetric difference* of the two versions' partition sets is
+    ever read — shared partitions are never materialized — and an interval
+    consisting entirely of data-equivalent versions (reclustering) is
+    skipped wholesale without touching any partition at all: its copied
+    rows would all cancel in consolidation anyway, so the answer is known
+    to be empty from version metadata alone (section 5.5.2).
     """
     if old.index > new.index:
         raise ValueError("changes_between requires old.index <= new.index")
     if old.index == new.index:
+        return ChangeSet()
+    if is_data_equivalent_interval(table, old, new):
         return ChangeSet()
 
     removed_ids = old.partition_ids - new.partition_ids
     added_ids = new.partition_ids - old.partition_ids
 
     raw = ChangeSet()
-    for partition in table.partitions_of(old):
-        if partition.id in removed_ids:
-            for row_id, row in partition.rows:
-                raw.delete(row_id, row)
-    for partition in table.partitions_of(new):
-        if partition.id in added_ids:
-            for row_id, row in partition.rows:
-                raw.insert(row_id, row)
+    for partition_id in sorted(removed_ids):
+        for row_id, row in table.partition(partition_id).rows:
+            raw.delete(row_id, row)
+    for partition_id in sorted(added_ids):
+        for row_id, row in table.partition(partition_id).rows:
+            raw.insert(row_id, row)
     return consolidate(raw)
 
 
@@ -60,6 +67,6 @@ def is_data_equivalent_interval(table: VersionedTable, old: TableVersion,
     data-equivalent — the differ can skip reading any data at all
     (section 5.5.2's tractable carve-out of the NP-hard version-skipping
     problem: we skip only when the *entire* interval is data-equivalent)."""
-    versions = table.versions
-    return all(versions[index].data_equivalent
+    version = table.version
+    return all(version(index).data_equivalent
                for index in range(old.index + 1, new.index + 1))

@@ -116,7 +116,8 @@ class HistoryRecorder:
             versioned = self._db.catalog.versioned_table(entry.name) \
                 if not entry.dropped else entry.payload
             order: list[Version] = []
-            for version in versioned.versions[1:]:
+            for index in range(1, versioned.version_count):
+                version = versioned.version(index)
                 v = Version(entry.name, version.index)
                 order.append(v)
                 events.append(Write(installer_txn(entry.name, version.index), v))

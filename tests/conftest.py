@@ -9,6 +9,13 @@ from repro.workload.generator import UpdateWorkload, create_workload_schema
 from repro.workload.trains import TrainWorkload
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf: perf smoke checks (scaled-down benchmark scenarios with "
+        "work-count assertions; deselect with '-m \"not perf\"')")
+
+
 @pytest.fixture
 def db() -> Database:
     """A fresh database with one default warehouse."""

@@ -1,0 +1,81 @@
+"""Perf smoke check: a scaled-down ``bench_t2`` scenario.
+
+The paper's core cost claim (section 3.3.2): incremental refresh work
+scales with the size of the *changes*, not the table. This check runs the
+same filter+project shape as ``benchmarks/bench_t2_incremental_cost_scaling``
+through the real refresh engine — storage, change queries, the
+differentiator — and asserts the claim on deterministic work counters
+(source rows scanned), then snapshots them to ``benchmarks/BENCH_t2.json``
+via the shared reporting module.
+
+Runs as part of tier-1 (it is fast); deselect with ``-m "not perf"``.
+"""
+
+import os
+import sys
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "benchmarks"))
+from reporting import emit_json  # noqa: E402
+
+pytestmark = pytest.mark.perf
+
+TABLE_ROWS = 2_000
+DELTA_ROWS = 20
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE items (id int, grp text, val int)")
+    database.execute("INSERT INTO items VALUES " + ", ".join(
+        f"({i}, 'g{i % 50}', {i % 1000})" for i in range(TABLE_ROWS)))
+    return database
+
+
+QUERY = "SELECT id, grp, val * 2 doubled FROM items WHERE val >= 0"
+
+
+def test_incremental_scans_fewer_rows_than_full(db):
+    incremental = db.create_dynamic_table("inc", QUERY, "1 minute", "wh",
+                                          refresh_mode="incremental")
+    full = db.create_dynamic_table("ful", QUERY, "1 minute", "wh",
+                                   refresh_mode="full")
+
+    db.execute("INSERT INTO items VALUES " + ", ".join(
+        f"({TABLE_ROWS + i}, 'g{i % 50}', {i})" for i in range(DELTA_ROWS)))
+    db.refresh_dynamic_table("inc")
+    db.refresh_dynamic_table("ful")
+
+    inc_record = incremental.refresh_history[-1]
+    full_record = full.refresh_history[-1]
+    assert inc_record.action == RefreshAction.INCREMENTAL
+    assert full_record.action == RefreshAction.FULL
+
+    # The load-bearing claim: incremental work ∝ delta, full work ∝ table.
+    assert inc_record.source_rows_scanned < full_record.source_rows_scanned
+    assert inc_record.source_rows_scanned <= DELTA_ROWS
+    assert full_record.source_rows_scanned == TABLE_ROWS + DELTA_ROWS
+
+    # Both engines converge on identical contents (section 6.1).
+    assert sorted(db.query("SELECT * FROM inc").rows) == \
+        sorted(db.query("SELECT * FROM ful").rows)
+
+    emit_json("BENCH_t2.json", {
+        "scenario": "scaled-down bench_t2: filter+project over items",
+        "query": QUERY,
+        "table_rows": TABLE_ROWS,
+        "delta_rows": DELTA_ROWS,
+        "incremental_source_rows_scanned": inc_record.source_rows_scanned,
+        "full_source_rows_scanned": full_record.source_rows_scanned,
+        "scan_ratio_full_over_incremental": round(
+            full_record.source_rows_scanned
+            / max(inc_record.source_rows_scanned, 1), 1),
+        "timings": "see benchmarks/results.txt (pytest benchmarks/)",
+    })
