@@ -1,8 +1,11 @@
-"""Quickstart: your first dynamic table.
+"""Quickstart: your first dynamic table, through the layered API.
 
-Creates a base table, defines a dynamic table over it with a 1-minute
-target lag, lets the scheduler refresh it as data arrives, and checks the
-delayed-view-semantics guarantee — the whole paper in 60 lines.
+Opens a session, creates a base table, defines a dynamic table over it
+with a 1-minute target lag (the session's default warehouse fills in the
+WAREHOUSE clause), loads rows through a prepared statement, streams a
+result page through a cursor, lets the scheduler refresh as data arrives,
+and checks the delayed-view-semantics guarantee — the whole paper in a
+screenful.
 
 Run:  python examples/quickstart.py
 """
@@ -15,34 +18,52 @@ def main() -> None:
     db = Database()
     db.create_warehouse("quickstart_wh")
 
-    # A base table with some data.
-    db.execute("CREATE TABLE orders (id int, customer text, amount int)")
-    db.execute("INSERT INTO orders VALUES "
-               "(1, 'ada', 120), (2, 'grace', 80), (3, 'ada', 45)")
+    # A session carries per-connection state: its default warehouse is
+    # used by CREATE DYNAMIC TABLE statements that omit WAREHOUSE.
+    session = db.session()
+    session.use_warehouse("quickstart_wh")
+
+    session.execute("CREATE TABLE orders (id int, customer text, amount int)")
+
+    # Prepared statements parse and plan once; executemany loads every
+    # bind set in a single transaction.
+    loader = session.prepare("INSERT INTO orders VALUES (?, ?, ?)")
+    loader.executemany([(1, "ada", 120), (2, "grace", 80), (3, "ada", 45)])
 
     # The paper's pitch: stream processing at the cost of writing a query.
-    db.execute("""
+    session.execute("""
         CREATE DYNAMIC TABLE customer_totals
         TARGET_LAG = '1 minute'
-        WAREHOUSE = quickstart_wh
         AS SELECT customer, count(*) orders, sum(amount) total
            FROM orders
            GROUP BY customer
     """)
     print("initialized:",
-          sorted(db.query("SELECT * FROM customer_totals").rows))
+          sorted(session.query("SELECT * FROM customer_totals").rows))
+
+    # Point lookups re-execute the same plan with new binds — zero parse
+    # or optimize work after the first call.
+    lookup = session.prepare(
+        "SELECT total FROM customer_totals WHERE customer = :who")
+    print("ada's total:", lookup.query({"who": "ada"}).rows[0][0])
 
     # New data arrives over (simulated) time; the scheduler refreshes the
     # DT incrementally to keep it within its target lag.
-    db.at(2 * MINUTE, lambda: db.execute(
+    db.at(2 * MINUTE, lambda: session.execute(
         "INSERT INTO orders VALUES (4, 'grace', 200)"))
-    db.at(4 * MINUTE, lambda: db.execute(
+    db.at(4 * MINUTE, lambda: session.execute(
         "DELETE FROM orders WHERE id = 3"))
     report = db.run_for(minutes(6))
 
     print("after 6 simulated minutes:",
-          sorted(db.query("SELECT * FROM customer_totals").rows))
+          sorted(session.query("SELECT * FROM customer_totals").rows))
     print(f"refresh actions: {report.actions}")
+
+    # Cursors stream large scans lazily, one micro-partition per pull.
+    cursor = session.cursor()
+    cursor.execute("SELECT id, customer, amount FROM orders WHERE amount >= ?",
+                   (100,))
+    print("big orders:", cursor.fetchmany(10))
 
     # Delayed view semantics, the paper's core guarantee: the DT equals
     # its defining query evaluated at its data timestamp.

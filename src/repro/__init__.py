@@ -21,12 +21,16 @@ The package implements, in pure Python:
 
 Entry points:
 
-* :class:`repro.api.Database` — the end-to-end system;
+* :class:`repro.api.Database` — the end-to-end system (the layered
+  Session / PreparedStatement / Cursor surface lives in
+  :mod:`repro.api`);
 * :mod:`repro.isolation` — the standalone formalism of section 4.
 """
 
-from repro.api import Database, QueryResult
+from repro.api import (Cursor, Database, PreparedStatement, QueryResult,
+                       Session)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["Database", "QueryResult", "__version__"]
+__all__ = ["Cursor", "Database", "PreparedStatement", "QueryResult",
+           "Session", "__version__"]

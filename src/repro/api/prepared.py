@@ -1,0 +1,196 @@
+"""Prepared statements: parse once, plan once, execute many times.
+
+A :class:`PreparedStatement` is created by ``Session.prepare(sql)``. The
+SQL is parsed exactly once; its bind parameters (``?`` positional or
+``:name`` named) are collected into a :class:`ParameterSpec` that assigns
+each a slot. For SELECTs, the bound and optimized plan is obtained through
+the database-wide :class:`~repro.plan.cache.PlanCache` under a
+parameter-aware key — the query *text* with markers left in place, plus
+the catalog epoch and function-registry version — so re-executing with new
+binds performs **zero parse or optimize work**, and even re-preparing the
+same text in another session reuses the plan.
+
+Bind values travel to execution inside the
+:class:`~repro.engine.expressions.EvalContext` (``ctx.params``), where
+each :class:`~repro.engine.expressions.BoundParameter` slot reads — and
+the closure compiler pins — the value for that one execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
+
+from repro.engine import types as t
+from repro.engine.types import Value
+from repro.errors import BindParameterError, TypeError_, UserError
+from repro.plan import logical as lp
+from repro.plan.builder import build_plan
+from repro.plan.rewrite import optimize
+from repro.sql import nodes as n
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cursor import Cursor
+    from repro.api.results import QueryResult
+    from repro.api.session import Session
+
+
+class ParameterSpec:
+    """The bind parameters of one statement, with their slot assignment.
+
+    Positional parameters occupy slots ``0 .. count-1`` in order of
+    appearance; named parameters occupy one slot per distinct name, in
+    first-appearance order. Mixing the two styles in one statement is
+    rejected (DB-API style).
+    """
+
+    def __init__(self, parameters: Sequence[n.Parameter] = ()):
+        positional = [p for p in parameters if p.name is None]
+        names: list[str] = []
+        for parameter in parameters:
+            if parameter.name is not None and parameter.name not in names:
+                names.append(parameter.name)
+        if positional and names:
+            raise BindParameterError(
+                "cannot mix positional (?) and named (:name) parameters "
+                "in one statement")
+        self.positional_count = len(positional)
+        self.names: tuple[str, ...] = tuple(names)
+        self._name_slots = {name: slot for slot, name in enumerate(names)}
+
+    @property
+    def slot_count(self) -> int:
+        return self.positional_count or len(self.names)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.slot_count == 0
+
+    def slot_of(self, parameter: n.Parameter) -> int:
+        """The value slot of one AST parameter (the builder's hook)."""
+        if parameter.name is not None:
+            return self._name_slots[parameter.name]
+        assert parameter.index is not None
+        return parameter.index
+
+    def bind(self, binds: object = None) -> tuple[Value, ...]:
+        """Validate user-supplied binds into a slot-ordered value tuple."""
+        if self.is_empty:
+            if binds:
+                raise BindParameterError(
+                    "statement takes no bind parameters")
+            return ()
+        if self.names:
+            return self._bind_named(binds)
+        return self._bind_positional(binds)
+
+    def _bind_positional(self, binds: object) -> tuple[Value, ...]:
+        if binds is None or isinstance(binds, (str, bytes, Mapping)):
+            raise BindParameterError(
+                f"expected a sequence of {self.positional_count} "
+                f"positional bind values, got {binds!r}")
+        values = tuple(binds)  # type: ignore[arg-type]
+        if len(values) != self.positional_count:
+            raise BindParameterError(
+                f"statement takes {self.positional_count} positional "
+                f"parameters, got {len(values)} values")
+        return tuple(self._check_value(value, f"?{slot + 1}")
+                     for slot, value in enumerate(values))
+
+    def _bind_named(self, binds: object) -> tuple[Value, ...]:
+        if not isinstance(binds, Mapping):
+            raise BindParameterError(
+                f"expected a mapping of named bind values for "
+                f"{', '.join(':' + name for name in self.names)}, "
+                f"got {binds!r}")
+        missing = [name for name in self.names if name not in binds]
+        if missing:
+            raise BindParameterError(
+                "missing bind values for "
+                + ", ".join(f":{name}" for name in missing))
+        extra = [key for key in binds if key not in self._name_slots]
+        if extra:
+            raise BindParameterError(
+                "unknown bind names: "
+                + ", ".join(f":{key}" for key in extra))
+        return tuple(self._check_value(binds[name], f":{name}")
+                     for name in self.names)
+
+    @staticmethod
+    def _check_value(value: object, label: str) -> Value:
+        try:
+            t.type_of_value(value)
+        except TypeError_ as exc:
+            raise BindParameterError(
+                f"bind value for {label} has no SQL type: {exc}") from None
+        return value
+
+
+class PreparedStatement:
+    """A statement parsed (and, for SELECTs, planned) once for repeated
+    execution with varying binds."""
+
+    def __init__(self, session: "Session", sql: str,
+                 statement: n.Statement, spec: ParameterSpec):
+        self._session = session
+        self.sql = sql
+        self.statement = statement
+        self.spec = spec
+
+    @property
+    def is_query(self) -> bool:
+        return isinstance(self.statement, n.Query)
+
+    @property
+    def parameter_count(self) -> int:
+        return self.spec.slot_count
+
+    def plan(self) -> lp.PlanNode:
+        """The optimized plan of a SELECT, via the shared plan cache.
+
+        The key carries the statement text (bind markers included), the
+        catalog DDL epoch, and the function-registry version: repeated
+        executions hit; any DDL or UDF change transparently re-plans the
+        stored AST (no re-parse, ever).
+        """
+        if not self.is_query:
+            raise UserError("only SELECT statements have a plan")
+        db = self._session.database
+        key = ("prepared", self.sql, db.catalog.epoch, db.registry.version)
+        plan = db.plan_cache.get(key)
+        if plan is None:
+            assert isinstance(self.statement, n.Query)
+            plan = optimize(build_plan(self.statement.select, db.catalog,
+                                       db.registry, parameters=self.spec))
+            db.plan_cache.put(key, plan)
+        return plan
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, binds: object = None) -> "Optional[QueryResult]":
+        """Execute with the given binds; rows for SELECTs, else None."""
+        result, __ = self._session._execute_prepared(self, binds)
+        return result
+
+    def query(self, binds: object = None) -> "QueryResult":
+        result = self.execute(binds)
+        if result is None:
+            raise UserError("statement did not return rows")
+        return result
+
+    def executemany(self, bind_sets: Iterable[object]) -> int:
+        """Execute once per bind set; returns total rows affected.
+
+        INSERT ... VALUES is batched: every bind set's rows are staged and
+        committed in a **single transaction** (one new table version), so
+        bulk loads do not pay a commit per row.
+        """
+        return self._session._executemany_prepared(self, bind_sets)
+
+    def cursor(self) -> "Cursor":
+        """A fresh cursor over this statement's session."""
+        return self._session.cursor()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = type(self.statement).__name__
+        return (f"PreparedStatement({kind}, params={self.parameter_count}, "
+                f"sql={self.sql.strip()[:40]!r})")

@@ -1,0 +1,474 @@
+"""Sessions: the per-connection layer of the public API.
+
+A :class:`Session` models one client connection to the database (the
+multi-tenant frontend the paper's system places in front of the
+refresh/IVM substrate). Each session carries its own state on top of the
+shared :class:`~repro.txn.manager.TransactionManager`:
+
+* a **default warehouse** — used by ``CREATE DYNAMIC TABLE`` statements
+  that omit the WAREHOUSE clause;
+* an **AS-OF time** — when set, every SELECT in the session reads the
+  snapshot at that wall time (time travel as session state);
+* a **role** — surfaced to queries through ``CURRENT_ROLE``.
+
+Statements enter through :meth:`execute` / :meth:`query` (one-shot),
+:meth:`prepare` (repeated execution with binds, plan-cache backed), or
+:meth:`cursor` (DB-API-flavored streaming reads). All three cross the same
+**error boundary**: any error escaping the session carries the offending
+SQL on its ``sql`` attribute, and internal Python exceptions (KeyError,
+ValueError, ...) are wrapped as :class:`~repro.errors.StatementError` — a
+``UserError`` subtype — instead of leaking raw.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from repro.api.prepared import ParameterSpec, PreparedStatement
+from repro.api.results import QueryResult
+from repro.engine import types as t
+from repro.engine.executor import evaluate, stream_evaluate
+from repro.engine.expressions import EvalContext, compile_expression
+from repro.engine.schema import Column, Schema
+from repro.engine.types import Value
+from repro.errors import (CatalogError, ReproError, StatementError,
+                          UserError)
+from repro.plan import logical as lp
+from repro.plan.builder import bind_expression, build_plan
+from repro.plan.rewrite import optimize
+from repro.sql import nodes as n
+from repro.sql.parser import parse_prepared, parse_statements
+from repro.util.timeutil import Timestamp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.cursor import Cursor
+    from repro.api.database import Database
+
+#: Session settings and their validators.
+_SETTING_NAMES = ("warehouse", "as_of", "role")
+
+#: Internal exception types the boundary converts to StatementError;
+#: anything else non-Repro (e.g. MemoryError) keeps propagating raw.
+_INTERNAL_EXCEPTIONS = (KeyError, ValueError, TypeError, IndexError,
+                        AttributeError, ZeroDivisionError)
+
+
+@contextmanager
+def statement_boundary(sql: str):
+    """The API error boundary: attach the offending SQL to every
+    :class:`ReproError` passing through, and wrap raw internal exceptions
+    as :class:`StatementError` so callers never see a bare KeyError."""
+    try:
+        yield
+    except ReproError as exc:
+        if getattr(exc, "sql", None) is None:
+            exc.sql = sql
+        raise
+    except _INTERNAL_EXCEPTIONS as exc:
+        raise StatementError(
+            f"internal error: {type(exc).__name__}: {exc}",
+            sql=sql) from exc
+
+
+class Session:
+    """One connection's view of the database."""
+
+    def __init__(self, database: "Database", session_id: int):
+        self.database = database
+        self.id = session_id
+        self._warehouse: Optional[str] = None
+        self._as_of: Optional[Timestamp] = None
+        self._role: str = "sysadmin"
+
+    # -- settings ------------------------------------------------------------
+
+    @property
+    def settings(self) -> dict:
+        """A snapshot of the session settings."""
+        return {"warehouse": self._warehouse, "as_of": self._as_of,
+                "role": self._role}
+
+    def set_setting(self, name: str, value: object) -> None:
+        if name == "warehouse":
+            self.use_warehouse(value)  # type: ignore[arg-type]
+        elif name == "as_of":
+            self.set_as_of(value)  # type: ignore[arg-type]
+        elif name == "role":
+            self.set_role(value)  # type: ignore[arg-type]
+        else:
+            raise UserError(
+                f"unknown session setting {name!r} "
+                f"(expected one of {', '.join(_SETTING_NAMES)})")
+
+    def use_warehouse(self, name: Optional[str]) -> None:
+        """Set (or clear) the session's default warehouse."""
+        if name is not None and not self.database.warehouses.exists(name):
+            raise CatalogError(f"unknown warehouse: {name}")
+        self._warehouse = name
+
+    def set_as_of(self, wall: Optional[Timestamp]) -> None:
+        """Pin the session's reads to the snapshot at ``wall`` (None
+        returns to reading the current snapshot)."""
+        if wall is not None and not isinstance(wall, int):
+            raise UserError(f"AS-OF time must be a timestamp, got {wall!r}")
+        self._as_of = wall
+
+    @contextmanager
+    def as_of(self, wall: Timestamp):
+        """Temporarily pin reads to the snapshot at ``wall``."""
+        saved = self._as_of
+        self.set_as_of(wall)
+        try:
+            yield self
+        finally:
+            self._as_of = saved
+
+    def set_role(self, role: str) -> None:
+        if not isinstance(role, str) or not role:
+            raise UserError(f"role must be a non-empty string, got {role!r}")
+        self._role = role
+
+    # -- execution entry points ----------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse ``sql`` once into a reusable :class:`PreparedStatement`."""
+        with statement_boundary(sql):
+            statement, parameters = parse_prepared(sql)
+            spec = ParameterSpec(parameters)
+            prepared = PreparedStatement(self, sql, statement, spec)
+            if prepared.is_query:
+                prepared.plan()  # plan eagerly (and warm the shared cache)
+            return prepared
+
+    def execute(self, sql: str, binds: object = None,
+                ) -> Optional[QueryResult]:
+        """Execute a single statement; returns rows for SELECTs.
+
+        One-shot statements are parsed and planned per call; use
+        :meth:`prepare` when the same statement runs repeatedly.
+        """
+        with statement_boundary(sql):
+            statement, parameters = parse_prepared(sql)
+            spec = ParameterSpec(parameters)
+            values = spec.bind(binds)
+            result, __ = self._dispatch(statement, spec, values)
+            return result
+
+    def query(self, sql: str, binds: object = None) -> QueryResult:
+        result = self.execute(sql, binds)
+        if result is None:
+            raise UserError("statement did not return rows")
+        return result
+
+    def query_at(self, sql: str, wall: Timestamp,
+                 binds: object = None) -> QueryResult:
+        """Time travel: evaluate a query against the snapshot at ``wall``.
+
+        This is the oracle of the paper's randomized testing (section
+        6.1): "if you run the defining query as of the data timestamp, you
+        should get the same result as in the DT."
+        """
+        with statement_boundary(sql):
+            statement, parameters = parse_prepared(sql)
+            if not isinstance(statement, n.Query):
+                raise UserError("query_at requires a SELECT")
+            spec = ParameterSpec(parameters)
+            values = spec.bind(binds)
+            plan = self._plan_select(statement.select, spec)
+            return self._evaluate_select(plan, values, wall=wall)
+
+    def execute_script(self, sql: str) -> list[Optional[QueryResult]]:
+        """Execute a ``;``-separated script (no bind parameters)."""
+        with statement_boundary(sql):
+            statements = parse_statements(sql)
+        results = []
+        empty = ParameterSpec()
+        for statement in statements:
+            with statement_boundary(sql):
+                results.append(self._dispatch(statement, empty, ())[0])
+        return results
+
+    def cursor(self) -> "Cursor":
+        from repro.api.cursor import Cursor
+
+        return Cursor(self)
+
+    def explain(self, sql: str, optimized: bool = True) -> str:
+        """The bound (and by default optimized) logical plan of a query,
+        rendered as an indented tree."""
+        with statement_boundary(sql):
+            statement, parameters = parse_prepared(sql)
+            if not isinstance(statement, n.Query):
+                raise UserError("explain requires a SELECT")
+            plan = build_plan(statement.select, self.database.catalog,
+                              self.database.registry,
+                              parameters=ParameterSpec(parameters))
+            if optimized:
+                plan = optimize(plan)
+            return plan.pretty()
+
+    # -- prepared-statement execution (called by PreparedStatement) ----------
+
+    def _execute_prepared(self, prepared: PreparedStatement,
+                          binds: object) -> tuple[Optional[QueryResult], int]:
+        with statement_boundary(prepared.sql):
+            values = prepared.spec.bind(binds)
+            if prepared.is_query:
+                result = self._evaluate_select(prepared.plan(), values)
+                return result, len(result.rows)
+            return self._dispatch(prepared.statement, prepared.spec, values)
+
+    def _executemany_prepared(self, prepared: PreparedStatement,
+                              bind_sets: Iterable[object]) -> int:
+        with statement_boundary(prepared.sql):
+            statement = prepared.statement
+            if isinstance(statement, n.Insert) and statement.rows:
+                return self._insert_many(statement, prepared.spec, bind_sets)
+            total = 0
+            for binds in bind_sets:
+                values = prepared.spec.bind(binds)
+                __, rowcount = self._dispatch(statement, prepared.spec,
+                                              values)
+                total += max(rowcount, 0)
+            return total
+
+    def _stream_prepared(self, prepared: PreparedStatement, binds: object,
+                         ) -> tuple[Schema, Iterator[list]]:
+        """Schema + per-micro-partition batch iterator for a SELECT (the
+        cursor's read path); falls back to one materialized batch when the
+        plan shape cannot stream."""
+        with statement_boundary(prepared.sql):
+            if not prepared.is_query:
+                raise UserError("cannot stream a non-SELECT statement")
+            values = prepared.spec.bind(binds)
+            plan = prepared.plan()
+            reader, ctx = self._read_state(values)
+            batches = stream_evaluate(plan, reader, ctx)
+            if batches is None:
+                relation = evaluate(plan, reader, ctx)
+                pairs = list(relation.pairs())
+                batches = iter([pairs] if pairs else [])
+            return plan.schema, batches
+
+    # -- reads ---------------------------------------------------------------
+
+    @property
+    def _read_wall(self) -> Timestamp:
+        return (self._as_of if self._as_of is not None
+                else self.database.clock.now())
+
+    def _read_state(self, values: tuple[Value, ...],
+                    wall: Optional[Timestamp] = None):
+        ts = wall if wall is not None else self._read_wall
+        reader = self.database.txns.reader(ts)
+        ctx = EvalContext(timestamp=ts, role=self._role, params=values)
+        return reader, ctx
+
+    def _plan_select(self, select: n.Select,
+                     spec: ParameterSpec) -> lp.PlanNode:
+        return optimize(build_plan(select, self.database.catalog,
+                                   self.database.registry, parameters=spec))
+
+    def _evaluate_select(self, plan: lp.PlanNode, values: tuple[Value, ...],
+                         wall: Optional[Timestamp] = None) -> QueryResult:
+        reader, ctx = self._read_state(values, wall)
+        return QueryResult.from_relation(evaluate(plan, reader, ctx))
+
+    # -- statement dispatch --------------------------------------------------
+
+    def _dispatch(self, statement: n.Statement, spec: ParameterSpec,
+                  values: tuple[Value, ...],
+                  ) -> tuple[Optional[QueryResult], int]:
+        """Execute one parsed statement; returns (rows-or-None, rowcount).
+
+        ``rowcount`` follows DB-API: rows affected for DML, row count for
+        SELECTs, -1 for DDL and control statements.
+        """
+        db = self.database
+        if isinstance(statement, n.Query):
+            plan = self._plan_select(statement.select, spec)
+            result = self._evaluate_select(plan, values)
+            return result, len(result.rows)
+        if isinstance(statement, n.CreateTable):
+            schema = Schema(Column(col.name, t.type_from_name(col.type_name))
+                            for col in statement.columns)
+            db.catalog.create_table(statement.name, schema,
+                                    or_replace=statement.or_replace,
+                                    if_not_exists=statement.if_not_exists)
+            return None, -1
+        if isinstance(statement, n.CreateView):
+            db.catalog.create_view(statement.name, "", statement.query,
+                                   or_replace=statement.or_replace)
+            return None, -1
+        if isinstance(statement, n.CreateDynamicTable):
+            warehouse = statement.warehouse or self._warehouse
+            if warehouse is None:
+                raise UserError(
+                    "dynamic table requires WAREHOUSE (no session default "
+                    "warehouse is set)")
+            db.create_dynamic_table(
+                statement.name, statement.query,
+                target_lag=statement.target_lag,
+                warehouse=warehouse,
+                refresh_mode=statement.refresh_mode,
+                initialize=statement.initialize,
+                or_replace=statement.or_replace)
+            return None, -1
+        if isinstance(statement, n.Insert):
+            return None, self._run_insert(statement, spec, values)
+        if isinstance(statement, n.Delete):
+            return None, self._run_delete(statement, spec, values)
+        if isinstance(statement, n.Update):
+            return None, self._run_update(statement, spec, values)
+        if isinstance(statement, n.Drop):
+            db.catalog.drop(statement.name, statement.kind,
+                            statement.if_exists)
+            return None, -1
+        if isinstance(statement, n.Undrop):
+            db.catalog.undrop(statement.name, statement.kind)
+            return None, -1
+        if isinstance(statement, n.AlterDynamicTable):
+            dt = db.dynamic_table(statement.name)
+            if statement.action == "suspend":
+                dt.suspend()
+            elif statement.action == "resume":
+                dt.resume()
+            elif statement.action == "refresh":
+                db.refresh_dynamic_table(statement.name)
+            db.catalog.log_alter("dynamic table", statement.name,
+                                 statement.action)
+            return None, -1
+        if isinstance(statement, n.AlterTableRename):
+            db.catalog.rename(statement.name, statement.new_name)
+            return None, -1
+        if isinstance(statement, n.CloneEntity):
+            if statement.kind == "dynamic table":
+                db.clone_dynamic_table(statement.source, statement.name)
+            else:
+                db.clone_table(statement.source, statement.name)
+            return None, -1
+        if isinstance(statement, n.Recluster):
+            db.recluster(statement.name)
+            return None, -1
+        raise UserError(f"unsupported statement: {type(statement).__name__}")
+
+    # -- DML -----------------------------------------------------------------
+
+    def _write_ctx(self, values: tuple[Value, ...]) -> EvalContext:
+        # DML always writes against *now* — AS-OF pins reads, not writes.
+        return EvalContext(timestamp=self.database.clock.now(),
+                           role=self._role, params=values)
+
+    def _eval_literal_row(self, exprs, spec: ParameterSpec,
+                          ctx: EvalContext) -> tuple:
+        registry = self.database.registry
+        return tuple(
+            bind_expression(expr, Schema(()), registry,
+                            parameters=spec).eval((), ctx)
+            for expr in exprs)
+
+    def _coerce_row(self, schema: Schema, columns, values: tuple) -> tuple:
+        if columns:
+            index_of = {name: position
+                        for position, name in enumerate(columns)}
+            if len(values) != len(columns):
+                raise UserError("INSERT arity mismatch")
+            row = []
+            for column in schema:
+                position = index_of.get(column.name)
+                row.append(t.cast_value(values[position], column.type)
+                           if position is not None else None)
+            return tuple(row)
+        if len(values) != len(schema):
+            raise UserError(
+                f"INSERT arity mismatch: expected {len(schema)} values, "
+                f"got {len(values)}")
+        return tuple(t.cast_value(value, column.type)
+                     for value, column in zip(values, schema))
+
+    def _insert_rows_of(self, statement: n.Insert, spec: ParameterSpec,
+                        values: tuple[Value, ...]) -> list[tuple]:
+        table = self.database.catalog.versioned_table(statement.table)
+        if statement.query is not None:
+            plan = self._plan_select(statement.query, spec)
+            result = self._evaluate_select(plan, values)
+            return [self._coerce_row(table.schema, statement.columns, row)
+                    for row in result.rows]
+        ctx = self._write_ctx(values)
+        return [self._coerce_row(table.schema, statement.columns,
+                                 self._eval_literal_row(row_exprs, spec, ctx))
+                for row_exprs in statement.rows]
+
+    def _run_insert(self, statement: n.Insert, spec: ParameterSpec,
+                    values: tuple[Value, ...]) -> int:
+        rows = self._insert_rows_of(statement, spec, values)
+        txn = self.database.txns.begin(self.database.clock.now())
+        txn.insert_rows(statement.table, rows)
+        txn.commit()
+        return len(rows)
+
+    def _insert_many(self, statement: n.Insert, spec: ParameterSpec,
+                     bind_sets: Iterable[object]) -> int:
+        """``executemany`` over INSERT ... VALUES: every bind set's rows
+        are staged into one transaction and committed once."""
+        rows: list[tuple] = []
+        for binds in bind_sets:
+            rows.extend(self._insert_rows_of(statement, spec,
+                                             spec.bind(binds)))
+        txn = self.database.txns.begin(self.database.clock.now())
+        txn.insert_rows(statement.table, rows)
+        txn.commit()
+        return len(rows)
+
+    def _matching_rows(self, table_name: str, where: Optional[n.Expr],
+                       spec: ParameterSpec, ctx: EvalContext,
+                       ) -> list[tuple[str, tuple]]:
+        table = self.database.catalog.versioned_table(table_name)
+        relation = table.relation()
+        if where is None:
+            return list(relation.pairs())
+        schema = table.schema.requalified(table_name)
+        predicate = compile_expression(
+            bind_expression(where, schema, self.database.registry,
+                            parameters=spec), ctx)
+        return [(row_id, row) for row_id, row in relation.pairs()
+                if t.is_true(predicate(row))]
+
+    def _run_delete(self, statement: n.Delete, spec: ParameterSpec,
+                    values: tuple[Value, ...]) -> int:
+        ctx = self._write_ctx(values)
+        matches = self._matching_rows(statement.table, statement.where,
+                                      spec, ctx)
+        txn = self.database.txns.begin(self.database.clock.now())
+        txn.delete_rows(statement.table, [row_id for row_id, __ in matches])
+        txn.commit()
+        return len(matches)
+
+    def _run_update(self, statement: n.Update, spec: ParameterSpec,
+                    values: tuple[Value, ...]) -> int:
+        db = self.database
+        table = db.catalog.versioned_table(statement.table)
+        schema = table.schema.requalified(statement.table)
+        ctx = self._write_ctx(values)
+        assignments = {
+            table.schema.resolve(column): compile_expression(
+                bind_expression(expr, schema, db.registry, parameters=spec),
+                ctx)
+            for column, expr in statement.assignments}
+        updates: dict[str, tuple] = {}
+        for row_id, row in self._matching_rows(statement.table,
+                                               statement.where, spec, ctx):
+            new_row = list(row)
+            for index, expr_fn in assignments.items():
+                new_row[index] = t.cast_value(expr_fn(row),
+                                              table.schema[index].type)
+            updates[row_id] = tuple(new_row)
+        txn = db.txns.begin(db.clock.now())
+        txn.update_rows(statement.table, updates)
+        txn.commit()
+        return len(updates)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Session(#{self.id}, warehouse={self._warehouse!r}, "
+                f"as_of={self._as_of!r}, role={self._role!r})")

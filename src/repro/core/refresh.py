@@ -46,6 +46,7 @@ from repro.ivm.changes import ChangeSet
 from repro.ivm.differentiator import (OUTER_JOIN_DIRECT, differentiate)
 from repro.plan import logical as lp
 from repro.plan.builder import build_plan
+from repro.plan.cache import PlanCache
 from repro.plan.rewrite import optimize
 from repro.storage.catalog import Catalog
 from repro.storage.table import TableVersion, VersionedTable
@@ -128,12 +129,12 @@ class RefreshEngine:
         self.txn_manager = txn_manager
         self.registry = registry
         self.outer_join_strategy = outer_join_strategy
-        #: Per-DT compiled-plan cache: name -> (catalog epoch, registry
-        #: version, query text, optimized plan). Any DDL bumps the epoch,
-        #: a UDF (re-)registration bumps the registry version, and an
-        #: ALTER of the DT's own query changes the query text — each
-        #: invalidates the entry.
-        self._plan_cache: dict[str, tuple[int, int, str, lp.PlanNode]] = {}
+        #: Optimized defining plans keyed by (DT name, catalog epoch,
+        #: registry version, query text). Any DDL bumps the epoch, a UDF
+        #: (re-)registration bumps the registry version, and an ALTER of
+        #: the DT's own query changes the query text — each changes the
+        #: key, so stale plans are never served and age out of the LRU.
+        self._plan_cache = PlanCache(limit=_PLAN_CACHE_LIMIT)
 
     # -- public API ----------------------------------------------------------------
 
@@ -168,23 +169,12 @@ class RefreshEngine:
         potentially name resolution, schemas, view expansions, or bound
         function implementations — has changed since the last refresh.
         Plans are immutable, so reuse across refreshes is safe."""
-        epoch = self.catalog.epoch
-        registry_version = self.registry.version
-        cached = self._plan_cache.get(dt.name)
-        if (cached is not None and cached[0] == epoch
-                and cached[1] == registry_version
-                and cached[2] == dt.query_text):
-            return cached[3]
-        plan = optimize(build_plan(dt.query, self.catalog, self.registry))
-        if len(self._plan_cache) >= _PLAN_CACHE_LIMIT:
-            # Entries for dropped/stale DTs carry an old epoch (any DDL —
-            # including the DROP itself — bumped it); purge them so the
-            # cache tracks live DTs instead of every name ever refreshed.
-            self._plan_cache = {
-                name: entry for name, entry in self._plan_cache.items()
-                if entry[0] == epoch}
-        self._plan_cache[dt.name] = (epoch, registry_version, dt.query_text,
-                                     plan)
+        key = (dt.name, self.catalog.epoch, self.registry.version,
+               dt.query_text)
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            plan = optimize(build_plan(dt.query, self.catalog, self.registry))
+            self._plan_cache.put(key, plan)
         return plan
 
     # -- internals --------------------------------------------------------------------

@@ -25,14 +25,14 @@ output rows, order, and row ids are unchanged.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Iterator, Optional, Sequence
 
 from repro.engine import types as t
-from repro.engine.expressions import (ColumnRef, Comparison, Expression,
-                                      IsNull, Literal, DEFAULT_CONTEXT,
-                                      EvalContext, compile_expression,
-                                      compile_group_key, compile_row,
-                                      conjuncts)
+from repro.engine.expressions import (BoundParameter, ColumnRef, Comparison,
+                                      Expression, IsNull, Literal,
+                                      DEFAULT_CONTEXT, EvalContext,
+                                      compile_expression, compile_group_key,
+                                      compile_row, conjuncts)
 from repro.engine.relation import Relation, SnapshotResolver
 from repro.engine.window import (compile_window_calls, evaluate_window_calls,
                                  sort_partition)
@@ -60,7 +60,22 @@ _FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=",
             "!=": "!=", "<>": "<>"}
 
 
-def extract_scan_bounds(predicate: Expression) -> list[ScanBound]:
+def _const_operand(expr: Expression,
+                   ctx: Optional[EvalContext]) -> tuple[bool, object]:
+    """``(True, value)`` when ``expr`` is a constant at scan time: a
+    Literal, or — when the execution context is available — a bind
+    parameter whose slot carries a value. Prepared statements thus prune
+    exactly like the equivalent literal query."""
+    if isinstance(expr, Literal):
+        return True, expr.value
+    if (ctx is not None and isinstance(expr, BoundParameter)
+            and expr.slot < len(ctx.params)):
+        return True, ctx.params[expr.slot]
+    return False, None
+
+
+def extract_scan_bounds(predicate: Expression,
+                        ctx: Optional[EvalContext] = None) -> list[ScanBound]:
     """Decompose a filter predicate into prunable scan bounds.
 
     Pruning is only sound when skipping a partition cannot change *any*
@@ -68,23 +83,24 @@ def extract_scan_bounds(predicate: Expression) -> list[ScanBound]:
     raise on the skipped rows (a conjunct like ``1 % b = 0`` raises on
     ``b = 0`` rows even when another conjunct already excludes them). So
     bounds are returned only when **every** top-level conjunct is a
-    provably non-raising shape — ``col <op> literal`` (either side),
-    ``col IS [NOT] NULL``, or a bare TRUE literal — and the per-partition
-    check (:meth:`Partition.might_match`) additionally verifies that each
-    compared column's zone kind matches the literal, so ``t.compare``
-    cannot raise on any row of a skipped partition. Any other conjunct
-    disables pruning for the whole predicate (empty result).
+    provably non-raising shape — ``col <op> constant`` (either side; a
+    constant is a literal, or a bound parameter value when ``ctx`` is
+    supplied), ``col IS [NOT] NULL``, or a bare TRUE literal — and the
+    per-partition check (:meth:`Partition.might_match`) additionally
+    verifies that each compared column's zone kind matches the constant,
+    so ``t.compare`` cannot raise on any row of a skipped partition. Any
+    other conjunct disables pruning for the whole predicate (empty
+    result).
     """
     bounds: list[ScanBound] = []
     for part in conjuncts(predicate):
         if isinstance(part, Comparison) and part.op in _SAFE_CMP_OPS:
             left, right, op = part.left, part.right, part.op
-            if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            if _const_operand(left, ctx)[0] and isinstance(right, ColumnRef):
                 left, right, op = right, left, _FLIPPED[op]
-            if not (isinstance(left, ColumnRef)
-                    and isinstance(right, Literal)):
+            is_const, value = _const_operand(right, ctx)
+            if not (isinstance(left, ColumnRef) and is_const):
                 return []
-            value = right.value
             if (isinstance(value, bool)
                     or not isinstance(value, (int, float, str))):
                 return []  # bools and non-scalars don't zone-map cleanly
@@ -151,7 +167,7 @@ class _Executor:
         if isinstance(child, lp.Scan):
             scan_pruned = getattr(self._resolver, "scan_pruned", None)
             if scan_pruned is not None:
-                bounds = extract_scan_bounds(plan.predicate)
+                bounds = extract_scan_bounds(plan.predicate, self._ctx)
                 if bounds:
                     source = scan_pruned(child.table, bounds)
                     return Relation(child.schema, source.rows, source.row_ids)
@@ -215,6 +231,105 @@ class _Executor:
         child = self.run(plan.child)
         return Relation(plan.schema, child.rows[:plan.count],
                         child.row_ids[:plan.count])
+
+
+# ---------------------------------------------------------------------------
+# Streaming evaluation (per-micro-partition, for the cursor API)
+# ---------------------------------------------------------------------------
+
+#: One streamed batch: the ``(row_id, row)`` pairs produced from a single
+#: micro-partition of the scanned table.
+RowBatch = list  # list[tuple[str, tuple]]
+
+
+def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
+                    ctx: EvalContext = DEFAULT_CONTEXT,
+                    ) -> Optional[Iterator[RowBatch]]:
+    """Evaluate ``plan`` lazily, one micro-partition at a time.
+
+    Supports the row-preserving pipeline shapes — a chain of Project /
+    Filter / Limit over a single Scan — when the resolver exposes
+    partition-granular reads (``scan_partitions``). Returns an iterator of
+    ``(row_id, row)`` batches, one per surviving partition, or None when
+    the plan (a join, aggregate, sort, ...) or the resolver cannot stream;
+    callers then fall back to :func:`evaluate`.
+
+    The stream produces exactly the rows, ids, and order of the
+    materialized path: filters reuse the same compiled predicates (plus
+    zone-map partition pruning, which only ever skips rows the predicate
+    rejects), and projections the same compiled row closures. No list of
+    more than one partition's rows is ever built, which is what lets a
+    cursor serve pages of a large scan in O(partition) memory.
+    """
+    if isinstance(plan, lp.Scan):
+        partitions = _scan_partitions(resolver, plan.table, ())
+        if partitions is None:
+            return None
+        return (list(partition.rows) for partition in partitions)
+
+    if isinstance(plan, lp.Filter):
+        predicate = compile_expression(plan.predicate, ctx)
+        child = plan.child
+        if isinstance(child, lp.Scan):
+            bounds = extract_scan_bounds(plan.predicate, ctx)
+            partitions = _scan_partitions(resolver, child.table, bounds)
+            if partitions is None:
+                return None
+            return ([(row_id, row) for row_id, row in partition.rows
+                     if predicate(row) is True]
+                    for partition in partitions)
+        batches = stream_evaluate(child, resolver, ctx)
+        if batches is None:
+            return None
+        return ([(row_id, row) for row_id, row in batch
+                 if predicate(row) is True]
+                for batch in batches)
+
+    if isinstance(plan, lp.Project):
+        batches = stream_evaluate(plan.child, resolver, ctx)
+        if batches is None:
+            return None
+        row_fn = compile_row(plan.exprs, ctx)
+        return ([(row_id, row_fn(row)) for row_id, row in batch]
+                for batch in batches)
+
+    if isinstance(plan, lp.Limit):
+        if plan.count < 0:
+            raise UserError(
+                f"LIMIT count must be non-negative, got {plan.count}")
+        batches = stream_evaluate(plan.child, resolver, ctx)
+        if batches is None:
+            return None
+        return _limit_batches(batches, plan.count)
+
+    return None  # joins/aggregates/sorts/etc. require materialization
+
+
+def _scan_partitions(resolver: SnapshotResolver, table: str,
+                     bounds: Sequence[ScanBound]):
+    """Partition iterator for ``table``, zone-map pruned under ``bounds``;
+    None when the resolver has no partition-granular access."""
+    scan_partitions = getattr(resolver, "scan_partitions", None)
+    if scan_partitions is None:
+        return None
+    partitions = scan_partitions(table)
+    if not bounds:
+        return partitions
+    return (partition for partition in partitions
+            if partition.might_match(bounds))
+
+
+def _limit_batches(batches: Iterator[RowBatch],
+                   count: int) -> Iterator[RowBatch]:
+    remaining = count
+    for batch in batches:
+        if remaining <= 0:
+            return
+        if len(batch) >= remaining:
+            yield batch[:remaining]
+            return
+        remaining -= len(batch)
+        yield batch
 
 
 # ---------------------------------------------------------------------------

@@ -48,10 +48,16 @@ class EvalContext:
     stable across retries of the same refresh (the paper handles context
     functions "on a case-by-case basis"; pinning them to the data timestamp
     is the choice that keeps delayed view semantics exact).
+
+    ``params`` carries the bind-parameter values of the executing prepared
+    statement, indexed by :class:`BoundParameter` slot. Like the timestamp,
+    they are pinned for the duration of one execution, so a cached plan can
+    be re-executed under a fresh context with new binds.
     """
 
     timestamp: Timestamp = 0
     role: str = "sysadmin"
+    params: tuple = ()
 
 
 DEFAULT_CONTEXT = EvalContext()
@@ -643,6 +649,38 @@ class ContextFunction(Expression):
         return self
 
 
+@dataclass(frozen=True)
+class BoundParameter(Expression):
+    """A bind-parameter slot, filled at execution time from
+    :attr:`EvalContext.params`.
+
+    The static type is NULL ("unknown") so the parameter is comparable
+    with, and unifies with, any operand type; actual type errors surface at
+    execution against the bound value, exactly as they would for a literal
+    of that value. Like a context function, the expression is deterministic
+    *given the context* but reads it, so the optimizer never folds it into
+    the (cached, bind-independent) plan.
+    """
+
+    slot: int
+    label: str = "?"
+    type: SqlType = SqlType.NULL
+
+    @property
+    def uses_context(self) -> bool:
+        return True
+
+    def eval(self, row: tuple, ctx: EvalContext) -> Value:
+        params = ctx.params
+        if self.slot >= len(params):
+            raise EvaluationError(
+                f"no value bound for parameter {self.label}")
+        return params[self.slot]
+
+    def remap(self, mapping: dict[int, int]) -> "Expression":
+        return self
+
+
 def conjuncts(predicate: Expression) -> list[Expression]:
     """Flatten a predicate into its top-level AND-ed conjuncts."""
     if isinstance(predicate, BooleanOp) and predicate.op == "and":
@@ -1059,6 +1097,16 @@ def _compile_variant_path(expr: VariantPath, ctx: EvalContext) -> RowEvaluator:
 def _compile_context_function(expr: ContextFunction,
                               ctx: EvalContext) -> RowEvaluator:
     value = expr.eval((), ctx)  # pinned context: a constant per compilation
+    return lambda row: value
+
+
+@_compiles(BoundParameter)
+def _compile_bound_parameter(expr: BoundParameter,
+                             ctx: EvalContext) -> RowEvaluator:
+    # The context (and with it the binds) is pinned per execution, so the
+    # parameter compiles to a constant load — the cached plan itself stays
+    # bind-independent.
+    value = expr.eval((), ctx)
     return lambda row: value
 
 

@@ -61,6 +61,28 @@ class EvaluationError(UserError):
     3.3.3)."""
 
 
+class StatementError(UserError):
+    """An error surfaced at the session/cursor API boundary.
+
+    Every error crossing that boundary carries the offending SQL in
+    ``sql`` (set by the boundary for pass-through :class:`ReproError`
+    subclasses too). StatementError itself wraps *internal* Python
+    exceptions (KeyError, ValueError, ...) so the public surface never
+    leaks raw non-Repro exceptions.
+    """
+
+    def __init__(self, message: str, sql: str | None = None):
+        if sql is not None:
+            message = f"{message} [while executing: {sql.strip()!r}]"
+        super().__init__(message)
+        self.sql = sql
+
+
+class BindParameterError(UserError):
+    """A prepared-statement bind failed: missing or extra binds, mixed
+    positional and named parameters, or a value with no SQL type."""
+
+
 class CatalogError(UserError):
     """A catalog operation failed (duplicate name, missing entity, ...)."""
 

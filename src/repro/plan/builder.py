@@ -78,10 +78,35 @@ class DictSchemaProvider:
         return self._views.get(name)
 
 
+class ParameterSlots(Protocol):
+    """What the binder needs to bind an AST :class:`~repro.sql.nodes.Parameter`
+    to a :class:`~repro.engine.expressions.BoundParameter` slot. Implemented
+    by :class:`repro.api.prepared.ParameterSpec`."""
+
+    def slot_of(self, parameter: n.Parameter) -> int:
+        ...
+
+
 def build_plan(select: n.Select, provider: SchemaProvider,
-               registry: FunctionRegistry = DEFAULT_REGISTRY) -> lp.PlanNode:
-    """Build a bound logical plan for a query."""
-    return _Builder(provider, registry).build_query(select)
+               registry: FunctionRegistry = DEFAULT_REGISTRY,
+               parameters: Optional[ParameterSlots] = None) -> lp.PlanNode:
+    """Build a bound logical plan for a query.
+
+    ``parameters`` enables bind parameters (``?`` / ``:name``): each AST
+    Parameter binds to the slot the spec assigns it. Without a spec,
+    parameters raise BindError — a DT defining query, for example, can
+    never contain one.
+    """
+    return _Builder(provider, registry, parameters).build_query(select)
+
+
+def bind_expression(ast: n.Expr, schema: Schema,
+                    registry: FunctionRegistry = DEFAULT_REGISTRY,
+                    parameters: Optional[ParameterSlots] = None,
+                    ) -> e.Expression:
+    """Bind a standalone AST expression against a schema (the DML paths:
+    INSERT literal rows, UPDATE assignments, WHERE predicates)."""
+    return _ExprBinder(registry, parameters).bind(ast, _Scope(schema))
 
 
 # ---------------------------------------------------------------------------
@@ -112,8 +137,10 @@ class _Scope:
 
 
 class _ExprBinder:
-    def __init__(self, registry: FunctionRegistry):
+    def __init__(self, registry: FunctionRegistry,
+                 parameters: "Optional[ParameterSlots]" = None):
         self._registry = registry
+        self._parameters = parameters
 
     def bind(self, ast: n.Expr, scope: _Scope) -> e.Expression:
         substituted = scope.lookup_substitution(ast)
@@ -122,6 +149,13 @@ class _ExprBinder:
 
         if isinstance(ast, n.Lit):
             return e.Literal(ast.value)
+        if isinstance(ast, n.Parameter):
+            if self._parameters is None:
+                raise BindError(
+                    f"bind parameter {ast.display()} is not allowed here "
+                    "(use a prepared statement)")
+            return e.BoundParameter(self._parameters.slot_of(ast),
+                                    ast.display())
         if isinstance(ast, n.Name):
             return self._bind_name(ast, scope)
         if isinstance(ast, n.Star):
@@ -316,10 +350,11 @@ def _dedupe(asts: Sequence[n.FnCall]) -> list[n.FnCall]:
 # ---------------------------------------------------------------------------
 
 class _Builder:
-    def __init__(self, provider: SchemaProvider, registry: FunctionRegistry):
+    def __init__(self, provider: SchemaProvider, registry: FunctionRegistry,
+                 parameters: "Optional[ParameterSlots]" = None):
         self._provider = provider
         self._registry = registry
-        self._binder = _ExprBinder(registry)
+        self._binder = _ExprBinder(registry, parameters)
         self._view_stack: list[str] = []
 
     # -- entry points --------------------------------------------------------

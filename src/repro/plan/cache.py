@@ -1,0 +1,67 @@
+"""A bounded LRU cache of optimized logical plans.
+
+Plans are immutable once built (frozen expression trees over frozen plan
+nodes), so sharing one plan across executions — and across sessions — is
+safe. What is *not* safe is reusing a plan built against stale metadata,
+so every caller folds its invalidation domain into the key:
+
+* the **catalog DDL epoch** (any CREATE/DROP/ALTER may change name
+  resolution, schemas, or view expansions),
+* the **function-registry version** (a UDF re-registration rebinds
+  implementations into the plan),
+* the **query text** — with bind-parameter markers (``?`` / ``:name``)
+  left in place, which is what makes the keys *parameter-aware*: every
+  re-execution of a prepared statement, whatever its binds, maps to the
+  same entry, while the bind values themselves never enter the key.
+
+Stale entries are never served (their key no longer matches) and age out
+of the LRU as live keys are touched.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+from repro.plan.logical import PlanNode
+
+#: Default number of plans retained.
+DEFAULT_PLAN_CACHE_LIMIT = 256
+
+
+class PlanCache:
+    """Bounded LRU mapping caller-chosen keys to optimized plans."""
+
+    def __init__(self, limit: int = DEFAULT_PLAN_CACHE_LIMIT):
+        if limit <= 0:
+            raise ValueError("plan cache limit must be positive")
+        self._limit = limit
+        self._entries: "OrderedDict[Hashable, PlanNode]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[PlanNode]:
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return plan
+
+    def put(self, key: Hashable, plan: PlanNode) -> None:
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._limit:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries), "limit": self._limit}

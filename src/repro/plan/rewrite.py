@@ -114,7 +114,7 @@ def substitute(expr: e.Expression,
         return e.FunctionCall(expr.function,
                               tuple(substitute(arg, bindings)
                                     for arg in expr.args))
-    if isinstance(expr, e.ContextFunction):
+    if isinstance(expr, (e.ContextFunction, e.BoundParameter)):
         return expr
     raise TypeError(f"cannot substitute into {type(expr).__name__}")
 

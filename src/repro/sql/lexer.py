@@ -39,9 +39,11 @@ KEYWORDS = frozenset({
 })
 
 #: Multi-character operators, longest first so maximal munch works.
+#: ``?`` is the positional bind-parameter marker of the prepared-statement
+#: API (named parameters reuse ``:`` in prefix position).
 OPERATORS = ("::", "<=", ">=", "<>", "!=", "=>", "||",
              "(", ")", ",", ".", ";", "+", "-", "*", "/", "%",
-             "=", "<", ">", ":", "$")
+             "=", "<", ">", ":", "$", "?")
 
 
 @dataclass(frozen=True)

@@ -56,6 +56,22 @@ class Star(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A bind parameter: positional ``?`` (``index`` is the 0-based order
+    of appearance) or named ``:name``. Values are supplied at execution
+    time through the prepared-statement API; plans bind these to
+    :class:`repro.engine.expressions.BoundParameter` slots."""
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    def display(self) -> str:
+        if self.name is not None:
+            return f":{self.name}"
+        return f"?{(self.index or 0) + 1}"
+
+
+@dataclass(frozen=True)
 class BinOp(Expr):
     """Binary operator: arithmetic, comparison, AND/OR, ``||``."""
 
@@ -266,15 +282,16 @@ class CreateDynamicTable(Statement):
     WAREHOUSE = ... [REFRESH_MODE = ...] [INITIALIZE = ...] AS query``.
 
     ``target_lag`` is either a duration string (e.g. ``'1 minute'``) or the
-    literal ``"downstream"``. ``refresh_mode`` is ``auto`` (default),
-    ``full``, or ``incremental``. ``initialize`` is ``on_create`` (default,
-    synchronous) or ``on_schedule`` (section 3.1).
+    literal ``"downstream"``. ``warehouse`` may be None, in which case the
+    executing session must supply a default warehouse. ``refresh_mode`` is
+    ``auto`` (default), ``full``, or ``incremental``. ``initialize`` is
+    ``on_create`` (default, synchronous) or ``on_schedule`` (section 3.1).
     """
 
     name: str
     query: Select
     target_lag: str
-    warehouse: str
+    warehouse: Optional[str]
     refresh_mode: str = "auto"
     initialize: str = "on_create"
     or_replace: bool = False

@@ -29,15 +29,25 @@ from repro.sql.lexer import Token, TokenType, tokenize
 
 def parse_statement(sql: str) -> n.Statement:
     """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    return parse_prepared(sql)[0]
+
+
+def parse_prepared(sql: str) -> tuple[n.Statement, tuple[n.Parameter, ...]]:
+    """Parse a single statement, also returning its bind parameters in
+    order of appearance (the prepared-statement entry point)."""
     parser = _Parser(tokenize(sql))
     statement = parser.statement()
     parser.accept_operator(";")
     parser.expect_eof()
-    return statement
+    return statement, tuple(parser.parameters)
 
 
 def parse_statements(sql: str) -> list[n.Statement]:
-    """Parse a ``;``-separated script."""
+    """Parse a ``;``-separated script.
+
+    Scripts cannot carry bind parameters — there is no way to supply
+    values for them — so any ``?`` / ``:name`` is rejected up front.
+    """
     parser = _Parser(tokenize(sql))
     statements: list[n.Statement] = []
     while not parser.at_eof():
@@ -45,6 +55,10 @@ def parse_statements(sql: str) -> list[n.Statement]:
         if not parser.accept_operator(";"):
             break
     parser.expect_eof()
+    if parser.parameters:
+        raise ParseError(
+            f"bind parameter {parser.parameters[0].display()} is not "
+            "allowed in a multi-statement script")
     return statements
 
 
@@ -60,6 +74,10 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._position = 0
+        #: Bind parameters in order of appearance; positional ``?``
+        #: markers are numbered as they are encountered.
+        self.parameters: list[n.Parameter] = []
+        self._positional_params = 0
 
     # -- token plumbing ----------------------------------------------------
 
@@ -227,8 +245,8 @@ class _Parser:
         query = self.query()
         if target_lag is None:
             raise self._error("dynamic table requires TARGET_LAG")
-        if warehouse is None:
-            raise self._error("dynamic table requires WAREHOUSE")
+        # WAREHOUSE may be omitted when the executing session carries a
+        # default warehouse; the session layer enforces that one exists.
         return n.CreateDynamicTable(name, query, target_lag, warehouse,
                                     refresh_mode, initialize, or_replace)
 
@@ -611,6 +629,20 @@ class _Parser:
             # Metadata columns $action / $row_id, exposed for debugging.
             name = self.expect_identifier("metadata column")
             return n.Name(f"${name}")
+        if self.accept_operator("?"):
+            # Positional bind parameter, numbered in order of appearance.
+            parameter = n.Parameter(index=self._positional_params)
+            self._positional_params += 1
+            self.parameters.append(parameter)
+            return parameter
+        if token.matches(TokenType.OPERATOR, ":"):
+            # ``:name`` in prefix position is a named bind parameter
+            # (postfix ``expr:key`` remains the VARIANT path operator).
+            self._advance()
+            parameter = n.Parameter(name=self._keyword_or_ident(
+                "bind parameter name"))
+            self.parameters.append(parameter)
+            return parameter
 
         if token.type == TokenType.IDENT:
             self._advance()

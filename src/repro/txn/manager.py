@@ -170,14 +170,36 @@ class SnapshotReader:
         self._catalog = catalog
         self._wall = wall
 
-    def scan(self, table: str) -> Relation:
+    def _resolve(self, table: str) -> VersionedTable:
         entry = self._catalog.get(table)
         if entry.kind == "dynamic table":
             ensure = getattr(entry.payload, "ensure_readable", None)
             if ensure is not None:
                 ensure()
-        versioned = self._catalog.versioned_table(table)
+        return self._catalog.versioned_table(table)
+
+    def scan(self, table: str) -> Relation:
+        versioned = self._resolve(table)
         return versioned.relation(versioned.version_at(self._wall))
+
+    def scan_pruned(self, table: str, bounds) -> Relation:
+        """Zone-map pruned scan (filters pushed down by the executor)."""
+        versioned = self._resolve(table)
+        return versioned.relation_pruned(versioned.version_at(self._wall),
+                                         bounds)
+
+    def scan_partitions(self, table: str):
+        """The micro-partitions of the snapshot's version — the
+        partition-granular read behind streaming cursors.
+
+        The version is resolved *now*, not at first pull: a streaming
+        cursor must serve exactly the snapshot of its execute() call even
+        when later commits land at the same wall clock. Partitions are
+        immutable, so iterating the pinned set lazily afterwards is safe.
+        """
+        versioned = self._resolve(table)
+        version = versioned.version_at(self._wall)
+        return iter(versioned.partitions_of(version))
 
 
 class TransactionManager:

@@ -1,0 +1,85 @@
+"""Perf smoke check: prepared statements skip parse + optimize.
+
+PR 1 added a plan cache keyed by (query text, catalog epoch); the prepared
+statement API exploits it across repeat executions. This check runs the
+same point-lookup query N times two ways — as fresh ``query()`` calls
+(each paying tokenize + parse + bind + optimize) and as one
+:class:`~repro.api.prepared.PreparedStatement` re-executed with new binds
+(plan-cache hit, zero frontend work) — asserts the prepared path is at
+least 2x faster, and snapshots both throughputs to
+``benchmarks/BENCH_prepared.json``.
+
+Runs as part of tier-1 (it is fast); deselect with ``-m "not perf"``.
+"""
+
+import os
+import sys
+import time
+
+import pytest
+
+from repro import Database
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir,
+                                "benchmarks"))
+from reporting import emit_json  # noqa: E402
+
+pytestmark = pytest.mark.perf
+
+TABLE_ROWS = 100
+EXECUTIONS = 300
+
+QUERY_TEMPLATE = ("SELECT id, grp, val * 2 doubled FROM items "
+                  "WHERE val >= {} AND id < 10000")
+PREPARED_QUERY = ("SELECT id, grp, val * 2 doubled FROM items "
+                  "WHERE val >= ? AND id < 10000")
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE items (id int, grp text, val int)")
+    database.execute("INSERT INTO items VALUES " + ", ".join(
+        f"({i}, 'g{i % 10}', {i % 100})" for i in range(TABLE_ROWS)))
+    return database
+
+
+def test_prepared_reexecution_at_least_2x_fresh_query(db):
+    prepared = db.prepare(PREPARED_QUERY)
+
+    # Warm both paths once (first prepared execution builds the plan).
+    baseline = db.query(QUERY_TEMPLATE.format(0)).rows
+    assert prepared.query((0,)).rows == baseline
+
+    start = time.perf_counter()
+    for i in range(EXECUTIONS):
+        db.query(QUERY_TEMPLATE.format(i % 50))
+    fresh_elapsed = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for i in range(EXECUTIONS):
+        prepared.query((i % 50,))
+    prepared_elapsed = time.perf_counter() - start
+
+    # Both paths agree on results for every bind.
+    for bound in (0, 17, 49):
+        assert sorted(prepared.query((bound,)).rows) == \
+            sorted(db.query(QUERY_TEMPLATE.format(bound)).rows)
+
+    speedup = fresh_elapsed / prepared_elapsed
+    emit_json("BENCH_prepared.json", {
+        "scenario": ("point lookup re-executed with varying binds: "
+                     "prepared statement vs fresh query()"),
+        "query": PREPARED_QUERY,
+        "table_rows": TABLE_ROWS,
+        "executions": EXECUTIONS,
+        "fresh_query_per_second": round(EXECUTIONS / fresh_elapsed, 1),
+        "prepared_per_second": round(EXECUTIONS / prepared_elapsed, 1),
+        "speedup": round(speedup, 2),
+    })
+
+    # The acceptance bar: plan-cache hits make re-execution >= 2x faster.
+    assert speedup >= 2.0, (
+        f"prepared re-execution only {speedup:.2f}x faster "
+        f"(fresh {fresh_elapsed:.4f}s vs prepared {prepared_elapsed:.4f}s)")
