@@ -1,0 +1,133 @@
+"""T10 — concurrent sessions: throughput and isolation under contention.
+
+The multi-session server front end (PR 3) serves many sessions from a
+thread pool over one database, with snapshot-isolated transactions and
+first-committer-wins conflict handling. This benchmark sweeps the writer
+count over two workloads:
+
+* **contended** — N writers repeatedly read-modify-write one row of one
+  table inside retried transactions. Correctness bar: the final counter
+  equals the number of committed transactions (no lost updates), however
+  many conflicts/retries it took.
+* **disjoint** — N writers each append to their own table: no logical
+  conflicts, so throughput should scale with workers until the GIL or
+  the commit critical section dominates.
+
+Deterministic facts (committed counts, invariant checks) land in
+``BENCH_concurrency.json``; wall-clock throughput, conflict, and retry
+numbers go to ``results.txt``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_t10_concurrent_sessions.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import Database  # noqa: E402
+from repro.server import Server  # noqa: E402
+
+from reporting import emit, emit_json, table  # noqa: E402
+
+WRITER_COUNTS = (1, 2, 4, 8)
+TXNS_PER_WRITER = 40
+
+
+def _increment(session):
+    (current,) = session.query("SELECT n FROM counter WHERE id = 1").rows[0]
+    session.execute("UPDATE counter SET n = ? WHERE id = 1", (current + 1,))
+
+
+def run_contended(writers: int) -> dict:
+    database = Database()
+    database.create_warehouse("wh")
+    with Server(database, workers=writers) as server:
+        server.execute("CREATE TABLE counter (id int, n int)").result()
+        server.execute("INSERT INTO counter VALUES (1, 0)").result()
+        total = writers * TXNS_PER_WRITER
+        start = time.perf_counter()
+        futures = [server.submit_transaction(_increment)
+                   for __ in range(total)]
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - start
+        final = server.query("SELECT n FROM counter WHERE id = 1").rows[0][0]
+        stats = server.stats.snapshot()
+    return {"writers": writers, "transactions": total, "final": final,
+            "lost_updates": total - final, "elapsed": elapsed,
+            "conflicts": stats["conflicts"], "retries": stats["retries"]}
+
+
+def run_disjoint(writers: int) -> dict:
+    database = Database()
+    database.create_warehouse("wh")
+    with Server(database, workers=writers) as server:
+        for index in range(writers):
+            server.execute(f"CREATE TABLE w{index} (a int)").result()
+
+        def appender(index: int):
+            def work(session):
+                session.execute(f"INSERT INTO w{index} VALUES (1)")
+            return work
+
+        total = writers * TXNS_PER_WRITER
+        start = time.perf_counter()
+        futures = [server.submit_transaction(appender(i % writers))
+                   for i in range(total)]
+        for future in futures:
+            future.result()
+        elapsed = time.perf_counter() - start
+        counts = [server.query(f"SELECT count(*) c FROM w{i}").rows[0][0]
+                  for i in range(writers)]
+        stats = server.stats.snapshot()
+    return {"writers": writers, "transactions": total,
+            "rows_per_table": counts, "elapsed": elapsed,
+            "conflicts": stats["conflicts"]}
+
+
+def main() -> None:
+    contended = [run_contended(writers) for writers in WRITER_COUNTS]
+    disjoint = [run_disjoint(writers) for writers in WRITER_COUNTS]
+
+    emit("t10 — concurrent sessions: contended counter "
+         f"({TXNS_PER_WRITER} txns/writer)", table(
+             ["writers", "txns", "final", "lost", "conflicts", "retries",
+              "txn/s"],
+             [[r["writers"], r["transactions"], r["final"],
+               r["lost_updates"], r["conflicts"], r["retries"],
+               f"{r['transactions'] / r['elapsed']:.0f}"]
+              for r in contended]))
+    emit("t10 — concurrent sessions: disjoint tables "
+         f"({TXNS_PER_WRITER} txns/writer)", table(
+             ["writers", "txns", "conflicts", "txn/s"],
+             [[r["writers"], r["transactions"], r["conflicts"],
+               f"{r['transactions'] / r['elapsed']:.0f}"]
+              for r in disjoint]))
+
+    emit_json("BENCH_concurrency.json", {
+        "scenario": ("N writer sessions over the thread-pool server: "
+                     "contended read-modify-write on one row, and "
+                     "disjoint per-writer appends"),
+        "txns_per_writer": TXNS_PER_WRITER,
+        "contended": [{
+            "writers": r["writers"],
+            "transactions": r["transactions"],
+            "final_counter": r["final"],
+            "lost_updates": r["lost_updates"],
+        } for r in contended],
+        "disjoint": [{
+            "writers": r["writers"],
+            "transactions": r["transactions"],
+            "rows_per_table": r["rows_per_table"],
+        } for r in disjoint],
+        "invariants_ok": all(r["lost_updates"] == 0 for r in contended),
+        "timings": "see benchmarks/results.txt",
+    })
+
+
+if __name__ == "__main__":
+    main()

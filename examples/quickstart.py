@@ -65,6 +65,51 @@ def main() -> None:
                    (100,))
     print("big orders:", cursor.fetchmany(10))
 
+    # -- transactions --------------------------------------------------------
+    # Statements auto-commit by default. An explicit transaction stages
+    # multiple statements atomically: reads inside it see its own writes
+    # (read-your-writes), other sessions see nothing until COMMIT, and
+    # ROLLBACK leaves no trace. SQL text works the same way:
+    #   session.execute("BEGIN"); ...; session.execute("COMMIT")
+    other = db.session()
+    with session.transaction():
+        session.execute("INSERT INTO orders VALUES (5, 'lin', 70)")
+        session.execute("UPDATE orders SET amount = 75 WHERE id = 5")
+        mine = session.query("SELECT amount FROM orders WHERE id = 5").rows
+        theirs = other.query("SELECT count(*) c FROM orders "
+                             "WHERE id = 5").rows
+        print(f"inside txn: I see amount={mine[0][0]}, "
+              f"others see {theirs[0][0]} rows")
+    print("after commit:",
+          other.query("SELECT amount FROM orders WHERE id = 5").rows)
+
+    # SAVEPOINT checkpoints the staged writes; ROLLBACK TO restores them.
+    session.execute("BEGIN")
+    session.execute("SAVEPOINT before_cleanup")
+    session.execute("DELETE FROM orders")
+    session.execute("ROLLBACK TO before_cleanup")   # phew
+    session.execute("COMMIT")
+    print("orders survive:",
+          session.query("SELECT count(*) c FROM orders").rows[0][0])
+
+    # Concurrent sessions: a thread-pool server retries transactions that
+    # lose snapshot isolation's first-committer-wins race.
+    with db.serve(workers=4) as server:
+        def credit(amount):
+            def work(s):
+                (total,) = s.query("SELECT amount FROM orders "
+                                   "WHERE id = 5").rows[0]
+                s.execute("UPDATE orders SET amount = ? WHERE id = 5",
+                          (total + amount,))
+            return work
+
+        futures = [server.submit_transaction(credit(1)) for __ in range(20)]
+        for future in futures:
+            future.result()
+        print("after 20 concurrent credits:",
+              server.query("SELECT amount FROM orders WHERE id = 5").rows,
+              server.stats.snapshot())
+
     # Delayed view semantics, the paper's core guarantee: the DT equals
     # its defining query evaluated at its data timestamp.
     dt = db.dynamic_table("customer_totals")

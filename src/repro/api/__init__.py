@@ -8,8 +8,10 @@ the refresh/IVM machinery:
   catalog, versioned storage, transaction manager, refresh engine,
   scheduler, warehouses, and the parameter-aware plan cache;
 * :class:`Session` (``session.py``) is one connection: default warehouse,
-  AS-OF snapshot time, role — plus the statement dispatch and the API
-  error boundary;
+  AS-OF snapshot time, role, and the optional **open transaction**
+  (``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` / ``SAVEPOINT``, via SQL or the
+  ``begin()``/``commit()``/``rollback()``/``transaction()`` API) — plus
+  the statement dispatch and the API error boundary;
 * :class:`PreparedStatement` (``prepared.py``) parses once and executes
   many times with ``?`` positional / ``:name`` named binds, skipping all
   parse and optimize work on re-execution via the plan cache;
@@ -54,10 +56,25 @@ Layered use — sessions, prepared statements, streaming cursors::
     while page := cursor.fetchmany(1000):    # streamed per micro-partition
         handle(page)
 
+Transactions — multi-statement atomicity with read-your-writes::
+
+    with session.transaction():              # BEGIN ... COMMIT/ROLLBACK
+        session.execute("INSERT INTO trains VALUES (9, 'owl')")
+        session.execute("UPDATE trains SET name = 'night owl' WHERE id = 9")
+        # visible here (read-your-writes), invisible to other sessions
+        # until the block commits
+
+Concurrency — the server front end (:mod:`repro.server`) executes many
+sessions on a thread pool, retrying snapshot-isolation conflicts::
+
+    with db.serve(workers=8) as server:
+        server.run_transaction(lambda s: s.execute(
+            "UPDATE trains SET name = 'renamed' WHERE id = 1"))
+
 ``Database.execute`` / ``query`` / ``execute_script`` delegate to an
 implicit default session, so the facade is exactly the old single-object
 API; SQL and programmatic surfaces keep dispatching onto the same
-primitives.
+primitives. Auto-commit per statement remains the default everywhere.
 """
 
 from repro.api.cursor import Cursor

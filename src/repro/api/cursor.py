@@ -11,8 +11,11 @@ sorts) transparently fall back to one materialized batch.
 The surface follows PEP 249 where it makes sense for an embedded
 analytical engine: ``execute`` / ``executemany``, ``fetchone`` /
 ``fetchmany`` / ``fetchall``, iteration, ``description``, ``rowcount``,
-and ``arraysize``. Transactions remain per-statement (auto-commit), as
-everywhere else in the package.
+``arraysize`` — plus the connection-level transaction controls
+(``commit`` / ``rollback`` / ``autocommit``), which delegate to the
+cursor's session. Auto-commit remains the default; ``BEGIN`` /
+``COMMIT`` / ``ROLLBACK`` may equally be issued as SQL text through
+``execute``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,6 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.api.prepared import PreparedStatement
 from repro.api.results import description_of
-from repro.api.session import statement_boundary
 from repro.errors import UserError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -57,6 +59,26 @@ class Cursor:
         """Rows affected by the last DML statement; -1 when unknown (DDL,
         or a streaming SELECT whose end has not been reached)."""
         return self._rowcount
+
+    # -- DB-API transaction controls (delegate to the session) ---------------
+
+    @property
+    def autocommit(self) -> bool:
+        """The session's autocommit mode (see
+        :attr:`repro.api.session.Session.autocommit`)."""
+        return self.session.autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        self.session.autocommit = value
+
+    def commit(self) -> None:
+        """Commit the session's open transaction (no-op without one)."""
+        self.session.commit()
+
+    def rollback(self) -> None:
+        """Roll back the session's open transaction (no-op without one)."""
+        self.session.rollback()
 
     # -- execution -----------------------------------------------------------
 
@@ -150,8 +172,9 @@ class Cursor:
         while self._batches is not None and (want is None
                                              or len(self._buffer) < want):
             # Lazy evaluation surfaces errors at fetch time; they must
-            # cross the same boundary as execute-time errors.
-            with statement_boundary(self._sql or ""):
+            # cross the same boundary as execute-time errors (including
+            # poisoning an open transaction).
+            with self.session._statement_scope(self._sql or ""):
                 try:
                     batch = next(self._batches)
                 except StopIteration:

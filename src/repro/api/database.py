@@ -87,6 +87,18 @@ class Database:
         """Prepare a statement on the default session."""
         return self._default_session.prepare(sql)
 
+    def transaction(self):
+        """Scoped transaction on the default session (BEGIN on entry,
+        COMMIT on clean exit, ROLLBACK on error)."""
+        return self._default_session.transaction()
+
+    def serve(self, workers: int = 8):
+        """A thread-pool :class:`~repro.server.Server` front end over this
+        database — concurrent sessions, retried transactions."""
+        from repro.server import Server
+
+        return Server(self, workers=workers)
+
     # -- time --------------------------------------------------------------------
 
     @property
@@ -140,21 +152,30 @@ class Database:
         """Zero-copy clone of a base table (section 3.4)."""
         from repro.core.cloning import clone_table
 
-        clone_table(self.catalog, source, name, self.txns.hlc.now())
+        # Under the commit mutex: reading the source's current version
+        # and stamping the clone must not interleave with an in-flight
+        # commit's installation.
+        with self.txns.commit_mutex:
+            clone_table(self.catalog, source, name, self.txns.hlc.now())
 
     def clone_dynamic_table(self, source: str, name: str) -> DynamicTable:
         """Zero-copy clone of a dynamic table, preserving its frontier so
         the clone avoids reinitialization (section 3.4)."""
         from repro.core.cloning import clone_dynamic_table
 
-        return clone_dynamic_table(self.catalog, source, name,
-                                   self.txns.hlc.now())
+        with self.txns.commit_mutex:
+            return clone_dynamic_table(self.catalog, source, name,
+                                       self.txns.hlc.now())
 
     def recluster(self, table_name: str) -> None:
         """Background maintenance: rewrite partitions without logical
         change (section 5.5.2's data-equivalent operations)."""
         table = self.catalog.versioned_table(table_name)
-        table.recluster(self.txns.hlc.now())
+        # The read-rebuild-install cycle is a commit critical section:
+        # without the mutex, a concurrent DML commit between the read of
+        # the current version and the install would be silently undone.
+        with self.txns.commit_mutex:
+            table.recluster(self.txns.hlc.now())
 
     # -- dynamic tables -----------------------------------------------------------------
 

@@ -18,8 +18,10 @@ the closure compiler pins — the value for that one execution.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import TYPE_CHECKING, Iterable, Mapping, Optional, Sequence
 
+from repro.engine import expressions as e
 from repro.engine import types as t
 from repro.engine.types import Value
 from repro.errors import BindParameterError, TypeError_, UserError
@@ -56,6 +58,10 @@ class ParameterSpec:
         self.positional_count = len(positional)
         self.names: tuple[str, ...] = tuple(names)
         self._name_slots = {name: slot for slot, name in enumerate(names)}
+        #: Types inferred per slot from comparison/arithmetic contexts by
+        #: the binder (see ``observe_type``); used to type-check bind
+        #: values up front instead of failing mid-execution.
+        self._inferred: dict[int, t.SqlType] = {}
 
     @property
     def slot_count(self) -> int:
@@ -71,6 +77,45 @@ class ParameterSpec:
             return self._name_slots[parameter.name]
         assert parameter.index is not None
         return parameter.index
+
+    # -- type inference ------------------------------------------------------
+
+    def observe_type(self, slot: int, sql_type: t.SqlType,
+                     label: str) -> None:
+        """Record a type inferred for ``slot`` from its expression context
+        (the binder's hook). A parameter observed in *conflicting*
+        contexts — say compared against both an INT and a TEXT column —
+        raises a typed ``UserError`` right here, which for SELECTs means
+        at ``prepare()`` time, long before any value is bound."""
+        if sql_type in (t.SqlType.NULL, t.SqlType.VARIANT):
+            return  # nothing usable to pin
+        existing = self._inferred.get(slot)
+        if existing is None:
+            self._inferred[slot] = sql_type
+            return
+        try:
+            self._inferred[slot] = t.unify_types(existing, sql_type)
+        except TypeError_:
+            raise TypeError_(
+                f"bind parameter {label} is used in conflicting type "
+                f"contexts: {existing} vs {sql_type}") from None
+
+    def inferred_type(self, slot: int) -> Optional[t.SqlType]:
+        """The type inferred for ``slot``, or None when its contexts said
+        nothing (a bare projection, a VARIANT path, ...)."""
+        return self._inferred.get(slot)
+
+    _NUMERIC = frozenset({t.SqlType.INT, t.SqlType.FLOAT})
+
+    @classmethod
+    def _value_matches(cls, expected: t.SqlType, actual: t.SqlType) -> bool:
+        if expected == actual:
+            return True
+        if expected in cls._NUMERIC and actual in cls._NUMERIC:
+            return True  # INT and FLOAT are mutually comparable, as literals
+        if expected == t.SqlType.TIMESTAMP and actual == t.SqlType.INT:
+            return True  # timestamps are nanosecond ints
+        return False
 
     def bind(self, binds: object = None) -> tuple[Value, ...]:
         """Validate user-supplied binds into a slot-ordered value tuple."""
@@ -93,7 +138,7 @@ class ParameterSpec:
             raise BindParameterError(
                 f"statement takes {self.positional_count} positional "
                 f"parameters, got {len(values)} values")
-        return tuple(self._check_value(value, f"?{slot + 1}")
+        return tuple(self._check_value(value, f"?{slot + 1}", slot)
                      for slot, value in enumerate(values))
 
     def _bind_named(self, binds: object) -> tuple[Value, ...]:
@@ -112,17 +157,52 @@ class ParameterSpec:
             raise BindParameterError(
                 "unknown bind names: "
                 + ", ".join(f":{key}" for key in extra))
-        return tuple(self._check_value(binds[name], f":{name}")
+        return tuple(self._check_value(binds[name], f":{name}",
+                                       self._name_slots[name])
                      for name in self.names)
 
-    @staticmethod
-    def _check_value(value: object, label: str) -> Value:
+    def _check_value(self, value: object, label: str, slot: int) -> Value:
         try:
-            t.type_of_value(value)
+            actual = t.type_of_value(value)
         except TypeError_ as exc:
             raise BindParameterError(
                 f"bind value for {label} has no SQL type: {exc}") from None
+        expected = self._inferred.get(slot)
+        if (expected is not None and value is not None
+                and not self._value_matches(expected, actual)):
+            raise BindParameterError(
+                f"bind value for {label} should be {expected} "
+                f"(inferred from the statement), got {actual}: {value!r}")
         return value
+
+
+def _parameter_types(plan: lp.PlanNode) -> list[tuple[int, t.SqlType, str]]:
+    """``(slot, type, label)`` of every context-typed bound parameter in a
+    plan. Re-deriving inference from the plan itself is what keeps typed
+    binds working on plan-cache *hits*, where the binder never runs."""
+    found: list[tuple[int, t.SqlType, str]] = []
+    for node in plan.walk():
+        for value in vars(node).values():
+            _collect_parameters(value, found)
+    return found
+
+
+def _collect_parameters(value: object,
+                        found: list[tuple[int, t.SqlType, str]]) -> None:
+    if isinstance(value, e.Expression):
+        if (isinstance(value, e.BoundParameter)
+                and value.type != t.SqlType.NULL):
+            found.append((value.slot, value.type, value.label))
+        for child in value.children():
+            _collect_parameters(child, found)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _collect_parameters(item, found)
+    elif (dataclasses.is_dataclass(value) and not isinstance(value, type)
+            and not isinstance(value, lp.PlanNode)):
+        # Aggregate/window call wrappers carry expressions one level deep.
+        for field_value in vars(value).values():
+            _collect_parameters(field_value, found)
 
 
 class PreparedStatement:
@@ -135,6 +215,9 @@ class PreparedStatement:
         self.sql = sql
         self.statement = statement
         self.spec = spec
+        #: The plan whose typed parameter slots the spec was last seeded
+        #: from — the type walk runs once per (re-)plan, not per execution.
+        self._typed_from_plan: Optional[lp.PlanNode] = None
 
     @property
     def is_query(self) -> bool:
@@ -162,6 +245,13 @@ class PreparedStatement:
             plan = optimize(build_plan(self.statement.select, db.catalog,
                                        db.registry, parameters=self.spec))
             db.plan_cache.put(key, plan)
+        # Seed (or re-derive, on a cache hit) the spec's inferred bind
+        # types from the plan's typed parameter slots — once per plan, so
+        # re-executions stay on the zero-work fast path.
+        if self._typed_from_plan is not plan:
+            for slot, sql_type, label in _parameter_types(plan):
+                self.spec.observe_type(slot, sql_type, label)
+            self._typed_from_plan = plan
         return plan
 
     # -- execution -----------------------------------------------------------

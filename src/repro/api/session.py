@@ -9,7 +9,8 @@ shared :class:`~repro.txn.manager.TransactionManager`:
   that omit the WAREHOUSE clause;
 * an **AS-OF time** — when set, every SELECT in the session reads the
   snapshot at that wall time (time travel as session state);
-* a **role** — surfaced to queries through ``CURRENT_ROLE``.
+* a **role** — surfaced to queries through ``CURRENT_ROLE``;
+* an optional **open transaction** — see below.
 
 Statements enter through :meth:`execute` / :meth:`query` (one-shot),
 :meth:`prepare` (repeated execution with binds, plan-cache backed), or
@@ -18,6 +19,36 @@ Statements enter through :meth:`execute` / :meth:`query` (one-shot),
 SQL on its ``sql`` attribute, and internal Python exceptions (KeyError,
 ValueError, ...) are wrapped as :class:`~repro.errors.StatementError` — a
 ``UserError`` subtype — instead of leaking raw.
+
+Transactions
+------------
+
+By default every statement auto-commits, exactly as before. An explicit
+transaction — opened with :meth:`begin`, the :meth:`transaction` context
+manager, or the SQL statement ``BEGIN`` — holds one open
+:class:`~repro.txn.manager.Transaction` across statements:
+
+* reads see the snapshot taken at BEGIN **plus the transaction's own
+  staged writes** (read-your-writes);
+* writes stage into the transaction and become visible to other sessions
+  only at COMMIT, all under one HLC commit timestamp;
+* ``SAVEPOINT name`` / ``ROLLBACK TO name`` checkpoint and restore the
+  staged-write state without closing the transaction;
+* an execution error mid-transaction **poisons** it: every further
+  statement fails until ``ROLLBACK`` (or ``ROLLBACK TO`` a savepoint,
+  which un-poisons);
+* COMMIT may raise :class:`~repro.errors.LockConflict` under snapshot
+  isolation's first-committer-wins rule — the transaction is then rolled
+  back automatically and the caller retries (the server front end in
+  :mod:`repro.server` automates the retry loop);
+* ``session.autocommit = False`` gives DB-API connection semantics: the
+  first statement implicitly opens a transaction and ``commit()`` /
+  ``rollback()`` close it.
+
+AS-OF session state and :meth:`query_at` bypass the open transaction —
+they are historical reads against the committed store. DDL is **not**
+transactional: it applies to the catalog immediately even inside an open
+transaction.
 """
 
 from __future__ import annotations
@@ -32,13 +63,14 @@ from repro.engine.executor import evaluate, stream_evaluate
 from repro.engine.expressions import EvalContext, compile_expression
 from repro.engine.schema import Column, Schema
 from repro.engine.types import Value
-from repro.errors import (CatalogError, ReproError, StatementError,
-                          UserError)
+from repro.errors import (CatalogError, LockConflict, ReproError,
+                          StatementError, TransactionError, UserError)
 from repro.plan import logical as lp
 from repro.plan.builder import bind_expression, build_plan
 from repro.plan.rewrite import optimize
 from repro.sql import nodes as n
 from repro.sql.parser import parse_prepared, parse_statements
+from repro.txn.manager import Transaction
 from repro.util.timeutil import Timestamp
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +84,11 @@ _SETTING_NAMES = ("warehouse", "as_of", "role")
 #: anything else non-Repro (e.g. MemoryError) keeps propagating raw.
 _INTERNAL_EXCEPTIONS = (KeyError, ValueError, TypeError, IndexError,
                         AttributeError, ZeroDivisionError)
+
+#: Transaction-control statements: never trigger an implicit BEGIN and
+#: (mostly) remain executable on a poisoned transaction.
+_CONTROL_STATEMENTS = (n.BeginTransaction, n.CommitTransaction,
+                       n.RollbackTransaction, n.Savepoint)
 
 
 @contextmanager
@@ -80,6 +117,13 @@ class Session:
         self._warehouse: Optional[str] = None
         self._as_of: Optional[Timestamp] = None
         self._role: str = "sysadmin"
+        self._autocommit = True
+        self._txn: Optional[Transaction] = None
+        self._txn_began_at: Timestamp = 0
+        self._txn_error: Optional[str] = None
+        #: Transaction covering one executemany batch (no statement-level
+        #: commits while set); distinct from the user-visible ``_txn``.
+        self._batch_txn: Optional[Transaction] = None
 
     # -- settings ------------------------------------------------------------
 
@@ -129,10 +173,213 @@ class Session:
             raise UserError(f"role must be a non-empty string, got {role!r}")
         self._role = role
 
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open on this session."""
+        return self._txn is not None
+
+    @property
+    def autocommit(self) -> bool:
+        """DB-API autocommit mode. True (the default) commits every
+        statement individually; False opens an implicit transaction on the
+        first statement, closed by :meth:`commit` / :meth:`rollback`."""
+        return self._autocommit
+
+    @autocommit.setter
+    def autocommit(self, value: bool) -> None:
+        if value and self._txn is not None:
+            raise TransactionError(
+                "cannot enable autocommit with a transaction in progress; "
+                "COMMIT or ROLLBACK first")
+        self._autocommit = bool(value)
+
+    def begin(self) -> None:
+        """Open an explicit transaction (SQL: ``BEGIN``).
+
+        The snapshot is the latest HLC point: everything committed so far
+        is visible, every later commit — even within the same simulated
+        instant — is not.
+        """
+        if self._txn is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._txn = self.database.txns.begin_at_latest()
+        self._txn_began_at = self.database.clock.now()
+        self._txn_error = None
+
+    def commit(self) -> None:
+        """Commit the open transaction (SQL: ``COMMIT``).
+
+        A no-op when no transaction is open (DB-API convention). On
+        failure — a first-committer-wins conflict or a lock timeout — the
+        transaction is rolled back automatically and the error re-raised;
+        the session is immediately usable (callers retry from BEGIN).
+        """
+        txn = self._txn
+        if txn is None:
+            return
+        if self._txn_error is not None:
+            raise TransactionError(
+                f"cannot COMMIT: current transaction is aborted "
+                f"({self._txn_error}); issue ROLLBACK")
+        try:
+            txn.commit()
+        except BaseException:
+            self._txn = None
+            self._txn_error = None
+            if txn.committed is None and not txn.aborted:
+                txn.abort()
+            raise
+        self._txn = None
+        self._txn_error = None
+
+    def rollback(self) -> None:
+        """Discard the open transaction (SQL: ``ROLLBACK``); clears the
+        poisoned state. A no-op when no transaction is open."""
+        txn = self._txn
+        self._txn = None
+        self._txn_error = None
+        if txn is not None and txn.committed is None and not txn.aborted:
+            txn.abort()
+
+    def savepoint(self, name: str) -> None:
+        """Checkpoint the open transaction (SQL: ``SAVEPOINT name``)."""
+        if self._txn is None:
+            raise TransactionError("SAVEPOINT requires an open transaction")
+        self._txn.savepoint(name)
+
+    def rollback_to(self, name: str) -> None:
+        """Restore the open transaction to a savepoint (SQL: ``ROLLBACK
+        TO name``); the transaction stays open and is un-poisoned."""
+        if self._txn is None:
+            raise TransactionError(
+                "ROLLBACK TO requires an open transaction")
+        self._txn.rollback_to(name)
+        self._txn_error = None
+
+    @contextmanager
+    def transaction(self):
+        """Scoped transaction: BEGIN on entry; COMMIT on clean exit,
+        ROLLBACK when the body raises::
+
+            with session.transaction():
+                session.execute("INSERT INTO t VALUES (1)")
+                session.execute("UPDATE t SET a = a + 1")
+        """
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
+    def _active_txn(self) -> Optional[Transaction]:
+        return self._txn if self._txn is not None else self._batch_txn
+
+    def _poison(self, exc: BaseException) -> None:
+        """Mark the open transaction as failed: nothing but ROLLBACK (or
+        ROLLBACK TO a savepoint) will be accepted until then."""
+        if self._txn is not None and self._txn_error is None:
+            self._txn_error = str(exc).split("\n", 1)[0]
+
+    @contextmanager
+    def _execution_guard(self):
+        try:
+            yield
+        except Exception as exc:
+            self._poison(exc)
+            raise
+
+    @contextmanager
+    def _statement_scope(self, sql: str):
+        """Error boundary + transaction poisoning, as one scope (the
+        cursor's fetch path uses it for errors surfacing mid-stream)."""
+        with self._execution_guard():
+            with statement_boundary(sql):
+                yield
+
+    def _pre_statement(self, statement: n.Statement) -> None:
+        """Per-statement transaction gatekeeping: reject anything but
+        ROLLBACK on a poisoned transaction, and open the implicit
+        transaction when autocommit is off."""
+        if self._txn_error is not None:
+            raise TransactionError(
+                f"current transaction is aborted by a prior error "
+                f"({self._txn_error}); issue ROLLBACK")
+        if (not self._autocommit and self._txn is None
+                and self._batch_txn is None
+                and not isinstance(statement, _CONTROL_STATEMENTS)):
+            self.begin()
+
+    #: Attempt budget of one auto-commit DML statement under contention.
+    _AUTOCOMMIT_ATTEMPTS = 5
+
+    def _stage_autocommit(self, stage):
+        """Run ``stage(txn)`` in the transaction a DML statement belongs
+        to: the session's open (or batch) transaction — left open — or an
+        ephemeral one committed here (the auto-commit path).
+
+        Ephemeral transactions retry on :class:`LockConflict` — a
+        concurrent committer winning the first-committer-wins race, or a
+        lock wait timing out — from a fresh snapshot, so single-statement
+        auto-commit DML under the server behaves like the one-statement
+        transaction it is, instead of surfacing retryable races.
+        """
+        active = self._active_txn()
+        if active is not None:
+            return stage(active)
+        last_conflict: Optional[BaseException] = None
+        for __ in range(self._AUTOCOMMIT_ATTEMPTS):
+            txn = self.database.txns.begin_at_latest()
+            try:
+                result = stage(txn)
+                txn.commit()
+                return result
+            except LockConflict as exc:
+                if txn.committed is None and not txn.aborted:
+                    txn.abort()
+                last_conflict = exc
+            except BaseException:
+                if txn.committed is None and not txn.aborted:
+                    txn.abort()
+                raise
+        assert last_conflict is not None
+        raise last_conflict
+
+    @contextmanager
+    def _batch_transaction(self) -> Iterator[None]:
+        """One transaction covering a whole ``executemany`` batch, so a
+        mid-batch error rolls back every bind set (no partial commit).
+        Inside an explicit transaction the batch just stages there."""
+        if self._txn is not None or self._batch_txn is not None:
+            yield
+            return
+        txn = self.database.txns.begin_at_latest()
+        self._batch_txn = txn
+        try:
+            yield
+            txn.commit()
+        except BaseException:
+            if txn.committed is None and not txn.aborted:
+                txn.abort()
+            raise
+        finally:
+            self._batch_txn = None
+
     # -- execution entry points ----------------------------------------------
 
     def prepare(self, sql: str) -> PreparedStatement:
-        """Parse ``sql`` once into a reusable :class:`PreparedStatement`."""
+        """Parse ``sql`` once into a reusable :class:`PreparedStatement`.
+
+        SELECTs are planned eagerly (warming the shared plan cache),
+        which is also when bind-parameter types are inferred from their
+        comparison/arithmetic contexts — a parameter used in conflicting
+        type contexts raises a typed ``UserError`` here, at prepare time,
+        rather than failing mid-execution.
+        """
         with statement_boundary(sql):
             statement, parameters = parse_prepared(sql)
             spec = ParameterSpec(parameters)
@@ -167,7 +414,9 @@ class Session:
 
         This is the oracle of the paper's randomized testing (section
         6.1): "if you run the defining query as of the data timestamp, you
-        should get the same result as in the DT."
+        should get the same result as in the DT." Works inside an open
+        transaction too — the read is historical and ignores staged
+        writes.
         """
         with statement_boundary(sql):
             statement, parameters = parse_prepared(sql)
@@ -179,7 +428,11 @@ class Session:
             return self._evaluate_select(plan, values, wall=wall)
 
     def execute_script(self, sql: str) -> list[Optional[QueryResult]]:
-        """Execute a ``;``-separated script (no bind parameters)."""
+        """Execute a ``;``-separated script (no bind parameters).
+
+        Transaction control works textually: a script may bracket its
+        statements with ``BEGIN; ...; COMMIT``.
+        """
         with statement_boundary(sql):
             statements = parse_statements(sql)
         results = []
@@ -215,7 +468,9 @@ class Session:
         with statement_boundary(prepared.sql):
             values = prepared.spec.bind(binds)
             if prepared.is_query:
-                result = self._evaluate_select(prepared.plan(), values)
+                self._pre_statement(prepared.statement)
+                with self._execution_guard():
+                    result = self._evaluate_select(prepared.plan(), values)
                 return result, len(result.rows)
             return self._dispatch(prepared.statement, prepared.spec, values)
 
@@ -223,33 +478,47 @@ class Session:
                               bind_sets: Iterable[object]) -> int:
         with statement_boundary(prepared.sql):
             statement = prepared.statement
-            if isinstance(statement, n.Insert) and statement.rows:
-                return self._insert_many(statement, prepared.spec, bind_sets)
-            total = 0
-            for binds in bind_sets:
-                values = prepared.spec.bind(binds)
-                __, rowcount = self._dispatch(statement, prepared.spec,
-                                              values)
-                total += max(rowcount, 0)
-            return total
+            self._pre_statement(statement)
+            # Unlike single statements, the whole batch runs inside the
+            # guard: a mid-batch bind error inside an *explicit*
+            # transaction leaves earlier bind sets staged there, so the
+            # transaction must poison until the user rolls back.
+            with self._execution_guard():
+                if isinstance(statement, n.Insert) and statement.rows:
+                    return self._insert_many(statement, prepared.spec,
+                                             bind_sets)
+                total = 0
+                with self._batch_transaction():
+                    for binds in bind_sets:
+                        values = prepared.spec.bind(binds)
+                        __, rowcount = self._dispatch_inner(
+                            statement, prepared.spec, values)
+                        total += max(rowcount, 0)
+                return total
 
     def _stream_prepared(self, prepared: PreparedStatement, binds: object,
                          ) -> tuple[Schema, Iterator[list]]:
         """Schema + per-micro-partition batch iterator for a SELECT (the
         cursor's read path); falls back to one materialized batch when the
-        plan shape cannot stream."""
+        plan shape (or an open transaction's overlay read) cannot
+        stream."""
         with statement_boundary(prepared.sql):
             if not prepared.is_query:
                 raise UserError("cannot stream a non-SELECT statement")
+            self._pre_statement(prepared.statement)
+            # Bind validation happens before the statement reaches the
+            # engine, so a bad bind never poisons an open transaction
+            # (same contract as execute / prepared execution).
             values = prepared.spec.bind(binds)
-            plan = prepared.plan()
-            reader, ctx = self._read_state(values)
-            batches = stream_evaluate(plan, reader, ctx)
-            if batches is None:
-                relation = evaluate(plan, reader, ctx)
-                pairs = list(relation.pairs())
-                batches = iter([pairs] if pairs else [])
-            return plan.schema, batches
+            with self._execution_guard():
+                plan = prepared.plan()
+                reader, ctx = self._read_state(values)
+                batches = stream_evaluate(plan, reader, ctx)
+                if batches is None:
+                    relation = evaluate(plan, reader, ctx)
+                    pairs = list(relation.pairs())
+                    batches = iter([pairs] if pairs else [])
+                return plan.schema, batches
 
     # -- reads ---------------------------------------------------------------
 
@@ -260,8 +529,22 @@ class Session:
 
     def _read_state(self, values: tuple[Value, ...],
                     wall: Optional[Timestamp] = None):
+        if wall is None and self._as_of is None:
+            txn = self._active_txn()
+            if txn is not None:
+                # Reads inside a transaction resolve through it: the
+                # snapshot taken at BEGIN plus the txn's staged writes.
+                ts = (self._txn_began_at if txn is self._txn
+                      else self.database.clock.now())
+                return txn, EvalContext(timestamp=ts, role=self._role,
+                                        params=values)
         ts = wall if wall is not None else self._read_wall
-        reader = self.database.txns.reader(ts)
+        if wall is None and self._as_of is None:
+            # Default reads take an HLC-consistent snapshot (never a torn
+            # multi-table commit); CURRENT_TIMESTAMP still reports now.
+            reader = self.database.txns.reader()
+        else:
+            reader = self.database.txns.reader(ts)
         ctx = EvalContext(timestamp=ts, role=self._role, params=values)
         return reader, ctx
 
@@ -285,6 +568,30 @@ class Session:
         ``rowcount`` follows DB-API: rows affected for DML, row count for
         SELECTs, -1 for DDL and control statements.
         """
+        # Transaction control first: ROLLBACK must work on a poisoned
+        # transaction, and COMMIT of one wants its specific error.
+        if isinstance(statement, n.RollbackTransaction):
+            if statement.savepoint is not None:
+                self.rollback_to(statement.savepoint)
+            else:
+                self.rollback()
+            return None, -1
+        if isinstance(statement, n.CommitTransaction):
+            self.commit()
+            return None, -1
+        self._pre_statement(statement)
+        if isinstance(statement, n.BeginTransaction):
+            self.begin()
+            return None, -1
+        if isinstance(statement, n.Savepoint):
+            self.savepoint(statement.name)
+            return None, -1
+        with self._execution_guard():
+            return self._dispatch_inner(statement, spec, values)
+
+    def _dispatch_inner(self, statement: n.Statement, spec: ParameterSpec,
+                        values: tuple[Value, ...],
+                        ) -> tuple[Optional[QueryResult], int]:
         db = self.database
         if isinstance(statement, n.Query):
             plan = self._plan_select(statement.select, spec)
@@ -402,32 +709,42 @@ class Session:
 
     def _run_insert(self, statement: n.Insert, spec: ParameterSpec,
                     values: tuple[Value, ...]) -> int:
+        # Rows are computed up front (reading through the open
+        # transaction when there is one), so a retried stage re-inserts
+        # identical rows.
         rows = self._insert_rows_of(statement, spec, values)
-        txn = self.database.txns.begin(self.database.clock.now())
-        txn.insert_rows(statement.table, rows)
-        txn.commit()
-        return len(rows)
+
+        def stage(txn: Transaction) -> int:
+            txn.insert_rows(statement.table, rows)
+            return len(rows)
+
+        return self._stage_autocommit(stage)
 
     def _insert_many(self, statement: n.Insert, spec: ParameterSpec,
                      bind_sets: Iterable[object]) -> int:
         """``executemany`` over INSERT ... VALUES: every bind set's rows
-        are staged into one transaction and committed once."""
+        are staged into one transaction and committed once; a mid-batch
+        bind (or cast) error rolls the whole batch back."""
         rows: list[tuple] = []
         for binds in bind_sets:
             rows.extend(self._insert_rows_of(statement, spec,
                                              spec.bind(binds)))
-        txn = self.database.txns.begin(self.database.clock.now())
-        txn.insert_rows(statement.table, rows)
-        txn.commit()
-        return len(rows)
 
-    def _matching_rows(self, table_name: str, where: Optional[n.Expr],
-                       spec: ParameterSpec, ctx: EvalContext,
-                       ) -> list[tuple[str, tuple]]:
-        table = self.database.catalog.versioned_table(table_name)
-        relation = table.relation()
+        def stage(txn: Transaction) -> int:
+            txn.insert_rows(statement.table, rows)
+            return len(rows)
+
+        return self._stage_autocommit(stage)
+
+    def _matching_rows(self, txn: Transaction, table_name: str,
+                       where: Optional[n.Expr], spec: ParameterSpec,
+                       ctx: EvalContext) -> list[tuple[str, tuple]]:
+        """Rows of ``table_name`` as seen *by the transaction* (snapshot
+        plus its own staged writes) matching ``where``."""
+        relation = txn.scan(table_name)
         if where is None:
             return list(relation.pairs())
+        table = self.database.catalog.versioned_table(table_name)
         schema = table.schema.requalified(table_name)
         predicate = compile_expression(
             bind_expression(where, schema, self.database.registry,
@@ -438,12 +755,15 @@ class Session:
     def _run_delete(self, statement: n.Delete, spec: ParameterSpec,
                     values: tuple[Value, ...]) -> int:
         ctx = self._write_ctx(values)
-        matches = self._matching_rows(statement.table, statement.where,
-                                      spec, ctx)
-        txn = self.database.txns.begin(self.database.clock.now())
-        txn.delete_rows(statement.table, [row_id for row_id, __ in matches])
-        txn.commit()
-        return len(matches)
+
+        def stage(txn: Transaction) -> int:
+            matches = self._matching_rows(txn, statement.table,
+                                          statement.where, spec, ctx)
+            txn.delete_rows(statement.table,
+                            [row_id for row_id, __ in matches])
+            return len(matches)
+
+        return self._stage_autocommit(stage)
 
     def _run_update(self, statement: n.Update, spec: ParameterSpec,
                     values: tuple[Value, ...]) -> int:
@@ -456,19 +776,23 @@ class Session:
                 bind_expression(expr, schema, db.registry, parameters=spec),
                 ctx)
             for column, expr in statement.assignments}
-        updates: dict[str, tuple] = {}
-        for row_id, row in self._matching_rows(statement.table,
-                                               statement.where, spec, ctx):
-            new_row = list(row)
-            for index, expr_fn in assignments.items():
-                new_row[index] = t.cast_value(expr_fn(row),
-                                              table.schema[index].type)
-            updates[row_id] = tuple(new_row)
-        txn = db.txns.begin(db.clock.now())
-        txn.update_rows(statement.table, updates)
-        txn.commit()
-        return len(updates)
+
+        def stage(txn: Transaction) -> int:
+            updates: dict[str, tuple] = {}
+            for row_id, row in self._matching_rows(txn, statement.table,
+                                                   statement.where, spec,
+                                                   ctx):
+                new_row = list(row)
+                for index, expr_fn in assignments.items():
+                    new_row[index] = t.cast_value(expr_fn(row),
+                                                  table.schema[index].type)
+                updates[row_id] = tuple(new_row)
+            txn.update_rows(statement.table, updates)
+            return len(updates)
+
+        return self._stage_autocommit(stage)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open txn" if self._txn is not None else "autocommit"
         return (f"Session(#{self.id}, warehouse={self._warehouse!r}, "
-                f"as_of={self._as_of!r}, role={self._role!r})")
+                f"as_of={self._as_of!r}, role={self._role!r}, {state})")

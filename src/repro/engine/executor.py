@@ -248,7 +248,8 @@ def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
     """Evaluate ``plan`` lazily, one micro-partition at a time.
 
     Supports the row-preserving pipeline shapes — a chain of Project /
-    Filter / Limit over a single Scan — when the resolver exposes
+    Filter / Limit over a single Scan, and UNION ALL over such chains
+    (branch streams are concatenated) — when the resolver exposes
     partition-granular reads (``scan_partitions``). Returns an iterator of
     ``(row_id, row)`` batches, one per surviving partition, or None when
     the plan (a join, aggregate, sort, ...) or the resolver cannot stream;
@@ -302,6 +303,20 @@ def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
             return None
         return _limit_batches(batches, plan.count)
 
+    if isinstance(plan, lp.UnionAll):
+        # Branch streams are *created* eagerly — pinning every branch's
+        # snapshot at execute time, exactly like the materialized path —
+        # then drained one after the other, so a unioned SELECT still
+        # holds at most one partition's rows. Row ids match
+        # ``_run_unionall`` (union_id over the branch ordinal).
+        streams = []
+        for child in plan.inputs:
+            batches = stream_evaluate(child, resolver, ctx)
+            if batches is None:
+                return None  # one branch can't stream -> materialize all
+            streams.append(batches)
+        return _union_batches(streams)
+
     return None  # joins/aggregates/sorts/etc. require materialization
 
 
@@ -317,6 +332,15 @@ def _scan_partitions(resolver: SnapshotResolver, table: str,
         return partitions
     return (partition for partition in partitions
             if partition.might_match(bounds))
+
+
+def _union_batches(streams: list) -> Iterator[RowBatch]:
+    """Concatenate branch streams, rewriting row ids under the branch's
+    union ordinal (identical to the materialized UNION ALL)."""
+    for branch, batches in enumerate(streams):
+        for batch in batches:
+            yield [(rowid.union_id(branch, row_id), row)
+                   for row_id, row in batch]
 
 
 def _limit_batches(batches: Iterator[RowBatch],

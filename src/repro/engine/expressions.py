@@ -654,12 +654,15 @@ class BoundParameter(Expression):
     """A bind-parameter slot, filled at execution time from
     :attr:`EvalContext.params`.
 
-    The static type is NULL ("unknown") so the parameter is comparable
-    with, and unifies with, any operand type; actual type errors surface at
-    execution against the bound value, exactly as they would for a literal
-    of that value. Like a context function, the expression is deterministic
-    *given the context* but reads it, so the optimizer never folds it into
-    the (cached, bind-independent) plan.
+    The parser types a parameter as NULL ("unknown"), which unifies with
+    any operand type; the binder then *re-types* it from its comparison or
+    arithmetic context where one exists (``a = ?`` with ``a INT`` yields an
+    INT-typed slot), letting the prepared-statement layer reject
+    wrongly-typed bind values up front instead of failing mid-execution.
+    Slots with no informative context stay NULL-typed and behave exactly
+    like a literal of the bound value. Like a context function, the
+    expression is deterministic *given the context* but reads it, so the
+    optimizer never folds it into the (cached, bind-independent) plan.
     """
 
     slot: int

@@ -81,10 +81,19 @@ class DictSchemaProvider:
 class ParameterSlots(Protocol):
     """What the binder needs to bind an AST :class:`~repro.sql.nodes.Parameter`
     to a :class:`~repro.engine.expressions.BoundParameter` slot. Implemented
-    by :class:`repro.api.prepared.ParameterSpec`."""
+    by :class:`repro.api.prepared.ParameterSpec`.
+
+    A spec may additionally expose ``observe_type(slot, sql_type, label)``
+    — the binder then reports the type each parameter's comparison or
+    arithmetic context implies, so bind values can be checked up front
+    (and conflicting contexts rejected at prepare time)."""
 
     def slot_of(self, parameter: n.Parameter) -> int:
         ...
+
+
+#: Types a parameter may assume from an arithmetic context.
+_ARITHMETIC_TYPES = frozenset({SqlType.INT, SqlType.FLOAT, SqlType.TIMESTAMP})
 
 
 def build_plan(select: n.Select, provider: SchemaProvider,
@@ -172,16 +181,30 @@ class _ExprBinder:
         if isinstance(ast, n.IsNullExpr):
             return e.IsNull(self.bind(ast.operand, scope), ast.negated)
         if isinstance(ast, n.InListExpr):
-            return e.InList(self.bind(ast.operand, scope),
-                            tuple(self.bind(item, scope) for item in ast.items),
-                            ast.negated)
+            operand = self.bind(ast.operand, scope)
+            items = tuple(self.bind(item, scope) for item in ast.items)
+            item_type = next((item.type for item in items
+                              if item.type != SqlType.NULL), SqlType.NULL)
+            operand = self._typed_parameter(operand, item_type)
+            items = tuple(self._typed_parameter(item, operand.type)
+                          for item in items)
+            return e.InList(operand, items, ast.negated)
         if isinstance(ast, n.LikeExpr):
-            return e.Like(self.bind(ast.operand, scope),
-                          self.bind(ast.pattern, scope), ast.negated)
+            # LIKE is a TEXT context for both operand and pattern.
+            operand = self._typed_parameter(self.bind(ast.operand, scope),
+                                            SqlType.TEXT)
+            pattern = self._typed_parameter(self.bind(ast.pattern, scope),
+                                            SqlType.TEXT)
+            return e.Like(operand, pattern, ast.negated)
         if isinstance(ast, n.BetweenExpr):
             operand = self.bind(ast.operand, scope)
             low = self.bind(ast.low, scope)
             high = self.bind(ast.high, scope)
+            bound_type = (low.type if low.type != SqlType.NULL
+                          else high.type)
+            operand = self._typed_parameter(operand, bound_type)
+            low = self._typed_parameter(low, operand.type)
+            high = self._typed_parameter(high, operand.type)
             between = e.BooleanOp("and", (
                 e.Comparison(">=", operand, low),
                 e.Comparison("<=", operand, high)))
@@ -208,6 +231,30 @@ class _ExprBinder:
         column = scope.schema[index]
         return e.ColumnRef(index, column.type, column.name)
 
+    def _typed_parameter(self, expr: e.Expression, context_type: SqlType,
+                         allowed: "frozenset[SqlType] | None" = None,
+                         ) -> e.Expression:
+        """Pin an untyped bind parameter to the type its context implies.
+
+        When ``expr`` is a NULL-typed :class:`~repro.engine.expressions.
+        BoundParameter` and the surrounding comparison/arithmetic context
+        supplies a concrete type, return a re-typed parameter and report
+        the inference to the spec (whose ``observe_type`` raises on
+        conflicting contexts — at prepare time for planned SELECTs).
+        Anything else passes through untouched.
+        """
+        if (not isinstance(expr, e.BoundParameter)
+                or expr.type != SqlType.NULL
+                or context_type in (SqlType.NULL, SqlType.VARIANT)):
+            return expr
+        if allowed is not None and context_type not in allowed:
+            return expr
+        if self._parameters is not None:
+            observe = getattr(self._parameters, "observe_type", None)
+            if observe is not None:
+                observe(expr.slot, context_type, expr.label)
+        return e.BoundParameter(expr.slot, expr.label, context_type)
+
     def _bind_binop(self, ast: n.BinOp, scope: _Scope) -> e.Expression:
         if ast.op in ("and", "or"):
             return e.BooleanOp(ast.op, (self.bind(ast.left, scope),
@@ -215,8 +262,14 @@ class _ExprBinder:
         left = self.bind(ast.left, scope)
         right = self.bind(ast.right, scope)
         if ast.op in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            left = self._typed_parameter(left, right.type)
+            right = self._typed_parameter(right, left.type)
             return e.Comparison(ast.op, left, right)
         if ast.op in ("+", "-", "*", "/", "%"):
+            left = self._typed_parameter(left, right.type,
+                                         allowed=_ARITHMETIC_TYPES)
+            right = self._typed_parameter(right, left.type,
+                                          allowed=_ARITHMETIC_TYPES)
             return e.Arithmetic(ast.op, left, right)
         if ast.op == "||":
             concat = self._registry.lookup("concat")

@@ -20,6 +20,7 @@ of the LRU as live keys are touched.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Hashable, Optional
 
@@ -30,33 +31,42 @@ DEFAULT_PLAN_CACHE_LIMIT = 256
 
 
 class PlanCache:
-    """Bounded LRU mapping caller-chosen keys to optimized plans."""
+    """Bounded LRU mapping caller-chosen keys to optimized plans.
+
+    Thread-safe: one cache is shared by every session, and the server
+    front end prepares statements from many pool threads — the LRU
+    reordering is a read-modify-write that must not race evictions.
+    """
 
     def __init__(self, limit: int = DEFAULT_PLAN_CACHE_LIMIT):
         if limit <= 0:
             raise ValueError("plan cache limit must be positive")
         self._limit = limit
         self._entries: "OrderedDict[Hashable, PlanNode]" = OrderedDict()
+        self._mutex = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Hashable) -> Optional[PlanNode]:
-        plan = self._entries.get(key)
-        if plan is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return plan
+        with self._mutex:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
 
     def put(self, key: Hashable, plan: PlanNode) -> None:
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._limit:
-            self._entries.popitem(last=False)
+        with self._mutex:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._limit:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._mutex:
+            self._entries.clear()
 
     def __len__(self) -> int:
         return len(self._entries)

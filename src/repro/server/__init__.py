@@ -1,0 +1,17 @@
+"""The concurrent multi-session server front end.
+
+One :class:`Server` owns one :class:`~repro.api.database.Database` and a
+thread pool; :meth:`Server.connect` hands out :class:`Connection` objects
+whose statements run on the pool, serialized per connection (each
+session stays thread-confined). :meth:`Server.run_transaction` wraps a
+unit of work in BEGIN / COMMIT with automatic retry on snapshot-isolation
+conflicts — the idiom every concurrent writer uses.
+
+This is the layer that finally exercises the transaction manager's lock
+table and first-committer-wins validation under *real* contention; see
+:mod:`repro.server.server` for the concurrency model.
+"""
+
+from repro.server.server import Connection, Server, ServerStats
+
+__all__ = ["Connection", "Server", "ServerStats"]

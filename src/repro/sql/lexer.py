@@ -36,6 +36,11 @@ KEYWORDS = frozenset({
     "warehouse", "refresh_mode", "initialize", "downstream", "lateral",
     "flatten", "over", "partition", "asc", "desc", "exists", "if", "with",
     "recluster", "at", "show", "tables", "qualify", "clone",
+    "begin", "commit", "rollback", "savepoint",
+    # NOTE: the optional noise words TRANSACTION / WORK after
+    # BEGIN/COMMIT/ROLLBACK are deliberately *not* reserved — they are
+    # matched contextually by the parser, so columns and tables may keep
+    # using them as names.
 })
 
 #: Multi-character operators, longest first so maximal munch works.

@@ -357,6 +357,38 @@ class CloneEntity(Statement):
 
 
 @dataclass(frozen=True)
+class BeginTransaction(Statement):
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit multi-statement
+    transaction on the executing session. Reads inside it see the
+    snapshot taken at BEGIN plus the transaction's own staged writes;
+    nothing is visible to other sessions until COMMIT."""
+
+
+@dataclass(frozen=True)
+class CommitTransaction(Statement):
+    """``COMMIT [TRANSACTION | WORK]`` — atomically apply the open
+    transaction's staged writes under one HLC commit timestamp."""
+
+
+@dataclass(frozen=True)
+class RollbackTransaction(Statement):
+    """``ROLLBACK [TRANSACTION | WORK]`` or ``ROLLBACK TO [SAVEPOINT]
+    <name>``. Without a savepoint the open transaction is discarded
+    wholesale; with one, staged writes are restored to the savepoint and
+    the transaction stays open."""
+
+    savepoint: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Savepoint(Statement):
+    """``SAVEPOINT <name>`` — capture the open transaction's staged-write
+    state so a later ``ROLLBACK TO <name>`` can restore it."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class Recluster(Statement):
     """``ALTER TABLE name RECLUSTER`` — a data-equivalent maintenance
     operation (section 5.5.2): rewrites partitions without changing logical

@@ -5,7 +5,7 @@ Grammar (informal):
 .. code-block:: text
 
    statement   := query | create | insert | delete | update | drop
-                | undrop | alter
+                | undrop | alter | begin | commit | rollback | savepoint
    query       := select (UNION ALL select)* [ORDER BY order_items]
                   [LIMIT number]
    select      := SELECT [DISTINCT] items FROM table_ref [WHERE expr]
@@ -171,7 +171,46 @@ class _Parser:
             return self._undrop()
         if self.peek_keyword("alter"):
             return self._alter()
+        if self.peek_keyword("begin"):
+            return self._begin()
+        if self.peek_keyword("commit"):
+            self.expect_keyword("commit")
+            self._transaction_suffix()
+            return n.CommitTransaction()
+        if self.peek_keyword("rollback"):
+            return self._rollback()
+        if self.peek_keyword("savepoint"):
+            self.expect_keyword("savepoint")
+            return n.Savepoint(self.expect_identifier("savepoint name"))
         raise self._error("expected a statement")
+
+    # -- transaction control -----------------------------------------------
+
+    def _transaction_suffix(self) -> None:
+        """The optional noise word after BEGIN/COMMIT/ROLLBACK.
+
+        TRANSACTION and WORK are not reserved words (identifiers named
+        ``transaction`` stay valid), so they arrive as plain identifiers
+        and are matched contextually here.
+        """
+        token = self._peek()
+        if token.type == TokenType.IDENT and token.text in ("transaction",
+                                                           "work"):
+            self._advance()
+
+    def _begin(self) -> n.BeginTransaction:
+        self.expect_keyword("begin")
+        self._transaction_suffix()
+        return n.BeginTransaction()
+
+    def _rollback(self) -> n.Statement:
+        self.expect_keyword("rollback")
+        self._transaction_suffix()
+        if self.accept_keyword("to"):
+            self.accept_keyword("savepoint")
+            return n.RollbackTransaction(
+                savepoint=self.expect_identifier("savepoint name"))
+        return n.RollbackTransaction()
 
     def _create(self) -> n.Statement:
         self.expect_keyword("create")

@@ -23,6 +23,7 @@ The catalog also implements the operational DDL behaviours of section 3.4:
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
 
@@ -102,6 +103,10 @@ class Catalog:
         self._ddl_seq = itertools.count(1)
         self._table_seq = itertools.count(1)
         self._entity_ids = itertools.count(1)
+        #: Serializes catalog mutations (the DDL critical section) under
+        #: the multi-session server; reads stay lock-free — entries are
+        #: only ever added or flag-flipped, never restructured in place.
+        self._mutex = threading.RLock()
 
     # -- SchemaProvider interface ------------------------------------------------
 
@@ -189,30 +194,37 @@ class Catalog:
     def create_table(self, name: str, schema: Schema, owner: str = "sysadmin",
                      or_replace: bool = False,
                      if_not_exists: bool = False) -> VersionedTable:
-        replaced = self._prepare_create(name, "table", or_replace, if_not_exists)
-        if replaced is not None and not or_replace:
-            assert isinstance(replaced.payload, VersionedTable)
-            return replaced.payload
-        table = VersionedTable(name, schema, self.allocate_table_seq())
-        self._put(name, "table", table, owner, replaced)
-        return table
+        with self._mutex:
+            replaced = self._prepare_create(name, "table", or_replace,
+                                            if_not_exists)
+            if replaced is not None and not or_replace:
+                assert isinstance(replaced.payload, VersionedTable)
+                return replaced.payload
+            table = VersionedTable(name, schema, self.allocate_table_seq())
+            self._put(name, "table", table, owner, replaced)
+            return table
 
     def create_table_entry(self, name: str, table: VersionedTable,
                            owner: str = "sysadmin") -> None:
         """Register an already-built VersionedTable (cloning path)."""
-        replaced = self._prepare_create(name, "table", False, False)
-        self._put(name, "table", table, owner, replaced)
+        with self._mutex:
+            replaced = self._prepare_create(name, "table", False, False)
+            self._put(name, "table", table, owner, replaced)
 
     def create_view(self, name: str, query_text: str, query: n.Select,
                     owner: str = "sysadmin", or_replace: bool = False) -> None:
-        replaced = self._prepare_create(name, "view", or_replace, False)
-        self._put(name, "view", ViewDefinition(query_text, query), owner, replaced)
+        with self._mutex:
+            replaced = self._prepare_create(name, "view", or_replace, False)
+            self._put(name, "view", ViewDefinition(query_text, query), owner,
+                      replaced)
 
     def create_dynamic_entry(self, name: str, dynamic_table: object,
                              owner: str = "sysadmin",
                              or_replace: bool = False) -> None:
-        replaced = self._prepare_create(name, "dynamic table", or_replace, False)
-        self._put(name, "dynamic table", dynamic_table, owner, replaced)
+        with self._mutex:
+            replaced = self._prepare_create(name, "dynamic table", or_replace,
+                                            False)
+            self._put(name, "dynamic table", dynamic_table, owner, replaced)
 
     def _prepare_create(self, name: str, kind: str, or_replace: bool,
                         if_not_exists: bool) -> Optional[CatalogEntry]:
@@ -236,36 +248,40 @@ class Catalog:
 
     def drop(self, name: str, kind: str | None = None,
              if_exists: bool = False) -> None:
-        entry = self._entries.get(name)
-        if entry is None or entry.dropped:
-            if if_exists:
-                return
-            raise EntityNotFound(f"unknown entity: {name}")
-        if kind is not None and entry.kind != kind:
-            raise CatalogError(
-                f"{name!r} is a {entry.kind}, not a {kind}")
-        entry.dropped = True
-        self._log("drop", entry.kind, name)
+        with self._mutex:
+            entry = self._entries.get(name)
+            if entry is None or entry.dropped:
+                if if_exists:
+                    return
+                raise EntityNotFound(f"unknown entity: {name}")
+            if kind is not None and entry.kind != kind:
+                raise CatalogError(
+                    f"{name!r} is a {entry.kind}, not a {kind}")
+            entry.dropped = True
+            self._log("drop", entry.kind, name)
 
     def undrop(self, name: str, kind: str | None = None) -> None:
-        entry = self._entries.get(name)
-        if entry is None or not entry.dropped:
-            raise EntityNotFound(f"no dropped entity named {name!r}")
-        if kind is not None and entry.kind != kind:
-            raise CatalogError(f"{name!r} is a {entry.kind}, not a {kind}")
-        entry.dropped = False
-        self._log("undrop", entry.kind, name)
+        with self._mutex:
+            entry = self._entries.get(name)
+            if entry is None or not entry.dropped:
+                raise EntityNotFound(f"no dropped entity named {name!r}")
+            if kind is not None and entry.kind != kind:
+                raise CatalogError(f"{name!r} is a {entry.kind}, not a {kind}")
+            entry.dropped = False
+            self._log("undrop", entry.kind, name)
 
     def rename(self, name: str, new_name: str) -> None:
-        entry = self.get(name)
-        if self.exists(new_name):
-            raise CatalogError(f"entity {new_name!r} already exists")
-        del self._entries[name]
-        entry.name = new_name
-        if isinstance(entry.payload, VersionedTable):
-            entry.payload.name = new_name
-        self._entries[new_name] = entry
-        self._log("rename", entry.kind, name, detail=f"-> {new_name}")
+        with self._mutex:
+            entry = self.get(name)
+            if self.exists(new_name):
+                raise CatalogError(f"entity {new_name!r} already exists")
+            del self._entries[name]
+            entry.name = new_name
+            if isinstance(entry.payload, VersionedTable):
+                entry.payload.name = new_name
+            self._entries[new_name] = entry
+            self._log("rename", entry.kind, name, detail=f"-> {new_name}")
 
     def log_alter(self, kind: str, name: str, detail: str) -> None:
-        self._log("alter", kind, name, detail)
+        with self._mutex:
+            self._log("alter", kind, name, detail)

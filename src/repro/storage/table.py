@@ -83,6 +83,16 @@ class StagedWrite:
         return (not self.inserts and not self.deletes and not self.updates
                 and self.changeset is None and not self.overwrite)
 
+    @property
+    def is_blind_append(self) -> bool:
+        """True when the write only inserts new rows. A blind append
+        cannot lose anyone's update, so snapshot isolation's
+        first-committer-wins validation does not apply to it — two
+        transactions appending to one table may both commit."""
+        return (bool(self.inserts) and not self.deletes
+                and not self.updates and self.changeset is None
+                and not self.overwrite)
+
 
 class VersionedTable:
     """A multi-versioned, micro-partitioned table."""
@@ -175,7 +185,13 @@ class VersionedTable:
             version = self.current_version
         cached = self._relation_cache.get(version.index)
         if cached is not None:
-            self._relation_cache.move_to_end(version.index)
+            try:
+                self._relation_cache.move_to_end(version.index)
+            except KeyError:
+                # Concurrent reader evicted the entry between get and
+                # move_to_end; the materialized relation itself is still
+                # valid (immutable), so just serve it.
+                pass
             return cached
         relation = Relation(self.schema)
         for partition_id in sorted(version.partition_ids):

@@ -23,6 +23,7 @@ transaction manager stays decoupled from the scheduler.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable
 
@@ -66,6 +67,10 @@ class HybridLogicalClock:
     def __init__(self, physical: Callable[[], Timestamp] | None = None):
         self._physical = physical if physical is not None else (lambda: 0)
         self._last = HLC_ZERO
+        # Issuing a timestamp is a read-modify-write of ``_last``; the
+        # multi-session server commits from many threads, and monotonicity
+        # is the one property everything downstream leans on.
+        self._mutex = threading.Lock()
 
     @property
     def last(self) -> HlcTimestamp:
@@ -78,13 +83,14 @@ class HybridLogicalClock:
         If physical time has advanced past the last issued ``wall``, the
         logical component resets to zero; otherwise it increments.
         """
-        physical_now = self._physical()
-        if physical_now > self._last.wall:
-            issued = HlcTimestamp(physical_now, 0)
-        else:
-            issued = HlcTimestamp(self._last.wall, self._last.logical + 1)
-        self._last = issued
-        return issued
+        with self._mutex:
+            physical_now = self._physical()
+            if physical_now > self._last.wall:
+                issued = HlcTimestamp(physical_now, 0)
+            else:
+                issued = HlcTimestamp(self._last.wall, self._last.logical + 1)
+            self._last = issued
+            return issued
 
     def update(self, remote: HlcTimestamp) -> HlcTimestamp:
         """Merge a timestamp received from elsewhere and issue a timestamp
@@ -93,16 +99,17 @@ class HybridLogicalClock:
         This is the receive rule of the HLC algorithm; it is used when
         replaying externally ordered events into the transaction manager.
         """
-        physical_now = self._physical()
-        wall = max(physical_now, self._last.wall, remote.wall)
-        if wall == self._last.wall and wall == remote.wall:
-            logical = max(self._last.logical, remote.logical) + 1
-        elif wall == self._last.wall:
-            logical = self._last.logical + 1
-        elif wall == remote.wall:
-            logical = remote.logical + 1
-        else:
-            logical = 0
-        issued = HlcTimestamp(wall, logical)
-        self._last = issued
-        return issued
+        with self._mutex:
+            physical_now = self._physical()
+            wall = max(physical_now, self._last.wall, remote.wall)
+            if wall == self._last.wall and wall == remote.wall:
+                logical = max(self._last.logical, remote.logical) + 1
+            elif wall == self._last.wall:
+                logical = self._last.logical + 1
+            elif wall == remote.wall:
+                logical = remote.logical + 1
+            else:
+                logical = 0
+            issued = HlcTimestamp(wall, logical)
+            self._last = issued
+            return issued

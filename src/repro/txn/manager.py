@@ -6,16 +6,35 @@ commits transactions."
 
 Model:
 
-* a transaction gets a **snapshot wall time** at begin; every read
-  resolves the table version with the largest commit timestamp ≤ that
-  wall time (snapshot reads);
+* a transaction gets a **snapshot** at begin; every read resolves the
+  table version with the largest commit timestamp ≤ that snapshot
+  (snapshot reads). The snapshot is either a plain wall time (the
+  original single-threaded behaviour: every commit at that wall clock is
+  visible) or — for multi-statement session transactions, via
+  :meth:`TransactionManager.begin_at_latest` — a full HLC timestamp,
+  which discriminates between commits sharing a wall clock. The HLC form
+  is what makes snapshot isolation meaningful under the concurrent
+  server front end, where many transactions run inside one simulated
+  instant;
+* reads inside a transaction additionally see the transaction's **own
+  staged writes** (read-your-writes): staged inserts appear under
+  provisional row ids, staged deletes vanish, staged updates replace the
+  snapshot row. Nothing is visible to any other transaction until
+  commit;
 * writes are staged per table (:class:`~repro.storage.table.StagedWrite`)
   and applied atomically at commit under a single HLC commit timestamp;
+* **savepoints** capture the staged-write state and can be restored
+  without abandoning the transaction (``SAVEPOINT`` / ``ROLLBACK TO``);
 * first-committer-wins: committing a write to a table that someone else
   committed to after our snapshot raises
   :class:`~repro.errors.LockConflict` (a write-write conflict under
   snapshot isolation);
-* locks serialize dynamic-table refreshes (section 5.3).
+* locks serialize dynamic-table refreshes (section 5.3) **and** the
+  commit critical section: commit acquires the lock of every written
+  table (in sorted order, so concurrent commits cannot deadlock) before
+  validating and applying. Under the server's thread pool the lock
+  manager blocks up to :attr:`TransactionManager.lock_timeout` seconds,
+  so contended commits queue instead of failing spuriously.
 
 Dynamic-table refreshes use a transaction like any DML, but resolve their
 *source* versions through a refresh-specific resolver built in
@@ -26,7 +45,8 @@ upstream DTs by exact refresh-timestamp match).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Optional
+import threading
+from typing import Callable, Optional, Union
 
 from repro.engine.relation import Relation
 from repro.errors import LockConflict, NotInitializedError, TransactionError
@@ -36,34 +56,177 @@ from repro.storage.table import StagedWrite, TableVersion, VersionedTable
 from repro.txn.hlc import HlcTimestamp, HybridLogicalClock
 from repro.util.timeutil import Timestamp
 
+#: A transaction snapshot: a bare wall time (all commits at that wall are
+#: visible) or a full HLC point (commits after it, even at the same wall,
+#: are invisible).
+Snapshot = Union[Timestamp, HlcTimestamp]
+
+
+class _OverlayPartition:
+    """A partition view with a transaction's deletes/updates applied.
+
+    Zone-map pruning stays sound for pure deletions (removing rows can
+    never make a skipped partition match), so ``might_match`` delegates
+    to the base partition then; a partition containing an *updated* row
+    voids its zone maps and always reports a possible match.
+    """
+
+    __slots__ = ("rows", "_base", "_updated")
+
+    def __init__(self, rows, base, updated: bool):
+        self.rows = rows
+        self._base = base
+        self._updated = updated
+
+    def might_match(self, bounds) -> bool:
+        return True if self._updated else self._base.might_match(bounds)
+
+
+class _StagedPartition:
+    """A transaction's staged inserts as one synthetic partition."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def might_match(self, bounds) -> bool:
+        return True  # no zone maps for uncommitted rows
+
+
+def _overlay_partition_stream(partitions, deletes, updates, staged):
+    for partition in partitions:
+        rows = []
+        changed = False
+        updated = False
+        for row_id, row in partition.rows:
+            if row_id in deletes:
+                changed = True
+                continue
+            new_row = updates.get(row_id)
+            if new_row is not None:
+                changed = updated = True
+                rows.append((row_id, new_row))
+            else:
+                rows.append((row_id, row))
+        if not changed:
+            yield partition
+        elif rows:
+            yield _OverlayPartition(rows, partition, updated)
+    if staged:
+        yield _StagedPartition(staged)
+
 
 class Transaction:
     """A single transaction: snapshot reads + staged writes.
 
     Implements the executor's SnapshotResolver protocol, so a plan can be
-    evaluated directly "inside" a transaction.
+    evaluated directly "inside" a transaction — and, because :meth:`scan`
+    overlays the transaction's own staged writes, a statement sequence
+    like INSERT → SELECT → UPDATE inside one open transaction observes
+    its earlier statements (read-your-writes).
     """
 
     def __init__(self, manager: "TransactionManager", txn_id: int,
-                 snapshot_wall: Timestamp):
+                 snapshot: Snapshot):
         self._manager = manager
         self.id = txn_id
-        self.snapshot_wall = snapshot_wall
+        self.snapshot = snapshot
         self._writes: dict[str, StagedWrite] = {}
+        #: Provisional row ids of staged inserts, parallel to each
+        #: StagedWrite's ``inserts`` list. Real ids are allocated at
+        #: apply time; these exist only so reads inside the transaction
+        #: (and DML matching against them) have a stable identity.
+        self._insert_ids: dict[str, list[str]] = {}
+        self._provisional_seq = 0
         self._locked: list[str] = []
+        #: (name, captured-state) pairs, oldest first.
+        self._savepoints: list[tuple[str, dict]] = []
         self.committed: Optional[HlcTimestamp] = None
         self.aborted = False
         #: Per-table version overrides (used by refreshes to pin sources).
         self._version_overrides: dict[str, TableVersion] = {}
 
+    @property
+    def snapshot_wall(self) -> Timestamp:
+        """The wall component of the snapshot (context-function time)."""
+        if isinstance(self.snapshot, HlcTimestamp):
+            return self.snapshot.wall
+        return self.snapshot
+
     # -- reads (SnapshotResolver) ----------------------------------------------
+
+    def _version_of(self, table: str,
+                    versioned: VersionedTable) -> TableVersion:
+        version = self._version_overrides.get(table)
+        if version is None:
+            version = versioned.version_at(self.snapshot)
+        return version
 
     def scan(self, table: str) -> Relation:
         versioned = self._resolve_table(table)
-        version = self._version_overrides.get(table)
-        if version is None:
-            version = versioned.version_at(self.snapshot_wall)
-        return versioned.relation(version)
+        version = self._version_of(table, versioned)
+        base = versioned.relation(version)
+        write = self._writes.get(table)
+        if write is None or not self._overlays(write):
+            return base
+        overlaid = Relation(base.schema)
+        if not write.overwrite:
+            for row_id, row in base.pairs():
+                if row_id in write.deletes:
+                    continue
+                overlaid.append(row_id, write.updates.get(row_id, row))
+        for row_id, row in zip(self._insert_ids.get(table, ()),
+                               write.inserts):
+            overlaid.append(row_id, row)
+        return overlaid
+
+    def scan_pruned(self, table: str, bounds) -> Relation:
+        """Zone-map pruned scan. With no staged writes on the table this
+        is exactly the snapshot reader's pruned read; with an overlay the
+        full (unpruned) overlaid relation is returned — a superset is
+        always sound, since the caller re-applies its predicate."""
+        versioned = self._resolve_table(table)
+        write = self._writes.get(table)
+        if write is None or not self._overlays(write):
+            return versioned.relation_pruned(
+                self._version_of(table, versioned), bounds)
+        return self.scan(table)
+
+    def scan_partitions(self, table: str):
+        """Partition-granular reads (streaming cursors) inside a
+        transaction. Tables the transaction has not written stream their
+        snapshot partitions directly; written tables stream the base
+        partitions with deletes/updates applied, then one synthetic
+        partition of the staged inserts — the same rows, ids, and order
+        as :meth:`scan`. The staged state is copied now, so a stream
+        serves the overlay as of its creation even if later statements
+        stage more writes.
+        """
+        versioned = self._resolve_table(table)
+        version = self._version_of(table, versioned)
+        write = self._writes.get(table)
+        if write is None or not self._overlays(write):
+            return iter(versioned.partitions_of(version))
+        deletes = frozenset(write.deletes)
+        updates = dict(write.updates)
+        staged = list(zip(self._insert_ids.get(table, ()),
+                          list(write.inserts)))
+        partitions = ([] if write.overwrite
+                      else versioned.partitions_of(version))
+        return _overlay_partition_stream(partitions, deletes, updates,
+                                         staged)
+
+    @staticmethod
+    def _overlays(write: StagedWrite) -> bool:
+        """Whether a staged write participates in read-your-writes.
+
+        Consolidated change sets (the refresh-merge path) are staged
+        *after* the refresh finished reading its sources, so they never
+        need to be — and are not — overlaid.
+        """
+        return bool(write.inserts or write.deletes or write.updates
+                    or write.overwrite)
 
     def pin_version(self, table: str, version: TableVersion) -> None:
         """Pin reads of ``table`` to a specific version (refresh source
@@ -88,19 +251,60 @@ class Transaction:
         self._manager.catalog.versioned_table(table)
         return self._writes.setdefault(table, StagedWrite())
 
+    def is_provisional(self, table: str, row_id: str) -> bool:
+        """Whether ``row_id`` names a row this transaction staged (not yet
+        committed, so invisible to everyone else)."""
+        return row_id in self._insert_ids.get(table, ())
+
     def insert_rows(self, table: str, rows: list[tuple]) -> None:
-        self._staged(table).inserts.extend(rows)
+        staged = self._staged(table)
+        ids = self._insert_ids.setdefault(table, [])
+        for row in rows:
+            staged.inserts.append(row)
+            ids.append(f"txn:{self.id}:{self._provisional_seq}")
+            self._provisional_seq += 1
 
     def delete_rows(self, table: str, row_ids: list[str]) -> None:
-        self._staged(table).deletes.update(row_ids)
+        staged = self._staged(table)
+        provisional = self._insert_ids.get(table, [])
+        known = set(provisional)
+        doomed: set[str] = set()
+        for row_id in row_ids:
+            if row_id in known:
+                # Deleting a row this transaction inserted: unstage it.
+                doomed.add(row_id)
+                continue
+            staged.deletes.add(row_id)
+            # A delete supersedes any earlier staged update of the row.
+            staged.updates.pop(row_id, None)
+        if doomed:
+            kept = [(row_id, row)
+                    for row_id, row in zip(provisional, staged.inserts)
+                    if row_id not in doomed]
+            provisional[:] = [row_id for row_id, __ in kept]
+            staged.inserts[:] = [row for __, row in kept]
 
     def update_rows(self, table: str, updates: dict[str, tuple]) -> None:
-        self._staged(table).updates.update(updates)
+        staged = self._staged(table)
+        provisional = self._insert_ids.get(table, [])
+        position = ({row_id: index
+                     for index, row_id in enumerate(provisional)}
+                    if provisional else {})
+        for row_id, new_row in updates.items():
+            index = position.get(row_id)
+            if index is not None:
+                staged.inserts[index] = new_row
+            else:
+                staged.updates[row_id] = new_row
 
     def overwrite(self, table: str, rows: list[tuple]) -> None:
         staged = self._staged(table)
         staged.overwrite = True
         staged.inserts = list(rows)
+        ids = self._insert_ids[table] = []
+        for __ in rows:
+            ids.append(f"txn:{self.id}:{self._provisional_seq}")
+            self._provisional_seq += 1
 
     def stage_changeset(self, table: str, changes: ChangeSet,
                         overwrite: bool = False) -> None:
@@ -111,10 +315,59 @@ class Transaction:
         staged.changeset = changes
         staged.overwrite = overwrite
 
+    # -- savepoints --------------------------------------------------------------
+
+    def savepoint(self, name: str) -> None:
+        """Capture the staged-write state under ``name``. Re-using a name
+        replaces the earlier savepoint (SQL's destructive re-bind)."""
+        self._check_open()
+        self._savepoints = [(sp_name, state)
+                            for sp_name, state in self._savepoints
+                            if sp_name != name]
+        self._savepoints.append((name, self._capture()))
+
+    def rollback_to(self, name: str) -> None:
+        """Restore the staged-write state captured by ``SAVEPOINT name``,
+        discarding savepoints established after it (the savepoint itself
+        survives and may be rolled back to again)."""
+        self._check_open()
+        for index in range(len(self._savepoints) - 1, -1, -1):
+            sp_name, state = self._savepoints[index]
+            if sp_name == name:
+                self._restore(state)
+                del self._savepoints[index + 1:]
+                return
+        raise TransactionError(f"no such savepoint: {name!r}")
+
+    def _capture(self) -> dict:
+        writes = {}
+        for table, write in self._writes.items():
+            writes[table] = StagedWrite(
+                inserts=list(write.inserts), deletes=set(write.deletes),
+                updates=dict(write.updates), changeset=write.changeset,
+                overwrite=write.overwrite)
+        return {
+            "writes": writes,
+            "insert_ids": {table: list(ids)
+                           for table, ids in self._insert_ids.items()},
+            "provisional_seq": self._provisional_seq,
+        }
+
+    def _restore(self, state: dict) -> None:
+        self._writes = {table: StagedWrite(
+            inserts=list(write.inserts), deletes=set(write.deletes),
+            updates=dict(write.updates), changeset=write.changeset,
+            overwrite=write.overwrite)
+            for table, write in state["writes"].items()}
+        self._insert_ids = {table: list(ids)
+                            for table, ids in state["insert_ids"].items()}
+        self._provisional_seq = state["provisional_seq"]
+
     # -- locks ---------------------------------------------------------------------
 
     def lock(self, table: str) -> None:
-        self._manager.locks.acquire(table, self.id)
+        self._manager.locks.acquire(table, self.id,
+                                    timeout=self._manager.lock_timeout)
         self._locked.append(table)
 
     # -- lifecycle -----------------------------------------------------------------
@@ -125,28 +378,54 @@ class Transaction:
         if self.aborted:
             raise TransactionError("transaction already aborted")
 
+    def _conflicts(self, head: TableVersion) -> bool:
+        """First-committer-wins: did ``head`` commit after our snapshot?"""
+        if isinstance(self.snapshot, HlcTimestamp):
+            return head.commit_ts > self.snapshot
+        return head.commit_ts.wall > self.snapshot
+
     def commit(self) -> HlcTimestamp:
-        """Atomically apply all staged writes under one commit timestamp."""
+        """Atomically apply all staged writes under one commit timestamp.
+
+        The commit critical section — first-committer-wins validation
+        plus version installation — runs while holding the lock of every
+        written table, acquired in sorted name order so concurrent
+        commits queue (or conflict) instead of deadlocking or interleaving.
+        """
         self._check_open()
         catalog = self._manager.catalog
-
-        # First-committer-wins validation.
-        for name in self._writes:
-            table = catalog.versioned_table(name)
-            head = table.current_version
-            if (head.commit_ts.wall > self.snapshot_wall
-                    and not self._writes[name].is_empty
-                    and name not in self._version_overrides):
-                raise LockConflict(
-                    f"write-write conflict on {name!r}: committed at "
-                    f"{head.commit_ts} after snapshot {self.snapshot_wall}")
-
-        commit_ts = self._manager.hlc.now()
+        written = sorted(name for name, write in self._writes.items()
+                         if not write.is_empty)
         try:
-            for name, write in self._writes.items():
-                if write.is_empty:
-                    continue
-                catalog.versioned_table(name).apply(write, commit_ts)
+            # Queue on the written tables' locks first (sorted order, so
+            # concurrent commits cannot deadlock) — possibly blocking, so
+            # this must happen *outside* the commit mutex.
+            for name in written:
+                self.lock(name)
+
+            # The commit point proper — validation, timestamp issuance,
+            # and version installation — is atomic with respect to
+            # ``begin_at_latest``: a snapshot can never observe a commit
+            # timestamp whose table versions are not all installed yet
+            # (which would tear multi-table commits and repeatable reads).
+            with self._manager.commit_mutex:
+                # First-committer-wins validation. Blind appends are
+                # exempt: an insert-only write cannot lose an update, so
+                # concurrent INSERTs into one table all commit.
+                for name in written:
+                    table = catalog.versioned_table(name)
+                    if (self._conflicts(table.current_version)
+                            and not self._writes[name].is_blind_append
+                            and name not in self._version_overrides):
+                        raise LockConflict(
+                            f"write-write conflict on {name!r}: committed "
+                            f"at {table.current_version.commit_ts} after "
+                            f"snapshot {self.snapshot}")
+
+                commit_ts = self._manager.hlc.now()
+                for name in written:
+                    catalog.versioned_table(name).apply(self._writes[name],
+                                                        commit_ts)
         finally:
             self._release_locks()
         self.committed = commit_ts
@@ -155,6 +434,8 @@ class Transaction:
     def abort(self) -> None:
         self._check_open()
         self._writes.clear()
+        self._insert_ids.clear()
+        self._savepoints.clear()
         self._release_locks()
         self.aborted = True
 
@@ -164,9 +445,14 @@ class Transaction:
 
 
 class SnapshotReader:
-    """A read-only resolver at a fixed wall time (no transaction state)."""
+    """A read-only resolver at a fixed snapshot (no transaction state).
 
-    def __init__(self, catalog: Catalog, wall: Timestamp):
+    The snapshot is a wall time (time-travel reads: every commit at that
+    wall is visible) or a full HLC point (the consistent-read form
+    :meth:`TransactionManager.reader` hands out by default).
+    """
+
+    def __init__(self, catalog: Catalog, wall: Snapshot):
         self._catalog = catalog
         self._wall = wall
 
@@ -212,8 +498,43 @@ class TransactionManager:
         self.catalog = catalog
         self.hlc = HybridLogicalClock(physical_clock)
         self.locks = LockManager()
+        #: How long lock acquisition may block before raising
+        #: :class:`LockConflict`. Zero (the default) preserves fail-fast
+        #: logical locking; the server front end raises it so commit
+        #: critical sections queue under contention.
+        self.lock_timeout: float = 0.0
+        #: Makes (timestamp issuance + version installation) atomic
+        #: against snapshot acquisition: ``begin_at_latest`` must never
+        #: see an HLC point whose versions are still being installed.
+        self.commit_mutex = threading.Lock()
         self._physical_clock = physical_clock
         self._txn_ids = itertools.count(1)
+        # Lock-timeout leasing (see lease_lock_timeout).
+        self._lease_mutex = threading.Lock()
+        self._lease_count = 0
+        self._pre_lease_timeout = 0.0
+
+    def lease_lock_timeout(self, timeout: float) -> None:
+        """Raise :attr:`lock_timeout` for the lifetime of a lease.
+
+        The server front end leases a blocking timeout so contended
+        commits queue; the pre-lease value (the fail-fast surface the
+        scheduler's skip logic relies on) returns when the *last* lease
+        is released, so overlapping servers cannot clobber each other.
+        """
+        with self._lease_mutex:
+            if self._lease_count == 0:
+                self._pre_lease_timeout = self.lock_timeout
+            self._lease_count += 1
+            self.lock_timeout = timeout
+
+    def release_lock_timeout(self) -> None:
+        with self._lease_mutex:
+            if self._lease_count == 0:
+                return  # unbalanced release: nothing to restore
+            self._lease_count -= 1
+            if self._lease_count == 0:
+                self.lock_timeout = self._pre_lease_timeout
 
     def begin(self, snapshot_wall: Timestamp | None = None) -> Transaction:
         """Begin a transaction; reads see data committed at or before
@@ -222,7 +543,34 @@ class TransactionManager:
             snapshot_wall = self._physical_clock()
         return Transaction(self, next(self._txn_ids), snapshot_wall)
 
+    def begin_at_latest(self) -> Transaction:
+        """Begin a transaction whose snapshot is the latest HLC point.
+
+        Everything committed so far is visible; every later commit —
+        including commits sharing the current wall clock, which is how
+        *all* concurrent commits look under the simulated clock — is not.
+        Session transactions use this form so snapshot isolation (and its
+        first-committer-wins conflicts) behaves correctly under the
+        multi-threaded server front end.
+        """
+        # Under the commit mutex: an in-flight commit has either fully
+        # installed its versions (its timestamp is safe to include) or
+        # not yet issued its timestamp (it is entirely after us).
+        with self.commit_mutex:
+            snapshot = self.hlc.last
+        return Transaction(self, next(self._txn_ids), snapshot)
+
     def reader(self, wall: Timestamp | None = None) -> SnapshotReader:
-        if wall is None:
-            wall = self._physical_clock()
-        return SnapshotReader(self.catalog, wall)
+        """A read-only snapshot resolver.
+
+        With an explicit ``wall`` (time travel / AS-OF), visibility is
+        wall-granular: every commit at that wall clock is included. With
+        no argument, the snapshot is the latest HLC point taken under the
+        commit mutex — so a concurrent multi-table commit is either
+        entirely visible or entirely invisible, never torn, even for
+        plain auto-commit reads under the server front end.
+        """
+        if wall is not None:
+            return SnapshotReader(self.catalog, wall)
+        with self.commit_mutex:
+            return SnapshotReader(self.catalog, self.hlc.last)

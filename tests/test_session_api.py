@@ -154,12 +154,19 @@ class TestBindParameters:
         with pytest.raises(BindParameterError, match="no SQL type"):
             statement.execute((object(),))
 
-    def test_type_mismatch_surfaces_at_execution(self, db):
+    def test_type_mismatch_rejected_at_bind_time(self, db):
+        # The binder infers the parameter's type from its comparison
+        # context (a INT), so a wrongly-typed value fails the bind itself
+        # instead of surfacing mid-execution on some row.
         statement = db.prepare("SELECT a FROM t WHERE a > ?")
-        with pytest.raises(EvaluationError):
+        with pytest.raises(BindParameterError, match="should be INT"):
             statement.execute(("not a number",))
         # The statement stays usable with well-typed binds.
         assert sorted(statement.query((1,)).rows) == [(2,), (3,)]
+
+    def test_conflicting_parameter_contexts_fail_at_prepare(self, db):
+        with pytest.raises(UserError, match="conflicting type contexts"):
+            db.prepare("SELECT a FROM t WHERE a > :p AND b LIKE :p")
 
     def test_null_bind(self, db):
         statement = db.prepare("SELECT a FROM t WHERE b = ?")
@@ -430,6 +437,41 @@ class TestCursorStreaming:
         cursor.execute("SELECT id FROM big")
         paged_db.execute("INSERT INTO big VALUES (9999, 0)")
         assert len(cursor.fetchall()) == self.TOTAL_ROWS
+
+    def test_union_all_streams_per_partition(self, paged_db,
+                                             partition_counter):
+        # UNION ALL concatenates branch streams: the cursor keeps
+        # O(partition) memory and pulls only what the page needs.
+        cursor = paged_db.cursor()
+        cursor.execute("SELECT id FROM big WHERE val < 5 "
+                       "UNION ALL SELECT id FROM big WHERE val >= 5")
+        assert partition_counter["count"] == 0
+        first = cursor.fetchmany(10)
+        assert len(first) == 10
+        assert partition_counter["count"] == 1
+        assert len(cursor._buffer) <= self.PARTITION_ROWS
+        rows = first + cursor.fetchall()
+        assert len(rows) == self.TOTAL_ROWS
+        # Identical rows, ids, and order to the materialized evaluation.
+        expected = paged_db.query(
+            "SELECT id FROM big WHERE val < 5 "
+            "UNION ALL SELECT id FROM big WHERE val >= 5").rows
+        assert rows == expected
+
+    def test_union_all_stream_matches_materialized_row_ids(self, paged_db):
+        from repro.engine.executor import evaluate, stream_evaluate
+        from repro.engine.expressions import EvalContext
+
+        prepared = paged_db.prepare(
+            "SELECT id FROM big WHERE id < 60 "
+            "UNION ALL SELECT id FROM big WHERE id >= 440")
+        reader = paged_db.txns.reader(paged_db.now)
+        ctx = EvalContext(timestamp=paged_db.now)
+        streamed = [pair for batch in
+                    stream_evaluate(prepared.plan(), reader, ctx)
+                    for pair in batch]
+        materialized = list(evaluate(prepared.plan(), reader, ctx).pairs())
+        assert streamed == materialized
 
     def test_fetch_time_errors_cross_the_boundary(self, paged_db):
         def poisoned_stream():

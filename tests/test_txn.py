@@ -86,16 +86,29 @@ class TestTransactions:
         second.insert_rows("t", [(2,)])
         first.commit()
         clock.advance(SECOND)
-        # second's snapshot predates first's commit wall only if walls
-        # advanced; at equal wall the conflict check passes (HLC breaks
-        # ties), so force a later commit on a stale snapshot:
+        # Updates/deletes (not blind appends — those are exempt from
+        # first-committer-wins) conflict when a later commit landed after
+        # the transaction's snapshot:
         stale = manager.begin(snapshot_wall=0)
-        stale.insert_rows("t", [(3,)])
+        table = catalog.versioned_table("t")
+        stale.delete_rows("t", [next(iter(table.rows_by_id()))])
         third = manager.begin()
         third.insert_rows("t", [(4,)])
         third.commit()
         with pytest.raises(LockConflict):
             stale.commit()
+
+    def test_blind_append_exempt_from_conflict(self, setup):
+        clock, catalog, manager = setup
+        stale = manager.begin(snapshot_wall=0)
+        stale.insert_rows("t", [(1,)])
+        other = manager.begin()
+        other.insert_rows("t", [(2,)])
+        other.commit()
+        clock.advance(SECOND)
+        stale.commit()  # insert-only: cannot lose an update, no conflict
+        reader = manager.begin()
+        assert sorted(reader.scan("t").rows) == [(1,), (2,)]
 
     def test_commit_twice_rejected(self, setup):
         __, __, manager = setup
