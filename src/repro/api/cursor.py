@@ -5,8 +5,13 @@ SELECT results page by page: the underlying plan is evaluated lazily, one
 micro-partition at a time (:func:`repro.engine.executor.stream_evaluate`),
 so ``fetchmany(k)`` holds at most the unserved remainder of a single
 partition beyond the page it returns — a large scan never materializes an
-O(result) row list. Plans whose shape cannot stream (aggregates, joins,
-sorts) transparently fall back to one materialized batch.
+O(result) row list. Each streamed batch is a columnar
+:class:`~repro.engine.executor.Block` — the partition's column arrays,
+filtered and projected by the vectorized evaluators — which the cursor
+transposes into row tuples once per page served. ``ORDER BY ... LIMIT k``
+streams through a bounded top-k heap (at most ``k`` buffered rows); plans
+whose shape cannot stream (aggregates, joins, unbounded sorts)
+transparently fall back to one materialized batch.
 
 The surface follows PEP 249 where it makes sense for an embedded
 analytical engine: ``execute`` / ``executemany``, ``fetchone`` /
@@ -180,7 +185,14 @@ class Cursor:
                 except StopIteration:
                     self._batches = None
                     break
-            self._buffer.extend(row for __, row in batch)
+            # Streamed batches are columnar blocks: one transpose per
+            # partition beats one tuple-unpack per row. The materialized
+            # fallback yields plain ``(row_id, row)`` pair lists.
+            row_tuples = getattr(batch, "row_tuples", None)
+            if row_tuples is not None:
+                self._buffer.extend(row_tuples())
+            else:
+                self._buffer.extend(row for __, row in batch)
         return bool(self._buffer)
 
     # -- lifecycle -----------------------------------------------------------

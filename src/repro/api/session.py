@@ -449,7 +449,14 @@ class Session:
 
     def explain(self, sql: str, optimized: bool = True) -> str:
         """The bound (and by default optimized) logical plan of a query,
-        rendered as an indented tree."""
+        rendered as an indented tree.
+
+        Filters directly over scans additionally report zone-map pruning
+        statistics — how many of the table's micro-partitions the
+        columnar scan path reads versus skips under the filter's
+        pushed-down bounds, resolved against the current snapshot — so
+        partition pruning is observable without tracing the executor.
+        """
         with statement_boundary(sql):
             statement, parameters = parse_prepared(sql)
             if not isinstance(statement, n.Query):
@@ -459,7 +466,24 @@ class Session:
                               parameters=ParameterSpec(parameters))
             if optimized:
                 plan = optimize(plan)
-            return plan.pretty()
+            lines = [plan.pretty()]
+            from repro.engine.executor import scan_pruning_stats
+
+            # Stats read through the same resolver a SELECT would use
+            # (open transaction / AS-OF included), and are strictly
+            # best-effort: EXPLAIN must keep working on plans whose
+            # tables cannot be read yet (e.g. an uninitialized dynamic
+            # table), exactly as it did before it reported stats.
+            try:
+                reader, __ = self._read_state(())
+                stats = scan_pruning_stats(plan, reader)
+            except ReproError:
+                stats = []
+            for table, total, scanned, skipped in stats:
+                lines.append(
+                    f"-- pruning {table}: {scanned}/{total} partitions "
+                    f"scanned ({skipped} skipped by zone maps)")
+            return "\n".join(lines)
 
     # -- prepared-statement execution (called by PreparedStatement) ----------
 

@@ -9,34 +9,48 @@ byte-identical table states — the property the paper's randomized
 production validation (section 6.1) checks.
 
 The executor is a pull-based engine: each operator materializes its
-output. Expressions are *compiled* to closures once per operator
-(:mod:`repro.engine.expressions`' closure compiler) and applied over row
-batches, rather than interpreted per row per node. Joins hash on
-equi-keys when the condition allows (falling back to nested loops),
-aggregation and DISTINCT hash on SQL group keys (NULLs equal), and window
-functions evaluate per partition via :mod:`repro.engine.window`.
+output. Execution is **vector-at-a-time** on the row-preserving hot path:
+storage hands scans over as columnar blocks (parallel per-column arrays),
+and filters, projections and limits evaluate whole column arrays through
+the vectorized compiler (:func:`compile_expression_columnar`) — one tight
+loop per expression node per batch instead of one closure call per row.
+Aggregation and window partitioning compute their group keys the same
+way. Operators without a columnar kernel (joins, sorts) consume the
+relation's row-tuple compatibility view and still use the closure-compiled
+row evaluators, so every plan shape works on either layout; the
+interpreter (``Expression.eval``) remains the reference semantics for
+both.
 
 Filters directly over scans additionally push simple column-vs-literal
 bounds into the storage layer when the resolver supports it
 (``scan_pruned``), letting zone-mapped micro-partitions be skipped
 wholesale. Pruning only ever removes rows the predicate would reject, so
-output rows, order, and row ids are unchanged.
+output rows, order, and row ids are unchanged; :func:`scan_pruning_stats`
+reports the partitions-scanned/skipped split so EXPLAIN can surface it.
 """
 
 from __future__ import annotations
 
+import heapq
+from contextlib import contextmanager
+from itertools import compress as _itercompress, repeat as _repeat
 from typing import Iterator, Optional, Sequence
 
 from repro.engine import types as t
 from repro.engine.expressions import (BoundParameter, ColumnRef, Comparison,
                                       Expression, IsNull, Literal,
                                       DEFAULT_CONTEXT, EvalContext,
-                                      compile_expression, compile_group_key,
-                                      compile_row, conjuncts)
-from repro.engine.relation import Relation, SnapshotResolver
+                                      compile_expression,
+                                      compile_expression_columnar,
+                                      compile_group_key,
+                                      compile_group_key_columnar,
+                                      compile_row, compile_row_columnar,
+                                      conjuncts, emits_tristate)
+from repro.engine.relation import (Relation, SnapshotResolver,
+                                   columnar_enabled)
 from repro.engine.window import (compile_window_calls, evaluate_window_calls,
-                                 sort_partition)
-from repro.errors import InternalError, UserError
+                                 sort_partition, _compare_with_nulls)
+from repro.errors import InternalError, ReproError, UserError
 from repro.ivm import rowid
 from repro.plan import logical as lp
 from repro.engine.aggregates import evaluate_aggregate
@@ -46,6 +60,32 @@ def evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
              ctx: EvalContext = DEFAULT_CONTEXT) -> Relation:
     """Evaluate ``plan`` against ``resolver``'s snapshot."""
     return _Executor(resolver, ctx).run(plan)
+
+
+#: When True, the row-preserving kernels convert row-major inputs to the
+#: columnar layout and always take the vectorized path (normally they
+#: vectorize only inputs that are already columnar, i.e. storage scans).
+_FORCE_COLUMNAR = False
+
+
+@contextmanager
+def force_columnar():
+    """Route every row-preserving kernel through the vectorized columnar
+    evaluators, converting row-major inputs as needed. Used by the
+    three-way equivalence property test to pin the vectorized path against
+    the compiled and interpreted row paths."""
+    global _FORCE_COLUMNAR
+    saved = _FORCE_COLUMNAR
+    _FORCE_COLUMNAR = True
+    try:
+        yield
+    finally:
+        _FORCE_COLUMNAR = saved
+
+
+def _vectorize(relation: Relation) -> bool:
+    """Whether a kernel should take the vectorized path for this input."""
+    return columnar_enabled() and (_FORCE_COLUMNAR or relation.is_columnar)
 
 
 #: A pushed-down scan bound: either ``("cmp", column_index, op, value)``
@@ -117,6 +157,66 @@ def extract_scan_bounds(predicate: Expression,
     return bounds
 
 
+def scan_pruning_stats(plan: lp.PlanNode, resolver: SnapshotResolver,
+                       ctx: Optional[EvalContext] = None,
+                       ) -> list[tuple[str, int, int, int]]:
+    """Zone-map pruning statistics for every Filter-over-Scan in ``plan``.
+
+    Returns ``(table, total, scanned, skipped)`` tuples — how many of the
+    table's micro-partitions the columnar scan reads versus skips under
+    the filter's pushed-down bounds — in plan traversal order. Tables
+    whose resolver has no partition-granular access, and filters whose
+    predicate yields no sound bounds, report zero skipped (every
+    partition scanned). This is what ``EXPLAIN`` surfaces so the pruning
+    behaviour of the columnar scan path is observable without tracing the
+    executor.
+    """
+    scan_partitions = getattr(resolver, "scan_partitions", None)
+    if scan_partitions is None:
+        return []
+    stats: list[tuple[str, int, int, int]] = []
+    for node in plan.walk():
+        if not (isinstance(node, lp.Filter) and isinstance(node.child, lp.Scan)):
+            continue
+        table = node.child.table
+        try:
+            partitions = list(scan_partitions(table))
+        except ReproError:
+            # Best-effort reporting: a table that cannot be read right
+            # now (e.g. an uninitialized dynamic table) contributes no
+            # stats rather than failing the caller (EXPLAIN).
+            continue
+        total = len(partitions)
+        bounds = extract_scan_bounds(node.predicate, ctx)
+        if bounds:
+            scanned = sum(1 for partition in partitions
+                          if partition.might_match(bounds))
+        else:
+            scanned = total
+        stats.append((table, total, scanned, total - scanned))
+    return stats
+
+
+def _compress(block_columns: Sequence[Sequence], row_ids: Sequence[str],
+              mask: Sequence, strict: bool = False) -> tuple[list, list]:
+    """Select the rows whose mask entry is True (columnar filter kernel).
+
+    SQL selects only rows where the predicate is exactly TRUE — never
+    NULL, never a merely truthy value — so unless the predicate provably
+    emits three-valued booleans only (``strict``, from
+    :func:`emits_tristate`; NULL is falsy to ``itertools.compress``), the
+    mask is normalized first. Each column is then gathered with the
+    C-level ``itertools.compress``.
+    """
+    selected = mask if strict else [value is True for value in mask]
+    ids = (row_ids if isinstance(row_ids, list) else list(row_ids))
+    kept = list(_itercompress(ids, selected))
+    if len(kept) == len(ids):
+        return list(block_columns), ids
+    return ([list(_itercompress(column, selected))
+             for column in block_columns], kept)
+
+
 class _Executor:
     def __init__(self, resolver: SnapshotResolver, ctx: EvalContext):
         self._resolver = resolver
@@ -132,7 +232,11 @@ class _Executor:
 
     def _run_scan(self, plan: lp.Scan) -> Relation:
         source = self._resolver.scan(plan.table)
-        # Requalify under the plan's schema (alias binding); data unchanged.
+        # Requalify under the plan's schema (alias binding); data unchanged
+        # and shared by reference — columnar when storage is.
+        if source.is_columnar:
+            return Relation.from_columns(plan.schema, source.columns,
+                                         source.row_ids)
         return Relation(plan.schema, source.rows, source.row_ids)
 
     def _run_values(self, plan: lp.Values) -> Relation:
@@ -145,12 +249,23 @@ class _Executor:
 
     def _run_project(self, plan: lp.Project) -> Relation:
         child = self.run(plan.child)
+        if _vectorize(child):
+            columns_fn = compile_row_columnar(plan.exprs, self._ctx)
+            return Relation.from_columns(
+                plan.schema, columns_fn(child.columns, len(child)),
+                child.row_ids)
         row_fn = compile_row(plan.exprs, self._ctx)
         return Relation(plan.schema, [row_fn(row) for row in child.rows],
                         list(child.row_ids))
 
     def _run_filter(self, plan: lp.Filter) -> Relation:
         child = self._filter_input(plan)
+        if _vectorize(child):
+            predicate = compile_expression_columnar(plan.predicate, self._ctx)
+            mask = predicate(child.columns, len(child))
+            columns, ids = _compress(child.columns, child.row_ids, mask,
+                                     emits_tristate(plan.predicate))
+            return Relation.from_columns(plan.schema, columns, ids)
         predicate = compile_expression(plan.predicate, self._ctx)
         rows: list[tuple] = []
         ids: list[str] = []
@@ -170,6 +285,10 @@ class _Executor:
                 bounds = extract_scan_bounds(plan.predicate, self._ctx)
                 if bounds:
                     source = scan_pruned(child.table, bounds)
+                    if source.is_columnar:
+                        return Relation.from_columns(child.schema,
+                                                     source.columns,
+                                                     source.row_ids)
                     return Relation(child.schema, source.rows, source.row_ids)
         return self.run(child)
 
@@ -226,20 +345,83 @@ class _Executor:
         if plan.count < 0:
             raise UserError(f"LIMIT count must be non-negative, got {plan.count}")
         # The executor materializes each child, so LIMIT cannot stream the
-        # subtree; it does avoid the former full ``list(pairs())`` copy by
-        # slicing the child's backing lists directly.
+        # subtree; it slices the child's backing arrays directly (columnar
+        # when the child is).
         child = self.run(plan.child)
-        return Relation(plan.schema, child.rows[:plan.count],
-                        child.row_ids[:plan.count])
+        count = plan.count
+        if _vectorize(child):
+            return Relation.from_columns(
+                plan.schema, [column[:count] for column in child.columns],
+                child.row_ids[:count])
+        return Relation(plan.schema, child.rows[:count],
+                        child.row_ids[:count])
 
 
 # ---------------------------------------------------------------------------
 # Streaming evaluation (per-micro-partition, for the cursor API)
 # ---------------------------------------------------------------------------
 
-#: One streamed batch: the ``(row_id, row)`` pairs produced from a single
-#: micro-partition of the scanned table.
-RowBatch = list  # list[tuple[str, tuple]]
+class Block:
+    """One streamed batch: the rows of a single micro-partition, columnar.
+
+    ``columns[i][j]`` is column ``i`` of row ``j``; ``row_ids[j]`` is row
+    ``j``'s id. The block iterates as ``(row_id, row)`` pairs and supports
+    ``len`` and slicing, so pre-columnar batch consumers keep working; the
+    cursor's fill loop uses :meth:`row_tuples` to materialize each page's
+    tuples in one transpose.
+    """
+
+    __slots__ = ("row_ids", "columns")
+
+    def __init__(self, row_ids: Sequence[str],
+                 columns: Sequence[Sequence]):
+        self.row_ids = row_ids
+        self.columns = columns
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+    def row_tuples(self) -> list[tuple]:
+        """The block's rows as tuples (one transpose of the columns)."""
+        if not self.columns:
+            return [()] * len(self.row_ids)
+        return list(zip(*self.columns))
+
+    def pairs(self) -> list[tuple[str, tuple]]:
+        return list(zip(self.row_ids, self.row_tuples()))
+
+    def __iter__(self):
+        return iter(zip(self.row_ids, self.row_tuples()))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Block(self.row_ids[index],
+                         [column[index] for column in self.columns])
+        return (self.row_ids[index],
+                tuple(column[index] for column in self.columns))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Block({len(self)} rows x {len(self.columns)} columns)"
+
+
+#: One streamed batch: a columnar :class:`Block` (iterates as
+#: ``(row_id, row)`` pairs) produced from a single micro-partition of the
+#: scanned table.
+RowBatch = Block
+
+
+def _block_of(partition) -> Block:
+    """A partition's rows as a columnar block. Real micro-partitions hand
+    over their column arrays by reference; transaction-overlay partitions
+    (which only carry ``(row_id, row)`` pairs) are transposed."""
+    columns = getattr(partition, "columns", None)
+    if columns is not None:
+        return Block(partition.row_ids, columns)
+    rows = partition.rows
+    if not rows:
+        return Block([], [])
+    return Block([row_id for row_id, __ in rows],
+                 list(zip(*(row for __, row in rows))))
 
 
 def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
@@ -248,57 +430,86 @@ def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
     """Evaluate ``plan`` lazily, one micro-partition at a time.
 
     Supports the row-preserving pipeline shapes — a chain of Project /
-    Filter / Limit over a single Scan, and UNION ALL over such chains
-    (branch streams are concatenated) — when the resolver exposes
+    Filter / Limit over a single Scan, UNION ALL over such chains (branch
+    streams are concatenated), and ``ORDER BY ... LIMIT k`` (a bounded
+    top-k heap over the child stream) — when the resolver exposes
     partition-granular reads (``scan_partitions``). Returns an iterator of
-    ``(row_id, row)`` batches, one per surviving partition, or None when
-    the plan (a join, aggregate, sort, ...) or the resolver cannot stream;
-    callers then fall back to :func:`evaluate`.
+    columnar :class:`Block` batches, one per surviving partition, or None
+    when the plan (a join, aggregate, unbounded sort, ...) or the resolver
+    cannot stream; callers then fall back to :func:`evaluate`.
 
     The stream produces exactly the rows, ids, and order of the
-    materialized path: filters reuse the same compiled predicates (plus
+    materialized path: filters apply the same vectorized predicates (plus
     zone-map partition pruning, which only ever skips rows the predicate
-    rejects), and projections the same compiled row closures. No list of
-    more than one partition's rows is ever built, which is what lets a
-    cursor serve pages of a large scan in O(partition) memory.
+    rejects), projections the same vectorized expressions, and the top-k
+    heap the same total sort order (ORDER BY keys, then the stable
+    tie-break digest). No list of more than one partition's rows is ever
+    built — a sorted-limit cursor holds at most ``k`` rows beyond the
+    current partition — which is what lets a cursor serve pages of a large
+    scan in O(partition) memory.
     """
     if isinstance(plan, lp.Scan):
         partitions = _scan_partitions(resolver, plan.table, ())
         if partitions is None:
             return None
-        return (list(partition.rows) for partition in partitions)
+        return (_block_of(partition) for partition in partitions)
 
     if isinstance(plan, lp.Filter):
-        predicate = compile_expression(plan.predicate, ctx)
+        predicate = compile_expression_columnar(plan.predicate, ctx)
+        strict = emits_tristate(plan.predicate)
+
+        def filter_block(block: Block) -> Block:
+            mask = predicate(block.columns, len(block))
+            columns, ids = _compress(block.columns, block.row_ids, mask,
+                                     strict)
+            return Block(ids, columns)
+
         child = plan.child
         if isinstance(child, lp.Scan):
             bounds = extract_scan_bounds(plan.predicate, ctx)
             partitions = _scan_partitions(resolver, child.table, bounds)
             if partitions is None:
                 return None
-            return ([(row_id, row) for row_id, row in partition.rows
-                     if predicate(row) is True]
+            return (filter_block(_block_of(partition))
                     for partition in partitions)
         batches = stream_evaluate(child, resolver, ctx)
         if batches is None:
             return None
-        return ([(row_id, row) for row_id, row in batch
-                 if predicate(row) is True]
-                for batch in batches)
+        return (filter_block(batch) for batch in batches)
 
     if isinstance(plan, lp.Project):
         batches = stream_evaluate(plan.child, resolver, ctx)
         if batches is None:
             return None
-        row_fn = compile_row(plan.exprs, ctx)
-        return ([(row_id, row_fn(row)) for row_id, row in batch]
+        columns_fn = compile_row_columnar(plan.exprs, ctx)
+        return (Block(batch.row_ids, columns_fn(batch.columns, len(batch)))
                 for batch in batches)
 
     if isinstance(plan, lp.Limit):
         if plan.count < 0:
             raise UserError(
                 f"LIMIT count must be non-negative, got {plan.count}")
-        batches = stream_evaluate(plan.child, resolver, ctx)
+        child = plan.child
+        # ORDER BY ... LIMIT k: a bounded top-k heap over the child
+        # stream — the sorted-limit cursor never materializes the full
+        # result. The Sort may sit directly below, or below the final
+        # Project (how the builder binds ORDER BY over unprojected
+        # columns).
+        if isinstance(child, lp.Sort):
+            batches = stream_evaluate(child.child, resolver, ctx)
+            if batches is None:
+                return None
+            return _topk_batches(batches, child.keys, plan.count, ctx, None)
+        if (isinstance(child, lp.Project)
+                and isinstance(child.child, lp.Sort)):
+            sort = child.child
+            batches = stream_evaluate(sort.child, resolver, ctx)
+            if batches is None:
+                return None
+            columns_fn = compile_row_columnar(child.exprs, ctx)
+            return _topk_batches(batches, sort.keys, plan.count, ctx,
+                                 columns_fn)
+        batches = stream_evaluate(child, resolver, ctx)
         if batches is None:
             return None
         return _limit_batches(batches, plan.count)
@@ -317,7 +528,7 @@ def stream_evaluate(plan: lp.PlanNode, resolver: SnapshotResolver,
             streams.append(batches)
         return _union_batches(streams)
 
-    return None  # joins/aggregates/sorts/etc. require materialization
+    return None  # joins/aggregates/unbounded sorts/etc. must materialize
 
 
 def _scan_partitions(resolver: SnapshotResolver, table: str,
@@ -337,10 +548,11 @@ def _scan_partitions(resolver: SnapshotResolver, table: str,
 def _union_batches(streams: list) -> Iterator[RowBatch]:
     """Concatenate branch streams, rewriting row ids under the branch's
     union ordinal (identical to the materialized UNION ALL)."""
+    union_id = rowid.union_id
     for branch, batches in enumerate(streams):
         for batch in batches:
-            yield [(rowid.union_id(branch, row_id), row)
-                   for row_id, row in batch]
+            yield Block([union_id(branch, row_id)
+                         for row_id in batch.row_ids], batch.columns)
 
 
 def _limit_batches(batches: Iterator[RowBatch],
@@ -354,6 +566,65 @@ def _limit_batches(batches: Iterator[RowBatch],
             return
         remaining -= len(batch)
         yield batch
+
+
+class _TopKEntry:
+    """One candidate row in the top-k heap: ordered by the ORDER BY keys
+    (NULLS LAST ascending / NULLS FIRST descending), then by the same
+    stable tie-break as :func:`repro.engine.window.sort_partition` — the
+    row's digest plus its row id, computed lazily (ties only)."""
+
+    __slots__ = ("keys", "descending", "row_id", "row", "_tie")
+
+    def __init__(self, keys: tuple, descending: tuple, row_id: str,
+                 row: tuple):
+        self.keys = keys
+        self.descending = descending
+        self.row_id = row_id
+        self.row = row
+        self._tie = None
+
+    def _tie_key(self) -> tuple:
+        tie = self._tie
+        if tie is None:
+            tie = self._tie = (t.stable_hash(self.row), self.row_id)
+        return tie
+
+    def __lt__(self, other: "_TopKEntry") -> bool:
+        for position, descending in enumerate(self.descending):
+            result = _compare_with_nulls(self.keys[position],
+                                         other.keys[position], descending)
+            if result != 0:
+                return result < 0
+        return self._tie_key() < other._tie_key()
+
+
+def _topk_batches(batches: Iterator[RowBatch], order_by, count: int,
+                  ctx: EvalContext, columns_fn) -> Iterator[RowBatch]:
+    """Stream implementation of ``ORDER BY ... LIMIT count``: drain the
+    child stream through a bounded heap holding at most ``count``
+    candidates, then emit one block in exactly the materialized
+    sort-then-limit order. ``columns_fn`` optionally applies a final
+    projection (vectorized) to the ``count`` surviving rows — evaluated in
+    output order, matching the materialized Project-over-Sort."""
+    key_fns = [(compile_expression(expr, ctx), descending)
+               for expr, descending in order_by]
+    descending = tuple(flag for __, flag in key_fns)
+
+    def entries() -> Iterator[_TopKEntry]:
+        for batch in batches:
+            for row_id, row in zip(batch.row_ids, batch.row_tuples()):
+                keys = tuple(fn(row) for fn, __ in key_fns)
+                yield _TopKEntry(keys, descending, row_id, row)
+
+    top = heapq.nsmallest(count, entries()) if count else []
+    if not top:
+        return
+    row_ids = [entry.row_id for entry in top]
+    columns = list(zip(*(entry.row for entry in top)))
+    if columns_fn is not None:
+        columns = columns_fn(columns, len(row_ids))
+    yield Block(row_ids, columns)
 
 
 # ---------------------------------------------------------------------------
@@ -442,12 +713,25 @@ def join_relations(plan: lp.Join, left: Relation, right: Relation,
 
 def aggregate_relation(plan: lp.Aggregate, child: Relation,
                        ctx: EvalContext) -> Relation:
-    """Evaluate grouped (or scalar) aggregation over a materialized input."""
+    """Evaluate grouped (or scalar) aggregation over a materialized input.
+
+    Grouping keys are computed vectorized (one pass per group expression
+    over the child's column arrays) when the input is columnar; the
+    per-group aggregate evaluation consumes row tuples either way.
+    """
     groups: dict[tuple, tuple[tuple, list[tuple]]] = {}
-    values_fn = compile_row(plan.group_exprs, ctx) if plan.group_exprs else None
     group_key = t.group_key
-    for row in child.rows:
-        key_values = values_fn(row) if values_fn is not None else ()
+    child_rows = child.rows
+    if not plan.group_exprs:
+        key_values_per_row = _repeat(())  # scalar aggregate: one group
+    elif _vectorize(child):
+        arrays = compile_row_columnar(plan.group_exprs, ctx)(
+            child.columns, len(child))
+        key_values_per_row = zip(*arrays)
+    else:
+        values_fn = compile_row(plan.group_exprs, ctx)
+        key_values_per_row = map(values_fn, child_rows)
+    for row, key_values in zip(child_rows, key_values_per_row):
         key = group_key(key_values)
         entry = groups.get(key)
         if entry is None:
@@ -485,16 +769,24 @@ def distinct_relation(schema, child: Relation) -> Relation:
 
 def window_relation(plan: lp.Window, child: Relation,
                     ctx: EvalContext) -> Relation:
-    """Evaluate partitioned window calls, appending one column per call."""
+    """Evaluate partitioned window calls, appending one column per call.
+    Partition keys are computed vectorized over columnar inputs."""
     partitions: dict[tuple, list[int]] = {}
-    key_fn = compile_group_key(plan.partition_exprs, ctx)
-    for index, row in enumerate(child.rows):
-        partitions.setdefault(key_fn(row), []).append(index)
+    child_rows = child.rows
+    if _vectorize(child):
+        keys = compile_group_key_columnar(plan.partition_exprs, ctx)(
+            child.columns, len(child))
+        for index, key in enumerate(keys):
+            partitions.setdefault(key, []).append(index)
+    else:
+        key_fn = compile_group_key(plan.partition_exprs, ctx)
+        for index, row in enumerate(child_rows):
+            partitions.setdefault(key_fn(row), []).append(index)
 
-    extra: list[list] = [[] for __ in child.rows]
+    extra: list[list] = [[] for __ in child_rows]
     compiled = compile_window_calls(plan.calls, ctx)
     for indices in partitions.values():
-        rows = [child.rows[index] for index in indices]
+        rows = [child_rows[index] for index in indices]
         ids = [child.row_ids[index] for index in indices]
         outputs = evaluate_window_calls(plan.calls, rows, ids, ctx,
                                         compiled=compiled)

@@ -95,10 +95,20 @@ class Expression:
         return ()
 
     def column_indices(self) -> set[int]:
-        indices: set[int] = set()
-        for child in self.children():
-            indices |= child.column_indices()
-        return indices
+        # Cached per node: expression trees are immutable and live inside
+        # cached plans, but the compilers re-analyze them on every
+        # execution — without the cache, tree walks dominate the cost of
+        # compiling evaluators for small queries. (Frozen dataclasses
+        # still carry a __dict__; object.__setattr__ bypasses the
+        # frozen guard.)
+        cached = self.__dict__.get("_column_indices")
+        if cached is None:
+            indices: set[int] = set()
+            for child in self.children():
+                indices |= child.column_indices()
+            cached = frozenset(indices)
+            object.__setattr__(self, "_column_indices", cached)
+        return cached
 
     def remap(self, mapping: dict[int, int]) -> "Expression":
         raise NotImplementedError
@@ -1131,4 +1141,496 @@ def _compile_function_call(expr: FunctionCall,
             raise
         except Exception as exc:
             raise EvaluationError(f"error in function {name}: {exc}") from exc
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The vectorized (columnar) compiler
+# ---------------------------------------------------------------------------
+#
+# The closure compiler above removes interpretation overhead but still pays
+# one Python call per expression node *per row*. The columnar compiler pays
+# it once per expression node *per column batch*: a compiled
+# ``ColumnEvaluator`` takes the input's per-column value arrays (plus the
+# row count) and returns one output array, evaluating each node with a
+# single tight loop over its children's arrays. Column loads vanish
+# entirely — a ``ColumnRef`` just returns the input array.
+#
+# Invariant (same as the row compiler's): for every input, the vectorized
+# evaluator returns exactly what ``eval`` would return row by row — same
+# values, same NULL semantics, same error types. Two node classes are
+# *lazy* per row and therefore unsafe to evaluate over whole arrays:
+# ``CASE`` only evaluates the branch its condition selects, and
+# ``AND``/``OR`` stop at the first dominating value — the classic guard
+# idiom ``b != 0 AND 1/b > 0`` relies on the skipped rows never being
+# evaluated. CASE (and IN-lists, which short-circuit their item list)
+# always falls back to the row closure applied per row; AND/OR vectorize
+# only when every operand is statically *total* (provably cannot raise on
+# any row — see ``_never_raises``), and fall back otherwise.
+#
+# ``force_interpreted`` applies here too: under it, every columnar
+# evaluator degrades to the reference interpreter applied per row, which
+# is what lets the three-way equivalence property pin interpreted,
+# compiled, and vectorized execution to byte-identical output.
+
+#: A compiled columnar evaluator: ``(columns, row_count) -> value array``.
+#: ``columns`` are the input's per-column arrays (list or tuple each);
+#: the result is a fresh array of ``row_count`` values (a ``ColumnRef``
+#: may return the input array itself — callers must not mutate results).
+ColumnEvaluator = Callable[[Sequence[Sequence], int], Sequence]
+
+
+def _iter_rows(columns: Sequence[Sequence], count: int):
+    """Row-tuple iterator over a column block (fallback/interpret paths)."""
+    if columns:
+        return zip(*columns)
+    return iter([()] * count)
+
+
+_COLUMNAR_COMPILERS: dict[type, Callable[..., ColumnEvaluator]] = {}
+
+
+def _compiles_columnar(cls: type):
+    def register(fn):
+        _COLUMNAR_COMPILERS[cls] = fn
+        return fn
+    return register
+
+
+def compile_expression_columnar(expr: Expression,
+                                ctx: EvalContext = DEFAULT_CONTEXT,
+                                ) -> ColumnEvaluator:
+    """Compile ``expr`` into a ``(columns, n) -> array`` evaluator."""
+    if _FORCE_INTERPRET:
+        return lambda columns, count: [expr.eval(row, ctx)
+                                       for row in _iter_rows(columns, count)]
+    if not expr.column_indices() and expr.is_deterministic:
+        # Constant folding, exactly as in the row compiler: an erroring
+        # constant compiles normally so the error surfaces at run time.
+        try:
+            value = expr.eval((), ctx)
+        except EvaluationError:
+            pass
+        else:
+            return lambda columns, count: [value] * count
+    compiler = _COLUMNAR_COMPILERS.get(type(expr))
+    if compiler is None:
+        # No vectorized form (CASE, IN, non-total AND/OR, unknown nodes):
+        # apply the row closure per row of the block.
+        fn = compile_expression(expr, ctx)
+        return lambda columns, count: [fn(row)
+                                       for row in _iter_rows(columns, count)]
+    return compiler(expr, ctx)
+
+
+def compile_row_columnar(exprs: Sequence[Expression],
+                         ctx: EvalContext = DEFAULT_CONTEXT,
+                         ) -> Callable[[Sequence[Sequence], int], list]:
+    """Compile a projection list into a ``(columns, n) -> output columns``
+    closure (the columnar analogue of :func:`compile_row`)."""
+    fns = [compile_expression_columnar(expr, ctx) for expr in exprs]
+    return lambda columns, count: [fn(columns, count) for fn in fns]
+
+
+def compile_group_key_columnar(exprs: Sequence[Expression],
+                               ctx: EvalContext = DEFAULT_CONTEXT,
+                               ) -> Callable[[Sequence[Sequence], int], list]:
+    """Compile grouping expressions into a ``(columns, n) -> [group_key]``
+    closure (the columnar analogue of :func:`compile_group_key`)."""
+    fns = [compile_expression_columnar(expr, ctx) for expr in exprs]
+    key = t.group_key
+
+    def run(columns, count):
+        if not fns:
+            empty = key(())
+            return [empty] * count
+        arrays = [fn(columns, count) for fn in fns]
+        if len(arrays) == 1:
+            only, = arrays
+            return [key((value,)) for value in only]
+        return [key(values) for values in zip(*arrays)]
+    return run
+
+
+#: Types whose runtime values are guaranteed same-kind comparable (ints /
+#: floats for the numeric group; exact-type match otherwise), so
+#: ``t.compare`` cannot raise on them.
+_NUMERIC_KINDS = (SqlType.INT, SqlType.FLOAT, SqlType.TIMESTAMP)
+
+
+def _comparison_total(expr: Comparison) -> bool:
+    left_type, right_type = expr.left.type, expr.right.type
+    if isinstance(expr.left, Literal) and expr.left.value is None:
+        return True
+    if isinstance(expr.right, Literal) and expr.right.value is None:
+        return True
+    if left_type in _NUMERIC_KINDS and right_type in _NUMERIC_KINDS:
+        return True
+    return left_type == right_type and left_type in (SqlType.TEXT,
+                                                     SqlType.BOOL)
+
+
+def emits_tristate(expr: Expression) -> bool:
+    """Whether every evaluation path of ``expr`` (interpreted, compiled,
+    vectorized) yields exactly ``True`` / ``False`` / ``None`` — never a
+    merely truthy value. Lets the filter kernel feed the predicate mask
+    straight into C-level compression without normalizing it first."""
+    return isinstance(expr, (Comparison, BooleanOp, Not, IsNull, Like,
+                             InList))
+
+
+def _never_raises(expr: Expression) -> bool:
+    """Statically total: evaluation provably cannot raise on any row.
+
+    Used to decide whether AND/OR may evaluate an operand over the whole
+    array — which evaluates it on rows the row-at-a-time path would have
+    short-circuited past. Deliberately conservative: anything not
+    recognized is treated as possibly raising.
+    """
+    if isinstance(expr, (Literal, ColumnRef, BoundParameter,
+                         ContextFunction)):
+        return True
+    if isinstance(expr, (IsNull, Not)):
+        return _never_raises(expr.operand)
+    if isinstance(expr, BooleanOp):
+        return all(_never_raises(op) for op in expr.operands)
+    if isinstance(expr, Comparison):
+        return (_never_raises(expr.left) and _never_raises(expr.right)
+                and _comparison_total(expr))
+    return False
+
+
+@_compiles_columnar(ColumnRef)
+def _columnar_column(expr: ColumnRef, ctx: EvalContext) -> ColumnEvaluator:
+    index = expr.index
+    return lambda columns, count: columns[index]
+
+
+@_compiles_columnar(Arithmetic)
+def _columnar_arithmetic(expr: Arithmetic,
+                         ctx: EvalContext) -> ColumnEvaluator:
+    left = compile_expression_columnar(expr.left, ctx)
+    op = expr.op
+
+    apply = _ARITH_APPLY.get(op)
+    if apply is not None:
+        is_const, const = _constant_of(expr.right, ctx)
+        if is_const and const is not None:
+            def run(columns, count):
+                values = left(columns, count)
+                try:
+                    return [None if a is None else apply(a, const)
+                            for a in values]
+                except TypeError:
+                    # Re-raise as the row path would, at the first
+                    # offending row.
+                    for a in values:
+                        if a is None:
+                            continue
+                        try:
+                            apply(a, const)
+                        except TypeError as exc:
+                            raise EvaluationError(
+                                f"bad operands for {op}: {a!r}, "
+                                f"{const!r}") from exc
+                    raise  # pragma: no cover - unreachable
+            return run
+
+        right = compile_expression_columnar(expr.right, ctx)
+
+        def run(columns, count):
+            left_values = left(columns, count)
+            right_values = right(columns, count)
+            try:
+                return [None if a is None or b is None else apply(a, b)
+                        for a, b in zip(left_values, right_values)]
+            except TypeError:
+                for a, b in zip(left_values, right_values):
+                    if a is None or b is None:
+                        continue
+                    try:
+                        apply(a, b)
+                    except TypeError as exc:
+                        raise EvaluationError(
+                            f"bad operands for {op}: {a!r}, {b!r}") from exc
+                raise  # pragma: no cover - unreachable
+        return run
+
+    if op in ("/", "%"):
+        right = compile_expression_columnar(expr.right, ctx)
+        divide = op == "/"
+
+        def run(columns, count):
+            left_values = left(columns, count)
+            right_values = right(columns, count)
+            output = []
+            append = output.append
+            for a, b in zip(left_values, right_values):
+                if a is None or b is None:
+                    append(None)
+                    continue
+                if b == 0:
+                    raise EvaluationError("division by zero")
+                try:
+                    append(a / b if divide else a % b)
+                except TypeError as exc:
+                    raise EvaluationError(
+                        f"bad operands for {op}: {a!r}, {b!r}") from exc
+            return output
+        return run
+
+    def run(columns, count):  # unknown operator: defer to eval's error
+        return [expr.eval(row, ctx) for row in _iter_rows(columns, count)]
+    return run
+
+
+#: Python source of the vectorized column-vs-constant comparison, built
+#: once per (operator, operand kind) at import time. Splicing the operator
+#: symbol into the comprehension (instead of calling ``operator.ge`` & co.
+#: per element) keeps the comparison a single COMPARE_OP instruction — the
+#: first, deliberately tiny, step toward the ROADMAP's codegen direction.
+def _specialize_const_compare(symbol: str, kind_check: str):
+    source = (
+        "lambda left, const, slow: lambda columns, count: "
+        "[None if a is None else "
+        f"(a {symbol} const if {kind_check} else slow(a)) "
+        "for a in left(columns, count)]")
+    return eval(source)  # noqa: S307 - fixed template, no runtime input
+
+
+_NUM_KIND_CHECK = "type(a) is int or (type(a) is float and a == a)"
+_STR_KIND_CHECK = "type(a) is str"
+_CONST_COMPARE_NUM = {
+    op: _specialize_const_compare(symbol, _NUM_KIND_CHECK)
+    for op, symbol in (("=", "=="), ("!=", "!="), ("<>", "!="), ("<", "<"),
+                       ("<=", "<="), (">", ">"), (">=", ">="))}
+_CONST_COMPARE_STR = {
+    op: _specialize_const_compare(symbol, _STR_KIND_CHECK)
+    for op, symbol in (("=", "=="), ("!=", "!="), ("<>", "!="), ("<", "<"),
+                       ("<=", "<="), (">", ">"), (">=", ">="))}
+
+
+@_compiles_columnar(Comparison)
+def _columnar_comparison(expr: Comparison,
+                         ctx: EvalContext) -> ColumnEvaluator:
+    left = compile_expression_columnar(expr.left, ctx)
+    test = _COMPARISON_TESTS.get(expr.op)
+    if test is None:
+        fn = compile_expression(expr, ctx)
+        return lambda columns, count: [fn(row)
+                                       for row in _iter_rows(columns, count)]
+    compare = t.compare
+
+    is_const, const = _constant_of(expr.right, ctx)
+    if is_const and const is not None:
+
+        def slow(a):  # off-kind value: full SQL comparison (may raise)
+            result = compare(a, const)
+            return None if result is None else test(result)
+
+        if (isinstance(const, (int, float)) and not isinstance(const, bool)
+                and const == const):
+            return _CONST_COMPARE_NUM[expr.op](left, const, slow)
+        if isinstance(const, str):
+            return _CONST_COMPARE_STR[expr.op](left, const, slow)
+
+    right = compile_expression_columnar(expr.right, ctx)
+
+    def pair(a, b):
+        result = compare(a, b)
+        return None if result is None else test(result)
+
+    def run(columns, count):
+        return [None if a is None or b is None else pair(a, b)
+                for a, b in zip(left(columns, count), right(columns, count))]
+    return run
+
+
+@_compiles_columnar(BooleanOp)
+def _columnar_boolean(expr: BooleanOp, ctx: EvalContext) -> ColumnEvaluator:
+    if not all(_never_raises(operand) for operand in expr.operands):
+        # An operand might raise on rows the row path would short-circuit
+        # past (the ``b != 0 AND 1/b > 0`` guard idiom): evaluate lazily,
+        # row by row, through the (short-circuiting) row closure.
+        fn = compile_expression(expr, ctx)
+        return lambda columns, count: [fn(row)
+                                       for row in _iter_rows(columns, count)]
+    fns = [compile_expression_columnar(operand, ctx)
+           for operand in expr.operands]
+    conjunction = expr.op == "and"
+
+    if len(fns) == 2:
+        # The overwhelmingly common shape (two conjuncts): a single
+        # comprehension over the zipped operand arrays.
+        first, second = fns
+        if conjunction:
+            def run(columns, count):
+                return [False if (a is False or b is False) else
+                        (None if (a is None or b is None) else True)
+                        for a, b in zip(first(columns, count),
+                                        second(columns, count))]
+        else:
+            def run(columns, count):
+                return [True if (a is True or b is True) else
+                        (None if (a is None or b is None) else False)
+                        for a, b in zip(first(columns, count),
+                                        second(columns, count))]
+        return run
+
+    def run(columns, count):
+        arrays = [fn(columns, count) for fn in fns]
+        if len(arrays) == 1:
+            only, = arrays
+            if conjunction:
+                return [False if value is False else
+                        (None if value is None else True) for value in only]
+            return [True if value is True else
+                    (None if value is None else False) for value in only]
+        output = []
+        append = output.append
+        if conjunction:
+            for values in zip(*arrays):
+                result = True
+                for value in values:
+                    if value is False:
+                        result = False
+                        break
+                    if value is None:
+                        result = None
+                append(result)
+        else:
+            for values in zip(*arrays):
+                result = False
+                for value in values:
+                    if value is True:
+                        result = True
+                        break
+                    if value is None:
+                        result = None
+                append(result)
+        return output
+    return run
+
+
+@_compiles_columnar(Not)
+def _columnar_not(expr: Not, ctx: EvalContext) -> ColumnEvaluator:
+    operand = compile_expression_columnar(expr.operand, ctx)
+
+    def run(columns, count):
+        return [None if value is None else not value
+                for value in operand(columns, count)]
+    return run
+
+
+@_compiles_columnar(IsNull)
+def _columnar_is_null(expr: IsNull, ctx: EvalContext) -> ColumnEvaluator:
+    operand = compile_expression_columnar(expr.operand, ctx)
+    if expr.negated:
+        return lambda columns, count: [value is not None
+                                       for value in operand(columns, count)]
+    return lambda columns, count: [value is None
+                                   for value in operand(columns, count)]
+
+
+@_compiles_columnar(Cast)
+def _columnar_cast(expr: Cast, ctx: EvalContext) -> ColumnEvaluator:
+    operand = compile_expression_columnar(expr.operand, ctx)
+    target = expr.target
+    cast = t.cast_value
+    return lambda columns, count: [cast(value, target)
+                                   for value in operand(columns, count)]
+
+
+@_compiles_columnar(Like)
+def _columnar_like(expr: Like, ctx: EvalContext) -> ColumnEvaluator:
+    is_const, const = _constant_of(expr.pattern, ctx)
+    if not (is_const and isinstance(const, str)):
+        fn = compile_expression(expr, ctx)
+        return lambda columns, count: [fn(row)
+                                       for row in _iter_rows(columns, count)]
+    operand = compile_expression_columnar(expr.operand, ctx)
+    matcher = re.compile(_like_regex(const), re.DOTALL).fullmatch
+    negated = expr.negated
+
+    def run(columns, count):
+        output = []
+        append = output.append
+        for text in operand(columns, count):
+            if text is None:
+                append(None)
+                continue
+            if not isinstance(text, str):
+                raise EvaluationError("LIKE requires text operands")
+            matched = matcher(text) is not None
+            append(not matched if negated else matched)
+        return output
+    return run
+
+
+@_compiles_columnar(VariantPath)
+def _columnar_variant_path(expr: VariantPath,
+                           ctx: EvalContext) -> ColumnEvaluator:
+    operand = compile_expression_columnar(expr.operand, ctx)
+    path = expr.path
+
+    def run(columns, count):
+        output = []
+        append = output.append
+        for value in operand(columns, count):
+            for key in path:
+                if value is None:
+                    break
+                if isinstance(value, dict):
+                    value = value.get(key)
+                elif isinstance(value, list):
+                    try:
+                        value = value[int(key)]
+                    except (ValueError, IndexError):
+                        value = None
+                        break
+                else:
+                    value = None
+                    break
+            append(value)
+        return output
+    return run
+
+
+@_compiles_columnar(FunctionCall)
+def _columnar_function_call(expr: FunctionCall,
+                            ctx: EvalContext) -> ColumnEvaluator:
+    arg_fns = [compile_expression_columnar(arg, ctx) for arg in expr.args]
+    impl = expr.function.impl
+    name = expr.function.name
+    null_on_null = expr.function.null_on_null
+
+    def run(columns, count):
+        if not arg_fns:
+            # Zero-arg (necessarily volatile, else it folded): one call
+            # per row, like the row path.
+            output = []
+            for __ in range(count):
+                try:
+                    output.append(impl())
+                except EvaluationError:
+                    raise
+                except Exception as exc:
+                    raise EvaluationError(
+                        f"error in function {name}: {exc}") from exc
+            return output
+        arrays = [fn(columns, count) for fn in arg_fns]
+        output = []
+        append = output.append
+        for values in zip(*arrays):
+            if null_on_null and None in values:
+                append(None)
+                continue
+            try:
+                append(impl(*values))
+            except EvaluationError:
+                raise
+            except Exception as exc:
+                raise EvaluationError(
+                    f"error in function {name}: {exc}") from exc
+        return output
     return run

@@ -1,38 +1,148 @@
-"""Relations: schema + rows + stable row identifiers.
+"""Relations: schema + columnar row storage + stable row identifiers.
 
 A :class:`Relation` is what flows from storage into the executor and the
-differentiation framework. ``row_ids`` is parallel to ``rows`` and carries
-the stable per-row identifiers that incremental view maintenance threads
-through every operator (section 5.5: "Incremental DTs define a unique ID
-for every row in the query result, and store those IDs alongside the
-data").
+differentiation framework. Since the columnar-execution refactor it is a
+**columnar block**: the canonical layout is a list of parallel per-column
+value arrays plus a ``row_ids`` array carrying the stable per-row
+identifiers that incremental view maintenance threads through every
+operator (section 5.5: "Incremental DTs define a unique ID for every row
+in the query result, and store those IDs alongside the data").
+
+Compatibility view
+------------------
+
+Every pre-existing row-tuple entry point is preserved: ``Relation(schema,
+rows, row_ids)`` construction, ``rows`` access, ``pairs()``, ``__iter__``,
+``append`` and ``from_pairs`` all keep working. Internally the relation
+holds *either* layout (whichever it was built from) and materializes the
+other lazily, caching it; ``append`` keeps every materialized layout in
+sync. Hot paths — storage scans, vectorized filters/projections — build
+and consume the columnar layout directly and never pay for row tuples;
+row-oriented code (joins, sorts, external callers) reads the ``rows``
+view and is none the wiser.
+
+The module-level :func:`row_major_mode` switch exists for the ablation
+benchmark (``bench_t11_columnar_scan``): with columnar execution disabled,
+storage materialization and the executor kernels fall back to the
+pre-refactor row-at-a-time code paths, which is what the reported
+"row-major baseline" numbers measure.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Protocol
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Protocol, Sequence
 
 from repro.engine.schema import Schema
 
+#: Whether hot paths build/consume the columnar layout. Toggled only by
+#: :func:`row_major_mode` (benchmark ablation); normal operation is True.
+_COLUMNAR_ENABLED = True
 
-@dataclass
+
+def columnar_enabled() -> bool:
+    """Whether columnar fast paths are active (see :func:`row_major_mode`)."""
+    return _COLUMNAR_ENABLED
+
+
+@contextmanager
+def row_major_mode():
+    """Disable the columnar fast paths, restoring the pre-refactor
+    row-at-a-time behaviour of storage materialization, the executor
+    kernels, and delta building. Results are identical either way; only
+    the ablation benchmark should use this."""
+    global _COLUMNAR_ENABLED
+    saved = _COLUMNAR_ENABLED
+    _COLUMNAR_ENABLED = False
+    try:
+        yield
+    finally:
+        _COLUMNAR_ENABLED = saved
+
+
 class Relation:
-    """An in-memory bag of rows with parallel row ids."""
+    """An in-memory bag of rows with parallel row ids, stored column-major.
 
-    schema: Schema
-    rows: list[tuple] = field(default_factory=list)
-    row_ids: list[str] = field(default_factory=list)
+    ``rows`` and ``columns`` are two views of the same data; at least one
+    is always materialized and the other is derived (and cached) on first
+    access. Callers must treat both as read-only — mutate only through
+    :meth:`append`.
+    """
 
-    def __post_init__(self):
-        if self.row_ids and len(self.row_ids) != len(self.rows):
+    __slots__ = ("schema", "row_ids", "_rows", "_columns")
+
+    def __init__(self, schema: Schema, rows: Optional[list] = None,
+                 row_ids: Optional[list] = None):
+        self.schema = schema
+        self._rows: Optional[list[tuple]] = rows if rows is not None else []
+        self._columns: Optional[list] = None
+        if row_ids is None:
+            row_ids = []
+        if row_ids and len(row_ids) != len(self._rows):
             raise ValueError("row_ids must parallel rows")
-        if not self.row_ids and self.rows:
+        if not row_ids and self._rows:
             # Positional fallback ids; storage always provides real ids.
-            self.row_ids = [f"pos:{index}" for index in range(len(self.rows))]
+            row_ids = [f"pos:{index}" for index in range(len(self._rows))]
+        self.row_ids: list[str] = row_ids
+
+    @staticmethod
+    def from_columns(schema: Schema, columns: Sequence[Sequence],
+                     row_ids: Optional[list] = None) -> "Relation":
+        """Build a relation directly from parallel column arrays.
+
+        ``columns`` is adopted by reference (no copy); every column must
+        have the same length, equal to ``len(row_ids)``.
+        """
+        relation = Relation.__new__(Relation)
+        relation.schema = schema
+        relation._rows = None
+        relation._columns = list(columns)
+        count = len(columns[0]) if columns else 0
+        if row_ids is None or not row_ids:
+            row_ids = [f"pos:{index}" for index in range(count)]
+        elif len(row_ids) != count:
+            raise ValueError("row_ids must parallel columns")
+        relation.row_ids = row_ids
+        return relation
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def rows(self) -> list[tuple]:
+        """Row tuples (compatibility view; materialized lazily)."""
+        if self._rows is None:
+            columns = self._columns
+            if columns:
+                self._rows = list(zip(*columns))
+            else:
+                self._rows = [()] * len(self.row_ids)
+        return self._rows
+
+    @property
+    def columns(self) -> list:
+        """Per-column value arrays, parallel to ``row_ids`` (materialized
+        lazily from the row view when needed)."""
+        if self._columns is None:
+            rows = self._rows
+            if rows:
+                self._columns = [list(column) for column in zip(*rows)]
+            else:
+                self._columns = [[] for __ in range(len(self.schema))]
+        return self._columns
+
+    @property
+    def is_columnar(self) -> bool:
+        """Whether the columnar layout is already materialized (hot paths
+        use this to pick the vectorized kernel without forcing a layout
+        conversion)."""
+        return self._columns is not None
+
+    def column(self, index: int) -> Sequence:
+        """One column's value array."""
+        return self.columns[index]
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.row_ids)
 
     def __iter__(self) -> Iterator[tuple]:
         return iter(self.rows)
@@ -41,8 +151,19 @@ class Relation:
         """Iterate ``(row_id, row)`` pairs."""
         return zip(self.row_ids, self.rows)
 
+    # -- mutation -------------------------------------------------------------
+
     def append(self, row_id: str, row: tuple) -> None:
-        self.rows.append(row)
+        """Append one row, keeping every materialized layout in sync."""
+        if self._rows is not None:
+            self._rows.append(row)
+        columns = self._columns
+        if columns is not None:
+            for index, value in enumerate(row):
+                column = columns[index]
+                if type(column) is not list:
+                    columns[index] = column = list(column)
+                column.append(value)
         self.row_ids.append(row_id)
 
     @staticmethod
@@ -51,6 +172,10 @@ class Relation:
         for row_id, row in pairs:
             relation.append(row_id, row)
         return relation
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        layout = "columnar" if self._columns is not None else "row-major"
+        return f"Relation({len(self)} rows, {layout})"
 
 
 class SnapshotResolver(Protocol):

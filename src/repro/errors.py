@@ -151,3 +151,12 @@ class ChangeIntegrityError(InternalError):
     """A change set violated one of the incremental-refresh invariants of
     section 6.1: more than one row with the same ``($ROW_ID, $ACTION)``
     pair, or a deletion targeting a row that does not exist."""
+
+
+class RowIdIntegrityError(InternalError):
+    """A relation carrying positional-fallback row ids (``pos:<index>``,
+    assigned by ``Relation`` when storage provided none) reached the
+    differentiation framework. Positional ids are only unique within one
+    relation, so letting them flow into derivative rules could silently
+    violate the ``($ROW_ID, $ACTION)`` uniqueness invariant across
+    relations; the differentiator rejects them up front instead."""

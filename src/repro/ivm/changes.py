@@ -10,6 +10,17 @@ The differentiation framework guarantees that a set of changes never
 contains more than 1 row for each unique $ROW_ID, $ACTION pair, which
 ensures that the merge operation is well-defined."
 
+Layout: a :class:`ChangeSet` is **struct-of-arrays** — three parallel
+arrays ``actions`` / ``row_ids`` / ``rows`` — rather than a list of
+per-row objects. Deltas on the refresh hot path routinely carry 100k+
+rows; the SoA layout lets whole-partition delta building, projection
+rules, and consolidation work by bulk array extension
+(:meth:`ChangeSet.insert_many` / :meth:`delete_many` / :meth:`extend`)
+instead of allocating one :class:`Change` per row. The per-row
+:class:`Change` NamedTuple remains the unit of iteration (``__iter__``,
+:attr:`changes`, :meth:`inserts`, :meth:`deletes` all yield it), so
+row-oriented consumers are unaffected.
+
 :func:`consolidate` implements the change-consolidation step referenced in
 section 5.5.2 (and the insert-only specialization that allows skipping it);
 :meth:`ChangeSet.validate` implements the two production invariants of
@@ -19,12 +30,10 @@ section 6.1 that "shielded customers from data corruption".
 from __future__ import annotations
 
 import enum
-from operator import itemgetter
-from typing import Iterable, Iterator, Mapping, NamedTuple
+from typing import Iterable, Iterator, Mapping, NamedTuple, Sequence, Union
+
 
 from repro.errors import ChangeIntegrityError
-
-_ACTION_OF = itemgetter(0)
 
 
 class Action(enum.Enum):
@@ -40,8 +49,8 @@ class Action(enum.Enum):
 class Change(NamedTuple):
     """One delta row: ``($ACTION, $ROW_ID, values...)``.
 
-    A NamedTuple rather than a dataclass: changes are allocated once per
-    delta row on the refresh hot path, and tuple construction skips the
+    A NamedTuple rather than a dataclass: changes are materialized from
+    the struct-of-arrays store on demand, and tuple construction skips the
     per-field ``object.__setattr__`` cost of frozen dataclasses.
     """
 
@@ -55,56 +64,148 @@ class Change(NamedTuple):
 
 
 class ChangeSet:
-    """An ordered bag of :class:`Change`.
+    """An ordered bag of changes, stored struct-of-arrays.
 
+    ``actions[i]`` / ``row_ids[i]`` / ``rows[i]`` describe change ``i``.
     Order matters only *before* consolidation (an insert and a delete of
     the same row id cancel in sequence order); a consolidated change set is
     a well-defined merge: at most one row per ``($ROW_ID, $ACTION)`` pair.
     """
 
-    __slots__ = ("changes",)
+    __slots__ = ("actions", "row_ids", "rows")
 
     def __init__(self, changes: Iterable[Change] = ()):
-        self.changes: list[Change] = list(changes)
+        self.actions: list[Action] = []
+        self.row_ids: list[str] = []
+        self.rows: list[tuple] = []
+        for action, row_id, row in changes:
+            self.actions.append(action)
+            self.row_ids.append(row_id)
+            self.rows.append(row)
+
+    @staticmethod
+    def from_arrays(actions: list, row_ids: list, rows: list) -> "ChangeSet":
+        """Adopt parallel arrays by reference (no copy)."""
+        changes = ChangeSet.__new__(ChangeSet)
+        changes.actions = actions
+        changes.row_ids = row_ids
+        changes.rows = rows
+        return changes
+
+    @property
+    def changes(self) -> list[Change]:
+        """The changes as a list of :class:`Change` (materialized view)."""
+        return [Change(action, row_id, row) for action, row_id, row
+                in zip(self.actions, self.row_ids, self.rows)]
+
+    @changes.setter
+    def changes(self, value: Iterable[Change]) -> None:
+        actions: list[Action] = []
+        row_ids: list[str] = []
+        rows: list[tuple] = []
+        for action, row_id, row in value:
+            actions.append(action)
+            row_ids.append(row_id)
+            rows.append(row)
+        self.actions = actions
+        self.row_ids = row_ids
+        self.rows = rows
 
     def __len__(self) -> int:
-        return len(self.changes)
+        return len(self.actions)
 
     def __iter__(self) -> Iterator[Change]:
-        return iter(self.changes)
+        return map(Change._make, zip(self.actions, self.row_ids, self.rows))
 
     def __bool__(self) -> bool:
-        return bool(self.changes)
+        return bool(self.actions)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ChangeSet({self.changes!r})"
 
+    # -- per-row mutation ------------------------------------------------------
+
     def append(self, change: Change) -> None:
-        self.changes.append(change)
+        self.actions.append(change[0])
+        self.row_ids.append(change[1])
+        self.rows.append(change[2])
 
     def insert(self, row_id: str, row: tuple) -> None:
-        self.changes.append(Change(Action.INSERT, row_id, row))
+        self.actions.append(Action.INSERT)
+        self.row_ids.append(row_id)
+        self.rows.append(row)
 
     def delete(self, row_id: str, row: tuple) -> None:
-        self.changes.append(Change(Action.DELETE, row_id, row))
+        self.actions.append(Action.DELETE)
+        self.row_ids.append(row_id)
+        self.rows.append(row)
 
-    def extend(self, other: Iterable[Change]) -> None:
-        self.changes.extend(other)
+    def extend(self, other: Union["ChangeSet", Iterable[Change]]) -> None:
+        if isinstance(other, ChangeSet):
+            # Bulk array concatenation — no per-change objects.
+            self.actions.extend(other.actions)
+            self.row_ids.extend(other.row_ids)
+            self.rows.extend(other.rows)
+            return
+        for change in other:
+            self.append(change)
+
+    # -- bulk mutation ---------------------------------------------------------
+
+    def insert_many(self, row_ids: Sequence[str],
+                    rows: Sequence[tuple]) -> None:
+        """Append one INSERT per ``(row_id, row)`` by array extension —
+        how whole-partition column slices enter a delta."""
+        self.actions.extend([Action.INSERT] * len(row_ids))
+        self.row_ids.extend(row_ids)
+        self.rows.extend(rows)
+
+    def delete_many(self, row_ids: Sequence[str],
+                    rows: Sequence[tuple]) -> None:
+        """Append one DELETE per ``(row_id, row)`` by array extension."""
+        self.actions.extend([Action.DELETE] * len(row_ids))
+        self.row_ids.extend(row_ids)
+        self.rows.extend(rows)
+
+    # -- reads -----------------------------------------------------------------
 
     def inserts(self) -> list[Change]:
         insert = Action.INSERT
-        return [change for change in self.changes if change.action is insert]
+        return [Change(action, row_id, row) for action, row_id, row
+                in zip(self.actions, self.row_ids, self.rows)
+                if action is insert]
 
     def deletes(self) -> list[Change]:
         delete = Action.DELETE
-        return [change for change in self.changes if change.action is delete]
+        return [Change(action, row_id, row) for action, row_id, row
+                in zip(self.actions, self.row_ids, self.rows)
+                if action is delete]
+
+    def insert_arrays(self) -> tuple[list[str], list[tuple]]:
+        """``(row_ids, rows)`` of the insertions, as parallel arrays."""
+        return self._arrays_of(Action.INSERT)
+
+    def delete_arrays(self) -> tuple[list[str], list[tuple]]:
+        """``(row_ids, rows)`` of the deletions, as parallel arrays."""
+        return self._arrays_of(Action.DELETE)
+
+    def _arrays_of(self, which: Action) -> tuple[list[str], list[tuple]]:
+        if which not in self.actions:
+            return [], []
+        row_ids: list[str] = []
+        rows: list[tuple] = []
+        for action, row_id, row in zip(self.actions, self.row_ids, self.rows):
+            if action is which:
+                row_ids.append(row_id)
+                rows.append(row)
+        return row_ids, rows
 
     @property
     def insert_only(self) -> bool:
         """True when the set contains no deletions — the extremely common
         workload shape that section 5.5.2 specializes for."""
-        # `map` + `in` keeps the scan in C: enum equality is identity.
-        return Action.DELETE not in map(_ACTION_OF, self.changes)
+        # ``in`` keeps the scan in C: enum equality is identity.
+        return Action.DELETE not in self.actions
 
     def validate(self, existing_row_ids: Mapping[str, object] | None = None) -> None:
         """Check the section 6.1 incremental-refresh invariants.
@@ -122,22 +223,22 @@ class ChangeSet:
         delete = Action.DELETE
         inserted: set[str] = set()
         deleted: set[str] = set()
-        for action, row_id, __ in self.changes:
+        for action, row_id in zip(self.actions, self.row_ids):
             seen = deleted if action is delete else inserted
             if row_id in seen:
                 raise ChangeIntegrityError(
                     f"duplicate ($ROW_ID, $ACTION) pair: {(row_id, action)}")
             seen.add(row_id)
         if existing_row_ids is not None:
-            for change in self.changes:
-                exists = change.row_id in existing_row_ids
-                if change.action is delete:
+            for action, row_id in zip(self.actions, self.row_ids):
+                exists = row_id in existing_row_ids
+                if action is delete:
                     if not exists:
                         raise ChangeIntegrityError(
-                            f"delete of nonexistent row: {change.row_id}")
-                elif exists and change.row_id not in deleted:
+                            f"delete of nonexistent row: {row_id}")
+                elif exists and row_id not in deleted:
                     raise ChangeIntegrityError(
-                        f"insert of already-present row: {change.row_id}")
+                        f"insert of already-present row: {row_id}")
 
 
 #: Internal consolidation states.
@@ -146,7 +247,7 @@ _INSERTED = 1     # net-new in this interval
 _DELETED = 2      # pre-existing row deleted in this interval
 
 
-def consolidate(changes: Iterable[Change]) -> ChangeSet:
+def consolidate(changes: Union[ChangeSet, Iterable[Change]]) -> ChangeSet:
     """Collapse an ordered change sequence to its net effect.
 
     Per row id, in sequence order:
@@ -165,27 +266,34 @@ def consolidate(changes: Iterable[Change]) -> ChangeSet:
 
     The result satisfies :meth:`ChangeSet.validate`'s pair-uniqueness
     invariant by construction. Output order: deletes first, then inserts
-    (the merge applies deletions before insertions).
+    (the merge applies deletions before insertions). Operates directly on
+    the struct-of-arrays store — one pass over the input triples, bulk
+    array construction of the result, no per-row Change allocation.
     """
+    if isinstance(changes, ChangeSet):
+        triples = zip(changes.actions, changes.row_ids, changes.rows)
+    else:
+        triples = ((change[0], change[1], change[2]) for change in changes)
+
+    insert = Action.INSERT
     state: dict[str, int] = {}
     before_rows: dict[str, tuple] = {}
     current_rows: dict[str, tuple] = {}
     order: list[str] = []
 
-    for change in changes:
-        row_id = change.row_id
+    for action, row_id, row in triples:
         status = state.get(row_id, _ABSENT)
         if row_id not in state:
             order.append(row_id)
-        if change.action == Action.INSERT:
+        if action is insert:
             if status == _INSERTED or (status == _DELETED and row_id in current_rows):
                 raise ChangeIntegrityError(
                     f"duplicate insert for row id {row_id}")
             if status == _DELETED:
-                current_rows[row_id] = change.row
+                current_rows[row_id] = row
             else:
                 state[row_id] = _INSERTED
-                current_rows[row_id] = change.row
+                current_rows[row_id] = row
         else:  # DELETE
             if status == _INSERTED:
                 # Insert+delete within the interval cancels entirely.
@@ -200,10 +308,12 @@ def consolidate(changes: Iterable[Change]) -> ChangeSet:
                         f"duplicate delete for row id {row_id}")
             else:
                 state[row_id] = _DELETED
-                before_rows[row_id] = change.row
+                before_rows[row_id] = row
 
-    result = ChangeSet()
-    pending_inserts: list[Change] = []
+    delete_ids: list[str] = []
+    delete_rows: list[tuple] = []
+    insert_ids: list[str] = []
+    insert_rows: list[tuple] = []
     for row_id in order:
         status = state.get(row_id, _ABSENT)
         if status == _DELETED:
@@ -212,22 +322,26 @@ def consolidate(changes: Iterable[Change]) -> ChangeSet:
                 after = current_rows[row_id]
                 if after == before:
                     continue  # data-equivalent rewrite: cancels
-                result.delete(row_id, before)
-                pending_inserts.append(Change(Action.INSERT, row_id, after))
+                delete_ids.append(row_id)
+                delete_rows.append(before)
+                insert_ids.append(row_id)
+                insert_rows.append(after)
             else:
-                result.delete(row_id, before)
+                delete_ids.append(row_id)
+                delete_rows.append(before)
         elif status == _INSERTED:
-            pending_inserts.append(
-                Change(Action.INSERT, row_id, current_rows[row_id]))
-    result.extend(pending_inserts)
-    return result
+            insert_ids.append(row_id)
+            insert_rows.append(current_rows[row_id])
+
+    return ChangeSet.from_arrays(
+        [Action.DELETE] * len(delete_ids) + [Action.INSERT] * len(insert_ids),
+        delete_ids + insert_ids,
+        delete_rows + insert_rows)
 
 
 def invert(changes: ChangeSet) -> ChangeSet:
     """Swap inserts and deletes (useful in tests and undo paths)."""
-    inverted = ChangeSet()
-    for change in changes:
-        action = (Action.DELETE if change.action == Action.INSERT
-                  else Action.INSERT)
-        inverted.append(Change(action, change.row_id, change.row))
-    return inverted
+    insert, delete = Action.INSERT, Action.DELETE
+    return ChangeSet.from_arrays(
+        [delete if action is insert else insert for action in changes.actions],
+        list(changes.row_ids), list(changes.rows))

@@ -34,9 +34,26 @@ from typing import Callable, Protocol
 from repro.engine.executor import evaluate
 from repro.engine.expressions import DEFAULT_CONTEXT, EvalContext
 from repro.engine.relation import Relation
-from repro.errors import NotIncrementalizableError
+from repro.errors import NotIncrementalizableError, RowIdIntegrityError
 from repro.ivm.changes import ChangeSet, consolidate
 from repro.plan import logical as lp
+
+
+def _guard_row_ids(row_ids, origin: str) -> None:
+    """Reject positional-fallback row ids at the differentiator boundary.
+
+    ``Relation.__init__`` assigns ``pos:<index>`` ids when a relation is
+    built without explicit ids — and assigns them to *every* row at once,
+    so checking the first id suffices. Such ids are only unique within one
+    relation; across the relations a differentiation touches they collide,
+    which would corrupt the ``($ROW_ID, $ACTION)`` uniqueness invariant
+    downstream. Storage always provides real ids; hitting this means a
+    caller handed the differentiator a hand-built relation or delta.
+    """
+    if row_ids and row_ids[0].startswith("pos:"):
+        raise RowIdIntegrityError(
+            f"positional fallback row ids (pos:<n>) in {origin} cannot "
+            f"participate in incremental maintenance; supply stable row ids")
 
 
 class DeltaSource(Protocol):
@@ -96,8 +113,12 @@ class _EndpointResolver:
 
     def scan(self, table: str) -> Relation:
         if self._which == "old":
-            return self._source.scan_old(table)
-        return self._source.scan_new(table)
+            relation = self._source.scan_old(table)
+        else:
+            relation = self._source.scan_new(table)
+        _guard_row_ids(relation.row_ids,
+                       f"the {self._which} endpoint of table {table!r}")
+        return relation
 
     def scan_pruned(self, table: str, bounds) -> Relation:
         """Zone-map pruned endpoint scan, when the delta source's storage
@@ -105,7 +126,10 @@ class _EndpointResolver:
         pruned = getattr(self._source, f"scan_{self._which}_pruned", None)
         if pruned is None:
             return self.scan(table)
-        return pruned(table, bounds)
+        relation = pruned(table, bounds)
+        _guard_row_ids(relation.row_ids,
+                       f"the {self._which} endpoint of table {table!r}")
+        return relation
 
 
 #: Rule registry: operator class name -> rule(differ, plan) -> ChangeSet.
@@ -209,7 +233,12 @@ class Differentiator:
             result = consolidate(result)
         if isinstance(plan, lp.Scan):
             # Scan rules return the source delta verbatim, so this is the
-            # table's change-stream insert-only flag.
+            # table's change-stream insert-only flag — and the boundary at
+            # which a hand-built delta carrying positional fallback ids
+            # must be rejected (storage change streams always carry real
+            # ids).
+            _guard_row_ids(result.row_ids,
+                           f"the source delta of table {plan.table!r}")
             self.source_insert_only[plan.table] = insert_only
         self._delta_cache[key] = result
         return result

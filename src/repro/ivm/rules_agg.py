@@ -38,7 +38,8 @@ def delta_aggregate(differ: Differentiator, plan: lp.Aggregate) -> ChangeSet:
         return ChangeSet()
 
     key_fn = compile_group_key(plan.group_exprs, differ.ctx)
-    affected = {key_fn(change.row) for change in child_delta}
+    # Affected group keys, straight off the delta's row array.
+    affected = set(map(key_fn, child_delta.rows))
 
     child_old = semi_join_keys(differ.old(plan.child), key_fn, affected)
     child_new = semi_join_keys(differ.new(plan.child), key_fn, affected)
@@ -56,7 +57,7 @@ def delta_distinct(differ: Differentiator, plan: lp.Distinct) -> ChangeSet:
     if not child_delta:
         return ChangeSet()
 
-    affected = {t.group_key(change.row) for change in child_delta}
+    affected = set(map(t.group_key, child_delta.rows))
 
     old_result = distinct_relation(
         plan.schema,

@@ -37,7 +37,7 @@ from repro.engine.executor import join_relations
 from repro.engine.expressions import compile_group_key
 from repro.engine.relation import Relation
 from repro.errors import NotIncrementalizableError
-from repro.ivm.changes import Action, Change, ChangeSet
+from repro.ivm.changes import Action, ChangeSet
 from repro.ivm.differentiator import (OUTER_JOIN_REWRITE, Differentiator,
                                       diff_relations, rule, semi_join_keys)
 from repro.plan import logical as lp
@@ -54,23 +54,31 @@ def delta_join(differ: Differentiator, plan: lp.Join) -> ChangeSet:
     return _delta_outer_direct(differ, plan)
 
 
-def _relation_of_changes(schema, changes: list[Change]) -> Relation:
-    relation = Relation(schema)
-    for change in changes:
-        relation.append(change.row_id, change.row)
-    return relation
+def _relation_of_action(schema, delta: ChangeSet, action: Action) -> Relation:
+    """The delta's rows under one action, as a relation (built straight
+    from the struct-of-arrays store — no per-change objects)."""
+    row_ids = []
+    rows = []
+    for change_action, row_id, row in zip(delta.actions, delta.row_ids,
+                                          delta.rows):
+        if change_action is action:
+            row_ids.append(row_id)
+            rows.append(row)
+    return Relation(schema, rows, row_ids)
 
 
 def _signed_join(differ: Differentiator, plan: lp.Join,
                  left: Relation, right: Relation, action: Action,
                  output: ChangeSet) -> None:
     """Inner-join two relations, emitting every output pair under
-    ``action``. Reuses the executor's hash-join kernel."""
+    ``action`` (one bulk array extension). Reuses the executor's
+    hash-join kernel."""
     differ.stats.join_input_rows += len(left) + len(right)
     inner = lp.Join("inner", plan.left, plan.right, plan.condition)
     joined = join_relations(inner, left, right, differ.ctx)
-    for row_id, row in joined.pairs():
-        output.append(Change(action, row_id, row))
+    output.actions.extend([action] * len(joined))
+    output.row_ids.extend(joined.row_ids)
+    output.rows.extend(joined.rows)
 
 
 def _delta_inner(differ: Differentiator, plan: lp.Join) -> ChangeSet:
@@ -80,19 +88,19 @@ def _delta_inner(differ: Differentiator, plan: lp.Join) -> ChangeSet:
     if delta_left:
         right_old = differ.old(plan.right)
         for action in (Action.DELETE, Action.INSERT):
-            changed = [c for c in delta_left if c.action == action]
-            if changed:
-                _signed_join(differ, plan,
-                             _relation_of_changes(plan.left.schema, changed),
-                             right_old, action, output)
+            changed = _relation_of_action(plan.left.schema, delta_left,
+                                          action)
+            if len(changed):
+                _signed_join(differ, plan, changed, right_old, action,
+                             output)
     if delta_right:
         left_new = differ.new(plan.left)
         for action in (Action.DELETE, Action.INSERT):
-            changed = [c for c in delta_right if c.action == action]
-            if changed:
-                _signed_join(differ, plan, left_new,
-                             _relation_of_changes(plan.right.schema, changed),
-                             action, output)
+            changed = _relation_of_action(plan.right.schema, delta_right,
+                                          action)
+            if len(changed):
+                _signed_join(differ, plan, left_new, changed, action,
+                             output)
     return output
 
 
@@ -119,10 +127,8 @@ def _delta_outer_direct(differ: Differentiator, plan: lp.Join) -> ChangeSet:
     left_key_fn = compile_group_key(keys.left_keys, differ.ctx)
     right_key_fn = compile_group_key(keys.right_keys, differ.ctx)
     affected: set[tuple] = set()
-    for change in delta_left:
-        affected.add(left_key_fn(change.row))
-    for change in delta_right:
-        affected.add(right_key_fn(change.row))
+    affected.update(map(left_key_fn, delta_left.rows))
+    affected.update(map(right_key_fn, delta_right.rows))
 
     left_old = semi_join_keys(differ.old(plan.left), left_key_fn, affected)
     left_new = semi_join_keys(differ.new(plan.left), left_key_fn, affected)

@@ -43,9 +43,10 @@ def delta_window(differ: Differentiator, plan: lp.Window) -> ChangeSet:
     if not child_delta:
         return ChangeSet()
 
-    # Changed partitions: partition keys of every delta row (Q|_I ⋉_k ΔQ).
+    # Changed partitions: partition keys of every delta row (Q|_I ⋉_k ΔQ),
+    # computed straight off the delta's struct-of-arrays row array.
     key_fn = compile_group_key(plan.partition_exprs, differ.ctx)
-    affected = {key_fn(change.row) for change in child_delta}
+    affected = set(map(key_fn, child_delta.rows))
 
     old_windows = window_relation(
         plan, semi_join_keys(differ.old(plan.child), key_fn, affected),

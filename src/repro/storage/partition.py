@@ -15,6 +15,17 @@ the paper discusses fall out of it naturally:
   rewrites partitions without changing logical contents; versions flagged
   data-equivalent are skipped by the differ.
 
+Since the columnar-execution refactor a partition stores its data
+**column-major**: ``row_ids`` is a tuple of stable identifiers and
+``columns[i]`` is the tuple of column ``i``'s values, parallel to it.
+This is the on-disk shape Snowflake's micro-partition format presumes
+(column chunks within an immutable file): scans hand whole column arrays
+to the vectorized evaluators without ever building row tuples, and zone
+maps are a single min/max pass over an already-materialized column array.
+The old ``rows`` view — a tuple of ``(row_id, row)`` pairs — remains as a
+lazily cached compatibility property for row-oriented consumers
+(transaction overlays, DML partition rewrites).
+
 Each partition is stamped at creation with per-column **zone maps**
 (min/max plus a value-kind tag), mirroring Snowflake's per-micro-partition
 metadata. Scans with pushed-down column bounds use them to skip partitions
@@ -28,6 +39,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Iterable, Optional, Sequence
 
 
@@ -92,14 +104,39 @@ def _column_stats(values: Iterable[object]) -> ColumnStats:
     return ColumnStats(kind, low, high, has_null)
 
 
+def zone_maps_of_columns(columns: Sequence[Sequence],
+                         ) -> tuple[ColumnStats, ...]:
+    """Per-column stats over already-materialized column arrays — the
+    nearly-free columnar zone-map construction (one pass per array, no
+    row-tuple indexing)."""
+    return tuple(_column_stats(column) for column in columns)
+
+
 def build_zone_maps(rows: Sequence[tuple[str, tuple]]) -> tuple[ColumnStats, ...]:
-    """Per-column stats over the ``(row_id, row)`` pairs of a partition."""
+    """Per-column stats over the ``(row_id, row)`` pairs of a partition
+    (row-major compatibility entry point)."""
     if not rows:
         return ()
     width = len(rows[0][1])
     return tuple(
         _column_stats(row[index] if index < len(row) else None
                       for __, row in rows)
+        for index in range(width))
+
+
+def _columns_of_pairs(rows: Sequence[tuple[str, tuple]],
+                      ) -> tuple[tuple, ...]:
+    """Transpose ``(row_id, row)`` pairs into column arrays. Width follows
+    the first row; short rows pad with NULL (matching what the zone maps
+    have always assumed for ragged input)."""
+    if not rows:
+        return ()
+    width = len(rows[0][1])
+    uniform = all(len(row) == width for __, row in rows)
+    if uniform:
+        return tuple(zip(*(row for __, row in rows)))
+    return tuple(
+        tuple(row[index] if index < len(row) else None for __, row in rows)
         for index in range(width))
 
 
@@ -124,21 +161,48 @@ def _range_allows(stats: ColumnStats, op: str, value: object) -> bool:
 
 @dataclass(frozen=True)
 class Partition:
-    """An immutable bundle of ``(row_id, row)`` pairs with zone maps."""
+    """An immutable columnar bundle of rows with zone maps.
+
+    ``columns[i][j]`` is column ``i`` of row ``j``; ``row_ids[j]`` is row
+    ``j``'s stable identifier.
+    """
 
     id: int
-    rows: tuple[tuple[str, tuple], ...]
+    row_ids: tuple[str, ...]
+    columns: tuple[tuple, ...]
     zone_maps: tuple[ColumnStats, ...] = ()
 
     @staticmethod
-    def create(rows: tuple[tuple[str, tuple], ...]) -> "Partition":
-        return Partition(next(_partition_ids), rows, build_zone_maps(rows))
+    def create(rows: Sequence[tuple[str, tuple]]) -> "Partition":
+        """Build from ``(row_id, row)`` pairs (compatibility constructor)."""
+        columns = _columns_of_pairs(rows)
+        return Partition(next(_partition_ids),
+                         tuple(row_id for row_id, __ in rows),
+                         columns, zone_maps_of_columns(columns))
+
+    @staticmethod
+    def from_columns(row_ids: Sequence[str],
+                     columns: Sequence[Sequence]) -> "Partition":
+        """Build directly from parallel column arrays (the columnar write
+        path; zone maps are a min/max pass over each array)."""
+        cols = tuple(tuple(column) for column in columns)
+        return Partition(next(_partition_ids), tuple(row_ids), cols,
+                         zone_maps_of_columns(cols))
 
     def __len__(self) -> int:
-        return len(self.rows)
+        return len(self.row_ids)
 
-    def row_ids(self) -> list[str]:
-        return [row_id for row_id, __ in self.rows]
+    @cached_property
+    def row_tuples(self) -> tuple[tuple, ...]:
+        """Row tuples (lazily cached transpose of ``columns``)."""
+        if not self.columns:
+            return ((),) * len(self.row_ids)
+        return tuple(zip(*self.columns))
+
+    @cached_property
+    def rows(self) -> tuple[tuple[str, tuple], ...]:
+        """``(row_id, row)`` pairs — the pre-columnar compatibility view."""
+        return tuple(zip(self.row_ids, self.row_tuples))
 
     def might_match(self, bounds: Sequence[tuple]) -> bool:
         """Whether this partition could contain a row satisfying the
@@ -187,7 +251,7 @@ class Partition:
         return not excluded
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Partition(id={self.id}, rows={len(self.rows)})"
+        return f"Partition(id={self.id}, rows={len(self.row_ids)})"
 
 
 def build_partitions(rows: list[tuple[str, tuple]],

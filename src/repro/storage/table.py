@@ -24,11 +24,11 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-from repro.engine.relation import Relation
+from repro.engine.relation import Relation, columnar_enabled
 from repro.engine.schema import Schema
 from repro.errors import ChangeIntegrityError, InternalError, VersionNotFound
 from repro.ivm import rowid
-from repro.ivm.changes import Action, ChangeSet
+from repro.ivm.changes import ChangeSet
 from repro.storage.partition import Partition, build_partitions
 from repro.txn.hlc import HLC_ZERO, HlcTimestamp
 from repro.util.timeutil import Timestamp
@@ -193,13 +193,30 @@ class VersionedTable:
                 # valid (immutable), so just serve it.
                 pass
             return cached
-        relation = Relation(self.schema)
-        for partition_id in sorted(version.partition_ids):
-            for row_id, row in self._partitions[partition_id].rows:
-                relation.append(row_id, row)
+        relation = self._materialize(sorted(version.partition_ids))
         self._relation_cache[version.index] = relation
         while len(self._relation_cache) > self._relation_cache_limit:
             self._relation_cache.popitem(last=False)
+        return relation
+
+    def _materialize(self, partition_ids: Sequence[int]) -> Relation:
+        """Concatenate partitions into one relation. The columnar path
+        extends per-column accumulators with whole partition column
+        arrays — no row tuples are ever built; the row-major path (kept
+        for the ablation benchmark) appends row by row as before."""
+        if columnar_enabled():
+            ids: list[str] = []
+            columns: list[list] = [[] for __ in range(len(self.schema))]
+            for partition_id in partition_ids:
+                partition = self._partitions[partition_id]
+                ids.extend(partition.row_ids)
+                for accumulator, column in zip(columns, partition.columns):
+                    accumulator.extend(column)
+            return Relation.from_columns(self.schema, columns, ids)
+        relation = Relation(self.schema)
+        for partition_id in partition_ids:
+            for row_id, row in self._partitions[partition_id].rows:
+                relation.append(row_id, row)
         return relation
 
     def relation_pruned(self, version: TableVersion | None,
@@ -219,11 +236,7 @@ class VersionedTable:
             # Nothing pruned: serve the (cached) full materialization
             # instead of rebuilding an identical relation per call.
             return self.relation(version)
-        relation = Relation(self.schema)
-        for partition_id in kept:
-            for row_id, row in self._partitions[partition_id].rows:
-                relation.append(row_id, row)
-        return relation
+        return self._materialize(kept)
 
     def rows_by_id(self, version: TableVersion | None = None) -> dict[str, tuple]:
         relation = self.relation(version)
@@ -311,16 +324,17 @@ class VersionedTable:
         5.4: "a merge operator ... applies the DELETE and INSERT actions to
         the DT itself"). Row ids come from the change set."""
         changes.validate(self._locator if not overwrite else None)
+        insert_ids, insert_rows = changes.insert_arrays()
         if overwrite:
             removed = set(self.current_version.partition_ids)
-            pairs = [(change.row_id, change.row) for change in changes.inserts()]
-            added = build_partitions(pairs, self.partition_rows)
+            added = build_partitions(list(zip(insert_ids, insert_rows)),
+                                     self.partition_rows)
             return self._install(removed, added, commit_ts)
 
         touched: dict[int, set[str]] = {}
-        for change in changes.deletes():
-            partition_id = self._locator[change.row_id]
-            touched.setdefault(partition_id, set()).add(change.row_id)
+        for row_id in changes.delete_arrays()[0]:
+            partition_id = self._locator[row_id]
+            touched.setdefault(partition_id, set()).add(row_id)
 
         removed = set(touched)
         added: list[Partition] = []
@@ -331,10 +345,9 @@ class VersionedTable:
             if survivors:
                 added.extend(build_partitions(survivors, self.partition_rows))
 
-        insert_pairs = [(change.row_id, change.row)
-                        for change in changes.inserts()]
-        if insert_pairs:
-            added.extend(build_partitions(insert_pairs, self.partition_rows))
+        if insert_ids:
+            added.extend(build_partitions(list(zip(insert_ids, insert_rows)),
+                                          self.partition_rows))
         return self._install(removed, added, commit_ts)
 
     def clone(self, name: str, table_seq: int,
@@ -358,7 +371,7 @@ class VersionedTable:
         cloned._versions.append(version)
         cloned._commit_keys.append((commit_ts.wall, commit_ts.logical))
         for partition_id in current.partition_ids:
-            for row_id, __ in cloned._partitions[partition_id].rows:
+            for row_id in cloned._partitions[partition_id].row_ids:
                 cloned._locator[row_id] = partition_id
         return cloned
 
@@ -384,10 +397,10 @@ class VersionedTable:
                                frozenset(partition_ids), data_equivalent)
         for partition in added:
             self._partitions[partition.id] = partition
-            for row_id, __ in partition.rows:
+            for row_id in partition.row_ids:
                 self._locator[row_id] = partition.id
         for partition_id in removed:
-            for row_id, __ in self._partitions[partition_id].rows:
+            for row_id in self._partitions[partition_id].row_ids:
                 if self._locator.get(row_id) == partition_id:
                     del self._locator[row_id]
         self._versions.append(version)

@@ -249,3 +249,124 @@ class TestDeterminism:
         second = run(sql, resolver)
         assert first.rows == second.rows
         assert first.row_ids == second.row_ids
+
+
+class _PartitionedResolver:
+    """A resolver over pre-built micro-partitions, exposing the
+    partition-granular reads (``scan_partitions``) that zone-map pruning
+    and streaming use."""
+
+    def __init__(self, tables):
+        from repro.storage.partition import build_partitions
+
+        self._partitions = {
+            name: build_partitions(list(relation.pairs()), partition_rows)
+            for name, (relation, partition_rows) in tables.items()}
+        self._schemas = {name: relation.schema
+                         for name, (relation, __) in tables.items()}
+
+    def scan(self, table):
+        relation = Relation(self._schemas[table])
+        for partition in self._partitions[table]:
+            for row_id, row in partition.rows:
+                relation.append(row_id, row)
+        return relation
+
+    def scan_partitions(self, table):
+        return iter(self._partitions[table])
+
+
+class TestScanPruningStats:
+    """EXPLAIN's pruning report: partitions scanned vs. skipped by zone
+    maps on the columnar scan path."""
+
+    def _resolver(self):
+        orders = Relation(
+            ORDERS,
+            [(i, "c", i) for i in range(40)],  # amt 0..39, 10 per partition
+            [f"b1:{i}" for i in range(40)])
+        return _PartitionedResolver({"orders": (orders, 10)})
+
+    def test_skipped_partitions_reported(self):
+        from repro.engine.executor import scan_pruning_stats
+
+        resolver = self._resolver()
+        plan = build_plan(parse_query(
+            "SELECT id FROM orders WHERE amt >= 30"), PROVIDER)
+        stats = scan_pruning_stats(plan, resolver)
+        assert stats == [("orders", 4, 1, 3)]
+
+    def test_unprunable_predicate_scans_everything(self):
+        from repro.engine.executor import scan_pruning_stats
+
+        resolver = self._resolver()
+        plan = build_plan(parse_query(
+            "SELECT id FROM orders WHERE amt + 1 > 30"), PROVIDER)
+        stats = scan_pruning_stats(plan, resolver)
+        assert stats == [("orders", 4, 4, 0)]
+
+    def test_resolver_without_partitions_reports_nothing(self, resolver):
+        from repro.engine.executor import scan_pruning_stats
+
+        plan = build_plan(parse_query(
+            "SELECT id FROM orders WHERE amt > 5"), PROVIDER)
+        assert scan_pruning_stats(plan, resolver) == []
+
+    def test_pruned_scan_matches_full_scan(self):
+        resolver = self._resolver()
+        plan = build_plan(parse_query(
+            "SELECT id FROM orders WHERE amt >= 30"), PROVIDER)
+        result = evaluate(plan, resolver)
+        assert [row[0] for row in result.rows] == list(range(30, 40))
+
+
+class TestStreamingTopK:
+    """ORDER BY ... LIMIT k streams through a bounded top-k heap and must
+    reproduce the materialized sort-then-limit output exactly."""
+
+    def _resolver(self, rows):
+        orders = Relation(ORDERS, rows,
+                          [f"b1:{i}" for i in range(len(rows))])
+        return _PartitionedResolver({"orders": (orders, 3)})
+
+    def _check(self, sql, rows):
+        from repro.engine.executor import stream_evaluate
+
+        resolver = self._resolver(rows)
+        plan = build_plan(parse_query(sql), PROVIDER)
+        materialized = evaluate(plan, resolver)
+        batches = stream_evaluate(plan, resolver)
+        assert batches is not None, "plan did not stream"
+        streamed = [pair for batch in batches for pair in batch]
+        assert streamed == list(materialized.pairs())
+
+    def test_top_k_ascending(self):
+        rows = [(i, "c", (i * 7) % 13) for i in range(20)]
+        self._check("SELECT id, amt FROM orders ORDER BY amt LIMIT 5", rows)
+
+    def test_top_k_descending_with_ties_and_nulls(self):
+        rows = [(1, "a", 5), (2, "b", 5), (3, "c", None), (4, "d", 9),
+                (5, "e", None), (6, "f", 5), (7, "g", 1)]
+        self._check(
+            "SELECT id FROM orders ORDER BY amt DESC LIMIT 4", rows)
+
+    def test_top_k_larger_than_input(self):
+        rows = [(1, "a", 3), (2, "b", 1)]
+        self._check("SELECT id FROM orders ORDER BY amt LIMIT 10", rows)
+
+    def test_top_k_zero(self):
+        rows = [(1, "a", 3), (2, "b", 1)]
+        self._check("SELECT id FROM orders ORDER BY amt LIMIT 0", rows)
+
+    def test_top_k_with_filter_below(self):
+        rows = [(i, "c", i % 7) for i in range(30)]
+        self._check("SELECT id, amt FROM orders WHERE amt > 2 "
+                    "ORDER BY amt, id LIMIT 6", rows)
+
+    def test_unbounded_sort_still_materializes(self):
+        from repro.engine.executor import stream_evaluate
+
+        resolver = self._resolver([(1, "a", 3)])
+        plan = build_plan(parse_query(
+            "SELECT id FROM orders ORDER BY amt"), PROVIDER)
+        assert stream_evaluate(plan, resolver) is None

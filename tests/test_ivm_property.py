@@ -13,7 +13,7 @@ strategies.
 
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.engine.executor import evaluate
+from repro.engine.executor import evaluate, force_columnar
 from repro.engine.expressions import force_interpreted
 from repro.engine.relation import DictResolver, Relation
 from repro.engine.schema import schema_of
@@ -133,13 +133,13 @@ def test_delta_reproduces_full_recompute(items, lookups, item_mutation,
 @given(items=items_rows, lookups=lookup_rows, item_mutation=mutations,
        lookup_ops=st.lists(st.sampled_from(["keep", "delete"]), max_size=4),
        strategy=st.sampled_from(["direct", "rewrite"]))
-def test_compiled_evaluation_matches_interpreter(items, lookups,
-                                                 item_mutation, lookup_ops,
-                                                 strategy):
-    """The closure-compiled/batched execution path must be byte-identical
-    to the reference interpreter: same rows, same row ids, same change
-    sets — for full evaluation AND for differentiation, over every plan in
-    the battery and randomized tables/mutations."""
+def test_three_way_evaluation_equivalence(items, lookups, item_mutation,
+                                          lookup_ops, strategy):
+    """The three execution paths must be byte-identical: the row-major
+    reference interpreter, the row-major closure-compiled path, and the
+    columnar-vectorized path — same rows, same row ids, same change sets —
+    for full evaluation AND for differentiation, over every plan in the
+    battery and randomized tables/mutations."""
     items_old = build_tables(items, "i")
     lookup_old = build_tables(lookups, "l")
     item_ops, additions = item_mutation
@@ -161,12 +161,23 @@ def test_compiled_evaluation_matches_interpreter(items, lookups,
             interpreted_new = evaluate(plan, DictResolver(new_rels))
             interpreted_changes, __ = differentiate(
                 plan, source, outer_join_strategy=strategy)
+        with force_columnar():
+            columnar_old = evaluate(plan, DictResolver(old_rels))
+            columnar_new = evaluate(plan, DictResolver(new_rels))
+            columnar_changes, __ = differentiate(
+                plan, source, outer_join_strategy=strategy)
 
         assert compiled_old.row_ids == interpreted_old.row_ids
         assert compiled_old.rows == interpreted_old.rows
         assert compiled_new.row_ids == interpreted_new.row_ids
         assert compiled_new.rows == interpreted_new.rows
         assert compiled_changes.changes == interpreted_changes.changes
+
+        assert columnar_old.row_ids == interpreted_old.row_ids
+        assert columnar_old.rows == interpreted_old.rows
+        assert columnar_new.row_ids == interpreted_new.row_ids
+        assert columnar_new.rows == interpreted_new.rows
+        assert columnar_changes.changes == interpreted_changes.changes
 
 
 @settings(max_examples=40, deadline=None)
