@@ -456,6 +456,12 @@ class Session:
         columnar scan path reads versus skips under the filter's
         pushed-down bounds, resolved against the current snapshot — so
         partition pruning is observable without tracing the executor.
+
+        Aggregate and Distinct nodes report their incremental refresh
+        strategy: ``stateful`` (the O(|delta|) accumulator fold of
+        :mod:`repro.ivm.aggstate`) or ``recompute`` (affected-group
+        endpoint recomputation), with the reason when the node cannot be
+        maintained statefully.
         """
         with statement_boundary(sql):
             statement, parameters = parse_prepared(sql)
@@ -483,6 +489,13 @@ class Session:
                 lines.append(
                     f"-- pruning {table}: {scanned}/{total} partitions "
                     f"scanned ({skipped} skipped by zone maps)")
+            from repro.ivm.aggstate import refresh_strategy
+
+            for node, strategy, reason in refresh_strategy(plan):
+                detail = ("O(|delta|) accumulator fold" if strategy == "stateful"
+                          else f"affected-group endpoint recompute: {reason}")
+                lines.append(
+                    f"-- refresh {node._describe()}: {strategy} ({detail})")
             return "\n".join(lines)
 
     # -- prepared-statement execution (called by PreparedStatement) ----------

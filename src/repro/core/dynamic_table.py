@@ -20,7 +20,10 @@ State tracked per DT:
   5.4) — generations and schemas that query evolution compares;
 * suspension and the consecutive-failure counter (section 3.3.3: "If the
   counter exceeds a threshold, the DT is automatically suspended");
-* the refresh history, from which lag metrics are measured.
+* the refresh history, from which lag metrics are measured;
+* the **aggregate state store** (:mod:`repro.ivm.aggstate`) — per-group
+  retractable accumulators carried across incremental refreshes, lazily
+  created by the refresh engine and versioned with the refresh interval.
 """
 
 from __future__ import annotations
@@ -141,6 +144,11 @@ class DynamicTable:
         self.consecutive_failures = 0
         self.frontier: Optional[Frontier] = None
         self.refresh_history: list[RefreshRecord] = []
+        #: Per-group aggregate accumulators carried across incremental
+        #: refreshes (:class:`repro.ivm.aggstate.AggStateStore`); created
+        #: lazily by the refresh engine for plans with aggregate-class
+        #: nodes, None otherwise.
+        self.agg_state = None
 
     # -- derived properties -------------------------------------------------------
 
@@ -210,6 +218,14 @@ class DynamicTable:
     def advance_frontier(self, frontier: Frontier) -> None:
         self.frontier = frontier
         self.initialized = True
+
+    def agg_state_store(self):
+        """The DT's aggregate state store, created on first use."""
+        if self.agg_state is None:
+            from repro.ivm.aggstate import AggStateStore
+
+            self.agg_state = AggStateStore()
+        return self.agg_state
 
     # -- reporting ------------------------------------------------------------------
 

@@ -156,6 +156,11 @@ class RefreshEngine:
         except (UserError, TransactionError, ChangeIntegrityError,
                 NotInitializedError) as exc:
             txn.abort()
+            if dt.agg_state is not None:
+                # Accumulators may hold a partial fold of an interval that
+                # never committed; drop them (also covered by the dirty
+                # flag for exceptions that bypass this handler).
+                dt.agg_state.abort_refresh()
             record.error = f"{type(exc).__name__}: {exc}"
         dt.record_refresh(record)
         return record
@@ -212,16 +217,26 @@ class RefreshEngine:
             dt.advance_frontier(frontier)
             record.frontier = frontier
             record.table_rows_after = dt.table.row_count()
+            if dt.agg_state is not None:
+                # No source moved, so the accumulators still describe the
+                # (unchanged) child; only the interval token advances.
+                dt.agg_state.note_no_data(refresh_ts)
             return
 
         ctx = EvalContext(timestamp=refresh_ts)
+        agg_store = None
         if action == RefreshAction.INCREMENTAL:
+            agg_store = self._agg_store_for(dt, plan)
+            if agg_store is not None:
+                agg_store.begin_refresh(self._state_fingerprint(dt),
+                                        dt.frontier.data_timestamp)
             old_versions = self._frontier_versions(dt, new_versions)
             source = _FrontierDeltaSource(self.catalog, old_versions,
                                           new_versions)
             changes, stats = differentiate(
                 plan, source, ctx,
-                outer_join_strategy=self.outer_join_strategy)
+                outer_join_strategy=self.outer_join_strategy,
+                agg_state=agg_store)
             record.ivm_stats = stats
             record.source_rows_scanned = (stats.delta_rows_in
                                           + stats.endpoint_rows)
@@ -241,6 +256,16 @@ class RefreshEngine:
             record.rows_deleted = dt.table.row_count()
 
         txn.commit()
+        if agg_store is not None:
+            # The merge committed: the accumulators now describe the
+            # interval end. (On abort this is never reached, and the
+            # store's dirty flag forces reinitialization instead.)
+            agg_store.commit_refresh(refresh_ts)
+        elif dt.agg_state is not None:
+            # FULL / INITIAL / REINITIALIZE rebuilt the table from
+            # scratch (or the stateless ablation is pinned): any carried
+            # accumulators are stale.
+            dt.agg_state.invalidate(f"{action.value} refresh")
         dt.table.register_refresh(refresh_ts, dt.table.current_version)
         frontier = self._frontier_for(refresh_ts, new_versions)
         dt.advance_frontier(frontier)
@@ -249,6 +274,29 @@ class RefreshEngine:
         if action in (RefreshAction.INITIAL, RefreshAction.REINITIALIZE):
             # Re-record dependency metadata so evolution stops firing.
             dt.dependencies = record_dependencies(dt.query, self.catalog)
+
+    def _agg_store_for(self, dt: DynamicTable,
+                       plan: lp.PlanNode):
+        """The DT's aggregate state store for this refresh, or None when
+        the refresh must run stateless: no aggregate-class nodes in the
+        plan, or the :func:`~repro.ivm.aggstate.force_stateless` ablation
+        is pinned (a stateless refresh moves the frontier without folding,
+        so the commit path invalidates any carried store rather than let
+        it describe a stale interval)."""
+        from repro.ivm.aggstate import stateless_forced
+
+        if stateless_forced():
+            return None
+        if not any(isinstance(node, (lp.Aggregate, lp.Distinct))
+                   for node in plan.walk()):
+            return None
+        return dt.agg_state_store()
+
+    def _state_fingerprint(self, dt: DynamicTable) -> tuple:
+        """What the aggregate state's validity is pinned to: any DDL
+        (catalog epoch), any UDF (re-)registration, or an ALTER of the
+        DT's own query invalidates carried accumulators."""
+        return (self.catalog.epoch, self.registry.version, dt.query_text)
 
     def _resolve_sources(self, plan: lp.PlanNode,
                          refresh_ts: Timestamp) -> dict[str, TableVersion]:

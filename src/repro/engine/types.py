@@ -35,7 +35,7 @@ import enum
 import hashlib
 import json
 import math
-from typing import Any, Iterable
+from typing import Any, Iterable, Sequence
 
 from repro.errors import EvaluationError, TypeError_
 from repro.util.timeutil import MINUTE, SECOND, Timestamp
@@ -236,6 +236,37 @@ def group_key(values: Iterable[Value]) -> tuple:
         else:
             key.append(("s", value))
     return tuple(key)
+
+
+def group_key_columns(columns: Sequence[Sequence], count: int) -> list[tuple]:
+    """Columnar analogue of :func:`group_key`: normalize one column array
+    at a time, then zip per row. One branchy pass per column instead of
+    one per cell-in-row-order, so delta slices and columnar relations can
+    compute grouping keys without materializing row tuples."""
+    if not columns:
+        return [()] * count
+    normalized: list[list] = []
+    for column in columns:
+        normed = []
+        append = normed.append
+        for value in column:
+            if value is None:
+                append(_NULL_KEY)
+            elif isinstance(value, bool):
+                append(("b", value))
+            elif isinstance(value, (int, float)):
+                if isinstance(value, float) and math.isnan(value):
+                    append(("nan",))
+                else:
+                    append(("n", float(value)))
+            elif isinstance(value, (dict, list)):
+                append(("v", canonical_json(value)))
+            else:
+                append(("s", value))
+        normalized.append(normed)
+    if len(normalized) == 1:
+        return [(item,) for item in normalized[0]]
+    return list(zip(*normalized))
 
 
 def canonical_json(value: Value) -> str:

@@ -33,7 +33,7 @@ from typing import Callable, Protocol
 
 from repro.engine.executor import evaluate
 from repro.engine.expressions import DEFAULT_CONTEXT, EvalContext
-from repro.engine.relation import Relation
+from repro.engine.relation import Relation, columnar_enabled
 from repro.errors import NotIncrementalizableError, RowIdIntegrityError
 from repro.ivm.changes import ChangeSet, consolidate
 from repro.plan import logical as lp
@@ -101,6 +101,8 @@ class DifferentiationStats:
     endpoint_evals: int = 0      # memoized endpoint evaluations performed
     endpoint_rows: int = 0       # rows materialized by endpoint evaluations
     join_input_rows: int = 0     # rows fed into join kernels by join rules
+    agg_stateful_folds: int = 0  # aggregate nodes refreshed by state fold
+    agg_recomputes: int = 0      # aggregate nodes refreshed by endpoint recompute
     consolidation_skipped: bool = False
 
 
@@ -166,14 +168,23 @@ class Differentiator:
         ``"direct"`` (default, the production choice of section 5.5.1) or
         ``"rewrite"`` (the original inner+anti decomposition, kept for the
         ablation benchmark).
+    agg_state:
+        Optional :class:`repro.ivm.aggstate.AggStateStore` carrying the
+        DT's per-group accumulators across refreshes. When present (and
+        :func:`~repro.ivm.aggstate.force_stateless` is not active), the
+        aggregate rules fold deltas into it instead of recomputing
+        affected groups at the interval endpoints.
     """
 
     def __init__(self, source: DeltaSource,
                  ctx: EvalContext = DEFAULT_CONTEXT,
-                 outer_join_strategy: str = OUTER_JOIN_DIRECT):
+                 outer_join_strategy: str = OUTER_JOIN_DIRECT,
+                 agg_state=None):
         self.source = source
         self.ctx = ctx
         self.outer_join_strategy = outer_join_strategy
+        self.agg_state = agg_state
+        self._agg_handle_counts: dict[str, int] = {}
         self.stats = DifferentiationStats()
         self._old_resolver = _EndpointResolver(source, "old")
         self._new_resolver = _EndpointResolver(source, "new")
@@ -243,10 +254,40 @@ class Differentiator:
         self._delta_cache[key] = result
         return result
 
+    # -- aggregate state ---------------------------------------------------------
+
+    def agg_node_state(self, plan: lp.PlanNode):
+        """The state handle for one Aggregate/Distinct node, or None when
+        the node must take the endpoint-recompute path (no store attached,
+        :func:`~repro.ivm.aggstate.force_stateless` active, or the node's
+        shape has no exact retractable accumulators).
+
+        Handles are keyed by (node kind, encounter order): each rule fires
+        exactly once per node per differentiation (``delta`` memoizes), and
+        dispatch order is a deterministic function of the plan, so the
+        same node reclaims its state on every refresh. Plan *changes* are
+        caught by the store's fingerprint check, not here.
+        """
+        from repro.ivm import aggstate
+
+        if self.agg_state is None or aggstate.stateless_forced():
+            return None
+        if isinstance(plan, lp.Aggregate):
+            supported, __ = aggstate.stateful_aggregate_supported(plan)
+        else:
+            supported, __ = aggstate.stateful_distinct_supported(plan)
+        if not supported:
+            return None
+        kind = type(plan).__name__
+        sequence = self._agg_handle_counts.get(kind, 0)
+        self._agg_handle_counts[kind] = sequence + 1
+        return self.agg_state.node_state(kind, sequence, plan)
+
 
 def differentiate(plan: lp.PlanNode, source: DeltaSource,
                   ctx: EvalContext = DEFAULT_CONTEXT,
                   outer_join_strategy: str = OUTER_JOIN_DIRECT,
+                  agg_state=None,
                   ) -> tuple[ChangeSet, DifferentiationStats]:
     """Compute the consolidated changes of ``plan`` over the interval.
 
@@ -258,7 +299,8 @@ def differentiate(plan: lp.PlanNode, source: DeltaSource,
     from repro.ivm import rules_agg, rules_basic, rules_join, rules_window  # noqa: F401
     from repro.plan.properties import is_append_only_plan
 
-    differ = Differentiator(source, ctx, outer_join_strategy)
+    differ = Differentiator(source, ctx, outer_join_strategy,
+                            agg_state=agg_state)
     raw = differ.delta(plan)
 
     if is_append_only_plan(plan):
@@ -275,10 +317,27 @@ def differentiate(plan: lp.PlanNode, source: DeltaSource,
     return consolidate(raw), differ.stats
 
 
-def semi_join_keys(relation: Relation, key_fn, affected: set) -> Relation:
+def semi_join_keys(relation: Relation, key_fn, affected: set,
+                   key_array_fn=None) -> Relation:
     """Rows of ``relation`` whose compiled key is in ``affected`` — the
     ``Q ⋉_k ΔQ`` restriction shared by the affected-key rules (outer
-    joins, aggregates, DISTINCT, windows)."""
+    joins, aggregates, DISTINCT, windows).
+
+    ``key_array_fn`` is an optional columnar key evaluator
+    (``(columns, n) -> [key]``); when provided and the relation is
+    columnar, keys are computed in one pass per column and the restriction
+    gathers column slices instead of materializing row tuples.
+    """
+    if (key_array_fn is not None and columnar_enabled()
+            and relation.is_columnar and relation.columns):
+        keys = key_array_fn(relation.columns, len(relation))
+        keep = [index for index, key in enumerate(keys) if key in affected]
+        row_ids = relation.row_ids
+        return Relation.from_columns(
+            relation.schema,
+            [[column[index] for index in keep]
+             for column in relation.columns],
+            [row_ids[index] for index in keep])
     restricted = Relation(relation.schema)
     for row_id, row in zip(relation.row_ids, relation.rows):
         if key_fn(row) in affected:

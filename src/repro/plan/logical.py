@@ -215,8 +215,10 @@ class AggregateCall:
 class Aggregate(PlanNode):
     """Grouped aggregation. Output = group columns then aggregate columns.
 
-    With no group keys this is a scalar aggregate, which section 3.3.2
-    lists as *not* incrementally supported; the properties checker flags it.
+    With no group keys this is a scalar aggregate — the paper's section
+    3.3.2 excludes those from incremental refresh, but the stateful
+    aggregate rule maintains them as a single implicit group, so the
+    properties checker no longer flags them.
     """
 
     child: PlanNode

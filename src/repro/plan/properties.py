@@ -5,7 +5,11 @@ refresh: "Incremental mode is currently supported for projections,
 filters, union-all, inner and outer joins, LATERAL FLATTEN, distinct and
 grouped aggregations, and partitioned window functions. It is not yet
 supported for scalar subqueries, [NOT] (IN | EXISTS), scalar aggregates,
-or various specialized operators."
+or various specialized operators." We go one step further than the paper:
+scalar aggregates ARE incrementally maintainable here — the stateful
+aggregate rule treats them as a single implicit group that never vanishes
+(:mod:`repro.ivm.aggstate`), and the endpoint-recompute fallback
+recomputes that one group — so they no longer force FULL refresh mode.
 
 :func:`incrementalizability` reproduces that check, plus the
 nondeterminism rules of section 3.4:
@@ -83,9 +87,6 @@ def incrementalizability(plan: lp.PlanNode) -> Incrementalizability:
         elif isinstance(node, lp.Limit):
             reasons.append("LIMIT is not incrementally supported")
         elif isinstance(node, lp.Aggregate):
-            if node.is_scalar:
-                reasons.append(
-                    "scalar aggregates are not incrementally supported")
             for expr in node.group_exprs:
                 if expr.type == SqlType.FLOAT:
                     reasons.append(

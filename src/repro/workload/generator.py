@@ -45,8 +45,8 @@ class QueryGenerator:
 
     ``operator_weights`` adjusts the shape mix; each generated query is
     guaranteed to parse, bind, and be incrementally maintainable unless
-    ``allow_full_only`` is set (then ORDER BY/LIMIT/scalar aggregates may
-    appear, exercising the FULL refresh path).
+    ``allow_full_only`` is set (then ORDER BY/LIMIT may appear,
+    exercising the FULL refresh path).
     """
 
     rng: random.Random = field(default_factory=lambda: random.Random(0))

@@ -232,9 +232,12 @@ class TestIncrementalizability:
         plan = plan_of("SELECT id FROM facts ORDER BY id", provider)
         assert not incrementalizability(plan).supported
 
-    def test_scalar_aggregate_flagged(self, provider):
+    def test_scalar_aggregate_supported(self, provider):
+        """Scalar aggregates are incrementally maintainable now: the
+        stateful rule keeps them as one implicit group (lifting the
+        paper's section 3.3.2 restriction)."""
         plan = plan_of("SELECT count(*) FROM facts", provider)
-        assert not incrementalizability(plan).supported
+        assert incrementalizability(plan).supported
 
     def test_plain_query_supported(self, provider):
         plan = plan_of(

@@ -74,9 +74,12 @@ class TestFragmentedDts:
 
     def test_mixed_refresh_modes(self, db):
         """The payoff: one non-incrementalizable branch no longer forces
-        the whole query to FULL — only its own fragment."""
+        the whole query to FULL — only its own fragment. (Scalar
+        aggregates are incremental now, so the full-only branch uses an
+        unpartitioned window, which still blocks incremental refresh.)"""
         mixed = ("SELECT id, val FROM src WHERE val < 15 "
-                 "UNION ALL SELECT 0, count(*) FROM src")  # scalar agg
+                 "UNION ALL SELECT id, row_number() over (order by id) "
+                 "FROM src WHERE val >= 15")
 
         plain = db.create_dynamic_table("plain", mixed, "1 minute", "wh")
         assert plain.effective_refresh_mode.value == "full"

@@ -18,6 +18,7 @@ from repro.engine.expressions import force_interpreted
 from repro.engine.relation import DictResolver, Relation
 from repro.engine.schema import schema_of
 from repro.engine.types import SqlType
+from repro.ivm.aggstate import AggStateStore, force_stateless
 from repro.ivm.changes import ChangeSet
 from repro.ivm.differentiator import DictDeltaSource, differentiate
 from repro.plan.builder import DictSchemaProvider, build_plan
@@ -178,6 +179,78 @@ def test_three_way_evaluation_equivalence(items, lookups, item_mutation,
         assert columnar_new.row_ids == interpreted_new.row_ids
         assert columnar_new.rows == interpreted_new.rows
         assert columnar_changes.changes == interpreted_changes.changes
+
+
+# Aggregate battery for the stateful three-way property: every
+# retractable shape (COUNT/COUNT_IF/SUM/AVG/MIN/MAX, DISTINCT-qualified
+# aggregates, scalar aggregates, DISTINCT, aggregation above a join) plus
+# one non-retractable shape (median) pinning the recompute fallback.
+AGG_QUERIES = [
+    "SELECT grp, count(*) n, sum(val) s, min(val) lo, max(val) hi, "
+    "avg(val) m FROM items GROUP BY grp",
+    "SELECT grp, count_if(val > 5) big, count(distinct val) dv, "
+    "sum(distinct val) ds FROM items GROUP BY grp",
+    "SELECT count(*) n, sum(val) s, max(val) hi FROM items",
+    "SELECT DISTINCT grp FROM items",
+    "SELECT l.label, count(*) n, min(i.val) lo FROM items i "
+    "JOIN lookup l ON i.grp = l.key GROUP BY l.label",
+    "SELECT grp, median(val) md FROM items GROUP BY grp",
+]
+AGG_PLANS = [build_plan(parse_query(sql), PROVIDER) for sql in AGG_QUERIES]
+
+
+def canon(changes: ChangeSet) -> list:
+    """Order-independent canonical form of a change set."""
+    return sorted((change.action.value, change.row_id, change.row)
+                  for change in changes)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(items=items_rows,
+       lookups=lookup_rows,
+       scripts=st.lists(mutations, min_size=1, max_size=3))
+def test_stateful_aggregate_three_way_equivalence(items, lookups, scripts):
+    """The three aggregate maintenance strategies must be byte-identical
+    on ``(row_id, row)`` output: the stateful accumulator fold (state
+    carried across a *sequence* of refresh intervals), the endpoint-
+    recompute path (``force_stateless``, the paper's semantics), and full
+    recomputation — across randomized insert/update/delete workloads,
+    which exercise MIN/MAX extremum deletions and vanishing groups."""
+    for plan in AGG_PLANS:
+        store = AggStateStore()
+        items_current = build_tables(items, "i")
+        lookup_current = build_tables(lookups, "l")
+        for step, (item_ops, additions) in enumerate(scripts):
+            items_next, items_delta = mutate(items_current, item_ops,
+                                             additions, f"i{step}")
+            old_rels = {"items": items_current, "lookup": lookup_current}
+            new_rels = {"items": items_next, "lookup": lookup_current}
+            source = DictDeltaSource(
+                old_rels, new_rels,
+                {"items": items_delta, "lookup": ChangeSet()})
+
+            store.begin_refresh(("fp",), step)
+            stateful, __ = differentiate(plan, source, agg_state=store)
+            store.commit_refresh(step + 1)
+            with force_stateless():
+                stateless, __ = differentiate(plan, source)
+            assert canon(stateful) == canon(stateless)
+
+            # Both must turn Q(old) into exactly Q(new), ids included.
+            old_out = evaluate(plan, DictResolver(old_rels))
+            new_out = evaluate(plan, DictResolver(new_rels))
+            state = dict(old_out.pairs())
+            stateful.validate(state)
+            for change in stateful.deletes():
+                assert state.pop(change.row_id) == change.row
+            for change in stateful.inserts():
+                assert change.row_id not in state
+                state[change.row_id] = change.row
+            assert state == dict(new_out.pairs())
+
+            items_current = items_next
+        assert store.invalidations == []  # continuity held throughout
 
 
 @settings(max_examples=40, deadline=None)

@@ -243,11 +243,26 @@ class TestAggregateRule:
         assert [c.row for c in changes.inserts()] == [("z", 1)]
         assert not changes.deletes()
 
-    def test_scalar_aggregate_rejected(self):
-        plan = build_plan(parse_query("SELECT count(*) FROM items"), PROVIDER)
-        old_rels, new_rels, deltas = sources_for(BASE_ITEMS, BASE_ITEMS)
-        with pytest.raises(NotIncrementalizableError):
-            differentiate(plan, DictDeltaSource(old_rels, new_rels, deltas))
+    def test_scalar_aggregate_differentiates(self):
+        """Scalar aggregates are one implicit group (the section 3.3.2
+        restriction is lifted): an insert updates the single output row."""
+        new_items = BASE_ITEMS + [("i3", (4, "z", 40))]
+        changes, __ = check(
+            "SELECT count(*) n, sum(val) s FROM items",
+            *sources_for(BASE_ITEMS, new_items))
+        assert [c.row for c in changes.deletes()] == [(3, 60)]
+        assert [c.row for c in changes.inserts()] == [(4, 100)]
+        # Update in place: one row id, a delete+insert pair.
+        assert changes.deletes()[0].row_id == changes.inserts()[0].row_id
+
+    def test_scalar_aggregate_empty_input_keeps_row(self):
+        """A scalar aggregate over empty input still yields one row
+        (count 0 / NULL sum), and deltas preserve it."""
+        changes, __ = check(
+            "SELECT count(*) n, sum(val) s FROM items",
+            *sources_for(BASE_ITEMS, []))
+        assert [c.row for c in changes.deletes()] == [(3, 60)]
+        assert [c.row for c in changes.inserts()] == [(0, None)]
 
     def test_distinct_add_duplicate_no_change(self):
         new_items = BASE_ITEMS + [("i3", (9, "a", 99))]

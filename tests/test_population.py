@@ -71,7 +71,10 @@ class TestMeasuredMarginals:
         assert frequency["inner_join"] > 0.2
         assert frequency["grouped_aggregate"] > 0.1
         assert frequency["window_function"] > 0.05
-        assert frequency["scalar_aggregate"] == 0.0  # never incremental
+        # The Figure 6 population predates stateful aggregation: its
+        # sampled queries never use scalar aggregates (though they are
+        # incrementally maintainable now).
+        assert frequency["scalar_aggregate"] == 0.0
         assert set(frequency) == set(OPERATOR_CATEGORIES)
 
     def test_histogram_covers_all_buckets(self):

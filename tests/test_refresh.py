@@ -59,19 +59,32 @@ class TestActions:
         db.refresh_dynamic_table("f")
         assert dt.refresh_history[-1].action == RefreshAction.FULL
 
-    def test_full_only_query_auto_resolves_to_full(self, db):
+    def test_scalar_aggregate_auto_resolves_to_incremental(self, db):
+        """Scalar aggregates no longer force FULL mode: the stateful
+        aggregate rule maintains the single implicit group."""
         dt = make_dt(db, name="f2", sql="SELECT count(*) n FROM src")
-        assert dt.effective_refresh_mode.value == "full"
+        assert dt.effective_refresh_mode.value == "incremental"
         db.execute("INSERT INTO src VALUES (9, 'z', 1)")
         db.refresh_dynamic_table("f2")
-        assert dt.refresh_history[-1].action == RefreshAction.FULL
+        assert dt.refresh_history[-1].action == RefreshAction.INCREMENTAL
         assert db.query("SELECT * FROM f2").rows == [(4,)]
+
+    def test_full_only_query_auto_resolves_to_full(self, db):
+        dt = make_dt(db, name="f3",
+                     sql="SELECT id, row_number() over (order by id) rn "
+                         "FROM src")
+        assert dt.effective_refresh_mode.value == "full"
+        db.execute("INSERT INTO src VALUES (9, 'z', 1)")
+        db.refresh_dynamic_table("f3")
+        assert dt.refresh_history[-1].action == RefreshAction.FULL
 
     def test_incremental_mode_on_unsupported_query_rejected(self, db):
         from repro.errors import NotIncrementalizableError
 
         with pytest.raises(NotIncrementalizableError):
-            make_dt(db, name="bad", sql="SELECT count(*) n FROM src",
+            make_dt(db, name="bad",
+                    sql="SELECT id, row_number() over (order by id) rn "
+                        "FROM src",
                     refresh_mode="incremental")
 
 
