@@ -1,0 +1,192 @@
+"""The diagnostics framework of the static analyzer.
+
+Every issue the analyzer can report is a :class:`Diagnostic` with a
+stable machine-readable code (``RPR0xx``), a :class:`Severity`, a
+human-readable message, an optional source span (1-based line/column of
+the offending token), and an optional fix hint. Codes are registered in
+:data:`CODES` and never reused or renumbered — tooling may match on them.
+
+The code space is banded:
+
+* ``RPR00x`` — binding and typing errors (the statement cannot run);
+* ``RPR01x`` — predicate lints (the statement runs, but a WHERE/HAVING
+  clause is constant, contradictory, or compares against NULL);
+* ``RPR02x`` — incrementality lints (the statement runs, but a
+  dynamic-table definition would resolve to FULL refresh or fall back
+  from stateful to recompute maintenance).
+
+:class:`AnalysisReport` bundles the diagnostics for one statement along
+with the statically inferred output schema (when binding succeeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.schema import Schema
+
+
+class Severity(IntEnum):
+    """Diagnostic severity, ordered: INFO < WARNING < ERROR."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    title: str
+    default_severity: Severity
+    rationale: str
+
+
+#: The stable diagnostic-code registry. Codes are append-only.
+CODES: dict[str, CodeInfo] = {info.code: info for info in (
+    CodeInfo("RPR001", "syntax-error", Severity.ERROR,
+             "the SQL text could not be parsed"),
+    CodeInfo("RPR002", "unknown-table", Severity.ERROR,
+             "a referenced table, view, or dynamic table does not exist"),
+    CodeInfo("RPR003", "unknown-column", Severity.ERROR,
+             "a column reference is unknown or ambiguous"),
+    CodeInfo("RPR004", "type-mismatch", Severity.ERROR,
+             "an expression is not well-typed"),
+    CodeInfo("RPR005", "invalid-statement", Severity.ERROR,
+             "the statement is semantically invalid (bad function arity, "
+             "INSERT arity mismatch, unsupported construct, ...)"),
+    CodeInfo("RPR011", "contradictory-predicate", Severity.WARNING,
+             "a conjunction of predicates can never be satisfied "
+             "(e.g. WHERE x > 5 AND x < 3); the query returns no rows"),
+    CodeInfo("RPR012", "constant-predicate", Severity.WARNING,
+             "a WHERE/HAVING/QUALIFY predicate references no columns, so "
+             "it keeps or drops every row"),
+    CodeInfo("RPR013", "null-comparison", Severity.WARNING,
+             "a comparison against the literal NULL is never TRUE under "
+             "SQL three-valued logic"),
+    CodeInfo("RPR021", "full-refresh", Severity.WARNING,
+             "the query shape forces a dynamic table to FULL refresh "
+             "mode under refresh_mode=auto (section 3.3.2/3.4 limits)"),
+    CodeInfo("RPR022", "stateful-fallback", Severity.INFO,
+             "an aggregate/distinct node cannot keep O(|delta|) "
+             "accumulator state and falls back to affected-group "
+             "endpoint recomputation"),
+)}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding, renderable and machine-matchable."""
+
+    code: str
+    severity: Severity
+    message: str
+    line: Optional[int] = None
+    column: Optional[int] = None
+    hint: Optional[str] = None
+
+    @property
+    def title(self) -> str:
+        """The registry short name of this diagnostic's code."""
+        return CODES[self.code].title
+
+    def render(self) -> str:
+        where = (f" (line {self.line}, column {self.column})"
+                 if self.line is not None else "")
+        text = f"{self.code} [{self.severity}] {self.message}{where}"
+        if self.hint:
+            text += f"; hint: {self.hint}"
+        return text
+
+
+def make_diagnostic(code: str, message: str, *,
+                    severity: Optional[Severity] = None,
+                    span: Optional[object] = None,
+                    line: Optional[int] = None,
+                    column: Optional[int] = None,
+                    hint: Optional[str] = None) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting the severity from the code
+    registry and accepting either an AST span object or explicit
+    line/column."""
+    if code not in CODES:
+        raise KeyError(f"unregistered diagnostic code: {code}")
+    if span is not None:
+        line = getattr(span, "line", line)
+        column = getattr(span, "column", column)
+    return Diagnostic(code=code,
+                      severity=(severity if severity is not None
+                                else CODES[code].default_severity),
+                      message=message, line=line, column=column, hint=hint)
+
+
+class AnalysisReport:
+    """The analyzer's verdict on one statement.
+
+    ``schema`` is the statically inferred output schema when the
+    statement is a query and binding succeeded (None otherwise) — the
+    "typed" half of the typed diagnostics. Iterating the report yields
+    its diagnostics in source order (binding issues first).
+    """
+
+    def __init__(self, sql: str, diagnostics: Iterable[Diagnostic] = (),
+                 schema: "Optional[Schema]" = None) -> None:
+        self.sql = sql
+        self.diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+        self.schema = schema
+
+    # -- views ---------------------------------------------------------------
+
+    def at_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.at_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """True when the statement would bind and type-check (no
+        ERROR-severity diagnostics; warnings and infos allowed)."""
+        return not self.errors
+
+    @property
+    def strict_violations(self) -> tuple[Diagnostic, ...]:
+        """The diagnostics strict mode (``analyze_level="error"``)
+        refuses to execute past: warnings and errors, not infos."""
+        return tuple(d for d in self.diagnostics
+                     if d.severity >= Severity.WARNING)
+
+    def codes(self) -> tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "no issues found"
+        return "\n".join(d.render() for d in self.diagnostics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        counts = (f"{len(self.errors)} errors, {len(self.warnings)} "
+                  f"warnings, {len(self.infos)} infos")
+        return f"AnalysisReport({counts})"

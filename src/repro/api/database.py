@@ -247,6 +247,13 @@ class Database:
         dependencies = record_dependencies(query, self.catalog)
         dt = DynamicTable(name, query_text, query, lag, warehouse, mode,
                           table, dependencies, check.supported, check.reasons)
+        from repro.analysis.analyzer import analyze_bound_query
+
+        # The plan is already bound: the analyzer reuses it, so the
+        # attached report costs no second bind.
+        dt.analysis = analyze_bound_query(query, plan,
+                                          refresh_mode=mode.value,
+                                          sql=query_text)
         self.catalog.create_dynamic_entry(name, dt, or_replace=or_replace)
 
         if initialize == "on_create":

@@ -56,6 +56,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
+from repro.analysis.analyzer import analyze_bound_query, analyze_statement
+from repro.analysis.diagnostics import AnalysisReport
 from repro.api.prepared import ParameterSpec, PreparedStatement
 from repro.api.results import QueryResult
 from repro.engine import types as t
@@ -63,8 +65,9 @@ from repro.engine.executor import evaluate, stream_evaluate
 from repro.engine.expressions import EvalContext, compile_expression
 from repro.engine.schema import Column, Schema
 from repro.engine.types import Value
-from repro.errors import (CatalogError, LockConflict, ReproError,
-                          StatementError, TransactionError, UserError)
+from repro.errors import (AnalysisError, CatalogError, LockConflict,
+                          ParseError, ReproError, StatementError,
+                          TransactionError, UserError)
 from repro.plan import logical as lp
 from repro.plan.builder import bind_expression, build_plan
 from repro.plan.rewrite import optimize
@@ -78,7 +81,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.database import Database
 
 #: Session settings and their validators.
-_SETTING_NAMES = ("warehouse", "as_of", "role")
+_SETTING_NAMES = ("warehouse", "as_of", "role", "analyze_level")
 
 #: Internal exception types the boundary converts to StatementError;
 #: anything else non-Repro (e.g. MemoryError) keeps propagating raw.
@@ -117,6 +120,7 @@ class Session:
         self._warehouse: Optional[str] = None
         self._as_of: Optional[Timestamp] = None
         self._role: str = "sysadmin"
+        self._analyze_level: str = "warn"
         self._autocommit = True
         self._txn: Optional[Transaction] = None
         self._txn_began_at: Timestamp = 0
@@ -131,7 +135,7 @@ class Session:
     def settings(self) -> dict:
         """A snapshot of the session settings."""
         return {"warehouse": self._warehouse, "as_of": self._as_of,
-                "role": self._role}
+                "role": self._role, "analyze_level": self._analyze_level}
 
     def set_setting(self, name: str, value: object) -> None:
         if name == "warehouse":
@@ -140,6 +144,8 @@ class Session:
             self.set_as_of(value)  # type: ignore[arg-type]
         elif name == "role":
             self.set_role(value)  # type: ignore[arg-type]
+        elif name == "analyze_level":
+            self.set_analyze_level(value)  # type: ignore[arg-type]
         else:
             raise UserError(
                 f"unknown session setting {name!r} "
@@ -172,6 +178,16 @@ class Session:
         if not isinstance(role, str) or not role:
             raise UserError(f"role must be a non-empty string, got {role!r}")
         self._role = role
+
+    def set_analyze_level(self, level: str) -> None:
+        """Set the strictness of the static analyzer for this session:
+        ``"warn"`` (the default) attaches diagnostics without blocking,
+        ``"error"`` rejects any statement whose analysis reports a
+        warning or error before it executes."""
+        if level not in ("warn", "error"):
+            raise UserError(
+                f"analyze_level must be 'warn' or 'error', got {level!r}")
+        self._analyze_level = level
 
     # -- transactions --------------------------------------------------------
 
@@ -447,6 +463,44 @@ class Session:
 
         return Cursor(self)
 
+    def analyze(self, sql: str) -> AnalysisReport:
+        """Statically analyze one statement without executing it.
+
+        Returns an :class:`~repro.analysis.AnalysisReport`: structured
+        :class:`~repro.analysis.Diagnostic` objects with stable
+        ``RPR0xx`` codes, severities, source positions, and fix hints,
+        plus the statically inferred output schema when the statement is
+        a query that binds. Problems *in the statement* never raise —
+        they come back as diagnostics (a syntax error is an ``RPR001``
+        report, not a :class:`~repro.errors.ParseError`).
+        """
+        with statement_boundary(sql):
+            try:
+                statement, parameters = parse_prepared(sql)
+            except ParseError as exc:
+                from repro.analysis.analyzer import diagnostic_from_error
+
+                return AnalysisReport(sql, (diagnostic_from_error(exc),))
+            return analyze_statement(
+                statement, self.database.catalog, self.database.registry,
+                parameters=ParameterSpec(parameters), sql=sql)
+
+    def _enforce_strict(self, statement: n.Statement,
+                        spec: ParameterSpec) -> None:
+        """Strict mode (``analyze_level="error"``): refuse to execute a
+        statement whose analysis reports warnings or errors."""
+        if self._analyze_level != "error":
+            return
+        report = analyze_statement(
+            statement, self.database.catalog, self.database.registry,
+            parameters=spec)
+        violations = report.strict_violations
+        if violations:
+            raise AnalysisError(
+                "statement rejected by strict analysis:\n"
+                + "\n".join(d.render() for d in violations),
+                diagnostics=violations)
+
     def explain(self, sql: str, optimized: bool = True) -> str:
         """The bound (and by default optimized) logical plan of a query,
         rendered as an indented tree.
@@ -496,6 +550,11 @@ class Session:
                           else f"affected-group endpoint recompute: {reason}")
                 lines.append(
                     f"-- refresh {node._describe()}: {strategy} ({detail})")
+            # Analyzer warnings, in the same `-- <section> ...` format as
+            # the pruning and refresh-strategy reports above.
+            report = analyze_bound_query(statement.select, plan, sql=sql)
+            for diag in report.strict_violations:
+                lines.append(f"-- analysis {diag.render()}")
             return "\n".join(lines)
 
     # -- prepared-statement execution (called by PreparedStatement) ----------
@@ -506,6 +565,7 @@ class Session:
             values = prepared.spec.bind(binds)
             if prepared.is_query:
                 self._pre_statement(prepared.statement)
+                self._enforce_strict(prepared.statement, prepared.spec)
                 with self._execution_guard():
                     result = self._evaluate_select(prepared.plan(), values)
                 return result, len(result.rows)
@@ -623,6 +683,7 @@ class Session:
         if isinstance(statement, n.Savepoint):
             self.savepoint(statement.name)
             return None, -1
+        self._enforce_strict(statement, spec)
         with self._execution_guard():
             return self._dispatch_inner(statement, spec, values)
 

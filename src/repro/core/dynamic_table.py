@@ -135,6 +135,10 @@ class DynamicTable:
         self.dependencies = dependencies
         self.incremental_supported = incremental_supported
         self.incremental_reasons = incremental_reasons or []
+        #: The static-analysis report of the defining query, attached by
+        #: ``Database.create_dynamic_table`` (None for DTs built through
+        #: other paths, e.g. cloning or replication).
+        self.analysis = None
 
         self.initialized = False
         self.suspended = False

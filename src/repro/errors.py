@@ -29,21 +29,35 @@ class UserError(ReproError):
 
 
 class SqlError(UserError):
-    """Base class for errors in the SQL frontend."""
+    """Base class for errors in the SQL frontend.
 
-
-class ParseError(SqlError):
-    """The SQL text could not be parsed.
-
-    Carries the 1-based ``line`` and ``column`` of the offending token when
-    available so callers can point at the problem.
+    Every SQL-frontend error carries an optional source position: the
+    1-based ``line`` and ``column`` of the offending token. Parse errors
+    set it at construction; bind and type errors usually acquire it after
+    the fact via :meth:`with_location`, from the span of the AST node the
+    binder was working on when the error surfaced.
     """
 
-    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
         location = f" at line {line}, column {column}" if line is not None else ""
         super().__init__(f"{message}{location}")
         self.line = line
         self.column = column
+
+    def with_location(self, line: int | None,
+                      column: int | None) -> "SqlError":
+        """Attach a source position when none is known yet (the innermost
+        position wins: once set, later callers cannot overwrite it)."""
+        if self.line is None and line is not None:
+            self.line = line
+            self.column = column
+            self.args = (f"{self.args[0]} at line {line}, column {column}",)
+        return self
+
+
+class ParseError(SqlError):
+    """The SQL text could not be parsed."""
 
 
 class BindError(SqlError):
@@ -81,6 +95,17 @@ class StatementError(UserError):
 class BindParameterError(UserError):
     """A prepared-statement bind failed: missing or extra binds, mixed
     positional and named parameters, or a value with no SQL type."""
+
+
+class AnalysisError(UserError):
+    """A statement was rejected by the static analyzer running in strict
+    mode (``analyze_level="error"``): its analysis report contains
+    warnings. Carries the offending :class:`repro.analysis.Diagnostic`
+    objects on ``diagnostics``."""
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
 class CatalogError(UserError):

@@ -21,9 +21,27 @@ from repro.engine import expressions as e
 from repro.engine.expressions import DEFAULT_REGISTRY, FunctionRegistry
 from repro.engine.schema import Column, Schema
 from repro.engine.types import SqlType, type_from_name, unify_types
-from repro.errors import BindError, TypeError_
+from repro.errors import BindError, SqlError, TypeError_, UserError
 from repro.plan import logical as lp
 from repro.sql import nodes as n
+
+
+def _locate(exc: UserError, node: object) -> None:
+    """Attach ``node``'s source span to an escaping binder error.
+
+    :class:`SqlError` subclasses (bind/type errors) fold the position into
+    their message; other user errors (e.g. the catalog's EntityNotFound
+    for an unknown table) just gain ``line``/``column`` attributes so the
+    analyzer can still point at the offending token.
+    """
+    span = n.span_of(node)
+    if span is None:
+        return
+    if isinstance(exc, SqlError):
+        exc.with_location(span.line, span.column)
+    elif getattr(exc, "line", None) is None:
+        exc.line = span.line
+        exc.column = span.column
 
 #: Functions treated as aggregates when no OVER clause is present.
 AGGREGATE_FUNCTIONS = frozenset({
@@ -65,7 +83,7 @@ class DictSchemaProvider:
     """A SchemaProvider over a plain ``{name: Schema}`` dict (for tests)."""
 
     def __init__(self, schemas: dict[str, Schema],
-                 views: dict[str, n.Select] | None = None):
+                 views: dict[str, n.Select] | None = None) -> None:
         self._schemas = schemas
         self._views = views or {}
 
@@ -147,11 +165,20 @@ class _Scope:
 
 class _ExprBinder:
     def __init__(self, registry: FunctionRegistry,
-                 parameters: "Optional[ParameterSlots]" = None):
+                 parameters: "Optional[ParameterSlots]" = None) -> None:
         self._registry = registry
         self._parameters = parameters
 
     def bind(self, ast: n.Expr, scope: _Scope) -> e.Expression:
+        try:
+            return self._bind_inner(ast, scope)
+        except (BindError, TypeError_) as exc:
+            # The innermost failing node raises first, so the position
+            # reported is the most specific one available.
+            _locate(exc, ast)
+            raise
+
+    def _bind_inner(self, ast: n.Expr, scope: _Scope) -> e.Expression:
         substituted = scope.lookup_substitution(ast)
         if substituted is not None:
             return substituted
@@ -318,7 +345,7 @@ class _ExprBinder:
 # Aggregate / window analysis over the AST
 # ---------------------------------------------------------------------------
 
-def _walk_ast(ast: n.Expr):
+def _walk_ast(ast: n.Expr) -> "Iterator[n.Expr]":
     yield ast
     if isinstance(ast, n.BinOp):
         yield from _walk_ast(ast.left)
@@ -404,7 +431,7 @@ def _dedupe(asts: Sequence[n.FnCall]) -> list[n.FnCall]:
 
 class _Builder:
     def __init__(self, provider: SchemaProvider, registry: FunctionRegistry,
-                 parameters: "Optional[ParameterSlots]" = None):
+                 parameters: "Optional[ParameterSlots]" = None) -> None:
         self._provider = provider
         self._registry = registry
         self._binder = _ExprBinder(registry, parameters)
@@ -507,7 +534,11 @@ class _Builder:
             finally:
                 self._view_stack.pop()
             return _requalify(plan, ref.binding_name)
-        schema = self._provider.table_schema(ref.name)
+        try:
+            schema = self._provider.table_schema(ref.name)
+        except UserError as exc:
+            _locate(exc, ref)
+            raise
         return lp.Scan(ref.name, schema.requalified(ref.binding_name))
 
     # -- one SELECT core -------------------------------------------------------

@@ -38,7 +38,7 @@ class PlanCache:
     reordering is a read-modify-write that must not race evictions.
     """
 
-    def __init__(self, limit: int = DEFAULT_PLAN_CACHE_LIMIT):
+    def __init__(self, limit: int = DEFAULT_PLAN_CACHE_LIMIT) -> None:
         if limit <= 0:
             raise ValueError("plan cache limit must be positive")
         self._limit = limit

@@ -152,7 +152,7 @@ class Join(PlanNode):
     condition: Optional[Expression]
     schema: Schema = field(default=None)  # type: ignore[assignment]
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in JOIN_KINDS:
             raise ValueError(f"unknown join kind {self.kind!r}")
         if self.schema is None:

@@ -297,7 +297,9 @@ class Server:
                 session.rollback()
                 self.stats.count_conflict()
                 last_conflict = exc
-                time.sleep(backoff)
+                # Real backoff between retries of a real thread; the
+                # simulated clock cannot stall another session's commit.
+                time.sleep(backoff)  # lint: allow-wall-clock
                 backoff = min(backoff * 2, _BACKOFF_CAP)
                 continue
             except BaseException:

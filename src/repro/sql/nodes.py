@@ -22,12 +22,52 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 # ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """The 1-based source position of an AST node's first token.
+
+    Spans ride *outside* dataclass equality: the parser attaches them to
+    frozen nodes via :func:`set_span` (``object.__setattr__``), so two
+    structurally identical expressions from different source positions
+    still compare equal — the builder's substitution machinery depends on
+    that.
+    """
+
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
+
+def set_span(node: object, span: "Optional[Span]") -> None:
+    """Attach a source span to a (possibly frozen) AST node."""
+    if span is not None:
+        object.__setattr__(node, "span", span)
+
+
+def span_of(node: object) -> "Optional[Span]":
+    """The source span attached to an AST node, or None."""
+    return getattr(node, "span", None)
+
+
+# ---------------------------------------------------------------------------
 # Expressions
 # ---------------------------------------------------------------------------
 
 
 class Expr:
-    """Base class for AST expressions."""
+    """Base class for AST expressions.
+
+    ``span`` is the position of the node's first token when the node came
+    from the parser (None for synthesized nodes); see :class:`Span`.
+    """
+
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)
@@ -169,6 +209,8 @@ class FnCall(Expr):
 class TableRef:
     """Base class for FROM-clause items."""
 
+    span: Optional[Span] = None
+
 
 @dataclass(frozen=True)
 class NamedTable(TableRef):
@@ -248,6 +290,8 @@ class Select:
 
 class Statement:
     """Base class for top-level statements."""
+
+    span: Optional[Span] = None
 
 
 @dataclass(frozen=True)

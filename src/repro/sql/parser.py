@@ -105,6 +105,12 @@ class _Parser:
         found = token.text or "end of input"
         return ParseError(f"{message}, found {found!r}", token.line, token.column)
 
+    def _span(self) -> n.Span:
+        """The source span of the next token (the start of whatever
+        production is about to run)."""
+        token = self._peek()
+        return n.Span(token.line, token.column)
+
     def accept_keyword(self, *words: str) -> bool:
         token = self._peek()
         if token.type == TokenType.KEYWORD and token.text == words[0]:
@@ -155,6 +161,13 @@ class _Parser:
     # -- statements --------------------------------------------------------
 
     def statement(self) -> n.Statement:
+        statement = self._statement_inner()
+        if statement.span is None:
+            n.set_span(statement, self._statement_span)
+        return statement
+
+    def _statement_inner(self) -> n.Statement:
+        self._statement_span = self._span()
         if self.peek_keyword("select") or self.peek_keyword("with"):
             return n.Query(self.query())
         if self.peek_keyword("create"):
@@ -522,6 +535,7 @@ class _Parser:
         return n.FlattenRef(source, input_expr, alias)
 
     def _table_primary(self) -> n.TableRef:
+        start = self._span()
         if self.accept_keyword("lateral"):
             raise self._error("LATERAL FLATTEN must follow a comma")
         if self.accept_operator("("):
@@ -529,14 +543,18 @@ class _Parser:
             self.expect_operator(")")
             self.accept_keyword("as")
             alias = self.expect_identifier("subquery alias")
-            return n.SubqueryRef(query, alias)
+            ref: n.TableRef = n.SubqueryRef(query, alias)
+            n.set_span(ref, start)
+            return ref
         name = self.expect_identifier("table name")
         alias: str | None = None
         if self.accept_keyword("as"):
             alias = self.expect_identifier("alias")
         elif self._peek().type == TokenType.IDENT:
             alias = self._advance().text
-        return n.NamedTable(name, alias)
+        ref = n.NamedTable(name, alias)
+        n.set_span(ref, start)
+        return ref
 
     # -- expressions ---------------------------------------------------------
 
@@ -544,23 +562,37 @@ class _Parser:
         return self._or_expr()
 
     def _or_expr(self) -> n.Expr:
+        start = self._span()
         left = self._and_expr()
         while self.accept_keyword("or"):
             left = n.BinOp("or", left, self._and_expr())
+            n.set_span(left, start)
         return left
 
     def _and_expr(self) -> n.Expr:
+        start = self._span()
         left = self._not_expr()
         while self.accept_keyword("and"):
             left = n.BinOp("and", left, self._not_expr())
+            n.set_span(left, start)
         return left
 
     def _not_expr(self) -> n.Expr:
+        start = self._span()
         if self.accept_keyword("not"):
-            return n.UnOp("not", self._not_expr())
+            expr = n.UnOp("not", self._not_expr())
+            n.set_span(expr, start)
+            return expr
         return self._comparison()
 
     def _comparison(self) -> n.Expr:
+        start = self._span()
+        expr = self._comparison_inner()
+        if expr.span is None:
+            n.set_span(expr, start)
+        return expr
+
+    def _comparison_inner(self) -> n.Expr:
         left = self._additive()
         token = self._peek()
         if token.type == TokenType.OPERATOR and token.text in (
@@ -591,49 +623,66 @@ class _Parser:
         return left
 
     def _additive(self) -> n.Expr:
+        start = self._span()
         left = self._multiplicative()
         while True:
             token = self._peek()
             if token.type == TokenType.OPERATOR and token.text in ("+", "-", "||"):
                 self._advance()
                 left = n.BinOp(token.text, left, self._multiplicative())
+                n.set_span(left, start)
             else:
                 return left
 
     def _multiplicative(self) -> n.Expr:
+        start = self._span()
         left = self._unary()
         while True:
             token = self._peek()
             if token.type == TokenType.OPERATOR and token.text in ("*", "/", "%"):
                 self._advance()
                 left = n.BinOp(token.text, left, self._unary())
+                n.set_span(left, start)
             else:
                 return left
 
     def _unary(self) -> n.Expr:
+        start = self._span()
         if self.accept_operator("-"):
-            return n.UnOp("-", self._unary())
+            expr = n.UnOp("-", self._unary())
+            n.set_span(expr, start)
+            return expr
         if self.accept_operator("+"):
             return self._unary()
         return self._postfix()
 
     def _postfix(self) -> n.Expr:
+        start = self._span()
         expr = self._primary()
         while True:
             token = self._peek()
             if token.matches(TokenType.OPERATOR, "::"):
                 self._advance()
                 expr = n.CastExpr(expr, self._type_name())
+                n.set_span(expr, start)
             elif token.matches(TokenType.OPERATOR, ":"):
                 self._advance()
                 path = [self._keyword_or_ident("variant path key")]
                 while self.accept_operator("."):
                     path.append(self._keyword_or_ident("variant path key"))
                 expr = n.PathExpr(expr, tuple(path))
+                n.set_span(expr, start)
             else:
                 return expr
 
     def _primary(self) -> n.Expr:
+        start = self._span()
+        expr = self._primary_inner()
+        if expr.span is None:
+            n.set_span(expr, start)
+        return expr
+
+    def _primary_inner(self) -> n.Expr:
         token = self._peek()
 
         if token.type == TokenType.NUMBER:

@@ -42,7 +42,10 @@ class LockManager:
         the lock frees, raising :class:`LockConflict` only after
         ``timeout`` seconds.
         """
-        deadline = (time.monotonic() + timeout) if timeout > 0 else None
+        # Cross-thread blocking needs a real monotonic deadline; the
+        # simulated clock cannot advance while this thread waits.
+        deadline = (time.monotonic() + timeout  # lint: allow-wall-clock
+                    ) if timeout > 0 else None
         with self._condition:
             while True:
                 current = self._holders.get(table)
@@ -52,7 +55,7 @@ class LockManager:
                 if deadline is None:
                     raise LockConflict(
                         f"table {table!r} is locked by transaction {current}")
-                remaining = deadline - time.monotonic()
+                remaining = deadline - time.monotonic()  # lint: allow-wall-clock
                 if remaining <= 0:
                     raise LockConflict(
                         f"timed out after {timeout:.1f}s waiting for lock on "

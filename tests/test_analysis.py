@@ -1,0 +1,468 @@
+"""Tests for the static semantic analyzer (:mod:`repro.analysis`):
+one firing and one non-firing case per diagnostic code, plus the
+session surface — ``Session.analyze``, strict mode, the report attached
+at ``CREATE DYNAMIC TABLE``, and the ``EXPLAIN`` merge."""
+
+import pytest
+
+from repro import Database
+from repro.analysis import (AnalysisReport, CODES, Diagnostic, Severity,
+                            analyze_bound_query, make_diagnostic)
+from repro.errors import AnalysisError, UserError
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE events (id NUMBER, ts NUMBER, amount NUMBER, "
+        "rate FLOAT, city VARCHAR)")
+    database.execute("CREATE TABLE cities (city VARCHAR, pop NUMBER)")
+    database.create_warehouse("wh")
+    return database
+
+
+@pytest.fixture()
+def session(db):
+    return db.default_session
+
+
+def codes_of(session, sql):
+    return session.analyze(sql).codes()
+
+
+# ---------------------------------------------------------------------------
+# The diagnostics framework
+# ---------------------------------------------------------------------------
+
+
+def test_code_registry_is_stable():
+    assert set(CODES) == {"RPR001", "RPR002", "RPR003", "RPR004",
+                          "RPR005", "RPR011", "RPR012", "RPR013",
+                          "RPR021", "RPR022"}
+    for code, info in CODES.items():
+        assert info.code == code
+        assert info.title and info.rationale
+        assert isinstance(info.default_severity, Severity)
+
+
+def test_severity_ordering():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+    assert str(Severity.WARNING) == "warning"
+
+
+def test_make_diagnostic_defaults_and_rendering():
+    diag = make_diagnostic("RPR011", "impossible", line=2, column=7,
+                           hint="fix it")
+    assert diag.severity is Severity.WARNING
+    assert diag.title == "contradictory-predicate"
+    rendered = diag.render()
+    assert "RPR011" in rendered and "[warning]" in rendered
+    assert "line 2, column 7" in rendered and "fix it" in rendered
+    with pytest.raises(KeyError):
+        make_diagnostic("RPR999", "no such code")
+
+
+def test_report_views():
+    report = AnalysisReport("sql", (
+        make_diagnostic("RPR003", "bad column"),
+        make_diagnostic("RPR012", "constant"),
+        make_diagnostic("RPR022", "fallback"),
+    ))
+    assert len(report) == 3
+    assert [d.code for d in report] == ["RPR003", "RPR012", "RPR022"]
+    assert report.errors[0].code == "RPR003"
+    assert report.warnings[0].code == "RPR012"
+    assert report.infos[0].code == "RPR022"
+    assert not report.ok
+    assert {d.code for d in report.strict_violations} == {"RPR003",
+                                                          "RPR012"}
+    assert "RPR012" in report.render()
+    assert AnalysisReport("sql").render() == "no issues found"
+
+
+# ---------------------------------------------------------------------------
+# RPR001 syntax-error
+# ---------------------------------------------------------------------------
+
+
+def test_rpr001_fires_on_syntax_error(session):
+    report = session.analyze("SELEKT 1 FORM t")
+    assert report.codes() == ("RPR001",)
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.ERROR
+    assert diag.line == 1 and diag.column == 1
+
+
+def test_rpr001_not_firing_on_valid_sql(session):
+    assert "RPR001" not in codes_of(session, "SELECT id FROM events")
+
+
+# ---------------------------------------------------------------------------
+# RPR002 unknown-table
+# ---------------------------------------------------------------------------
+
+
+def test_rpr002_fires_on_unknown_table(session):
+    report = session.analyze("SELECT id FROM eventz")
+    assert report.codes() == ("RPR002",)
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.ERROR
+    assert diag.column == 16  # position of the table name
+    assert diag.hint is not None and "events" in diag.hint
+
+
+def test_rpr002_fires_on_dml_target(session):
+    assert "RPR002" in codes_of(session, "DELETE FROM nosuch WHERE 1 = 2")
+
+
+def test_rpr002_not_firing_on_known_table(session):
+    assert "RPR002" not in codes_of(session, "SELECT id FROM events")
+
+
+# ---------------------------------------------------------------------------
+# RPR003 unknown-column
+# ---------------------------------------------------------------------------
+
+
+def test_rpr003_fires_on_unknown_column(session):
+    report = session.analyze("SELECT id, nope FROM events")
+    assert report.codes() == ("RPR003",)
+    diag = report.diagnostics[0]
+    assert "nope" in diag.message
+    assert diag.line == 1 and diag.column == 12
+
+
+def test_rpr003_fires_on_ambiguous_column(session):
+    report = session.analyze(
+        "SELECT city FROM events JOIN cities ON events.city = cities.city")
+    assert report.codes() == ("RPR003",)
+    assert "ambiguous" in report.diagnostics[0].message
+    assert "qualify" in report.diagnostics[0].hint
+
+
+def test_rpr003_not_firing_on_resolvable_columns(session):
+    assert "RPR003" not in codes_of(
+        session, "SELECT events.city FROM events JOIN cities "
+                 "ON events.city = cities.city")
+
+
+# ---------------------------------------------------------------------------
+# RPR004 type-mismatch
+# ---------------------------------------------------------------------------
+
+
+def test_rpr004_fires_on_type_mismatch(session):
+    report = session.analyze("SELECT amount + city FROM events")
+    assert report.codes() == ("RPR004",)
+    assert report.diagnostics[0].severity is Severity.ERROR
+    assert report.diagnostics[0].line is not None
+
+
+def test_rpr004_not_firing_on_well_typed(session):
+    report = session.analyze("SELECT amount + id FROM events")
+    assert "RPR004" not in report.codes()
+    assert report.schema is not None  # typed: schema inferred
+
+
+# ---------------------------------------------------------------------------
+# RPR005 invalid-statement
+# ---------------------------------------------------------------------------
+
+
+def test_rpr005_fires_on_insert_arity_mismatch(session):
+    report = session.analyze("INSERT INTO cities VALUES (1, 2, 3)")
+    assert "RPR005" in report.codes()
+    assert "arity" in report.diagnostics[0].message
+
+
+def test_rpr005_not_firing_on_matching_insert(session):
+    assert codes_of(session, "INSERT INTO cities VALUES ('b', 2)") == ()
+
+
+# ---------------------------------------------------------------------------
+# RPR011 contradictory-predicate
+# ---------------------------------------------------------------------------
+
+
+def test_rpr011_fires_on_range_contradiction(session):
+    report = session.analyze(
+        "SELECT id FROM events WHERE amount > 5 AND amount < 3")
+    assert report.codes() == ("RPR011",)
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.WARNING
+    assert "amount" in diag.message and diag.line is not None
+
+
+@pytest.mark.parametrize("where", [
+    "amount = 5 AND amount = 6",
+    "amount = 5 AND amount != 5",
+    "amount BETWEEN 10 AND 3",
+    "city = 'a' AND city IS NULL",
+    "amount >= 4 AND amount <= 4 AND amount > 4",
+])
+def test_rpr011_fires_on_other_contradictions(session, where):
+    assert "RPR011" in codes_of(
+        session, f"SELECT id FROM events WHERE {where}")
+
+
+@pytest.mark.parametrize("where", [
+    "amount > 3 AND amount < 5",
+    "amount = 5 AND city = 'x'",
+    "amount BETWEEN 3 AND 10",
+    "amount > 5 OR amount < 3",          # OR is satisfiable
+    "amount > 5 AND city < 'b'",         # different columns
+])
+def test_rpr011_not_firing_on_satisfiable(session, where):
+    assert "RPR011" not in codes_of(
+        session, f"SELECT id FROM events WHERE {where}")
+
+
+def test_rpr011_fires_in_dml_where(session):
+    assert "RPR011" in codes_of(
+        session, "DELETE FROM events WHERE id > 9 AND id < 2")
+
+
+# ---------------------------------------------------------------------------
+# RPR012 constant-predicate
+# ---------------------------------------------------------------------------
+
+
+def test_rpr012_fires_on_constant_where(session):
+    report = session.analyze("SELECT id FROM events WHERE 1 = 1")
+    assert report.codes() == ("RPR012",)
+    assert report.diagnostics[0].severity is Severity.WARNING
+
+
+def test_rpr012_fires_on_constant_having(session):
+    assert "RPR012" in codes_of(
+        session,
+        "SELECT city, count(*) FROM events GROUP BY city HAVING 2 > 1")
+
+
+def test_rpr012_not_firing_on_column_predicate(session):
+    assert "RPR012" not in codes_of(
+        session, "SELECT id FROM events WHERE amount > 1")
+
+
+# ---------------------------------------------------------------------------
+# RPR013 null-comparison
+# ---------------------------------------------------------------------------
+
+
+def test_rpr013_fires_on_null_comparison(session):
+    report = session.analyze("SELECT id FROM events WHERE city = NULL")
+    assert report.codes() == ("RPR013",)
+    assert "IS NULL" in report.diagnostics[0].hint
+
+
+def test_rpr013_fires_on_inequality_with_null(session):
+    assert "RPR013" in codes_of(
+        session, "SELECT id FROM events WHERE amount != NULL")
+
+
+def test_rpr013_not_firing_on_is_null(session):
+    assert "RPR013" not in codes_of(
+        session, "SELECT id FROM events WHERE city IS NULL")
+
+
+# ---------------------------------------------------------------------------
+# RPR021 full-refresh
+# ---------------------------------------------------------------------------
+
+
+def test_rpr021_fires_for_auto_dt_as_warning(session):
+    report = session.analyze(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+        "AS SELECT rate, count(*) FROM events GROUP BY rate")
+    assert report.codes() == ("RPR021",)
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.WARNING
+    assert "FULL" in diag.message and "FLOAT" in diag.message
+    assert "cast" in diag.hint
+
+
+def test_rpr021_is_error_when_incremental_forced(session):
+    report = session.analyze(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+        "REFRESH_MODE = incremental AS SELECT id FROM events ORDER BY id")
+    assert "RPR021" in report.codes()
+    assert report.diagnostics[0].severity is Severity.ERROR
+
+
+def test_rpr021_is_info_for_plain_select(session):
+    report = session.analyze("SELECT id FROM events ORDER BY id LIMIT 3")
+    assert report.codes() == ("RPR021", "RPR021")
+    assert all(d.severity is Severity.INFO for d in report)
+    reasons = " ".join(d.message for d in report)
+    assert "ORDER BY" in reasons and "LIMIT" in reasons
+
+
+@pytest.mark.parametrize("query, needle", [
+    ("SELECT id FROM events ORDER BY id", "ORDER BY"),
+    ("SELECT id FROM events LIMIT 5", "LIMIT"),
+    ("SELECT rate, count(*) FROM events GROUP BY rate",
+     "grouping on a FLOAT"),
+    ("SELECT id, sum(amount) OVER (PARTITION BY rate) FROM events",
+     "partitioning on a FLOAT"),
+    ("SELECT id, sum(amount) OVER () FROM events", "unpartitioned"),
+    ("SELECT e.id FROM events e JOIN events f ON e.rate = f.rate",
+     "joining on a FLOAT"),
+    ("SELECT id, current_timestamp() FROM events", "context functions"),
+], ids=["order-by", "limit", "float-group", "float-partition",
+        "unpartitioned-window", "float-join", "context-fn"])
+def test_rpr021_covers_every_properties_reason(session, query, needle):
+    """Every FULL-resolution shape plan/properties.py knows about maps
+    to an RPR021 diagnostic whose message carries the reason."""
+    report = session.analyze(query)
+    hits = [d for d in report if d.code == "RPR021"]
+    assert hits, f"no RPR021 for {query!r}"
+    assert any(needle in d.message for d in hits)
+
+
+def test_rpr021_matches_auto_resolution(db, session):
+    """The lint agrees with what refresh_mode=auto actually does."""
+    for name, query in (
+            ("full_dt", "SELECT id FROM events ORDER BY id"),
+            ("incr_dt", "SELECT city, count(*) FROM events GROUP BY city")):
+        dt = db.create_dynamic_table(name, query, target_lag="1 minute",
+                                     warehouse="wh")
+        lint_says_full = "RPR021" in dt.analysis.codes()
+        assert lint_says_full == (not dt.incremental_supported)
+
+
+def test_rpr021_not_firing_on_incremental_shape(session):
+    assert "RPR021" not in codes_of(
+        session, "SELECT city, count(*) FROM events GROUP BY city")
+
+
+# ---------------------------------------------------------------------------
+# RPR022 stateful-fallback
+# ---------------------------------------------------------------------------
+
+
+def test_rpr022_fires_on_non_retractable_aggregate(session):
+    report = session.analyze(
+        "SELECT city, median(amount) FROM events GROUP BY city")
+    assert report.codes() == ("RPR022",)
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.INFO
+    assert "recomputation" in diag.message
+
+
+def test_rpr022_is_warning_for_dt(session):
+    report = session.analyze(
+        "CREATE DYNAMIC TABLE d TARGET_LAG = '1 minute' WAREHOUSE = wh "
+        "AS SELECT city, sum(rate) FROM events GROUP BY city")
+    assert report.codes() == ("RPR022",)
+    assert report.diagnostics[0].severity is Severity.WARNING
+
+
+def test_rpr022_not_firing_on_retractable_aggregates(session):
+    assert "RPR022" not in codes_of(
+        session,
+        "SELECT city, count(*), sum(amount) FROM events GROUP BY city")
+
+
+# ---------------------------------------------------------------------------
+# Session surface
+# ---------------------------------------------------------------------------
+
+
+def test_analyze_reports_schema_for_queries(session):
+    report = session.analyze("SELECT id, city FROM events")
+    assert report.ok
+    assert report.schema.names == ["id", "city"]
+
+
+def test_analyze_does_not_execute(db, session):
+    session.execute("INSERT INTO cities VALUES ('a', 1)")
+    session.analyze("DELETE FROM cities")
+    assert session.query("SELECT count(*) FROM cities").rows == [(1,)]
+
+
+def test_analyze_handles_parameters(session):
+    report = session.analyze("SELECT id FROM events WHERE amount > ?")
+    assert report.ok
+
+
+def test_analyze_level_setting_validation(session):
+    assert session.settings["analyze_level"] == "warn"
+    session.set_setting("analyze_level", "error")
+    assert session.settings["analyze_level"] == "error"
+    with pytest.raises(UserError):
+        session.set_setting("analyze_level", "loud")
+
+
+def test_strict_mode_rejects_warnings(session):
+    session.set_analyze_level("error")
+    with pytest.raises(AnalysisError) as excinfo:
+        session.execute("SELECT id FROM events WHERE amount > 5 "
+                        "AND amount < 3")
+    assert excinfo.value.diagnostics
+    assert excinfo.value.diagnostics[0].code == "RPR011"
+    assert "RPR011" in str(excinfo.value)
+
+
+def test_strict_mode_allows_clean_statements(session):
+    session.set_analyze_level("error")
+    assert session.execute("SELECT id FROM events WHERE amount > 5"
+                           ).rows == []
+
+
+def test_strict_mode_off_by_default(session):
+    assert session.execute("SELECT id FROM events WHERE 1 = 1").rows == []
+
+
+def test_dynamic_table_carries_analysis(db):
+    dt = db.create_dynamic_table(
+        "d_rate", "SELECT rate, count(*) FROM events GROUP BY rate",
+        target_lag="1 minute", warehouse="wh")
+    assert isinstance(dt.analysis, AnalysisReport)
+    assert "RPR021" in dt.analysis.codes()
+    assert not dt.incremental_supported
+
+
+def test_explain_merges_analysis_warnings(session):
+    plan_text = session.explain(
+        "SELECT id FROM events WHERE amount > 5 AND amount < 3")
+    assert "-- analysis RPR011" in plan_text
+    # plain selects keep incrementality lints at INFO: not merged
+    assert "-- analysis RPR021" not in session.explain(
+        "SELECT id FROM events ORDER BY id")
+
+
+def test_explain_sections_share_format(session):
+    plan_text = session.explain(
+        "SELECT city, median(amount) FROM events GROUP BY city "
+        "HAVING 1 = 1")
+    refresh = [l for l in plan_text.splitlines() if l.startswith("-- refresh")]
+    analysis = [l for l in plan_text.splitlines()
+                if l.startswith("-- analysis")]
+    assert refresh and analysis  # both sections, one `-- ` format
+    assert "RPR012" in analysis[0]
+
+
+def test_analyze_bound_query_reuses_plan(db):
+    from repro.plan.builder import build_plan
+    from repro.sql.parser import parse_query
+
+    query = parse_query("SELECT id FROM events WHERE 1 = 1")
+    plan = build_plan(query, db.catalog, db.registry)
+    report = analyze_bound_query(query, plan)
+    assert "RPR012" in report.codes()
+    assert report.schema is plan.schema
+
+
+def test_every_emitted_code_is_registered(session):
+    for sql in ("SELEKT", "SELECT x FROM nosuch", "SELECT x FROM events",
+                "SELECT amount + city FROM events",
+                "SELECT id FROM events WHERE 1 = 1 AND amount = NULL",
+                "SELECT rate, median(amount) FROM events GROUP BY rate"):
+        for diag in session.analyze(sql):
+            assert diag.code in CODES
+            assert isinstance(diag, Diagnostic)

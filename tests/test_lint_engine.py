@@ -1,0 +1,152 @@
+"""Tests for the engine-invariant linter (``tools/lint_engine.py``):
+the repo itself lints clean, every rule fires on its seeded fixture,
+pragmas suppress, and regressions to the guarded invariants are caught.
+Also hosts the (CI-only, skipped when mypy is absent) strict-typing
+gate over ``repro.plan`` and ``repro.analysis``."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_engine  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# The repo is clean; the self-test proves the rules are live
+# ---------------------------------------------------------------------------
+
+
+def test_repo_lints_clean():
+    violations = lint_engine.lint_tree(lint_engine.SRC_ROOT)
+    assert violations == [], "\n".join(v.render() for v in violations)
+
+
+def test_self_test_passes():
+    assert lint_engine.self_test() == 0
+
+
+def test_cli_exit_codes():
+    clean = subprocess.run(
+        [sys.executable, "tools/lint_engine.py"], cwd=REPO_ROOT,
+        capture_output=True, text=True)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    selftest = subprocess.run(
+        [sys.executable, "tools/lint_engine.py", "--self-test"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert selftest.returncode == 0, selftest.stdout + selftest.stderr
+
+
+@pytest.mark.parametrize("fixture, rule",
+                         sorted(lint_engine.FIXTURE_EXPECTATIONS.items()))
+def test_each_fixture_fires_its_rule(fixture, rule):
+    path = lint_engine.FIXTURE_DIR / fixture
+    violations = lint_engine.check_file(path, lint_engine.FIXTURE_DIR,
+                                        force_all=True)
+    assert any(v.rule == rule for v in violations)
+    for violation in violations:
+        assert f"[{violation.rule}]" in violation.render()
+
+
+# ---------------------------------------------------------------------------
+# Regression detection: un-fixing the real code trips the linter
+# ---------------------------------------------------------------------------
+
+
+def _lint_mutated(tmp_path, source_path, transform, rel_name):
+    target = tmp_path / rel_name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(transform(source_path.read_text()))
+    return lint_engine.lint_tree(tmp_path)
+
+
+def test_unsorting_commit_locks_fires(tmp_path):
+    manager = lint_engine.SRC_ROOT / "txn" / "manager.py"
+    violations = _lint_mutated(
+        tmp_path, manager,
+        lambda text: text.replace("written = sorted(name",
+                                  "written = list(name"),
+        "txn/manager.py")
+    assert any(v.rule == "lock-order" for v in violations)
+
+
+def test_removing_wallclock_pragma_fires(tmp_path):
+    locks = lint_engine.SRC_ROOT / "txn" / "locks.py"
+    violations = _lint_mutated(
+        tmp_path, locks,
+        lambda text: text.replace("  # lint: allow-wall-clock", ""),
+        "txn/locks.py")
+    assert sum(v.rule == "wall-clock" for v in violations) == 2
+
+
+def test_new_materialization_in_hot_path_fires(tmp_path):
+    violations = _lint_mutated(
+        tmp_path, lint_engine.FIXTURE_DIR / "bad_materialize.py",
+        lambda text: text, "engine/executor.py")
+    assert any(v.rule == "materialize" for v in violations)
+
+
+def test_materialize_pragma_suppresses(tmp_path):
+    violations = _lint_mutated(
+        tmp_path, lint_engine.FIXTURE_DIR / "bad_materialize.py",
+        lambda text: text.replace(
+            "relation.rows", "relation.rows  # lint: allow-materialize"
+        ).replace("relation.pairs()",
+                  "relation.pairs()  # lint: allow-materialize"),
+        "engine/executor.py")
+    assert not any(v.rule == "materialize" for v in violations)
+
+
+def test_incomplete_accumulator_fires_anywhere(tmp_path):
+    violations = _lint_mutated(
+        tmp_path, lint_engine.FIXTURE_DIR / "bad_accumulator.py",
+        lambda text: text, "engine/aggregates_extra.py")
+    fired = [v for v in violations if v.rule == "accumulator-protocol"]
+    assert len(fired) == 1
+    assert "HalfSumAccumulator" in fired[0].message
+    assert "retract" in fired[0].message
+
+
+def test_sorted_loop_is_accepted(tmp_path):
+    source = (
+        "def commit(manager, writes):\n"
+        "    written = sorted(writes)\n"
+        "    for name in written:\n"
+        "        manager.lock(name)\n")
+    target = tmp_path / "txn" / "manager.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(source)
+    assert lint_engine.lint_tree(tmp_path) == []
+
+
+def test_allowlist_matches_reality():
+    """Every allowlist entry still corresponds to a real site (stale
+    entries would silently widen the allowed surface)."""
+    saved = set(lint_engine.MATERIALIZE_ALLOWLIST)
+    lint_engine.MATERIALIZE_ALLOWLIST.clear()
+    try:
+        live = {(v.path, v.message.split("scope ")[1].split(";")[0]
+                 .strip("'\""))
+                for v in lint_engine.lint_tree(lint_engine.SRC_ROOT)
+                if v.rule == "materialize"}
+    finally:
+        lint_engine.MATERIALIZE_ALLOWLIST.update(saved)
+    assert lint_engine.MATERIALIZE_ALLOWLIST <= live
+
+
+# ---------------------------------------------------------------------------
+# mypy strict gate (runs in CI where mypy is installed)
+# ---------------------------------------------------------------------------
+
+
+def test_mypy_clean_on_plan_and_analysis():
+    pytest.importorskip("mypy")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
+         "src/repro/plan", "src/repro/analysis"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr

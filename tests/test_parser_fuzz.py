@@ -1,8 +1,11 @@
 """Fuzz tests: the SQL frontend must fail cleanly, never crash."""
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import SqlError
+from repro import Database
+from repro.analysis import AnalysisReport
+from repro.errors import SqlError, UserError
 from repro.sql.lexer import tokenize
 from repro.sql.parser import parse_statement
 
@@ -41,4 +44,44 @@ def test_token_soup_never_crashes(words):
     try:
         parse_statement(" ".join(words))
     except SqlError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Session.analyze: any input yields a report or a UserError, never an
+# internal exception.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def analyze_session():
+    db = Database()
+    db.execute("CREATE TABLE t (a NUMBER, b VARCHAR)")
+    return db.default_session
+
+
+@settings(max_examples=300, deadline=None)
+@given(SQL_CHARS)
+def test_analyze_never_raises_internal(analyze_session, text):
+    try:
+        report = analyze_session.analyze(text)
+    except UserError:
+        pass  # the one sanctioned escape hatch
+    else:
+        assert isinstance(report, AnalysisReport)
+        for diagnostic in report:
+            assert diagnostic.code.startswith("RPR")
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.sampled_from([
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "JOIN", "ON",
+    "t", "a", "b", "1", "'x'", "*", ",", "(", ")", "=", "AND", "count",
+    "UNION", "ALL", "HAVING", "LIMIT", "AS", "NULL", "IS", "NOT",
+    "BETWEEN", "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+]), max_size=25))
+def test_analyze_token_soup(analyze_session, words):
+    try:
+        analyze_session.analyze(" ".join(words))
+    except UserError:
         pass

@@ -1,0 +1,6 @@
+"""Seeded violations for ``lint_engine.py --self-test``.
+
+Each ``bad_*.py`` file deliberately breaks exactly one engine invariant;
+the self-test asserts the corresponding rule fires on it. These files
+are never imported by the engine.
+"""

@@ -1,0 +1,14 @@
+"""Seeded violation: wall-clock reads outside scheduler/clock.py."""
+
+import time
+from datetime import datetime
+
+
+def refresh_deadline(lag_seconds: float) -> float:
+    # VIOLATION: engine time must come from SimClock, not the OS.
+    return time.time() + lag_seconds
+
+
+def stamp() -> str:
+    # VIOLATION: datetime.now() is nondeterministic under the scheduler.
+    return datetime.now().isoformat()
