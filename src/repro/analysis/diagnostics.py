@@ -13,7 +13,9 @@ The code space is banded:
   clause is constant, contradictory, or compares against NULL);
 * ``RPR02x`` — incrementality lints (the statement runs, but a
   dynamic-table definition would resolve to FULL refresh or fall back
-  from stateful to recompute maintenance).
+  from stateful to recompute maintenance);
+* ``RPR03x`` — durability lints (state a process restart would not
+  restore exactly; the query still runs and self-heals).
 
 :class:`AnalysisReport` bundles the diagnostics for one statement along
 with the statically inferred output schema (when binding succeeded).
@@ -79,6 +81,12 @@ CODES: dict[str, CodeInfo] = {info.code: info for info in (
              "an aggregate/distinct node cannot keep O(|delta|) "
              "accumulator state and falls back to affected-group "
              "endpoint recomputation"),
+    CodeInfo("RPR031", "agg-state-rebuild", Severity.INFO,
+             "a referenced dynamic table's aggregate accumulator state is "
+             "not covered by the latest checkpoint: after a process "
+             "restart its next incremental refresh reinitializes the "
+             "accumulators from the stored result instead of restoring "
+             "them (correct, but the refresh pays an endpoint recompute)"),
 )}
 
 

@@ -51,7 +51,20 @@ class Database:
 
     def __init__(self, clock: SimClock | None = None,
                  cost_model: CostModel | None = None,
-                 outer_join_strategy: str = OUTER_JOIN_DIRECT):
+                 outer_join_strategy: str = OUTER_JOIN_DIRECT,
+                 path: str | None = None,
+                 durability: str = "fsync",
+                 checkpoint_every: Duration | None = None,
+                 checkpoint_wal_bytes: int | None = None):
+        """``path`` opts into durability: the directory holds the WAL and
+        checkpoint files, existing state is recovered before the first
+        statement runs, and every commit is logged. ``durability`` picks
+        the WAL flush policy — ``"fsync"`` (one fsync per commit) or
+        ``"async"`` (OS-buffered; a machine crash may lose the unsynced
+        suffix). ``checkpoint_every`` (simulated time) schedules a
+        background checkpointer; ``checkpoint_wal_bytes`` checkpoints
+        whenever the WAL outgrows the threshold (checked by the server
+        front end after each commit, or via :meth:`maybe_checkpoint`)."""
         self.clock = clock if clock is not None else SimClock()
         self.catalog = Catalog(self.clock.now)
         self.txns = TransactionManager(self.catalog, self.clock.now)
@@ -66,6 +79,39 @@ class Database:
         self.plan_cache = PlanCache()
         self._session_count = 0
         self._default_session = Session(self, 0)
+        #: The durability manager, or None for a purely in-memory
+        #: database (the default).
+        self.durability = None
+        if path is not None:
+            if durability not in ("fsync", "async"):
+                raise UserError(
+                    f"unknown durability mode: {durability!r} "
+                    f"(expected 'fsync' or 'async')")
+            from repro.durability.manager import DurabilityManager
+
+            manager = DurabilityManager(
+                self, path, fsync=(durability == "fsync"),
+                checkpoint_every=checkpoint_every,
+                checkpoint_wal_bytes=checkpoint_wal_bytes)
+            manager.open()
+            # Hooks attach only after recovery: replayed operations must
+            # never be re-logged.
+            self.durability = manager
+            self.catalog.durability = manager
+            self.txns.durability = manager
+            if checkpoint_every is not None:
+                self._schedule_checkpoint_tick(checkpoint_every)
+
+    def _schedule_checkpoint_tick(self, interval: Duration) -> None:
+        """Background checkpointer on the simulated clock: a
+        self-rescheduling scheduler callback (no wall-clock thread)."""
+        def tick() -> None:
+            if self.durability is None or self.durability.closed:
+                return
+            self.durability.checkpoint()
+            self.scheduler.at(self.clock.now() + interval, tick)
+
+        self.scheduler.at(self.clock.now() + interval, tick)
 
     # -- sessions ----------------------------------------------------------------
 
@@ -121,7 +167,13 @@ class Database:
     def create_warehouse(self, name: str, size: int = 1,
                          auto_suspend: Optional[Duration] = MINUTE,
                          ) -> Warehouse:
-        return self.warehouses.create(name, size, auto_suspend)
+        warehouse = self.warehouses.create(name, size, auto_suspend)
+        if self.durability is not None:
+            self.durability.log_ddl(
+                "create_warehouse",
+                {"name": name, "size": size, "auto_suspend": auto_suspend},
+                self.catalog.epoch)
+        return warehouse
 
     # -- SQL (facade over the default session) -----------------------------------
 
@@ -156,7 +208,13 @@ class Database:
         # and stamping the clone must not interleave with an in-flight
         # commit's installation.
         with self.txns.commit_mutex:
-            clone_table(self.catalog, source, name, self.txns.hlc.now())
+            ts = self.txns.hlc.now()
+            clone_table(self.catalog, source, name, ts)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "clone_table", {"source": source, "name": name,
+                                    "ts": ts},
+                    self.catalog.epoch)
 
     def clone_dynamic_table(self, source: str, name: str) -> DynamicTable:
         """Zero-copy clone of a dynamic table, preserving its frontier so
@@ -164,8 +222,13 @@ class Database:
         from repro.core.cloning import clone_dynamic_table
 
         with self.txns.commit_mutex:
-            return clone_dynamic_table(self.catalog, source, name,
-                                       self.txns.hlc.now())
+            ts = self.txns.hlc.now()
+            clone = clone_dynamic_table(self.catalog, source, name, ts)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "clone_dt", {"source": source, "name": name, "ts": ts},
+                    self.catalog.epoch)
+            return clone
 
     def recluster(self, table_name: str) -> None:
         """Background maintenance: rewrite partitions without logical
@@ -175,7 +238,41 @@ class Database:
         # without the mutex, a concurrent DML commit between the read of
         # the current version and the install would be silently undone.
         with self.txns.commit_mutex:
-            table.recluster(self.txns.hlc.now())
+            ts = self.txns.hlc.now()
+            table.recluster(ts)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "recluster", {"name": table_name, "ts": ts},
+                    self.catalog.epoch)
+
+    # -- durability ---------------------------------------------------------------------
+
+    def checkpoint(self) -> str:
+        """Snapshot the database and truncate the WAL behind it; returns
+        the checkpoint file's path. Requires ``path=`` at construction."""
+        if self.durability is None:
+            raise UserError("checkpoint() requires a durable database "
+                            "(open with Database(path=...))")
+        return self.durability.checkpoint()
+
+    def maybe_checkpoint(self) -> bool:
+        """Checkpoint iff the WAL outgrew ``checkpoint_wal_bytes``. A
+        no-op (False) for in-memory databases or below the threshold."""
+        if self.durability is None:
+            return False
+        return self.durability.maybe_checkpoint()
+
+    def durability_status(self) -> Optional[dict]:
+        """WAL/checkpoint/recovery state, or None when in-memory."""
+        if self.durability is None:
+            return None
+        return self.durability.status()
+
+    def close(self) -> None:
+        """Flush and close the WAL. The object stays usable for reads;
+        in-memory databases treat this as a no-op."""
+        if self.durability is not None:
+            self.durability.close()
 
     # -- dynamic tables -----------------------------------------------------------------
 
@@ -255,6 +352,15 @@ class Database:
                                           refresh_mode=mode.value,
                                           sql=query_text)
         self.catalog.create_dynamic_entry(name, dt, or_replace=or_replace)
+        if self.durability is not None:
+            # Logged before initialization: the initializing refresh is a
+            # normal transaction and replays from its own commit records.
+            self.durability.log_ddl(
+                "create_dynamic_table",
+                {"name": name, "query_text": query_text, "query": query,
+                 "target_lag": lag, "warehouse": warehouse,
+                 "refresh_mode": mode.value, "or_replace": or_replace},
+                self.catalog.epoch)
 
         if initialize == "on_create":
             self._initialize(dt)
@@ -278,6 +384,10 @@ class Database:
                 target_lag="downstream", warehouse=warehouse,
                 refresh_mode="auto", initialize=initialize)
             fragment.hidden = True
+            if self.durability is not None:
+                self.durability.log_ddl("dt_hidden",
+                                        {"name": fragment.name},
+                                        self.catalog.epoch)
             branch_schemas.append(fragment.schema.names)
         return union_of_fragments(name, branch_schemas)
 

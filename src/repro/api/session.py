@@ -481,9 +481,51 @@ class Session:
                 from repro.analysis.analyzer import diagnostic_from_error
 
                 return AnalysisReport(sql, (diagnostic_from_error(exc),))
-            return analyze_statement(
+            report = analyze_statement(
                 statement, self.database.catalog, self.database.registry,
                 parameters=ParameterSpec(parameters), sql=sql)
+            select = getattr(statement, "select", None)
+            if isinstance(select, n.Select):
+                extra = self._durability_diagnostics(select)
+                if extra:
+                    report = AnalysisReport(sql,
+                                            report.diagnostics + extra,
+                                            schema=report.schema)
+            return report
+
+    def _durability_diagnostics(self, select: n.Select) -> tuple:
+        """RPR031 for referenced dynamic tables whose aggregate
+        accumulator state is not covered by the latest checkpoint
+        (durable databases only; in-memory databases have nothing to
+        restore, so the diagnostic never fires)."""
+        durability = self.database.durability
+        if durability is None:
+            return ()
+        from repro.analysis.diagnostics import make_diagnostic
+        from repro.core.evolution import collect_source_names
+
+        try:
+            names = sorted(collect_source_names(select,
+                                                self.database.catalog))
+        except ReproError:
+            return ()  # binding problems are already reported as RPR00x
+        diagnostics = []
+        for name in names:
+            try:
+                entry = self.database.catalog.get(name)
+            except ReproError:
+                continue
+            if entry.kind != "dynamic table":
+                continue
+            if durability.agg_recovery_status(entry.payload) == "rebuild":
+                diagnostics.append(make_diagnostic(
+                    "RPR031",
+                    f"dynamic table {name!r} carries aggregate state not "
+                    f"covered by the latest checkpoint; after a restart "
+                    f"its next incremental refresh rebuilds the "
+                    f"accumulators",
+                    hint="run Database.checkpoint() to capture it"))
+        return tuple(diagnostics)
 
     def _enforce_strict(self, statement: n.Statement,
                         spec: ParameterSpec) -> None:
@@ -555,6 +597,43 @@ class Session:
             report = analyze_bound_query(statement.select, plan, sql=sql)
             for diag in report.strict_violations:
                 lines.append(f"-- analysis {diag.render()}")
+            # Durability state, in the same `-- <section> ...` format:
+            # what a process restart would replay, and which referenced
+            # DTs would restore their aggregate state exactly.
+            durability = self.database.durability
+            if durability is not None:
+                status = durability.status()
+                checkpoint_note = (
+                    f"last checkpoint seq {status['last_checkpoint_seq']}"
+                    if status["last_checkpoint_seq"]
+                    else "no checkpoint yet")
+                lines.append(
+                    f"-- durability wal: {status['wal_bytes']} bytes, "
+                    f"{status['records_since_checkpoint']} records to "
+                    f"replay on restart ({checkpoint_note})")
+                from repro.core.evolution import collect_source_names
+
+                try:
+                    names = sorted(collect_source_names(
+                        statement.select, self.database.catalog))
+                except ReproError:
+                    names = []
+                for name in names:
+                    try:
+                        entry = self.database.catalog.get(name)
+                    except ReproError:
+                        continue
+                    if entry.kind != "dynamic table":
+                        continue
+                    agg = durability.agg_recovery_status(entry.payload)
+                    if agg is None:
+                        continue
+                    lines.append(
+                        f"-- durability {name}: aggregate state "
+                        + ("restored exactly after a restart"
+                           if agg == "intact"
+                           else "rebuilt on the next refresh after a "
+                                "restart"))
             return "\n".join(lines)
 
     # -- prepared-statement execution (called by PreparedStatement) ----------

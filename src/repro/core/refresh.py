@@ -211,9 +211,15 @@ class RefreshEngine:
         if action == RefreshAction.NO_DATA:
             # Mark progress only: commit an empty transaction and index the
             # current table version under the new data timestamp.
+            frontier = self._frontier_for(refresh_ts, new_versions)
+            if self.txn_manager.durability is not None:
+                # The empty commit is still a durable event: recovery must
+                # re-advance the frontier it installed.
+                txn.wal_meta = {"dt": dt.name, "refresh_ts": refresh_ts,
+                                "action": action, "frontier": frontier,
+                                "record_deps": False}
             txn.commit()
             dt.table.register_refresh(refresh_ts, dt.table.current_version)
-            frontier = self._frontier_for(refresh_ts, new_versions)
             dt.advance_frontier(frontier)
             record.frontier = frontier
             record.table_rows_after = dt.table.row_count()
@@ -255,6 +261,13 @@ class RefreshEngine:
             record.rows_inserted = len(changes)
             record.rows_deleted = dt.table.row_count()
 
+        frontier = self._frontier_for(refresh_ts, new_versions)
+        if self.txn_manager.durability is not None:
+            txn.wal_meta = {
+                "dt": dt.name, "refresh_ts": refresh_ts, "action": action,
+                "frontier": frontier,
+                "record_deps": action in (RefreshAction.INITIAL,
+                                          RefreshAction.REINITIALIZE)}
         txn.commit()
         if agg_store is not None:
             # The merge committed: the accumulators now describe the
@@ -267,7 +280,6 @@ class RefreshEngine:
             # accumulators are stale.
             dt.agg_state.invalidate(f"{action.value} refresh")
         dt.table.register_refresh(refresh_ts, dt.table.current_version)
-        frontier = self._frontier_for(refresh_ts, new_versions)
         dt.advance_frontier(frontier)
         record.frontier = frontier
         record.table_rows_after = dt.table.row_count()

@@ -1,0 +1,276 @@
+"""Crash recovery: checkpoint load + WAL replay.
+
+Recovery brings a freshly constructed database to the last durable
+state:
+
+1. load the newest checkpoint that parses and passes its checksum
+   (falling back to older ones — an interrupted checkpoint write is
+   atomic thanks to ``os.replace``, but a corrupted file must not take
+   the directory down with it);
+2. scan the WAL, discarding the torn tail (a record cut short by a
+   crash mid-append);
+3. replay, in file order, every record whose ``seq`` is newer than the
+   checkpoint's coverage — committed DML re-applies its staged writes at
+   the *recorded* HLC timestamp, DDL re-runs the catalog operation and
+   asserts the resulting catalog epoch matches the recorded one.
+
+Replay is deterministic: the simulation clock is advanced to each
+record's wall time before applying it (so ``created_at`` stamps and
+version timestamps reproduce exactly), the HLC is restored with
+:meth:`~repro.txn.hlc.HybridLogicalClock.observe` (exact value, not the
+receive rule), and catalog counters continue the pre-crash sequences so
+row ids and entity ids never fork.
+
+Deliberately **not** durable (documented in the README): aggregate
+state touched by replayed refreshes is reinitialized on the next
+refresh (the WAL records the refresh outcome, not the accumulator
+deltas), per-DT static-analysis reports (recomputable), grant changes
+after the last checkpoint, and warehouse usage accounting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.durability import checkpoint as ckpt
+from repro.durability import codec
+from repro.durability.wal import scan_wal
+from repro.errors import DurabilityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.database import Database
+    from repro.core.dynamic_table import DynamicTable
+
+#: The WAL file name inside a durability directory.
+WAL_FILENAME = "wal.log"
+
+
+@dataclass
+class RecoveryReport:
+    """What recovery did, surfaced through ``Database.durability_status``
+    and the EXPLAIN durability section."""
+
+    checkpoint_seq: int = 0               # 0 = started from empty
+    checkpoint_file: Optional[str] = None
+    checkpoint_hlc: Optional[object] = None   # HLC at the checkpoint cut
+    last_wal_seq: int = 0                 # highest seq the checkpoint covers
+    records_replayed: int = 0
+    records_skipped: int = 0              # already covered by the checkpoint
+    torn_bytes: int = 0                   # discarded torn-tail bytes
+    next_wal_seq: int = 1
+    invalid_checkpoints: list[str] = field(default_factory=list)
+
+
+def recover(db: "Database", directory: str) -> RecoveryReport:
+    """Restore ``db`` (freshly constructed, empty) from ``directory``."""
+    report = RecoveryReport()
+    snapshot = None
+    for seq, path in ckpt.list_checkpoints(directory):
+        try:
+            snapshot = ckpt.load_checkpoint(path)
+        except DurabilityError as error:
+            report.invalid_checkpoints.append(f"{path}: {error}")
+            continue
+        report.checkpoint_seq = seq
+        report.checkpoint_file = path
+        break
+    if snapshot is not None:
+        ckpt.restore_database(db, snapshot)
+        report.checkpoint_hlc = codec.decode(snapshot["hlc"])
+        report.last_wal_seq = snapshot["last_wal_seq"]
+
+    next_seq = report.last_wal_seq + 1
+    wal_path = os.path.join(directory, WAL_FILENAME)
+    if os.path.exists(wal_path):
+        scan = scan_wal(wal_path)
+        report.torn_bytes = scan.file_size - scan.good_end
+        for record in scan.records:
+            if record.seq <= report.last_wal_seq:
+                report.records_skipped += 1
+                continue
+            _replay(db, record.payload)
+            report.records_replayed += 1
+        if scan.records:
+            next_seq = max(next_seq, scan.records[-1].seq + 1)
+    report.next_wal_seq = next_seq
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Record dispatch
+# ---------------------------------------------------------------------------
+
+def _replay(db: "Database", payload: dict) -> None:
+    kind = payload.get("kind")
+    if kind == "commit":
+        _replay_commit(db, payload)
+    elif kind == "ddl":
+        _replay_ddl(db, payload)
+    else:
+        raise DurabilityError(
+            f"WAL record {payload.get('seq')} has unknown kind {kind!r}")
+
+
+def _advance_clock(db: "Database", wall: int) -> None:
+    # Monotone within the log; only ever move forward (SimClock refuses
+    # to run backwards, and an already-later clock means a record from
+    # the same instant was replayed first).
+    if wall > db.clock.now():
+        db.clock.advance_to(wall)
+
+
+def _dynamic_table(db: "Database", name: str) -> "DynamicTable":
+    from repro.core.dynamic_table import DynamicTable
+
+    payload = db.catalog.get(name).payload
+    assert isinstance(payload, DynamicTable)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Committed DML (and the refresh transactions riding on it)
+# ---------------------------------------------------------------------------
+
+def _replay_commit(db: "Database", payload: dict) -> None:
+    ts = codec.decode(payload["ts"])
+    _advance_clock(db, ts.wall)
+    # Writes were applied in sorted-table-name order at commit; the
+    # logged mapping preserves that order, and re-applying at the
+    # recorded timestamp reproduces the exact same versions.
+    for name, encoded in payload["writes"].items():
+        write = codec.decode(encoded)
+        db.catalog.versioned_table(name).apply(write, ts)
+    db.txns.hlc.observe(ts)
+    meta = payload["refresh"]
+    if meta is not None:
+        _replay_refresh_meta(db, meta)
+
+
+def _replay_refresh_meta(db: "Database", meta: dict) -> None:
+    """Re-install the frontier/visibility metadata of a refresh whose
+    data changes were just replayed as the enclosing commit."""
+    from repro.core.dynamic_table import RefreshAction, RefreshRecord
+    from repro.core.evolution import record_dependencies
+
+    dt = _dynamic_table(db, meta["dt"])
+    refresh_ts = meta["refresh_ts"]
+    frontier = codec.decode(meta["frontier"])
+    action = RefreshAction(meta["action"])
+    dt.table.register_refresh(refresh_ts, dt.table.current_version)
+    dt.advance_frontier(frontier)
+    # One marker record per replayed refresh: the manual-refresh fast
+    # path returns history[-1] when the frontier already matches.
+    dt.record_refresh(RefreshRecord(
+        data_timestamp=refresh_ts, action=action,
+        table_rows_after=dt.table.row_count(), frontier=frontier))
+    if dt.agg_state is not None:
+        if action == RefreshAction.NO_DATA:
+            dt.agg_state.note_no_data(refresh_ts)
+        else:
+            # The WAL logs refresh *outcomes*, not accumulator deltas:
+            # a replayed data-moving refresh leaves any checkpointed
+            # accumulator state behind the table, so it must rebuild.
+            dt.agg_state.invalidate(
+                "refresh replayed from the WAL after the last checkpoint")
+    if meta["record_deps"]:
+        dt.dependencies = record_dependencies(dt.query, db.catalog)
+
+
+# ---------------------------------------------------------------------------
+# DDL
+# ---------------------------------------------------------------------------
+
+def _replay_ddl(db: "Database", payload: dict) -> None:
+    catalog = db.catalog
+    _advance_clock(db, payload["wall"])
+    ddl = payload["ddl"]
+    data = codec.decode(payload["data"])
+
+    if ddl == "create_table":
+        catalog.create_table(data["name"], data["schema"],
+                             owner=data["owner"],
+                             or_replace=data["or_replace"])
+    elif ddl == "create_view":
+        catalog.create_view(data["name"], data["query_text"], data["query"],
+                            owner=data["owner"],
+                            or_replace=data["or_replace"])
+    elif ddl == "create_dynamic_table":
+        _replay_create_dynamic_table(db, data)
+    elif ddl == "create_warehouse":
+        db.warehouses.create(data["name"], data["size"],
+                             data["auto_suspend"])
+    elif ddl == "dt_hidden":
+        _dynamic_table(db, data["name"]).hidden = True
+    elif ddl == "drop":
+        catalog.drop(data["name"], data["kind"])
+    elif ddl == "undrop":
+        catalog.undrop(data["name"], data["kind"])
+    elif ddl == "rename":
+        catalog.rename(data["name"], data["new_name"])
+    elif ddl == "alter":
+        _replay_alter(db, data)
+    elif ddl == "clone_table":
+        from repro.core.cloning import clone_table
+
+        ts = data["ts"]
+        clone_table(catalog, data["source"], data["name"], ts)
+        db.txns.hlc.observe(ts)
+    elif ddl == "clone_dt":
+        from repro.core.cloning import clone_dynamic_table
+
+        ts = data["ts"]
+        clone_dynamic_table(catalog, data["source"], data["name"], ts)
+        db.txns.hlc.observe(ts)
+    elif ddl == "recluster":
+        ts = data["ts"]
+        catalog.versioned_table(data["name"]).recluster(ts)
+        db.txns.hlc.observe(ts)
+    else:
+        raise DurabilityError(
+            f"WAL record {payload.get('seq')} has unknown DDL {ddl!r}")
+
+    if catalog.epoch != payload["epoch"]:
+        raise DurabilityError(
+            f"catalog epoch diverged replaying WAL record "
+            f"{payload.get('seq')} ({ddl}): expected {payload['epoch']}, "
+            f"got {catalog.epoch}")
+
+
+def _replay_create_dynamic_table(db: "Database", data: dict) -> None:
+    """Rebuild the DT entity exactly as ``Database.create_dynamic_table``
+    does, *without* initializing — the initialization refresh was a
+    normal transaction and replays from its own commit records."""
+    from repro.core.dynamic_table import DynamicTable, RefreshMode
+    from repro.core.evolution import record_dependencies
+    from repro.plan.builder import build_plan
+    from repro.plan.properties import incrementalizability
+    from repro.storage.table import VersionedTable
+
+    query = data["query"]
+    plan = build_plan(query, db.catalog, db.registry)
+    check = incrementalizability(plan)
+    schema = plan.schema.requalified(None)
+    table = VersionedTable(data["name"], schema,
+                           db.catalog.allocate_table_seq())
+    dependencies = record_dependencies(query, db.catalog)
+    dt = DynamicTable(data["name"], data["query_text"], query,
+                      data["target_lag"], data["warehouse"],
+                      RefreshMode(data["refresh_mode"]), table, dependencies,
+                      check.supported, check.reasons)
+    db.catalog.create_dynamic_entry(data["name"], dt,
+                                    or_replace=data["or_replace"])
+
+
+def _replay_alter(db: "Database", data: dict) -> None:
+    # Suspend/resume flip entity state beyond the DDL-log line; a manual
+    # REFRESH's data effects replay from its own commit records.
+    if data["kind"] == "dynamic table" and data["detail"] in ("suspend",
+                                                              "resume"):
+        dt = _dynamic_table(db, data["name"])
+        if data["detail"] == "suspend":
+            dt.suspend()
+        else:
+            dt.resume()
+    db.catalog.log_alter(data["kind"], data["name"], data["detail"])

@@ -185,3 +185,10 @@ class RowIdIntegrityError(InternalError):
     relation, so letting them flow into derivative rules could silently
     violate the ``($ROW_ID, $ACTION)`` uniqueness invariant across
     relations; the differentiator rejects them up front instead."""
+
+
+class DurabilityError(ReproError):
+    """The on-disk durability state (WAL or checkpoint) is unusable: bad
+    magic, an unsupported format version, a checksum mismatch outside the
+    torn tail, or a replayed record whose catalog-epoch stamp does not
+    match the catalog it replayed into."""

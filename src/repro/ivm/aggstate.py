@@ -422,6 +422,14 @@ class AggStateStore:
         self._dirty = False
         #: Reasons for every reset, oldest first (observability & tests).
         self.invalidations: list[str] = []
+        #: Node states restored from a checkpoint but not yet claimed:
+        #: key -> (signature, hydrate). ``hydrate(plan)`` rebuilds the
+        #: node state against the live plan, or returns None when the
+        #: snapshot no longer matches the plan's aggregate shape (the
+        #: node then reinitializes lazily — the same self-healing path as
+        #: a signature mismatch). Populated by
+        #: :mod:`repro.durability.checkpoint` during recovery.
+        self._restored: dict[tuple[str, int], tuple[str, object]] = {}
 
     # -- refresh lifecycle ---------------------------------------------------
 
@@ -468,6 +476,7 @@ class AggStateStore:
 
     def _reset(self, reason: str) -> None:
         self._nodes.clear()
+        self._restored.clear()
         self.advanced_to = None
         self.invalidations.append(reason)
 
@@ -494,10 +503,14 @@ class AggStateStore:
                 f"node state signature mismatch at {key}: discarded")
             state = None
         if state is None:
-            if kind == "Aggregate":
-                state = AggregateNodeState(plan)  # type: ignore[arg-type]
-            else:
-                state = DistinctNodeState(plan)   # type: ignore[arg-type]
+            pending = self._restored.pop(key, None)
+            if pending is not None and pending[0] == signature:
+                state = pending[1](plan)
+            if state is None:
+                if kind == "Aggregate":
+                    state = AggregateNodeState(plan)  # type: ignore[arg-type]
+                else:
+                    state = DistinctNodeState(plan)   # type: ignore[arg-type]
             state.signature = signature
             self._nodes[key] = state
         return state

@@ -306,6 +306,10 @@ class Server:
                 session.rollback()
                 raise
             self.stats.count_commit(attempt)
+            # WAL-size-threshold checkpointing piggybacks on commit
+            # completion — outside the commit mutex, so the checkpoint's
+            # own locking cannot deadlock with the transaction above.
+            self.database.maybe_checkpoint()
             return result
         raise LockConflict(
             f"transaction gave up after {max_attempts} conflicting "

@@ -22,7 +22,6 @@ The catalog also implements the operational DDL behaviours of section 3.4:
 
 from __future__ import annotations
 
-import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
@@ -100,13 +99,22 @@ class Catalog:
         self._clock = clock
         self._entries: dict[str, CatalogEntry] = {}
         self._ddl_log: list[DdlEvent] = []
-        self._ddl_seq = itertools.count(1)
-        self._table_seq = itertools.count(1)
-        self._entity_ids = itertools.count(1)
+        # Plain-int counters (last allocated value) rather than
+        # itertools.count: checkpoints must serialize and restore them so
+        # sequence numbers, row-id namespaces, and entity identities stay
+        # continuous across a crash-recovery cycle.
+        self._ddl_seq = 0
+        self._table_seq = 0
+        self._entity_ids = 0
         #: Serializes catalog mutations (the DDL critical section) under
         #: the multi-session server; reads stay lock-free — entries are
         #: only ever added or flag-flipped, never restructured in place.
         self._mutex = threading.RLock()
+        #: Durability hook (:class:`repro.durability.DurabilityManager`);
+        #: attached by Database *after* recovery, so replayed DDL is never
+        #: re-logged. Hooked methods append their WAL record inside the
+        #: catalog mutex — WAL order equals DDL-log order.
+        self.durability = None
 
     # -- SchemaProvider interface ------------------------------------------------
 
@@ -168,7 +176,8 @@ class Catalog:
     # -- DDL -----------------------------------------------------------------------
 
     def _log(self, op: str, kind: str, name: str, detail: str = "") -> None:
-        self._ddl_log.append(DdlEvent(next(self._ddl_seq), self._clock(),
+        self._ddl_seq += 1
+        self._ddl_log.append(DdlEvent(self._ddl_seq, self._clock(),
                                       op, kind, name, detail))
 
     @property
@@ -189,7 +198,26 @@ class Catalog:
 
     def allocate_table_seq(self) -> int:
         """A unique sequence number used in base row ids."""
-        return next(self._table_seq)
+        with self._mutex:
+            self._table_seq += 1
+            return self._table_seq
+
+    def counters(self) -> tuple[int, int, int]:
+        """(ddl_seq, table_seq, entity_id) — the last allocated value of
+        each catalog counter, for checkpointing."""
+        with self._mutex:
+            return (self._ddl_seq, self._table_seq, self._entity_ids)
+
+    def restore_counters(self, ddl_seq: int, table_seq: int,
+                         entity_seq: int) -> None:
+        """Restore counter positions from a checkpoint, so allocations
+        after recovery continue the pre-crash sequences (entity-id
+        continuity is what keeps query evolution's REINITIALIZE detection
+        correct across a restart)."""
+        with self._mutex:
+            self._ddl_seq = ddl_seq
+            self._table_seq = table_seq
+            self._entity_ids = entity_seq
 
     def create_table(self, name: str, schema: Schema, owner: str = "sysadmin",
                      or_replace: bool = False,
@@ -202,6 +230,12 @@ class Catalog:
                 return replaced.payload
             table = VersionedTable(name, schema, self.allocate_table_seq())
             self._put(name, "table", table, owner, replaced)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "create_table",
+                    {"name": name, "schema": schema, "owner": owner,
+                     "or_replace": replaced is not None},
+                    self.epoch)
             return table
 
     def create_table_entry(self, name: str, table: VersionedTable,
@@ -217,6 +251,12 @@ class Catalog:
             replaced = self._prepare_create(name, "view", or_replace, False)
             self._put(name, "view", ViewDefinition(query_text, query), owner,
                       replaced)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "create_view",
+                    {"name": name, "query_text": query_text, "query": query,
+                     "owner": owner, "or_replace": replaced is not None},
+                    self.epoch)
 
     def create_dynamic_entry(self, name: str, dynamic_table: object,
                              owner: str = "sysadmin",
@@ -240,9 +280,10 @@ class Catalog:
     def _put(self, name: str, kind: str, payload: object, owner: str,
              replaced: Optional[CatalogEntry]) -> None:
         generation = replaced.generation + 1 if replaced is not None else 0
+        self._entity_ids += 1
         self._entries[name] = CatalogEntry(
             name=name, kind=kind, payload=payload, owner=owner,
-            created_at=self._clock(), entity_id=next(self._entity_ids),
+            created_at=self._clock(), entity_id=self._entity_ids,
             generation=generation)
         self._log("replace" if replaced is not None else "create", kind, name)
 
@@ -259,6 +300,9 @@ class Catalog:
                     f"{name!r} is a {entry.kind}, not a {kind}")
             entry.dropped = True
             self._log("drop", entry.kind, name)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "drop", {"name": name, "kind": entry.kind}, self.epoch)
 
     def undrop(self, name: str, kind: str | None = None) -> None:
         with self._mutex:
@@ -269,6 +313,9 @@ class Catalog:
                 raise CatalogError(f"{name!r} is a {entry.kind}, not a {kind}")
             entry.dropped = False
             self._log("undrop", entry.kind, name)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "undrop", {"name": name, "kind": entry.kind}, self.epoch)
 
     def rename(self, name: str, new_name: str) -> None:
         with self._mutex:
@@ -281,7 +328,15 @@ class Catalog:
                 entry.payload.name = new_name
             self._entries[new_name] = entry
             self._log("rename", entry.kind, name, detail=f"-> {new_name}")
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "rename", {"name": name, "new_name": new_name},
+                    self.epoch)
 
     def log_alter(self, kind: str, name: str, detail: str) -> None:
         with self._mutex:
             self._log("alter", kind, name, detail)
+            if self.durability is not None:
+                self.durability.log_ddl(
+                    "alter", {"kind": kind, "name": name, "detail": detail},
+                    self.epoch)

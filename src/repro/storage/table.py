@@ -407,6 +407,60 @@ class VersionedTable:
         self._commit_keys.append((commit_ts.wall, commit_ts.logical))
         return version
 
+    # -- durability ---------------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Checkpointable state, as plain Python objects. Partition
+        *contents* are not included — checkpoints pool partitions across
+        tables (clones share them by reference) and store only ids here;
+        see :mod:`repro.durability.checkpoint`."""
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "table_seq": self.table_seq,
+            "partition_rows": self.partition_rows,
+            "next_row_seq": self._next_row_seq,
+            "partition_ids": sorted(self._partitions),
+            "versions": [(version.index, version.commit_ts,
+                          sorted(version.partition_ids),
+                          version.data_equivalent)
+                         for version in self._versions],
+            "refresh_versions": sorted(self._refresh_versions.items()),
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict,
+                      partitions: dict[int, Partition]) -> "VersionedTable":
+        """Rebuild a table from :meth:`snapshot_state` output.
+
+        ``partitions`` maps the *snapshotted* partition ids to restored
+        :class:`Partition` objects (whose process-local ids are fresh);
+        sharing the same map across tables preserves zero-copy clone
+        sharing through a checkpoint/restore cycle.
+        """
+        table = cls(state["name"], state["schema"], state["table_seq"],
+                    state["partition_rows"])
+        table._next_row_seq = state["next_row_seq"]
+        table._partitions = {partitions[old_id].id: partitions[old_id]
+                             for old_id in state["partition_ids"]}
+        versions: list[TableVersion] = []
+        commit_keys: list[tuple[Timestamp, int]] = []
+        for index, commit_ts, partition_ids, data_equivalent in state["versions"]:
+            versions.append(TableVersion(
+                index, commit_ts,
+                frozenset(partitions[old_id].id for old_id in partition_ids),
+                data_equivalent))
+            commit_keys.append((commit_ts.wall, commit_ts.logical))
+        table._versions = versions
+        table._commit_keys = commit_keys
+        locator: dict[str, int] = {}
+        for partition_id in versions[-1].partition_ids:
+            for row_id in table._partitions[partition_id].row_ids:
+                locator[row_id] = partition_id
+        table._locator = locator
+        table._refresh_versions = dict(state["refresh_versions"])
+        return table
+
     # -- introspection -----------------------------------------------------------
 
     def partition_count(self, version: TableVersion | None = None) -> int:

@@ -113,3 +113,17 @@ class HybridLogicalClock:
             issued = HlcTimestamp(wall, logical)
             self._last = issued
             return issued
+
+    def observe(self, remote: HlcTimestamp) -> None:
+        """Advance ``last`` to ``remote`` without issuing a timestamp.
+
+        Unlike :meth:`update` (the HLC receive rule, which bumps the
+        logical component), observation restores the clock to an *exact*
+        previously issued value — WAL replay re-applies each commit with
+        its recorded timestamp and must leave the clock precisely where
+        the crashed process had it, so post-recovery commits continue the
+        same sequence instead of forking one logical tick above it.
+        """
+        with self._mutex:
+            if remote > self._last:
+                self._last = remote

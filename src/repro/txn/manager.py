@@ -146,6 +146,12 @@ class Transaction:
         self.aborted = False
         #: Per-table version overrides (used by refreshes to pin sources).
         self._version_overrides: dict[str, TableVersion] = {}
+        #: Refresh metadata riding on this transaction's WAL commit
+        #: record (set by the refresh engine before commit): the frontier
+        #: advance that recovery must replay alongside the data changes.
+        #: A NO_DATA refresh commits no writes but still must be logged —
+        #: its frontier advance is durable state.
+        self.wal_meta: Optional[dict] = None
 
     @property
     def snapshot_wall(self) -> Timestamp:
@@ -426,6 +432,17 @@ class Transaction:
                 for name in written:
                     catalog.versioned_table(name).apply(self._writes[name],
                                                         commit_ts)
+                # WAL append inside the commit mutex: log order equals
+                # commit order, and the record hits stable storage before
+                # the commit returns. Empty transactions with no refresh
+                # metadata are non-events and are not logged.
+                durability = self._manager.durability
+                if durability is not None and (written
+                                               or self.wal_meta is not None):
+                    durability.log_commit(
+                        commit_ts,
+                        {name: self._writes[name] for name in written},
+                        self.wal_meta)
         finally:
             self._release_locks()
         self.committed = commit_ts
@@ -507,6 +524,10 @@ class TransactionManager:
         #: against snapshot acquisition: ``begin_at_latest`` must never
         #: see an HLC point whose versions are still being installed.
         self.commit_mutex = threading.Lock()
+        #: Durability hook (:class:`repro.durability.DurabilityManager`);
+        #: attached by Database *after* recovery, so replayed commits are
+        #: never re-logged.
+        self.durability = None
         self._physical_clock = physical_clock
         self._txn_ids = itertools.count(1)
         # Lock-timeout leasing (see lease_lock_timeout).

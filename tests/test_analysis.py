@@ -43,7 +43,7 @@ def codes_of(session, sql):
 def test_code_registry_is_stable():
     assert set(CODES) == {"RPR001", "RPR002", "RPR003", "RPR004",
                           "RPR005", "RPR011", "RPR012", "RPR013",
-                          "RPR021", "RPR022"}
+                          "RPR021", "RPR022", "RPR031"}
     for code, info in CODES.items():
         assert info.code == code
         assert info.title and info.rationale

@@ -33,6 +33,19 @@ convention-enforced:
     accumulator would break retraction-based incremental aggregation at
     runtime, in whatever query shape first exercises the missing method.
 
+``durability-io``
+    All file I/O goes through ``repro/durability/`` — the one subsystem
+    that knows the fsync/``os.replace`` discipline that makes writes
+    crash-atomic. A bare ``open()`` / ``os.*`` file call anywhere else
+    is state the recovery path cannot see and will not restore.
+
+``wal-commit-mutex``
+    Every ``.log_commit(...)`` call must sit lexically inside a
+    ``with`` block whose context expression mentions ``commit_mutex``.
+    WAL commit records replay in sequence order on recovery; logging
+    outside the commit critical section would let the on-disk record
+    order diverge from the in-memory apply order.
+
 A violating line can be suppressed with an inline pragma comment::
 
     deadline = time.monotonic() + t  # lint: allow-wall-clock (reason)
@@ -117,6 +130,14 @@ MATERIALIZE_ALLOWLIST: set[tuple[str, str]] = {
 #: The accumulator protocol every concrete accumulator must provide.
 _ACCUMULATOR_PROTOCOL = ("insert", "retract", "merge", "finalize")
 _ACCUMULATOR_ROOT = "Accumulator"
+
+#: The only subtree allowed to do direct file I/O.
+_DURABILITY_EXEMPT = ("durability/",)
+#: ``os.<attr>(...)`` calls that touch the filesystem.
+_IO_OS_CALLS = {"open", "fdopen", "write", "replace", "truncate", "fsync",
+                "unlink", "remove", "rename", "makedirs"}
+#: ``Path``-style convenience I/O methods.
+_IO_PATH_METHODS = {"write_text", "write_bytes", "read_text", "read_bytes"}
 
 
 @dataclass(frozen=True)
@@ -385,10 +406,89 @@ def check_accumulator_protocol(tree: ast.Module, rel_path: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: durability-io
+# ---------------------------------------------------------------------------
+
+
+def check_durability_io(tree: ast.Module, rel_path: str,
+                        source_lines: Sequence[str]) -> Iterator[Violation]:
+    if any(rel_path.startswith(exempt) or f"/{exempt}" in rel_path
+           for exempt in _DURABILITY_EXEMPT):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        what: Optional[str] = None
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            what = "open()"
+        elif (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "os"
+                and node.func.attr in _IO_OS_CALLS):
+            what = f"os.{node.func.attr}()"
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _IO_PATH_METHODS):
+            what = f".{node.func.attr}()"
+        if what is None:
+            continue
+        if _has_pragma(source_lines, node.lineno, "durability-io"):
+            continue
+        yield Violation(
+            rel_path, node.lineno, "durability-io",
+            f"{what} does direct file I/O outside repro/durability/; "
+            "route persistence through the durability subsystem so the "
+            "write is crash-atomic and visible to recovery")
+
+
+# ---------------------------------------------------------------------------
+# Rule: wal-commit-mutex
+# ---------------------------------------------------------------------------
+
+
+def _mentions_commit_mutex(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Attribute) and node.attr == "commit_mutex":
+            return True
+        if isinstance(node, ast.Name) and node.id == "commit_mutex":
+            return True
+    return False
+
+
+def check_wal_commit_mutex(tree: ast.Module, rel_path: str,
+                           source_lines: Sequence[str],
+                           ) -> Iterator[Violation]:
+    found: list[Violation] = []
+
+    def scan(node: ast.AST, held: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                if any(_mentions_commit_mutex(item.context_expr)
+                       for item in child.items):
+                    child_held = True
+            if (isinstance(child, ast.Call)
+                    and isinstance(child.func, ast.Attribute)
+                    and child.func.attr == "log_commit"
+                    and not child_held
+                    and not _has_pragma(source_lines, child.lineno,
+                                        "wal-commit-mutex")):
+                found.append(Violation(
+                    rel_path, child.lineno, "wal-commit-mutex",
+                    ".log_commit(...) outside a `with ... commit_mutex:` "
+                    "block; the WAL record order must match the commit "
+                    "apply order, which only the commit mutex guarantees"))
+            scan(child, child_held)
+
+    scan(tree, False)
+    yield from found
+
+
+# ---------------------------------------------------------------------------
 # Driver
 # ---------------------------------------------------------------------------
 
-RULES = ("wall-clock", "lock-order", "materialize", "accumulator-protocol")
+RULES = ("wall-clock", "lock-order", "materialize", "accumulator-protocol",
+         "durability-io", "wal-commit-mutex")
 
 
 def check_file(path: Path, root: Path,
@@ -409,6 +509,8 @@ def check_file(path: Path, root: Path,
                                         force=force_all))
     violations.extend(check_accumulator_protocol(tree, rel_path,
                                                  source_lines))
+    violations.extend(check_durability_io(tree, rel_path, source_lines))
+    violations.extend(check_wal_commit_mutex(tree, rel_path, source_lines))
     return violations
 
 
@@ -441,6 +543,8 @@ FIXTURE_EXPECTATIONS = {
     "bad_lock_order.py": "lock-order",
     "bad_materialize.py": "materialize",
     "bad_accumulator.py": "accumulator-protocol",
+    "bad_durability_io.py": "durability-io",
+    "bad_wal_mutex.py": "wal-commit-mutex",
 }
 
 
