@@ -15,6 +15,7 @@ layered surface.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Optional
 
 from repro.api.cursor import Cursor
@@ -77,6 +78,10 @@ class Database:
         #: Optimized-plan cache shared by every session's prepared
         #: statements (parameter-aware keys; see repro.plan.cache).
         self.plan_cache = PlanCache()
+        # Session ids are allocated under a mutex: Server.connect calls
+        # session() from concurrent pool threads, and an unguarded
+        # counter can hand two sessions the same id.
+        self._session_mutex = threading.Lock()
         self._session_count = 0
         self._default_session = Session(self, 0)
         #: The durability manager, or None for a purely in-memory
@@ -122,8 +127,10 @@ class Database:
 
     def session(self) -> Session:
         """Open a new session with independent per-session state."""
-        self._session_count += 1
-        return Session(self, self._session_count)
+        with self._session_mutex:
+            self._session_count += 1
+            session_id = self._session_count
+        return Session(self, session_id)
 
     def cursor(self) -> Cursor:
         """A streaming cursor over the default session."""

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import os
 import zlib
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.dynamic_table import (DynamicTable, RefreshAction,
                                       RefreshRecord)
@@ -47,6 +47,9 @@ from repro.ivm.aggstate import (AggregateNodeState, AggStateStore,
 from repro.storage.catalog import Catalog, CatalogEntry
 from repro.storage.partition import Partition
 from repro.storage.table import VersionedTable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.database import Database
 
 CHECKPOINT_MAGIC = "RPRCKPT1"
 FORMAT_VERSION = 1
@@ -70,7 +73,7 @@ _ACC_TAGS = {
 # Aggregate state
 # ---------------------------------------------------------------------------
 
-def _snapshot_accumulator(acc: object) -> Optional[dict]:
+def _snapshot_accumulator(acc: Any) -> Optional[dict]:
     tag = _ACC_TAGS.get(type(acc))
     if tag is None:
         return None
@@ -86,7 +89,7 @@ def _snapshot_accumulator(acc: object) -> Optional[dict]:
             "counts": codec.encode(acc.counts)}
 
 
-def _restore_accumulator(acc: object, snap: dict) -> bool:
+def _restore_accumulator(acc: Any, snap: dict) -> bool:
     """Fill a freshly made accumulator from its snapshot; False when the
     snapshot does not match the accumulator the live plan asks for."""
     if _ACC_TAGS.get(type(acc)) != snap["t"]:
@@ -140,6 +143,7 @@ def snapshot_agg_store(store: Optional[AggStateStore]) -> Optional[dict]:
         if snap is None:
             nodes = None
             break
+        assert isinstance(state, (AggregateNodeState, DistinctNodeState))
         nodes.append({"kind": kind, "sequence": sequence,
                       "signature": state.signature, "state": snap})
     return {"fingerprint": codec.encode(store.fingerprint),
@@ -150,7 +154,7 @@ def snapshot_agg_store(store: Optional[AggStateStore]) -> Optional[dict]:
 
 
 def _hydrate_aggregate(snap: dict) -> Callable:
-    def hydrate(plan) -> Optional[AggregateNodeState]:
+    def hydrate(plan: Any) -> Optional[AggregateNodeState]:
         state = AggregateNodeState(plan)
         for stored in snap["groups"]:
             if len(stored["accs"]) != len(plan.aggregates):
@@ -172,7 +176,7 @@ def _hydrate_aggregate(snap: dict) -> Callable:
 
 
 def _hydrate_distinct(snap: dict) -> Callable:
-    def hydrate(plan) -> Optional[DistinctNodeState]:
+    def hydrate(plan: Any) -> Optional[DistinctNodeState]:
         state = DistinctNodeState(plan)
         for count, row in snap["rows"]:
             decoded = codec.decode(row)
@@ -278,13 +282,16 @@ def _restore_dt(snap: dict, partitions: dict[int, Partition]) -> DynamicTable:
 
 
 def _snapshot_entry(entry: CatalogEntry) -> dict:
+    # ``CatalogEntry.payload`` is typed ``object`` (the union lives in a
+    # comment); ``kind`` is the discriminant, so go through Any here.
+    source: Any = entry.payload
     if entry.kind == "table":
         payload = {"type": "table",
-                   "table": codec.encode(entry.payload.snapshot_state())}
+                   "table": codec.encode(source.snapshot_state())}
     elif entry.kind == "view":
-        payload = {"type": "view", "view": codec.encode(entry.payload)}
+        payload = {"type": "view", "view": codec.encode(source)}
     else:
-        payload = {"type": "dynamic table", "dt": _snapshot_dt(entry.payload)}
+        payload = {"type": "dynamic table", "dt": _snapshot_dt(source)}
     return {
         "name": entry.name,
         "kind": entry.kind,
@@ -322,7 +329,8 @@ def _restore_entry(snap: dict, partitions: dict[int, Partition],
 # Whole-database snapshot
 # ---------------------------------------------------------------------------
 
-def snapshot_database(db, checkpoint_seq: int, last_wal_seq: int) -> dict:
+def snapshot_database(db: "Database", checkpoint_seq: int,
+                      last_wal_seq: int) -> dict:
     """Serialize the database. Callers must hold the commit mutex and the
     catalog mutex — the snapshot must not interleave with a commit's
     version installation or a DDL operation."""
@@ -333,8 +341,9 @@ def snapshot_database(db, checkpoint_seq: int, last_wal_seq: int) -> dict:
     for entry in catalog.entries(include_dropped=True):
         if entry.kind == "view":
             continue
-        table = (entry.payload.table if entry.kind == "dynamic table"
-                 else entry.payload)
+        source: Any = entry.payload
+        table = (source.table if entry.kind == "dynamic table"
+                 else source)
         pool.update(table._partitions)
     partitions = {
         str(partition_id): {
@@ -368,7 +377,7 @@ def snapshot_database(db, checkpoint_seq: int, last_wal_seq: int) -> dict:
     }
 
 
-def restore_database(db, snapshot: dict) -> None:
+def restore_database(db: "Database", snapshot: dict) -> None:
     """Load a snapshot into a freshly constructed database."""
     catalog: Catalog = db.catalog
     partitions: dict[int, Partition] = {}
@@ -437,7 +446,7 @@ def load_checkpoint(path: str) -> dict:
                               f"format version {FORMAT_VERSION}")
     if f"{zlib.crc32(body):08x}" != parts[1]:
         raise DurabilityError(f"checkpoint {path!r} failed its checksum")
-    snapshot = json.loads(body.decode("utf-8"))
+    snapshot: dict = json.loads(body.decode("utf-8"))
     if snapshot.get("format") != FORMAT_VERSION:
         raise DurabilityError(
             f"checkpoint {path!r} has unsupported format "

@@ -116,6 +116,7 @@ class DurabilityManager:
         """Append one commit record. Called by ``Transaction.commit``
         *inside* the commit mutex, right after version installation, so
         the WAL orders commits exactly as they became visible."""
+        assert self.wal is not None, "log_commit before open()"
         encoded_meta = None
         if refresh_meta is not None:
             encoded_meta = dict(refresh_meta,
@@ -147,6 +148,7 @@ class DurabilityManager:
         the catalog mutex) or database-level DDL (inside the commit
         mutex); ``epoch`` is the catalog epoch *after* the operation,
         which replay asserts to catch divergence early."""
+        assert self.wal is not None, "log_ddl before open()"
         self.wal.append({
             "kind": "ddl",
             "ddl": ddl,
@@ -154,13 +156,17 @@ class DurabilityManager:
             "epoch": epoch,
             "data": codec.encode(data),
         })
-        self.records_since_checkpoint += 1
+        # Advisory counter only (status reporting); the WAL mutex
+        # serializes the appends themselves, and a lost increment can at
+        # worst understate the status line.
+        self.records_since_checkpoint += 1  # eng: allow-ENG104 (advisory)
 
     # -- checkpoints ---------------------------------------------------------------
 
     def checkpoint(self) -> str:
         """Snapshot the database, install the checkpoint file, truncate
         the WAL behind it. Returns the checkpoint file's path."""
+        assert self.wal is not None, "checkpoint before open()"
         with self._checkpoint_mutex:
             # Lock order matches the cloning path: commit mutex first,
             # then the catalog mutex.

@@ -42,6 +42,7 @@ from repro.errors import DurabilityError
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.database import Database
     from repro.core.dynamic_table import DynamicTable
+    from repro.txn.hlc import HlcTimestamp
 
 #: The WAL file name inside a durability directory.
 WAL_FILENAME = "wal.log"
@@ -54,7 +55,7 @@ class RecoveryReport:
 
     checkpoint_seq: int = 0               # 0 = started from empty
     checkpoint_file: Optional[str] = None
-    checkpoint_hlc: Optional[object] = None   # HLC at the checkpoint cut
+    checkpoint_hlc: Optional["HlcTimestamp"] = None  # at the checkpoint cut
     last_wal_seq: int = 0                 # highest seq the checkpoint covers
     records_replayed: int = 0
     records_skipped: int = 0              # already covered by the checkpoint

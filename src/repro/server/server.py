@@ -71,7 +71,7 @@ class ServerStats:
     ``commits`` / ``conflicts`` / ``retries`` instead.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._mutex = threading.Lock()
         self.statements = 0
         self.transactions = 0
@@ -117,7 +117,7 @@ class Connection:
     this connection exactly as it does on a plain session.
     """
 
-    def __init__(self, server: "Server", session: Session):
+    def __init__(self, server: "Server", session: Session) -> None:
         self._server = server
         self.session = session
         #: Serializes this connection's statements across pool workers.
@@ -202,7 +202,7 @@ class Connection:
     def __enter__(self) -> "Connection":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -215,7 +215,7 @@ class Server:
 
     def __init__(self, database: Optional[Database] = None,
                  workers: int = DEFAULT_WORKERS,
-                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT):
+                 lock_timeout: float = DEFAULT_LOCK_TIMEOUT) -> None:
         self.database = database if database is not None else Database()
         # Commits queue behind each other's table locks instead of
         # failing fast — the lock manager is the commit critical
@@ -331,7 +331,7 @@ class Server:
     def __enter__(self) -> "Server":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

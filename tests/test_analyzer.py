@@ -1,0 +1,440 @@
+"""Tests for the whole-program concurrency analyzer
+(``tools/analyzer/``): call-graph construction (method resolution, the
+binding and seam tables), the lock-state transfer function, the
+must-hold fixpoint, mutation regressions over fixture copies, and the
+real-tree contracts the CI gate relies on (clean gated run, acyclic
+acquired-before relation with the documented discipline edges).
+"""
+
+import shutil
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyzer import driver  # noqa: E402
+from tools.analyzer.callgraph import Program  # noqa: E402
+from tools.analyzer.config import REPRO_CONFIG, AnalyzerConfig  # noqa: E402
+from tools.analyzer.effects import (may_take,  # noqa: E402
+                                    transitive_effects)
+from tools.analyzer.lockstate import build_lock_graph  # noqa: E402
+from tools.analyzer.races import must_held_at_entry  # noqa: E402
+
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+
+def _program(tmp_path, sources: dict, config=None) -> Program:
+    for rel_name, text in sources.items():
+        target = tmp_path / rel_name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text))
+    return Program(tmp_path, config or AnalyzerConfig())
+
+
+def _edges(program: Program) -> set:
+    return {(site.caller, site.callee)
+            for site in program.resolved_edges()}
+
+
+# ---------------------------------------------------------------------------
+# Call graph: resolution through annotations, constructors, attributes
+# ---------------------------------------------------------------------------
+
+
+def test_resolves_annotated_parameter_method_call(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        class Engine:
+            def run(self):
+                pass
+
+        def drive(engine: Engine):
+            engine.run()
+    """})
+    assert ("mod.drive", "mod.Engine.run") in _edges(program)
+
+
+def test_resolves_optional_annotation(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        from typing import Optional
+
+        class Engine:
+            def run(self):
+                pass
+
+        def drive(engine: Optional[Engine]):
+            engine.run()
+
+        def drive2(engine: "Engine | None"):
+            engine.run()
+    """})
+    edges = _edges(program)
+    assert ("mod.drive", "mod.Engine.run") in edges
+    assert ("mod.drive2", "mod.Engine.run") in edges
+
+
+def test_resolves_constructor_assignment(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        class Engine:
+            def run(self):
+                pass
+
+        def drive():
+            engine = Engine()
+            engine.run()
+    """})
+    assert ("mod.drive", "mod.Engine.run") in _edges(program)
+
+
+def test_resolves_self_attribute_chain(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        class Engine:
+            def run(self):
+                pass
+
+        class Car:
+            def __init__(self):
+                self.engine = Engine()
+
+            def go(self):
+                self.engine.run()
+    """})
+    assert ("mod.Car.go", "mod.Engine.run") in _edges(program)
+
+
+def test_resolves_inherited_method_through_base_chain(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        class Base:
+            def run(self):
+                pass
+
+        class Derived(Base):
+            pass
+
+        def drive(engine: Derived):
+            engine.run()
+    """})
+    assert ("mod.drive", "mod.Base.run") in _edges(program)
+
+
+def test_attr_binding_table_types_late_bound_attribute(tmp_path):
+    # Two unrelated definers of ``fire``: the unique-definer fallback
+    # stays out of it, so only the binding table can type the call.
+    sources = {"mod.py": """
+        class Hook:
+            def fire(self):
+                pass
+
+        class Missile:
+            def fire(self):
+                pass
+
+        class Owner:
+            def __init__(self):
+                self.hook = None
+
+            def trigger(self):
+                self.hook.fire()
+    """}
+    untyped = _program(tmp_path / "a", sources)
+    assert ("mod.Owner.trigger", "mod.Hook.fire") not in _edges(untyped)
+    bound = _program(tmp_path / "b", sources,
+                     AnalyzerConfig(attr_bindings={"Owner.hook": "Hook"}))
+    assert ("mod.Owner.trigger", "mod.Hook.fire") in _edges(bound)
+
+
+def test_method_seam_fans_out_to_subclasses(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        class Acc:
+            def fold(self, row):
+                raise NotImplementedError
+
+        class SumAcc(Acc):
+            def fold(self, row):
+                pass
+
+        class CountAcc(Acc):
+            def fold(self, row):
+                pass
+
+        def apply(acc):
+            acc.fold(1)
+    """}, AnalyzerConfig(method_seams={"fold": ("subclasses-of:Acc",)}))
+    edges = _edges(program)
+    assert ("mod.apply", "mod.SumAcc.fold") in edges
+    assert ("mod.apply", "mod.CountAcc.fold") in edges
+
+
+def test_nested_def_gets_implicit_edge_from_outer(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import time
+
+        def outer():
+            def inner():
+                time.sleep(1)
+            return inner
+    """})
+    assert ("mod.outer", "mod.outer.inner") in _edges(program)
+    effects = transitive_effects(program)
+    assert "sleep" in effects["mod.outer"]
+
+
+# ---------------------------------------------------------------------------
+# Lock-state transfer function
+# ---------------------------------------------------------------------------
+
+
+def test_with_block_scopes_held_set_exactly(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.mutex = threading.Lock()
+                self.n = 0
+
+            def update(self):
+                with self.mutex:
+                    self.n += 1
+                self.n += 2
+    """})
+    writes = {w.line: set(w.held)
+              for w in program.facts["mod.Box.update"].writes
+              if w.attr == "n"}
+    inside, outside = sorted(writes)
+    assert writes[inside] == {"Box.mutex"}
+    assert writes[outside] == set()
+
+
+def test_explicit_acquire_persists_to_function_end(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.mutex = threading.Lock()
+                self.n = 0
+
+            def update(self):
+                self.mutex.acquire()
+                self.n += 1
+    """})
+    facts = program.facts["mod.Box.update"]
+    (acq,) = facts.acquisitions
+    assert acq.lock == "Box.mutex" and not acq.via_with
+    (write,) = [w for w in facts.writes if w.attr == "n"]
+    assert "Box.mutex" in write.held
+
+
+def test_nested_with_produces_acquired_before_edge(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+
+            def both(self):
+                with self.a:
+                    with self.b:
+                        pass
+    """})
+    graph = build_lock_graph(program)
+    assert "Box.b" in graph.edges.get("Box.a", set())
+    assert graph.cycles() == []
+
+
+def test_interprocedural_inversion_detected(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.a = threading.Lock()
+                self.b = threading.Lock()
+
+            def forward(self):
+                with self.a:
+                    self.take_b()
+
+            def take_b(self):
+                with self.b:
+                    pass
+
+            def backward(self):
+                with self.b:
+                    with self.a:
+                        pass
+    """})
+    graph = build_lock_graph(program)
+    cycles = graph.cycles()
+    assert len(cycles) == 1
+    assert set(cycles[0]) == {"Box.a", "Box.b"}
+
+
+def test_may_take_propagates_through_calls(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.a = threading.Lock()
+
+            def inner(self):
+                with self.a:
+                    pass
+
+            def outer(self):
+                self.inner()
+    """})
+    takes = may_take(program)
+    assert "Box.a" in takes["mod.Box.outer"]
+
+
+def test_must_held_at_entry_intersects_paths(tmp_path):
+    program = _program(tmp_path, {"mod.py": """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self.mutex = threading.Lock()
+
+            def guarded(self):
+                with self.mutex:
+                    self.work()
+
+            def unguarded(self):
+                self.work()
+
+            def always(self):
+                with self.mutex:
+                    self.leaf()
+
+            def work(self):
+                pass
+
+            def leaf(self):
+                pass
+    """})
+    held = must_held_at_entry(
+        program, {"mod.Box.guarded", "mod.Box.unguarded", "mod.Box.always"})
+    # work() is reached with and without the mutex: intersection empty.
+    assert held["mod.Box.work"] == frozenset()
+    # leaf() is only ever reached under the mutex.
+    assert held["mod.Box.leaf"] == frozenset({"Box.mutex"})
+
+
+# ---------------------------------------------------------------------------
+# Mutation regressions over fixture copies
+# ---------------------------------------------------------------------------
+
+
+def _mutated_fixture(tmp_path, name: str, rel_name: str, transform):
+    root = tmp_path / name
+    shutil.copytree(driver.FIXTURE_ROOT / name, root)
+    target = root / rel_name
+    target.write_text(transform(target.read_text()))
+    return driver.fixture_findings(name, root)
+
+
+def test_removing_with_block_introduces_race(tmp_path):
+    findings = _mutated_fixture(
+        tmp_path, "shared_write", "stats.py",
+        lambda text: text.replace("        with self.mutex:\n"
+                                  "            self.commits += 1",
+                                  "        self.commits += 1"))
+    races = [f for f in findings if f.code == "ENG104"]
+    assert {f.detail for f in races} == {"Stats.commits",
+                                         "Stats.checkpoints"}
+
+
+def test_restoring_with_block_removes_race(tmp_path):
+    findings = _mutated_fixture(
+        tmp_path, "shared_write", "stats.py",
+        lambda text: text.replace(
+            "    def count_checkpoint(self) -> None:\n"
+            "        self.checkpoints += 1",
+            "    def count_checkpoint(self) -> None:\n"
+            "        with self.mutex:\n"
+            "            self.checkpoints += 1"))
+    assert [f for f in findings if f.code == "ENG104"] == []
+
+
+def test_breaking_lock_order_in_clean_tree_fires(tmp_path):
+    name = "lock_cycle"
+    findings = _mutated_fixture(
+        tmp_path, name, "use.py", lambda text: text)
+    assert any(f.code == "ENG101" for f in findings)
+    fixed = tmp_path / "fixed"
+    shutil.copytree(driver.FIXTURE_ROOT / name, fixed)
+    use = fixed / "use.py"
+    # Re-nest backward in the forward order (a outer, b inner): the
+    # acquired-before relation becomes acyclic and the finding clears.
+    use.write_text(use.read_text().replace(
+        "    with ctx.b:\n        with ctx.a:",
+        "    with ctx.a:\n        with ctx.b:"))
+    assert driver.fixture_findings(name, fixed) == []
+
+
+def test_eng_pragma_suppresses_finding(tmp_path):
+    findings = _mutated_fixture(
+        tmp_path, "shared_write", "stats.py",
+        lambda text: text.replace(
+            "self.checkpoints += 1",
+            "self.checkpoints += 1  # eng: allow-ENG104 (test)"))
+    assert [f for f in findings if f.code == "ENG104"] == []
+
+
+# ---------------------------------------------------------------------------
+# Real tree: the contracts CI relies on
+# ---------------------------------------------------------------------------
+
+
+def test_self_test_passes():
+    assert driver.self_test() == 0
+
+
+def test_real_tree_gated_run_is_clean(capsys):
+    assert driver.main([]) == 0
+    assert "analyzer: clean" in capsys.readouterr().out
+
+
+def test_real_tree_lock_graph_is_acyclic_with_documented_edges():
+    program = Program(driver.DEFAULT_ROOT, REPRO_CONFIG)
+    graph = build_lock_graph(program)
+    assert graph.cycles() == []
+    # The documented engine discipline: table locks before the commit
+    # mutex; commit mutex before the catalog and WAL internals;
+    # checkpointing nests its own mutex outermost.
+    must_have = {
+        ("LockManager.<table>", "TransactionManager.commit_mutex"),
+        ("TransactionManager.commit_mutex", "Catalog._mutex"),
+        ("TransactionManager.commit_mutex", "WriteAheadLog._mutex"),
+        ("DurabilityManager._checkpoint_mutex",
+         "TransactionManager.commit_mutex"),
+    }
+    edges = {(held, acquired) for held in graph.edges
+             for acquired in graph.edges[held]}
+    assert must_have <= edges, sorted(must_have - edges)
+
+
+def test_real_tree_baseline_has_no_stale_entries():
+    from tools.analyzer.diagnostics import load_baseline
+    __, __, findings = driver.analyze(driver.DEFAULT_ROOT, REPRO_CONFIG)
+    baseline = load_baseline(driver.DEFAULT_BASELINE)
+    live = {finding.fingerprint for finding in findings}
+    assert baseline <= live, sorted(baseline - live)
+    assert live <= baseline, sorted(live - baseline)
+
+
+def test_commit_path_blocking_is_fully_baselined():
+    """Every baselined finding is the known fsync-under-commit-mutex
+    family (a by-design durability/latency trade, documented in
+    tools/README.md) — nothing else hides in the baseline."""
+    from tools.analyzer.diagnostics import load_baseline
+    baseline = load_baseline(driver.DEFAULT_BASELINE)
+    assert baseline, "expected the fsync-under-commit-mutex family"
+    for fingerprint in baseline:
+        assert fingerprint.startswith("ENG102|"), fingerprint

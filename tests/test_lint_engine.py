@@ -2,7 +2,8 @@
 the repo itself lints clean, every rule fires on its seeded fixture,
 pragmas suppress, and regressions to the guarded invariants are caught.
 Also hosts the (CI-only, skipped when mypy is absent) strict-typing
-gate over ``repro.plan`` and ``repro.analysis``."""
+gate over ``repro.plan``, ``repro.analysis``, ``repro.durability``,
+and ``repro.server``."""
 
 import subprocess
 import sys
@@ -124,18 +125,42 @@ def test_sorted_loop_is_accepted(tmp_path):
 
 
 def test_allowlist_matches_reality():
-    """Every allowlist entry still corresponds to a real site (stale
-    entries would silently widen the allowed surface)."""
-    saved = set(lint_engine.MATERIALIZE_ALLOWLIST)
-    lint_engine.MATERIALIZE_ALLOWLIST.clear()
-    try:
-        live = {(v.path, v.message.split("scope ")[1].split(";")[0]
-                 .strip("'\""))
-                for v in lint_engine.lint_tree(lint_engine.SRC_ROOT)
-                if v.rule == "materialize"}
-    finally:
-        lint_engine.MATERIALIZE_ALLOWLIST.update(saved)
-    assert lint_engine.MATERIALIZE_ALLOWLIST <= live
+    """The allowlist equals the live set of materialize sites — a stale
+    entry would silently widen the allowed surface, and a missing one
+    would fail the gated run."""
+    live = lint_engine.live_allowlist(lint_engine.SRC_ROOT)
+    assert lint_engine.MATERIALIZE_ALLOWLIST == live, (
+        "regenerate with: python tools/lint_engine.py --dump-allowlist")
+
+
+def test_dump_allowlist_is_pasteable():
+    """--dump-allowlist prints a complete assignment block whose
+    evaluation reproduces the in-file allowlist verbatim."""
+    result = subprocess.run(
+        [sys.executable, "tools/lint_engine.py", "--dump-allowlist"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert result.returncode == 0, result.stdout + result.stderr
+    block = result.stdout.split("=", 1)[1]
+    assert result.stdout.startswith(
+        "MATERIALIZE_ALLOWLIST: set[tuple[str, str]] = {")
+    assert eval(block) == lint_engine.MATERIALIZE_ALLOWLIST
+
+
+def test_stale_pragma_fires(tmp_path):
+    violations = _lint_mutated(
+        tmp_path, lint_engine.SRC_ROOT / "txn" / "locks.py",
+        lambda text: text.replace("time.monotonic()", "0.0"),
+        "txn/locks.py")
+    fired = [v for v in violations if v.rule == "unused-pragma"]
+    assert len(fired) == 2
+    assert all("allow-wall-clock" in v.message for v in fired)
+
+
+def test_used_pragma_does_not_fire_unused(tmp_path):
+    violations = _lint_mutated(
+        tmp_path, lint_engine.SRC_ROOT / "txn" / "locks.py",
+        lambda text: text, "txn/locks.py")
+    assert violations == []
 
 
 # ---------------------------------------------------------------------------
@@ -143,10 +168,11 @@ def test_allowlist_matches_reality():
 # ---------------------------------------------------------------------------
 
 
-def test_mypy_clean_on_plan_and_analysis():
+def test_mypy_clean_on_strict_packages():
     pytest.importorskip("mypy")
     result = subprocess.run(
         [sys.executable, "-m", "mypy", "--config-file", "mypy.ini",
-         "src/repro/plan", "src/repro/analysis"],
+         "src/repro/plan", "src/repro/analysis",
+         "src/repro/durability", "src/repro/server"],
         cwd=REPO_ROOT, capture_output=True, text=True)
     assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,7 @@
+"""``python -m tools.analyzer`` entry point."""
+
+import sys
+
+from .driver import main
+
+sys.exit(main())

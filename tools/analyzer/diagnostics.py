@@ -1,0 +1,186 @@
+"""Shared diagnostic plumbing for the static-analysis tool layer.
+
+Two tools build on this module:
+
+* ``tools/lint_engine.py`` — the per-module engine-invariant linter
+  (rule names like ``wall-clock``, pragma tag ``lint``);
+* ``tools/analyzer`` — the whole-program concurrency analyzer
+  (``ENG1xx`` codes, pragma tag ``eng``).
+
+Both share the same violation shape, the same inline-pragma suppression
+grammar, and (for the analyzer) a fingerprint-based baseline that
+grandfathers pre-existing findings so CI only blocks regressions.
+
+Pragma grammar::
+
+    some_call()  # lint: allow-wall-clock (reason why this is fine)
+    self.x = n   # eng: allow-ENG104 (single-threaded setup phase)
+
+A pragma suppresses exactly one rule on exactly its own line. The
+:class:`PragmaIndex` records which pragmas actually suppressed
+something, so the linter can report *stale* pragmas — a justification
+comment left behind after the violating code was fixed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: ``# <tag>: allow-<rule> (optional reason)``
+PRAGMA_PATTERN = re.compile(
+    r"#\s*(?P<tag>lint|eng):\s*allow-(?P<rule>[A-Za-z0-9_-]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One per-module lint finding (``path:line: [rule] message``)."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One whole-program analyzer finding (a typed ``ENG1xx`` diagnostic).
+
+    ``detail`` is a short, line-number-free key describing the finding's
+    subject (a lock cycle, a written attribute, a call edge); together
+    with the code, path, and function it forms the :attr:`fingerprint`
+    used by the baseline, so findings survive unrelated line drift.
+    """
+
+    code: str           # "ENG101" ... "ENG105"
+    path: str           # repo-relative source path of the primary span
+    line: int
+    function: str       # qualified name of the enclosing function
+    message: str
+    hint: str = ""      # one-line fix suggestion
+    detail: str = ""    # stable subject key (no line numbers)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.code}|{self.path}|{self.function}|{self.detail}"
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.code}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def render_github(self) -> str:
+        """GitHub Actions workflow-command annotation format."""
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (f"::error file={self.path},line={self.line},"
+                f"title={self.code}::{message}")
+
+
+class PragmaIndex:
+    """Inline suppression pragmas of one source file, usage-tracked.
+
+    ``suppresses(line, rule)`` is the only query: it returns whether the
+    line carries an ``allow-<rule>`` pragma of this index's tag, and
+    marks that pragma as *used*. After all rules ran, :meth:`unused`
+    lists the pragmas that never suppressed anything — stale
+    justifications that should be deleted with the next edit.
+    """
+
+    def __init__(self, source_lines: Sequence[str], tag: str = "lint"):
+        self.tag = tag
+        #: (line, rule) -> used?
+        self._pragmas: dict[tuple[int, str], bool] = {}
+        for lineno, text in enumerate(source_lines, start=1):
+            for match in PRAGMA_PATTERN.finditer(text):
+                if match.group("tag") == tag:
+                    self._pragmas[(lineno, match.group("rule"))] = False
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        key = (line, rule)
+        if key in self._pragmas:
+            self._pragmas[key] = True
+            return True
+        return False
+
+    def has_pragma(self, line: int, rule: str) -> bool:
+        """Peek without marking the pragma used."""
+        return (line, rule) in self._pragmas
+
+    def unused(self) -> list[tuple[int, str]]:
+        return sorted(key for key, used in self._pragmas.items()
+                      if not used)
+
+
+# ---------------------------------------------------------------------------
+# Baseline files
+# ---------------------------------------------------------------------------
+
+BASELINE_HEADER = """\
+# Grandfathered findings of the whole-program analyzer
+# (tools/analyzer). One fingerprint per line:
+#
+#     CODE|path|function|detail
+#
+# The gated run suppresses exactly these findings, so CI blocks only
+# regressions. Regenerate after deliberate changes with:
+#
+#     python -m tools.analyzer --write-baseline
+#
+# Shrinking this file is progress; growing it needs review.
+"""
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Read a baseline file into a set of fingerprints (missing file =
+    empty baseline)."""
+    if not path.exists():
+        return set()
+    fingerprints: set[str] = set()
+    for raw in path.read_text().splitlines():
+        line = raw.strip()
+        if line and not line.startswith("#"):
+            fingerprints.add(line)
+    return fingerprints
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> int:
+    """Write the findings' fingerprints as the new baseline; returns the
+    number of entries written."""
+    fingerprints = sorted({finding.fingerprint for finding in findings})
+    body = BASELINE_HEADER + "".join(f"{fp}\n" for fp in fingerprints)
+    path.write_text(body)
+    return len(fingerprints)
+
+
+def split_by_baseline(findings: Sequence[Finding], baseline: set[str],
+                      ) -> tuple[list[Finding], list[Finding]]:
+    """(new, grandfathered) partition of ``findings``."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in baseline else new).append(finding)
+    return new, old
+
+
+def has_pragma(source_lines: Sequence[str], line: int, rule: str,
+               tag: str = "lint") -> bool:
+    """One-shot pragma check (no usage tracking) — kept for callers that
+    do not need stale-pragma reporting."""
+    if 1 <= line <= len(source_lines):
+        for match in PRAGMA_PATTERN.finditer(source_lines[line - 1]):
+            if match.group("tag") == tag and match.group("rule") == rule:
+                return True
+    return False
+
+
+__all__ = [
+    "Finding", "PragmaIndex", "Violation", "has_pragma", "load_baseline",
+    "save_baseline", "split_by_baseline", "PRAGMA_PATTERN",
+    "BASELINE_HEADER",
+]

@@ -1,0 +1,22 @@
+"""Seeded ENG102 fixture: an fsync reachable under the commit mutex.
+
+``commit`` itself contains no I/O — the blocking effect lives in a
+helper, so only transitive effect propagation can see it.
+"""
+
+import os
+import threading
+
+
+class Manager:
+    def __init__(self) -> None:
+        self.commit_mutex = threading.Lock()
+        self.fd = 0
+
+    def commit(self) -> None:
+        with self.commit_mutex:
+            flush_log(self)
+
+
+def flush_log(manager: Manager) -> None:
+    os.fsync(manager.fd)

@@ -1,0 +1,28 @@
+"""Clean fixture: scheduler code with a *justified* wall-clock read.
+
+The pragma on the read suppresses the effect at its source, so nothing
+propagates to ``tick`` — the analyzer must stay silent here, proving
+both the clean-exit path and pragma suppression.
+"""
+
+import threading
+import time
+
+
+class State:
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.ticks = 0
+
+    def bump(self) -> None:
+        with self.mutex:
+            self.ticks += 1
+
+
+def stamp() -> float:
+    return time.time()  # lint: allow-wall-clock (fixture: justified read)
+
+
+def tick(state: State) -> None:
+    state.bump()
+    stamp()

@@ -1,0 +1,9 @@
+"""Seeded ENG105 fixture: a relation whose ``pairs()`` materializes."""
+
+
+class Relation:
+    def __init__(self) -> None:
+        self.data: list = []
+
+    def pairs(self) -> list:
+        return list(self.data)

@@ -1,0 +1,8 @@
+"""Seeded ENG105 fixture: a streaming hot path that materializes."""
+
+from rel import Relation
+
+
+def stream_rows(relation: Relation):
+    for pair in relation.pairs():
+        yield pair

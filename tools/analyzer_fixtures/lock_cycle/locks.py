@@ -1,0 +1,9 @@
+"""Seeded ENG101 fixture: the lock container."""
+
+import threading
+
+
+class Ctx:
+    def __init__(self) -> None:
+        self.a = threading.Lock()
+        self.b = threading.Lock()

@@ -1,0 +1,29 @@
+"""Seeded ENG101 fixture: an *interprocedural* lock-order inversion.
+
+``forward`` holds ``a`` while a helper two frames down takes ``b``;
+``backward`` nests them the other way in one function. Neither function
+alone misorders anything a per-module linter could see — the cycle only
+exists on the global acquired-before relation.
+"""
+
+from locks import Ctx
+
+
+def forward(ctx: Ctx) -> None:
+    with ctx.a:
+        grab_b(ctx)
+
+
+def grab_b(ctx: Ctx) -> None:
+    deeper(ctx)
+
+
+def deeper(ctx: Ctx) -> None:
+    with ctx.b:
+        pass
+
+
+def backward(ctx: Ctx) -> None:
+    with ctx.b:
+        with ctx.a:
+            pass

@@ -1,0 +1,10 @@
+"""Seeded ENG103 fixture: the scheduler side.
+
+``tick`` never reads a clock itself — the leak is two modules away.
+"""
+
+from util.timers import elapsed
+
+
+def tick() -> None:
+    elapsed()

@@ -1,0 +1,7 @@
+"""Seeded ENG103 fixture: the wall-clock read the scheduler reaches."""
+
+import time
+
+
+def elapsed() -> float:
+    return time.time()

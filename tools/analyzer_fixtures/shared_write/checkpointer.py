@@ -1,0 +1,11 @@
+"""Seeded ENG104 fixture: the background-checkpointer side."""
+
+from stats import Stats
+
+
+class Checkpointer:
+    def __init__(self, stats: Stats) -> None:
+        self.stats = stats
+
+    def run(self) -> None:
+        self.stats.count_checkpoint()

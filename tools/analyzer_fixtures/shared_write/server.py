@@ -1,0 +1,11 @@
+"""Seeded ENG104 fixture: the worker-thread side."""
+
+from stats import Stats
+
+
+class Server:
+    def __init__(self) -> None:
+        self.stats = Stats()
+
+    def worker_loop(self) -> None:
+        self.stats.count_commit()

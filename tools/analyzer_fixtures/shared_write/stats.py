@@ -1,0 +1,21 @@
+"""Seeded ENG104 fixture, modeled on the server/checkpointer seam:
+one counter class touched by the pool workers *and* the background
+checkpointer. ``count_commit`` takes the mutex; ``count_checkpoint``
+forgot to — that write is the race.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self) -> None:
+        self.mutex = threading.Lock()
+        self.commits = 0
+        self.checkpoints = 0
+
+    def count_commit(self) -> None:
+        with self.mutex:
+            self.commits += 1
+
+    def count_checkpoint(self) -> None:
+        self.checkpoints += 1

@@ -46,6 +46,12 @@ convention-enforced:
     outside the commit critical section would let the on-disk record
     order diverge from the in-memory apply order.
 
+``unused-pragma``
+    A ``# lint: allow-<rule>`` pragma on a line that no longer violates
+    that rule is a stale justification — it reads as "this line is
+    exempt" while exempting nothing, and it would silently re-arm if
+    the violation ever came back under a different rule. Delete it.
+
 A violating line can be suppressed with an inline pragma comment::
 
     deadline = time.monotonic() + t  # lint: allow-wall-clock (reason)
@@ -54,9 +60,11 @@ Usage::
 
     python tools/lint_engine.py              # lint src/repro, exit 1 on findings
     python tools/lint_engine.py --self-test  # prove each rule fires on its fixture
-    python tools/lint_engine.py --dump-allowlist  # print current materialize sites
+    python tools/lint_engine.py --dump-allowlist  # print the allowlist block
 
-Violations print as ``path:line: [rule] message``.
+Violations print as ``path:line: [rule] message``. The violation shape
+and the pragma grammar are shared with the whole-program analyzer
+(``tools/analyzer``) via ``tools.analyzer.diagnostics``.
 """
 
 from __future__ import annotations
@@ -64,13 +72,18 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Sequence
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC_ROOT = REPO_ROOT / "src" / "repro"
 FIXTURE_DIR = Path(__file__).resolve().parent / "lint_fixtures"
+
+try:
+    from tools.analyzer.diagnostics import PragmaIndex, Violation
+except ImportError:  # run as a script: repo root not on sys.path yet
+    sys.path.insert(0, str(REPO_ROOT))
+    from tools.analyzer.diagnostics import PragmaIndex, Violation
 
 #: Wall-clock reads banned outside scheduler/clock.py.
 _CLOCK_MODULES = ("time", "datetime")
@@ -140,23 +153,6 @@ _IO_OS_CALLS = {"open", "fdopen", "write", "replace", "truncate", "fsync",
 _IO_PATH_METHODS = {"write_text", "write_bytes", "read_text", "read_bytes"}
 
 
-@dataclass(frozen=True)
-class Violation:
-    path: str
-    line: int
-    rule: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def _has_pragma(source_lines: Sequence[str], line: int, rule: str) -> bool:
-    if 1 <= line <= len(source_lines):
-        return f"# lint: allow-{rule}" in source_lines[line - 1]
-    return False
-
-
 def _scope_stack(tree: ast.Module) -> dict[ast.AST, str]:
     """Map every node to the name of its innermost enclosing function or
     class ('<module>' at top level)."""
@@ -182,7 +178,7 @@ def _scope_stack(tree: ast.Module) -> dict[ast.AST, str]:
 
 
 def check_wall_clock(tree: ast.Module, rel_path: str,
-                     source_lines: Sequence[str]) -> Iterator[Violation]:
+                     pragmas: PragmaIndex) -> Iterator[Violation]:
     if any(rel_path.endswith(exempt) for exempt in _CLOCK_EXEMPT):
         return
     for node in ast.walk(tree):
@@ -204,7 +200,7 @@ def check_wall_clock(tree: ast.Module, rel_path: str,
         if call is None:
             continue
         line, description = call
-        if _has_pragma(source_lines, line, "wall-clock"):
+        if pragmas.suppresses(line, "wall-clock"):
             continue
         yield Violation(
             rel_path, line, "wall-clock",
@@ -239,7 +235,7 @@ def _sorted_names_of(func: ast.AST) -> set[str]:
 
 
 def check_lock_order(tree: ast.Module, rel_path: str,
-                     source_lines: Sequence[str],
+                     pragmas: PragmaIndex,
                      force: bool = False) -> Iterator[Violation]:
     if not force and not any(marker in rel_path for marker in _LOCK_SCOPE):
         return
@@ -263,8 +259,7 @@ def check_lock_order(tree: ast.Module, rel_path: str,
                 if (isinstance(child, ast.Call)
                         and isinstance(child.func, ast.Attribute)
                         and child.func.attr in _LOCK_METHODS):
-                    if _has_pragma(source_lines, child.lineno,
-                                   "lock-order"):
+                    if pragmas.suppresses(child.lineno, "lock-order"):
                         pass
                     elif child_loop is not None:
                         if not _is_sorted_expr(child_loop.iter,
@@ -305,7 +300,7 @@ def _in_materialize_scope(rel_path: str) -> bool:
 
 
 def check_materialize(tree: ast.Module, rel_path: str,
-                      source_lines: Sequence[str],
+                      pragmas: PragmaIndex,
                       force: bool = False) -> Iterator[Violation]:
     if not force and not _in_materialize_scope(rel_path):
         return
@@ -323,9 +318,9 @@ def check_materialize(tree: ast.Module, rel_path: str,
             continue
         line, what = site
         scope = scopes.get(node, "<module>")
-        if (rel_path, scope) in MATERIALIZE_ALLOWLIST and not force:
+        if pragmas.suppresses(line, "materialize"):
             continue
-        if _has_pragma(source_lines, line, "materialize"):
+        if (rel_path, scope) in MATERIALIZE_ALLOWLIST and not force:
             continue
         yield Violation(
             rel_path, line, "materialize",
@@ -354,7 +349,7 @@ def _is_stub(method: ast.FunctionDef) -> bool:
 
 
 def check_accumulator_protocol(tree: ast.Module, rel_path: str,
-                               source_lines: Sequence[str],
+                               pragmas: PragmaIndex,
                                ) -> Iterator[Violation]:
     classes: dict[str, ast.ClassDef] = {
         node.name: node for node in ast.walk(tree)
@@ -393,7 +388,7 @@ def check_accumulator_protocol(tree: ast.Module, rel_path: str,
     for cls in classes.values():
         if cls.name == _ACCUMULATOR_ROOT or not derives_from_root(cls):
             continue
-        if _has_pragma(source_lines, cls.lineno, "accumulator-protocol"):
+        if pragmas.suppresses(cls.lineno, "accumulator-protocol"):
             continue
         missing = [method for method in _ACCUMULATOR_PROTOCOL
                    if method not in implemented(cls)]
@@ -411,7 +406,7 @@ def check_accumulator_protocol(tree: ast.Module, rel_path: str,
 
 
 def check_durability_io(tree: ast.Module, rel_path: str,
-                        source_lines: Sequence[str]) -> Iterator[Violation]:
+                        pragmas: PragmaIndex) -> Iterator[Violation]:
     if any(rel_path.startswith(exempt) or f"/{exempt}" in rel_path
            for exempt in _DURABILITY_EXEMPT):
         return
@@ -431,7 +426,7 @@ def check_durability_io(tree: ast.Module, rel_path: str,
             what = f".{node.func.attr}()"
         if what is None:
             continue
-        if _has_pragma(source_lines, node.lineno, "durability-io"):
+        if pragmas.suppresses(node.lineno, "durability-io"):
             continue
         yield Violation(
             rel_path, node.lineno, "durability-io",
@@ -455,7 +450,7 @@ def _mentions_commit_mutex(expr: ast.expr) -> bool:
 
 
 def check_wal_commit_mutex(tree: ast.Module, rel_path: str,
-                           source_lines: Sequence[str],
+                           pragmas: PragmaIndex,
                            ) -> Iterator[Violation]:
     found: list[Violation] = []
 
@@ -470,8 +465,8 @@ def check_wal_commit_mutex(tree: ast.Module, rel_path: str,
                     and isinstance(child.func, ast.Attribute)
                     and child.func.attr == "log_commit"
                     and not child_held
-                    and not _has_pragma(source_lines, child.lineno,
-                                        "wal-commit-mutex")):
+                    and not pragmas.suppresses(child.lineno,
+                                               "wal-commit-mutex")):
                 found.append(Violation(
                     rel_path, child.lineno, "wal-commit-mutex",
                     ".log_commit(...) outside a `with ... commit_mutex:` "
@@ -488,7 +483,7 @@ def check_wal_commit_mutex(tree: ast.Module, rel_path: str,
 # ---------------------------------------------------------------------------
 
 RULES = ("wall-clock", "lock-order", "materialize", "accumulator-protocol",
-         "durability-io", "wal-commit-mutex")
+         "durability-io", "wal-commit-mutex", "unused-pragma")
 
 
 def check_file(path: Path, root: Path,
@@ -500,17 +495,25 @@ def check_file(path: Path, root: Path,
     except SyntaxError as exc:
         return [Violation(rel_path, exc.lineno or 0, "parse",
                           f"could not parse: {exc.msg}")]
-    source_lines = source.splitlines()
+    # The index records which pragmas actually suppressed something, so
+    # stale justifications surface as their own violations below.
+    pragmas = PragmaIndex(source.splitlines(), tag="lint")
     violations: list[Violation] = []
-    violations.extend(check_wall_clock(tree, rel_path, source_lines))
-    violations.extend(check_lock_order(tree, rel_path, source_lines,
+    violations.extend(check_wall_clock(tree, rel_path, pragmas))
+    violations.extend(check_lock_order(tree, rel_path, pragmas,
                                        force=force_all))
-    violations.extend(check_materialize(tree, rel_path, source_lines,
+    violations.extend(check_materialize(tree, rel_path, pragmas,
                                         force=force_all))
-    violations.extend(check_accumulator_protocol(tree, rel_path,
-                                                 source_lines))
-    violations.extend(check_durability_io(tree, rel_path, source_lines))
-    violations.extend(check_wal_commit_mutex(tree, rel_path, source_lines))
+    violations.extend(check_accumulator_protocol(tree, rel_path, pragmas))
+    violations.extend(check_durability_io(tree, rel_path, pragmas))
+    violations.extend(check_wal_commit_mutex(tree, rel_path, pragmas))
+    for line, rule in pragmas.unused():
+        violations.append(Violation(
+            rel_path, line, "unused-pragma",
+            f"'# lint: allow-{rule}' suppresses nothing on this line "
+            f"(the {rule!r} violation it justified is gone"
+            + ("" if rule in RULES else ", and no such rule exists")
+            + "); delete the stale pragma"))
     return violations
 
 
@@ -521,19 +524,27 @@ def lint_tree(root: Path) -> list[Violation]:
     return violations
 
 
-def dump_allowlist(root: Path) -> int:
-    """Print the (path, scope) pairs the materialize rule currently
-    hits, formatted for pasting into MATERIALIZE_ALLOWLIST."""
+def live_allowlist(root: Path) -> set[tuple[str, str]]:
+    """The (path, scope) pairs the materialize rule hits on the current
+    tree with the allowlist disabled — i.e. what the allowlist *should*
+    contain (pragma-suppressed sites excluded)."""
     saved = set(MATERIALIZE_ALLOWLIST)
     MATERIALIZE_ALLOWLIST.clear()
     try:
-        sites = {(v.path, v.message.split("scope ")[1].split(";")[0]
-                  .strip("'\""))
-                 for v in lint_tree(root) if v.rule == "materialize"}
+        return {(v.path, v.message.split("scope ")[1].split(";")[0]
+                 .strip("'\""))
+                for v in lint_tree(root) if v.rule == "materialize"}
     finally:
         MATERIALIZE_ALLOWLIST.update(saved)
-    for path, scope in sorted(sites):
+
+
+def dump_allowlist(root: Path) -> int:
+    """Print the current materialize sites as a complete assignment
+    block, directly pasteable over MATERIALIZE_ALLOWLIST above."""
+    print("MATERIALIZE_ALLOWLIST: set[tuple[str, str]] = {")
+    for path, scope in sorted(live_allowlist(root)):
         print(f'    ("{path}", "{scope}"),')
+    print("}")
     return 0
 
 
@@ -545,6 +556,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_accumulator.py": "accumulator-protocol",
     "bad_durability_io.py": "durability-io",
     "bad_wal_mutex.py": "wal-commit-mutex",
+    "bad_unused_pragma.py": "unused-pragma",
 }
 
 

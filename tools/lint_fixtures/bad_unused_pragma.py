@@ -1,0 +1,14 @@
+"""Fixture: a stale suppression pragma.
+
+The wall-clock read this pragma once justified has been replaced by a
+plain sum — the comment now exempts nothing and must be reported (and
+a typo'd rule name is just as stale).
+"""
+
+
+def compute_total(values: list) -> int:
+    return sum(values)  # lint: allow-wall-clock (stale: read was removed)
+
+
+def other(values: list) -> int:
+    return len(values)  # lint: allow-wallclock-typo (no such rule)
