@@ -56,7 +56,9 @@ class Database:
                  path: str | None = None,
                  durability: str = "fsync",
                  checkpoint_every: Duration | None = None,
-                 checkpoint_wal_bytes: int | None = None):
+                 checkpoint_wal_bytes: int | None = None,
+                 parallelism: int | None = None,
+                 partition_fanout: int | None = None):
         """``path`` opts into durability: the directory holds the WAL and
         checkpoint files, existing state is recovered before the first
         statement runs, and every commit is logged. ``durability`` picks
@@ -65,7 +67,14 @@ class Database:
         suffix). ``checkpoint_every`` (simulated time) schedules a
         background checkpointer; ``checkpoint_wal_bytes`` checkpoints
         whenever the WAL outgrows the threshold (checked by the server
-        front end after each commit, or via :meth:`maybe_checkpoint`)."""
+        front end after each commit, or via :meth:`maybe_checkpoint`).
+
+        ``parallelism`` turns on DAG-parallel scheduled refreshes with
+        that many concurrent workers (None keeps the serial scheduler);
+        ``partition_fanout`` gives the refresh engine a worker pool of
+        that size for intra-refresh partition work. Both modes produce
+        byte-identical table states to serial refresh; see
+        :meth:`set_parallelism`."""
         self.clock = clock if clock is not None else SimClock()
         self.catalog = Catalog(self.clock.now)
         self.txns = TransactionManager(self.catalog, self.clock.now)
@@ -75,6 +84,9 @@ class Database:
                                     outer_join_strategy)
         self.scheduler = Scheduler(self.catalog, self.engine, self.warehouses,
                                    self.clock, cost_model)
+        if parallelism is not None or partition_fanout is not None:
+            self.set_parallelism(parallelism,
+                                 partition_fanout=partition_fanout)
         #: Optimized-plan cache shared by every session's prepared
         #: statements (parameter-aware keys; see repro.plan.cache).
         self.plan_cache = PlanCache()
@@ -117,6 +129,34 @@ class Database:
             self.scheduler.at(self.clock.now() + interval, tick)
 
         self.scheduler.at(self.clock.now() + interval, tick)
+
+    # -- parallel refresh ---------------------------------------------------------
+
+    def set_parallelism(self, workers: int | None,
+                        partition_fanout: int | None = None) -> None:
+        """(Re)configure parallel refresh.
+
+        ``workers`` — DAG-level: scheduled refreshes of independent DTs
+        run concurrently in dependency waves on ``workers`` threads, and
+        the scheduler's modeled durations queue on as many dispatch
+        slots. ``None`` restores the exact serial legacy scheduler.
+
+        ``partition_fanout`` — intra-refresh: one refresh's partition
+        diffs and aggregate-state scans fan out across a pool of that
+        size (``None`` keeps them inline). The pools are separate by
+        design, so a refresh occupying a DAG worker never blocks on the
+        partition pool it submits to.
+        """
+        from repro.util.parallel import WorkerPool
+
+        self.scheduler.set_parallelism(workers)
+        previous = self.engine.partition_pool
+        self.engine.partition_pool = (
+            WorkerPool(partition_fanout, name="repro-partition")
+            if partition_fanout is not None and partition_fanout > 1
+            else None)
+        if previous is not None:
+            previous.close()
 
     # -- sessions ----------------------------------------------------------------
 

@@ -592,6 +592,12 @@ class Session:
                           else f"affected-group endpoint recompute: {reason}")
                 lines.append(
                     f"-- refresh {node._describe()}: {strategy} ({detail})")
+            # Parallel-refresh observability, same `-- <section> ...`
+            # format: the parallelism each referenced DT's most recent
+            # executed refresh actually chose — its dependency-wave
+            # placement and DAG worker count, and/or the partition
+            # fan-out its delta work used.
+            lines.extend(self._parallel_lines(statement.select))
             # Analyzer warnings, in the same `-- <section> ...` format as
             # the pruning and refresh-strategy reports above.
             report = analyze_bound_query(statement.select, plan, sql=sql)
@@ -635,6 +641,41 @@ class Session:
                            else "rebuilt on the next refresh after a "
                                 "restart"))
             return "\n".join(lines)
+
+    def _parallel_lines(self, select: n.Select) -> list[str]:
+        """``-- parallel <dt>: ...`` EXPLAIN lines for every referenced
+        DT whose most recent executed refresh recorded parallelism."""
+        from repro.core.evolution import collect_source_names
+
+        try:
+            names = sorted(collect_source_names(select,
+                                                self.database.catalog))
+        except ReproError:
+            return []
+        lines: list[str] = []
+        for name in names:
+            try:
+                entry = self.database.catalog.get(name)
+            except ReproError:
+                continue
+            if entry.kind != "dynamic table":
+                continue
+            for past in reversed(entry.payload.refresh_history):
+                if past.skipped:
+                    continue
+                info = past.parallel
+                if info:
+                    parts = []
+                    if "wave" in info:
+                        parts.append(f"wave {info['wave']}/{info['waves']}, "
+                                     f"workers={info['workers']}")
+                    if "partition_tasks" in info:
+                        parts.append(
+                            f"partition fan-out={info['partition_workers']} "
+                            f"({info['partition_tasks']} tasks)")
+                    lines.append(f"-- parallel {name}: " + ", ".join(parts))
+                break
+        return lines
 
     # -- prepared-statement execution (called by PreparedStatement) ----------
 

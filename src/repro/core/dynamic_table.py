@@ -102,6 +102,11 @@ class RefreshRecord:
     #: The frontier installed by this refresh (None for skips/failures);
     #: lets the history recorder reconstruct derivation provenance.
     frontier: Optional[Frontier] = None
+    #: Parallel-execution observability (None when fully serial): the
+    #: engine contributes ``partition_workers`` / ``partition_tasks``
+    #: (intra-refresh fan-out); the DAG-parallel scheduler adds ``wave``,
+    #: ``waves``, and ``workers``. Surfaced by EXPLAIN.
+    parallel: Optional[dict] = None
 
     @property
     def succeeded(self) -> bool:

@@ -52,6 +52,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.table import TableVersion, VersionedTable
 from repro.streams.changes import changes_between
 from repro.txn.manager import TransactionManager
+from repro.util.parallel import WorkerPool, partition_parallelism
 from repro.util.timeutil import Timestamp
 
 
@@ -135,6 +136,12 @@ class RefreshEngine:
         #: the DT's own query changes the query text — each changes the
         #: key, so stale plans are never served and age out of the LRU.
         self._plan_cache = PlanCache(limit=_PLAN_CACHE_LIMIT)
+        #: Intra-refresh partition pool (None = fully serial refreshes).
+        #: Installed thread-locally around each refresh, so partition
+        #: diffs and aggregate-state scans fan out; distinct from any
+        #: DAG-level coordinator pool, so a refresh running on a DAG
+        #: worker never waits on the pool it occupies.
+        self.partition_pool: Optional[WorkerPool] = None
 
     # -- public API ----------------------------------------------------------------
 
@@ -152,7 +159,11 @@ class RefreshEngine:
         txn = self.txn_manager.begin(snapshot_wall=refresh_ts)
         try:
             txn.lock(dt.name)
-            self._execute(dt, refresh_ts, record, txn)
+            with partition_parallelism(self.partition_pool) as fanout:
+                self._execute(dt, refresh_ts, record, txn)
+            if fanout.tasks:
+                record.parallel = {"partition_workers": fanout.workers,
+                                   "partition_tasks": fanout.tasks}
         except (UserError, TransactionError, ChangeIntegrityError,
                 NotInitializedError) as exc:
             txn.abort()

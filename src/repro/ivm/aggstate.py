@@ -52,6 +52,8 @@ from repro.errors import InternalError
 from repro.ivm import rowid
 from repro.ivm.changes import ChangeSet
 from repro.plan import logical as lp
+from repro.util.parallel import (MIN_PARALLEL_ROWS, chunk_spans, fanout_map,
+                                 fanout_pool)
 
 
 class AggStateInconsistency(InternalError):
@@ -158,6 +160,53 @@ def _relation_columns(relation: Relation) -> tuple[list, int]:
     return transpose_rows(relation.rows), count
 
 
+def _parallel_spans(count: int) -> Optional[list[tuple[int, int]]]:
+    """Contiguous chunk spans for fanning a ``count``-row columnar slice
+    out to the refresh's partition pool — or None when no pool is
+    installed / the slice is too small to be worth splitting."""
+    pool = fanout_pool()
+    if pool is None or count < 2 * MIN_PARALLEL_ROWS:
+        return None
+    spans = chunk_spans(count, pool.workers)
+    return spans if len(spans) > 1 else None
+
+
+def _chunked_eval(site: str, fn, columns: Sequence[Sequence], count: int,
+                  spans: list[tuple[int, int]]) -> list:
+    """Evaluate a compiled columnar function chunk-by-chunk on the
+    partition pool, concatenating the per-span results in span order —
+    the compiled functions are pure per-row maps, so the concatenation is
+    element-for-element identical to one whole-slice call."""
+    def run(span: tuple[int, int]) -> list:
+        start, stop = span
+        return fn([column[start:stop] for column in columns], stop - start)
+
+    parts = fanout_map(site, run, spans)
+    out: list = []
+    for part in parts:
+        out.extend(part)
+    return out
+
+
+def _chunked_eval_rows(site: str, fn, columns: Sequence[Sequence],
+                       count: int, spans: list[tuple[int, int]]) -> list:
+    """Like :func:`_chunked_eval` for compiled functions returning one
+    array *per expression* (``compile_row_columnar``): the per-span
+    results concatenate array-wise."""
+    def run(span: tuple[int, int]) -> list:
+        start, stop = span
+        return fn([column[start:stop] for column in columns], stop - start)
+
+    parts = fanout_map(site, run, spans)
+    # The compiled functions may hand back tuples; copy into lists so
+    # the span results concatenate regardless.
+    out = [list(array) for array in parts[0]]
+    for part in parts[1:]:
+        for array, extra in zip(out, part):
+            array.extend(extra)
+    return out
+
+
 class _Group:
     """One output group: its key representative, raw row count, and one
     accumulator per aggregate call."""
@@ -195,14 +244,51 @@ class AggregateNodeState:
 
     def initialize(self, child: Relation, ctx: EvalContext) -> None:
         """Build the state from a full scan of the child at the interval
-        start (paid once; every later refresh folds deltas only)."""
+        start (paid once; every later refresh folds deltas only). Under a
+        partition pool the one-big-child-scan splits into contiguous
+        chunks folded into per-chunk partial states, combined via each
+        accumulator's exact ``merge()``."""
         self.groups.clear()
         columns, count = _relation_columns(child)
-        self._apply(columns, count, ctx, insert=True, touched=None)
+        spans = _parallel_spans(count)
+        if spans is None:
+            self._apply(columns, count, ctx, insert=True, touched=None)
+        else:
+            self._initialize_parallel(columns, ctx, spans)
         if self.plan.is_scalar and not self.groups:
             self.groups[t.group_key(())] = _Group(
                 (), self._fresh_accumulators())
         self.initialized = True
+
+    def _initialize_parallel(self, columns: Sequence[Sequence],
+                             ctx: EvalContext,
+                             spans: list[tuple[int, int]]) -> None:
+        """Chunked initialization: each chunk builds a fresh partial
+        state (insert-only, so no retraction can miss a group), then the
+        partials merge *in chunk order* — counts add, accumulators
+        ``merge()``. The stateful gate admits exact accumulators only, so
+        the merge is associative and the combined state — including the
+        group-dict insertion order, which is first-occurrence order
+        across ordered chunks, exactly as one serial scan would produce —
+        is identical to the serial initialization."""
+        def scan_chunk(span: tuple[int, int]) -> "AggregateNodeState":
+            start, stop = span
+            partial = AggregateNodeState(self.plan)
+            partial._apply([column[start:stop] for column in columns],
+                           stop - start, ctx, insert=True, touched=None)
+            return partial
+
+        groups = self.groups
+        for partial in fanout_map("agg-init", scan_chunk, spans):
+            for key, group in partial.groups.items():
+                mine = groups.get(key)
+                if mine is None:
+                    groups[key] = group  # partials are discarded: adopt
+                else:
+                    mine.count += group.count
+                    for accumulator, other in zip(mine.accumulators,
+                                                  group.accumulators):
+                        accumulator.merge(other)
 
     # -- the fold ------------------------------------------------------------
 
@@ -252,12 +338,21 @@ class AggregateNodeState:
             return
         plan = self.plan
         groups = self.groups
+        #: Large folds chunk their pure columnar passes across the
+        #: partition pool (deterministic expressions only: per-row maps,
+        #: concatenated in span order, are identical to one full pass).
+        spans = _parallel_spans(count)
 
         # Bucket row indices per group key, one columnar key pass.
         buckets: dict[tuple, tuple[tuple, list[int]]] = {}
         if plan.group_exprs:
-            key_arrays = compile_row_columnar(plan.group_exprs, ctx)(
-                columns, count)
+            key_fn = compile_row_columnar(plan.group_exprs, ctx)
+            if spans is not None and all(expr.is_deterministic
+                                         for expr in plan.group_exprs):
+                key_arrays = _chunked_eval_rows("fold-keys", key_fn,
+                                                columns, count, spans)
+            else:
+                key_arrays = key_fn(columns, count)
             group_key = t.group_key
             for index, key_values in enumerate(zip(*key_arrays)):
                 key = group_key(key_values)
@@ -273,9 +368,13 @@ class AggregateNodeState:
         for call in plan.aggregates:
             if call.arg is None:
                 arg_arrays.append(None)
+                continue
+            arg_fn = compile_expression_columnar(call.arg, ctx)
+            if spans is not None and call.arg.is_deterministic:
+                arg_arrays.append(_chunked_eval("fold-args", arg_fn,
+                                                columns, count, spans))
             else:
-                arg_arrays.append(
-                    compile_expression_columnar(call.arg, ctx)(columns, count))
+                arg_arrays.append(arg_fn(columns, count))
 
         for key, (key_values, indices) in buckets.items():
             group = groups.get(key)
@@ -328,14 +427,48 @@ class DistinctNodeState:
     def initialize(self, child: Relation, ctx: EvalContext) -> None:
         self.rows.clear()
         columns, count = _relation_columns(child)
-        for row, key in zip(_iter_rows(columns, count),
-                            t.group_key_columns(columns, count)):
-            entry = self.rows.get(key)
-            if entry is None:
-                self.rows[key] = [1, row]
-            else:
-                entry[0] += 1
+        spans = _parallel_spans(count)
+        if spans is None:
+            for row, key in zip(_iter_rows(columns, count),
+                                t.group_key_columns(columns, count)):
+                entry = self.rows.get(key)
+                if entry is None:
+                    self.rows[key] = [1, row]
+                else:
+                    entry[0] += 1
+        else:
+            self._initialize_parallel(columns, spans)
         self.initialized = True
+
+    def _initialize_parallel(self, columns: Sequence[Sequence],
+                             spans: list[tuple[int, int]]) -> None:
+        """Chunked distinct-count scan, merged in chunk order: counts
+        add, and the earlier chunk's representative wins — which is the
+        serial scan's first-occurrence representative. (The stateful gate
+        excludes inexact types, so representatives of equal keys are
+        value-identical anyway.)"""
+        def scan_chunk(span: tuple[int, int]) -> dict[tuple, list]:
+            start, stop = span
+            chunk = [column[start:stop] for column in columns]
+            size = stop - start
+            local: dict[tuple, list] = {}
+            for row, key in zip(_iter_rows(chunk, size),
+                                t.group_key_columns(chunk, size)):
+                entry = local.get(key)
+                if entry is None:
+                    local[key] = [1, row]
+                else:
+                    entry[0] += 1
+            return local
+
+        rows = self.rows
+        for local in fanout_map("distinct-init", scan_chunk, spans):
+            for key, entry in local.items():
+                mine = rows.get(key)
+                if mine is None:
+                    rows[key] = entry
+                else:
+                    mine[0] += entry[0]
 
     def fold(self, delta: ChangeSet, ctx: EvalContext) -> ChangeSet:
         touched: dict[tuple, Optional[tuple]] = {}

@@ -25,6 +25,7 @@ Two pieces:
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.dynamic_table import DynamicTable
@@ -69,7 +70,15 @@ class LivenessViolation:
 
 
 class LivenessMonitor:
-    """Heartbeat collection plus the background staleness check."""
+    """Heartbeat collection plus the background staleness check.
+
+    Thread-safe: under DAG-parallel refresh, heartbeats arrive from
+    coordinator workers while the background :meth:`check` iterates the
+    EXECUTING set from another thread — unguarded, the iteration would
+    race the begin/end mutations (``RuntimeError: dictionary changed
+    size during iteration``) or observe half-updated traces. One mutex
+    covers every access to the executing map and the history list.
+    """
 
     #: How often an executing refresh emits heartbeats.
     HEARTBEAT_INTERVAL: Duration = 10 * SECOND
@@ -79,6 +88,7 @@ class LivenessMonitor:
     def __init__(self):
         self._executing: dict[str, ExecutionTrace] = {}
         self.history: list[ExecutionTrace] = []
+        self._mutex = threading.Lock()
 
     # -- lifecycle hooks -----------------------------------------------------------
 
@@ -87,22 +97,25 @@ class LivenessMonitor:
         trace = ExecutionTrace(dt_name, data_timestamp,
                                RefreshState.EXECUTING, started_at,
                                last_heartbeat=started_at)
-        self._executing[dt_name] = trace
-        self.history.append(trace)
+        with self._mutex:
+            self._executing[dt_name] = trace
+            self.history.append(trace)
         return trace
 
     def heartbeat(self, dt_name: str, time: Timestamp) -> None:
-        trace = self._executing.get(dt_name)
-        if trace is not None:
-            trace.last_heartbeat = max(trace.last_heartbeat, time)
+        with self._mutex:
+            trace = self._executing.get(dt_name)
+            if trace is not None:
+                trace.last_heartbeat = max(trace.last_heartbeat, time)
 
     def end(self, dt_name: str, time: Timestamp, succeeded: bool) -> None:
-        trace = self._executing.pop(dt_name, None)
-        if trace is None:
-            return
-        trace.state = (RefreshState.SUCCEEDED if succeeded
-                       else RefreshState.FAILED)
-        trace.ended_at = time
+        with self._mutex:
+            trace = self._executing.pop(dt_name, None)
+            if trace is None:
+                return
+            trace.state = (RefreshState.SUCCEEDED if succeeded
+                           else RefreshState.FAILED)
+            trace.ended_at = time
 
     def simulate_heartbeats(self, dt_name: str, start: Timestamp,
                             end: Timestamp) -> None:
@@ -117,17 +130,19 @@ class LivenessMonitor:
     # -- the background check --------------------------------------------------------
 
     def executing(self) -> list[ExecutionTrace]:
-        return list(self._executing.values())
+        with self._mutex:
+            return list(self._executing.values())
 
     def check(self, now: Timestamp) -> list[LivenessViolation]:
         """The background service: every EXECUTING refresh must have sent
         a heartbeat within the staleness threshold."""
         violations = []
-        for trace in self._executing.values():
-            if now - trace.last_heartbeat > self.STALENESS_THRESHOLD:
-                violations.append(LivenessViolation(
-                    trace.dt_name, trace.data_timestamp,
-                    trace.last_heartbeat, now))
+        with self._mutex:
+            for trace in self._executing.values():
+                if now - trace.last_heartbeat > self.STALENESS_THRESHOLD:
+                    violations.append(LivenessViolation(
+                        trace.dt_name, trace.data_timestamp,
+                        trace.last_heartbeat, now))
         return violations
 
 

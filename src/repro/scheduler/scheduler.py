@@ -41,6 +41,8 @@ from repro.core.graph import DependencyGraph
 from repro.core.refresh import RefreshEngine
 from repro.scheduler.clock import SimClock
 from repro.scheduler.cost import CostModel
+from repro.scheduler.executor import (ParallelRefreshCoordinator,
+                                      dependency_waves)
 from repro.scheduler.periods import (BASE_PERIOD, choose_period,
                                      clamp_to_upstream, is_tick)
 from repro.scheduler.warehouse import WarehousePool
@@ -81,7 +83,8 @@ class Scheduler:
 
     def __init__(self, catalog: Catalog, engine: RefreshEngine,
                  warehouses: WarehousePool, clock: SimClock,
-                 cost_model: CostModel | None = None, phase: Timestamp = 0):
+                 cost_model: CostModel | None = None, phase: Timestamp = 0,
+                 parallelism: Optional[int] = None):
         self.catalog = catalog
         self.engine = engine
         self.warehouses = warehouses
@@ -98,6 +101,31 @@ class Scheduler:
         self._busy_until: dict[str, Timestamp] = {}
         self._events: list[tuple[Timestamp, int, Callable[[], None]]] = []
         self._event_seq = itertools.count()
+        #: DAG-parallel mode (None = the exact serial legacy behavior).
+        self.parallelism: Optional[int] = None
+        self._coordinator: Optional[ParallelRefreshCoordinator] = None
+        #: Modeled dispatch capacity: next-free times of ``parallelism``
+        #: scheduler slots, persisting across ticks like warehouse slots.
+        self._dispatch_slots: list[Timestamp] = []
+        if parallelism is not None:
+            self.set_parallelism(parallelism)
+
+    def set_parallelism(self, workers: Optional[int]) -> None:
+        """Switch between the serial tick loop (``None``, the exact
+        historical behavior — no dispatch slots, no pool) and DAG-parallel
+        mode: each tick's due DTs partition into dependency waves whose
+        independent refreshes execute concurrently, and modeled durations
+        queue on ``workers`` dispatch slots so modeled makespans overlap
+        for independent DTs (``workers=1`` models a fully serialized
+        executor — the paper's one-refresh-at-a-time baseline)."""
+        if self._coordinator is not None:
+            self._coordinator.close()
+            self._coordinator = None
+        self.parallelism = workers
+        self._dispatch_slots = [] if workers is None else [0] * workers
+        if workers is not None:
+            self._coordinator = ParallelRefreshCoordinator(self.engine,
+                                                           workers)
 
     # -- workload injection ---------------------------------------------------------
 
@@ -168,26 +196,79 @@ class Scheduler:
         graph = DependencyGraph(self.catalog)
         periods = self.assign_periods(graph)
 
-        #: end-wall of refreshes committed *at this tick's data timestamp*.
-        completed_at_tick: dict[str, Timestamp] = {}
-
+        due: list[DynamicTable] = []
         for dt in graph.topological_order():
             period = periods.get(dt.name)
             if period is None or not is_tick(time, period, self.phase):
                 continue
             if dt.suspended:
                 continue
-            self._refresh_one(dt, time, graph, completed_at_tick)
+            due.append(dt)
+
+        #: end-wall of refreshes committed *at this tick's data timestamp*.
+        completed_at_tick: dict[str, Timestamp] = {}
+        if self._coordinator is None:
+            for dt in due:
+                self._refresh_one(dt, time, graph, completed_at_tick)
+        else:
+            self._tick_parallel(due, time, graph, completed_at_tick)
 
     def _refresh_one(self, dt: DynamicTable, time: Timestamp,
                      graph: DependencyGraph,
                      completed_at_tick: dict[str, Timestamp]) -> None:
+        upstream_ends = self._skip_or_upstream_ends(dt, time, graph,
+                                                    completed_at_tick)
+        if upstream_ends is None:
+            return
+        record = self.engine.refresh(dt, time)
+        self._account(dt, time, record, upstream_ends, completed_at_tick)
+
+    def _tick_parallel(self, due: list[DynamicTable], time: Timestamp,
+                       graph: DependencyGraph,
+                       completed_at_tick: dict[str, Timestamp]) -> None:
+        """One tick in DAG-parallel mode: the due DTs partition into
+        dependency waves, each wave's non-skipped refreshes execute
+        concurrently on the coordinator pool, and all bookkeeping —
+        modeled timing, dispatch slots, liveness, report — happens here
+        on the driving thread in deterministic (wave, topological)
+        order. Skip checks run before each wave is submitted: every
+        upstream of a wave member sits in an earlier wave (if due) or
+        holds still this tick (if not), so ``completed_at_tick`` is
+        already complete for it."""
+        waves = dependency_waves(due, graph)
+        for wave_index, wave in enumerate(waves):
+            runnable: list[DynamicTable] = []
+            ends: list[list[Timestamp]] = []
+            for dt in wave:
+                upstream_ends = self._skip_or_upstream_ends(
+                    dt, time, graph, completed_at_tick)
+                if upstream_ends is None:
+                    continue
+                runnable.append(dt)
+                ends.append(upstream_ends)
+            if not runnable:
+                continue
+            records = self._coordinator.refresh_wave(
+                [(dt, time) for dt in runnable])
+            for dt, upstream_ends, record in zip(runnable, ends, records):
+                info = dict(record.parallel or {})
+                info.update({"wave": wave_index + 1, "waves": len(waves),
+                             "workers": self.parallelism})
+                record.parallel = info
+                self._account(dt, time, record, upstream_ends,
+                              completed_at_tick)
+
+    def _skip_or_upstream_ends(self, dt: DynamicTable, time: Timestamp,
+                               graph: DependencyGraph,
+                               completed_at_tick: dict[str, Timestamp],
+                               ) -> Optional[list[Timestamp]]:
+        """The skip gate of one due DT: records and returns None when the
+        tick must be skipped, else the end-walls of its upstream
+        refreshes at this data timestamp."""
         # Skip: previous refresh still running (section 3.3.3).
         if self._busy_until.get(dt.name, 0) > time:
-            record = RefreshRecord(data_timestamp=time, skipped=True)
-            dt.record_refresh(record)
-            self.report.record(record)
-            return
+            self._record_skip(dt, time)
+            return None
 
         # Cascade skip: an upstream DT has no data at this timestamp
         # (it was skipped, failed, suspended, or is on a larger period).
@@ -199,15 +280,23 @@ class Scheduler:
             try:
                 upstream.table.version_for_refresh(time)
             except Exception:
-                record = RefreshRecord(data_timestamp=time, skipped=True)
-                dt.record_refresh(record)
-                self.report.record(record)
-                return
+                self._record_skip(dt, time)
+                return None
+        return upstream_ends
 
-        record = self.engine.refresh(dt, time)
+    def _record_skip(self, dt: DynamicTable, time: Timestamp) -> None:
+        record = RefreshRecord(data_timestamp=time, skipped=True)
+        dt.record_refresh(record)
+        self.report.record(record)
 
+    def _account(self, dt: DynamicTable, time: Timestamp,
+                 record: RefreshRecord, upstream_ends: list[Timestamp],
+                 completed_at_tick: dict[str, Timestamp]) -> None:
         # Simulated timing: wait for upstream completion at this data
         # timestamp, then for a warehouse slot; run for the modeled cost.
+        # In DAG-parallel mode the refresh additionally queues on one of
+        # ``parallelism`` dispatch slots — the modeled analogue of the
+        # coordinator's worker count.
         arrival = max([time] + upstream_ends)
         duration = self.cost_model.duration_of(
             record, self.warehouses.get(dt.warehouse).size
@@ -215,12 +304,19 @@ class Scheduler:
         if record.error is not None:
             # Failed refreshes burn only the fixed cost.
             duration = self.cost_model.fixed_cost
+        slot_index: Optional[int] = None
+        if self._dispatch_slots:
+            slot_index = min(range(len(self._dispatch_slots)),
+                             key=self._dispatch_slots.__getitem__)
+            arrival = max(arrival, self._dispatch_slots[slot_index])
         if self.cost_model.uses_warehouse(record) and self.warehouses.exists(
                 dt.warehouse):
             start, end = self.warehouses.get(dt.warehouse).submit(
                 arrival, duration)
         else:
             start, end = arrival, arrival + duration
+        if slot_index is not None:
+            self._dispatch_slots[slot_index] = end
         record.start_wall = start
         record.end_wall = end
         self._busy_until[dt.name] = end

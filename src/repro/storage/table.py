@@ -56,6 +56,15 @@ class TableVersion:
     #: True for versions created by data-equivalent maintenance
     #: (reclustering); the differ skips these (section 5.5.2).
     data_equivalent: bool = False
+    #: Row ids this commit deleted or updated — its *conflict footprint*.
+    #: Inserted rows are absent: their ids are freshly allocated at apply
+    #: time, so no concurrent transaction can have staged a write against
+    #: them. Row-level first-committer-wins intersects footprints.
+    written_ids: frozenset[str] = frozenset()
+    #: True when this commit replaced the table wholesale (overwrite
+    #: refresh / INSERT OVERWRITE): it conflicts with every concurrent
+    #: writer regardless of row ids.
+    overwrote: bool = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TableVersion(#{self.index}, commit={self.commit_ts}, "
@@ -92,6 +101,20 @@ class StagedWrite:
         return (bool(self.inserts) and not self.deletes
                 and not self.updates and self.changeset is None
                 and not self.overwrite)
+
+    @property
+    def written_row_ids(self) -> Optional[frozenset[str]]:
+        """The existing row ids this write touches (its conflict
+        footprint), or ``None`` for an overwrite — which touches every
+        row, present and future, of the table. Inserts never contribute:
+        their ids do not exist until apply time."""
+        if self.overwrite:
+            return None
+        ids: set[str] = set(self.deletes)
+        ids.update(self.updates)
+        if self.changeset is not None:
+            ids.update(self.changeset.delete_arrays()[0])
+        return frozenset(ids)
 
 
 class VersionedTable:
@@ -309,14 +332,16 @@ class VersionedTable:
             pairs = list(zip(new_ids, write.inserts))
             added.extend(build_partitions(pairs, self.partition_rows))
 
-        return self._install(removed, added, commit_ts)
+        footprint = frozenset(write.deletes) | frozenset(write.updates)
+        return self._install(removed, added, commit_ts,
+                             written_ids=footprint)
 
     def _apply_overwrite(self, rows: list[tuple],
                          commit_ts: HlcTimestamp) -> TableVersion:
         removed = set(self.current_version.partition_ids)
         new_ids = self._allocate_ids(len(rows))
         added = build_partitions(list(zip(new_ids, rows)), self.partition_rows)
-        return self._install(removed, added, commit_ts)
+        return self._install(removed, added, commit_ts, overwrote=True)
 
     def _apply_changeset(self, changes: ChangeSet, commit_ts: HlcTimestamp,
                          overwrite: bool = False) -> TableVersion:
@@ -329,10 +354,11 @@ class VersionedTable:
             removed = set(self.current_version.partition_ids)
             added = build_partitions(list(zip(insert_ids, insert_rows)),
                                      self.partition_rows)
-            return self._install(removed, added, commit_ts)
+            return self._install(removed, added, commit_ts, overwrote=True)
 
+        delete_ids = changes.delete_arrays()[0]
         touched: dict[int, set[str]] = {}
-        for row_id in changes.delete_arrays()[0]:
+        for row_id in delete_ids:
             partition_id = self._locator[row_id]
             touched.setdefault(partition_id, set()).add(row_id)
 
@@ -348,7 +374,8 @@ class VersionedTable:
         if insert_ids:
             added.extend(build_partitions(list(zip(insert_ids, insert_rows)),
                                           self.partition_rows))
-        return self._install(removed, added, commit_ts)
+        return self._install(removed, added, commit_ts,
+                             written_ids=frozenset(delete_ids))
 
     def clone(self, name: str, table_seq: int,
               commit_ts: HlcTimestamp) -> "VersionedTable":
@@ -389,12 +416,15 @@ class VersionedTable:
 
     def _install(self, removed: set[int], added: list[Partition],
                  commit_ts: HlcTimestamp,
-                 data_equivalent: bool = False) -> TableVersion:
+                 data_equivalent: bool = False,
+                 written_ids: frozenset[str] = frozenset(),
+                 overwrote: bool = False) -> TableVersion:
         current = self.current_version
         partition_ids = (current.partition_ids - frozenset(removed)) | frozenset(
             partition.id for partition in added)
         version = TableVersion(len(self._versions), commit_ts,
-                               frozenset(partition_ids), data_equivalent)
+                               frozenset(partition_ids), data_equivalent,
+                               written_ids, overwrote)
         for partition in added:
             self._partitions[partition.id] = partition
             for row_id in partition.row_ids:
@@ -445,6 +475,9 @@ class VersionedTable:
                              for old_id in state["partition_ids"]}
         versions: list[TableVersion] = []
         commit_keys: list[tuple[Timestamp, int]] = []
+        # Conflict footprints are not checkpointed: every transaction
+        # started after a restore snapshots at or past the restored head,
+        # so pre-checkpoint versions can never be conflict candidates.
         for index, commit_ts, partition_ids, data_equivalent in state["versions"]:
             versions.append(TableVersion(
                 index, commit_ts,

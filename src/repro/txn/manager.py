@@ -390,6 +390,37 @@ class Transaction:
             return head.commit_ts > self.snapshot
         return head.commit_ts.wall > self.snapshot
 
+    def _row_conflict(self, name: str,
+                      table: VersionedTable) -> Optional[str]:
+        """Row-level first-committer-wins: describe the conflict between
+        our staged write on ``name`` and the versions committed after our
+        snapshot, or return ``None`` if every intervening commit touched
+        disjoint rows (in which case both writers may keep their commits
+        — the generalization of the blind-append exemption).
+
+        Runs inside the commit critical section, where the head cannot
+        move. Data-equivalent versions (reclustering) are skipped like
+        the differ skips them; an overwrite — ours or theirs — conflicts
+        with everything, since it touches every row of the table.
+        """
+        ours = self._writes[name].written_row_ids
+        snap_index = table.version_at(self.snapshot).index
+        for index in range(snap_index + 1, table.version_count):
+            version = table.version(index)
+            if version.data_equivalent:
+                continue
+            if version.overwrote or ours is None:
+                return (f"write-write conflict on {name!r}: committed at "
+                        f"{version.commit_ts} after snapshot "
+                        f"{self.snapshot}")
+            overlap = version.written_ids & ours
+            if overlap:
+                sample = ", ".join(sorted(overlap)[:3])
+                return (f"write-write conflict on {name!r}: row(s) "
+                        f"{sample} committed at {version.commit_ts} "
+                        f"after snapshot {self.snapshot}")
+        return None
+
     def commit(self) -> HlcTimestamp:
         """Atomically apply all staged writes under one commit timestamp.
 
@@ -415,18 +446,22 @@ class Transaction:
             # timestamp whose table versions are not all installed yet
             # (which would tear multi-table commits and repeatable reads).
             with self._manager.commit_mutex:
-                # First-committer-wins validation. Blind appends are
-                # exempt: an insert-only write cannot lose an update, so
-                # concurrent INSERTs into one table all commit.
+                # First-committer-wins validation, at row granularity.
+                # Blind appends are exempt outright (an insert-only write
+                # cannot lose an update); other writers conflict only
+                # when their row footprint overlaps a version committed
+                # after the snapshot — disjoint-row writers on one table
+                # all commit. Refreshes pin their source versions and
+                # hold the DT lock for the whole refresh, so overrides
+                # stay exempt.
                 for name in written:
                     table = catalog.versioned_table(name)
                     if (self._conflicts(table.current_version)
                             and not self._writes[name].is_blind_append
                             and name not in self._version_overrides):
-                        raise LockConflict(
-                            f"write-write conflict on {name!r}: committed "
-                            f"at {table.current_version.commit_ts} after "
-                            f"snapshot {self.snapshot}")
+                        conflict = self._row_conflict(name, table)
+                        if conflict is not None:
+                            raise LockConflict(conflict)
 
                 commit_ts = self._manager.hlc.now()
                 for name in written:

@@ -82,21 +82,40 @@ class TestTransactions:
         clock, catalog, manager = setup
         first = manager.begin()
         first.insert_rows("t", [(1,)])
-        second = manager.begin()
-        second.insert_rows("t", [(2,)])
         first.commit()
         clock.advance(SECOND)
-        # Updates/deletes (not blind appends — those are exempt from
-        # first-committer-wins) conflict when a later commit landed after
-        # the transaction's snapshot:
-        stale = manager.begin(snapshot_wall=0)
+        # First-committer-wins is row-level: writes conflict when a
+        # commit after the transaction's snapshot touched the *same*
+        # rows. Here both transactions update/delete the one row.
         table = catalog.versioned_table("t")
-        stale.delete_rows("t", [next(iter(table.rows_by_id()))])
+        row_id = next(iter(table.rows_by_id()))
+        stale = manager.begin(snapshot_wall=0)
+        stale.delete_rows("t", [row_id])
         third = manager.begin()
-        third.insert_rows("t", [(4,)])
+        third.update_rows("t", {row_id: (4,)})
         third.commit()
         with pytest.raises(LockConflict):
             stale.commit()
+
+    def test_disjoint_row_writers_both_commit(self, setup):
+        clock, catalog, manager = setup
+        first = manager.begin()
+        first.insert_rows("t", [(1,), (2,)])
+        first.commit()
+        clock.advance(SECOND)
+        table = catalog.versioned_table("t")
+        ids = sorted(table.rows_by_id())
+        # Two concurrent writers touching different rows of one table:
+        # row-level first-committer-wins lets both commit.
+        one = manager.begin()
+        other = manager.begin()
+        one.update_rows("t", {ids[0]: (10,)})
+        other.delete_rows("t", [ids[1]])
+        one.commit()
+        clock.advance(SECOND)
+        other.commit()
+        reader = manager.begin()
+        assert sorted(reader.scan("t").rows) == [(10,)]
 
     def test_blind_append_exempt_from_conflict(self, setup):
         clock, catalog, manager = setup

@@ -150,6 +150,22 @@ REPRO_CONFIG = AnalyzerConfig(
         "scheduler": (
             "scheduler.scheduler.Scheduler.run_until",
         ),
+        # DAG-coordinator pool workers: each runs one whole refresh
+        # (ParallelRefreshCoordinator.refresh_wave submits engine.refresh
+        # closures whose pool indirection the call graph cannot follow).
+        "refresh-worker": (
+            "core.refresh.RefreshEngine.refresh",
+        ),
+        # Partition-pool workers: the intra-refresh fan-out closures
+        # (partition diffs, chunked aggregate scans and columnar folds),
+        # submitted through WorkerPool.map_ordered.
+        "partition-worker": (
+            "streams.changes.changes_between.slices",
+            "ivm.aggstate.AggregateNodeState._initialize_parallel.scan_chunk",
+            "ivm.aggstate.DistinctNodeState._initialize_parallel.scan_chunk",
+            "ivm.aggstate._chunked_eval.run",
+            "ivm.aggstate._chunked_eval_rows.run",
+        ),
     },
     thread_confined=frozenset({
         # One transaction / session / statement / cursor is used by one
@@ -159,16 +175,21 @@ REPRO_CONFIG = AnalyzerConfig(
         "PreparedStatement", "QueryResult", "SnapshotReader",
         "_OverlayPartition", "_StagedPartition", "StagedWrite",
         # The discrete-event scheduler runs on the driving thread; its
-        # callbacks (including the checkpoint tick) run inside run_until
-        # on that same thread. The simulated clock is advanced only by
-        # that driving thread; pool workers may read it, but reads are
-        # not writes and wall-time tests pin the clock.
-        "Scheduler", "SchedulerReport", "LivenessMonitor", "SimClock",
+        # callbacks (including the checkpoint tick) and all tick
+        # bookkeeping — even in DAG-parallel mode, where only
+        # engine.refresh runs on pool workers — stay on that thread. The
+        # simulated clock is advanced only by that driving thread; pool
+        # workers may read it, but reads are not writes and wall-time
+        # tests pin the clock. LivenessMonitor is NOT confined anymore:
+        # coordinator workers heartbeat into it concurrently, so it
+        # carries its own mutex and the analyzer checks it like any
+        # shared object.
+        "Scheduler", "SchedulerReport", "SimClock",
         # Exception objects are constructed, annotated (position info),
         # and consumed on the raising thread.
         "SqlError",
         # Refresh state is serialized per-DT by the DT's table lock.
-        "RefreshEngine", "DynamicTable", "AggStateStore",
+        "DynamicTable", "AggStateStore",
         "AggregateNodeState", "DistinctNodeState", "_Group",
     }),
     race_allow=frozenset(),

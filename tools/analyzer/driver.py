@@ -80,6 +80,13 @@ _SHARED_WRITE_CONFIG = AnalyzerConfig(
 
 FIXTURES: dict[str, tuple[AnalyzerConfig, frozenset]] = {
     "lock_cycle": (AnalyzerConfig(), frozenset({"ENG101"})),
+    # A partition (table) lock taken inside a worker task submitted
+    # under the coordinator's own mutex — the parallel-refresh deadlock
+    # shape.
+    "worker_lock": (
+        AnalyzerConfig(table_lock_methods=frozenset({"acquire"}),
+                       table_lock_classes=frozenset({"LockManager"})),
+        frozenset({"ENG101"})),
     "blocking_commit": (
         AnalyzerConfig(commit_locks=frozenset({"Manager.commit_mutex"})),
         frozenset({"ENG102"})),

@@ -1,0 +1,28 @@
+"""Seeded ENG101 fixture: taking a partition lock inside a worker task.
+
+``dispatch_wave`` holds the coordinator's wave mutex while the worker
+task it submits (the direct call stands in for the pool closure, as in
+the other fixtures) acquires a table/partition lock through the lock
+manager; ``commit`` nests the same two locks the other way around —
+table lock first, wave mutex inside. The acquired-before relation gains
+a cycle between the wave mutex and the abstract table-lock id, which is
+exactly the deadlock a coordinator invites by submitting lock-taking
+work while holding its own scheduling mutex.
+"""
+
+from locks import Coordinator
+
+
+def dispatch_wave(coordinator: Coordinator) -> None:
+    with coordinator.wave_mutex:
+        worker_task(coordinator)
+
+
+def worker_task(coordinator: Coordinator) -> None:
+    coordinator.locks.acquire("orders", 1, timeout=5.0)
+
+
+def commit(coordinator: Coordinator) -> None:
+    coordinator.locks.acquire("orders", 2, timeout=5.0)
+    with coordinator.wave_mutex:
+        pass

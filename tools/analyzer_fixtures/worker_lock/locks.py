@@ -1,0 +1,15 @@
+"""Seeded ENG101 fixture: a refresh coordinator whose worker tasks take
+partition (table) locks."""
+
+import threading
+
+
+class LockManager:
+    def acquire(self, name: str, owner: int, timeout: float = 0.0) -> None:
+        pass
+
+
+class Coordinator:
+    def __init__(self) -> None:
+        self.wave_mutex = threading.Lock()
+        self.locks = LockManager()
