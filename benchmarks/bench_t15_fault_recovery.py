@@ -1,0 +1,218 @@
+"""T15 — fault recovery: time-to-recover after a fault burst, and the
+armed-but-idle overhead of the compiled-in injection points.
+
+Two questions the fault subsystem (``repro.faults``) must answer:
+
+* **Recovery** — after a burst of refresh failures (an ``HlcWindow``
+  schedule failing every attempt against one DT for several periods),
+  how long until the pipeline is current again once the faults stop?
+  Measured entirely on the *simulated* clock, so every number here is
+  deterministic: failed ticks, retries consumed, downstream skips, and
+  the simulated delay from burst end to the first successful refresh.
+* **Armed-but-idle overhead** — the injection points are compiled into
+  the engine's hot paths (storage apply, WAL append, commit) and stay
+  there permanently. With rules armed on *other* points, every hit pays
+  the registry probe; that tax must stay under 5% on a commit-heavy
+  workload, or the points would have to become conditionally compiled.
+
+Deterministic facts land in ``BENCH_faults.json``; wall-clock numbers go
+to ``results.txt``.
+
+Run:  PYTHONPATH=src python benchmarks/bench_t15_fault_recovery.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro import Database  # noqa: E402
+from repro.core.dynamic_table import RefreshAction  # noqa: E402
+from repro.faults import HlcWindow, registry  # noqa: E402
+from repro.scheduler.periods import BASE_PERIOD  # noqa: E402
+from repro.util.timeutil import SECOND  # noqa: E402
+
+from reporting import emit, emit_json, table  # noqa: E402
+
+#: The fault burst: every refresh attempt against the upstream DT fails
+#: while the simulated clock is inside this window.
+BURST_START = 2 * BASE_PERIOD
+BURST_END = 6 * BASE_PERIOD
+RUN_UNTIL = 12 * BASE_PERIOD
+
+#: Single-row INSERT autocommits per idle-overhead sample.
+IDLE_COMMITS = 1500
+IDLE_SAMPLES = 5
+
+
+# -- fault-burst recovery (simulated time, fully deterministic) ----------------
+
+
+def _burst_workload() -> Database:
+    db = Database()
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE src (id int, grp text, val int)")
+    db.execute("INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20)")
+    db.create_dynamic_table(
+        "agg", "SELECT grp, sum(val) s FROM src GROUP BY grp",
+        "1 minute", "wh",
+        options={"retries": 1, "backoff": "2 seconds",
+                 "error_threshold": 100})
+    db.create_dynamic_table(
+        "top", "SELECT grp, s FROM agg WHERE s > 0", "1 minute", "wh")
+    # Fresh data every half period, so refreshes move rows (and a missed
+    # tick leaves real staleness to recover from).
+    step = BASE_PERIOD // 2
+    for index in range(1, 2 * RUN_UNTIL // BASE_PERIOD):
+        db.at(index * step + SECOND,
+              lambda i=index: db.execute(
+                  f"INSERT INTO src VALUES ({i + 10}, 'a', {i})"))
+    return db
+
+
+def _measure_burst() -> dict:
+    reg = registry()
+    reg.clear()
+    db = _burst_workload()
+    reg.clock = db.clock.now
+    rule = reg.arm("refresh.execute", HlcWindow(BURST_START, BURST_END),
+                   times=None, match=lambda d: d.get("dt") == "agg")
+    try:
+        db.run_for(RUN_UNTIL)
+    finally:
+        reg.clear()
+        reg.clock = None
+
+    agg = db.dynamic_table("agg")
+    top = db.dynamic_table("top")
+    failed = [r for r in agg.refresh_history if r.error is not None]
+    retries = sum(r.retries for r in agg.refresh_history)
+    skips = [r for r in top.refresh_history
+             if r.action == RefreshAction.SKIPPED_UPSTREAM_FAILED]
+    recovery = next(r for r in agg.refresh_history
+                    if r.data_timestamp >= BURST_END and r.succeeded)
+    consistent = db.check_dvs("agg") and db.check_dvs("top")
+    return {
+        "burst_periods": (BURST_END - BURST_START) // BASE_PERIOD,
+        "faults_fired": rule.fired,
+        "failed_refreshes": len(failed),
+        "retries_consumed": retries,
+        "downstream_upstream_failed_skips": len(skips),
+        "auto_suspended": agg.suspended,
+        "time_to_recover_s": round(
+            (recovery.end_wall - BURST_END) / SECOND, 3),
+        "recovered_within_one_period": (
+            recovery.end_wall - BURST_END <= BASE_PERIOD),
+        "consistent_after_recovery": consistent,
+    }
+
+
+# -- armed-but-idle overhead ---------------------------------------------------
+
+
+def _idle_sample(armed: bool) -> float:
+    reg = registry()
+    reg.clear()
+    db = Database()
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE items (id int, val int)")
+    if armed:
+        # Rules on points this in-memory workload never reaches: every
+        # storage/commit hit pays the full registry probe and returns.
+        reg.arm("checkpoint.write", HlcWindow(0, 1), times=None)
+        reg.arm("wal.fsync", HlcWindow(0, 1), times=None)
+    try:
+        start = time.perf_counter()
+        for index in range(IDLE_COMMITS):
+            db.execute(f"INSERT INTO items VALUES ({index}, {index % 97})")
+        return time.perf_counter() - start
+    finally:
+        reg.clear()
+
+
+def _measure_idle_overhead() -> dict:
+    # Alternate the variants so machine drift hits both equally; gate on
+    # the min-vs-min ratio (the least-noisy estimator available here).
+    baseline, armed = [], []
+    for __ in range(IDLE_SAMPLES):
+        baseline.append(_idle_sample(armed=False))
+        armed.append(_idle_sample(armed=True))
+    ratio = min(armed) / min(baseline)
+    return {
+        "commits": IDLE_COMMITS,
+        "baseline_ms": round(min(baseline) * 1e3, 2),
+        "armed_idle_ms": round(min(armed) * 1e3, 2),
+        "overhead_ratio": round(ratio, 4),
+    }
+
+
+_CACHE: dict = {}
+
+
+def _results() -> dict:
+    if not _CACHE:
+        _CACHE["burst"] = _measure_burst()
+        _CACHE["idle"] = _measure_idle_overhead()
+        _report(_CACHE)
+    return _CACHE
+
+
+def _report(results: dict) -> None:
+    burst, idle = results["burst"], results["idle"]
+    emit_json("BENCH_faults.json", {
+        "scenario": ("fault-burst recovery (HlcWindow failing every "
+                     "refresh of one DT for several periods, then "
+                     "clearing) and armed-but-idle injection-point "
+                     "overhead on a commit-heavy workload"),
+        "burst": burst,
+        "idle_overhead_commits": idle["commits"],
+        "invariants_ok": (burst["consistent_after_recovery"]
+                          and burst["recovered_within_one_period"]
+                          and burst["faults_fired"] > 0),
+        "timings": "see benchmarks/results.txt",
+    })
+    emit("T15 faults: burst recovery (simulated clock)",
+         table(["metric", "value"], [
+             ["burst length", f"{burst['burst_periods']} periods"],
+             ["faults fired", burst["faults_fired"]],
+             ["failed refreshes", burst["failed_refreshes"]],
+             ["retries consumed", burst["retries_consumed"]],
+             ["downstream skips", burst[
+                 "downstream_upstream_failed_skips"]],
+             ["time to recover", f"{burst['time_to_recover_s']}s"],
+         ]))
+    emit(f"T15 faults: armed-but-idle overhead ({idle['commits']} "
+         f"autocommits)", [
+        f"baseline: {idle['baseline_ms']}ms",
+        f"armed on unhit points: {idle['armed_idle_ms']}ms",
+        f"-> overhead {idle['overhead_ratio']}x",
+    ])
+
+
+#: Acceptance: armed-but-idle overhead under 5%. Wall-clock ratios flake
+#: on noisy shared runners, so CI may set a slack value that still
+#: catches the probe becoming pathological (e.g. taking the registry
+#: mutex on the no-rules path).
+MAX_IDLE_OVERHEAD = float(
+    os.environ.get("FAULTS_MAX_IDLE_OVERHEAD", "1.05"))
+
+
+def test_fault_burst_recovers_within_one_period():
+    burst = _results()["burst"]
+    assert burst["faults_fired"] > 0, burst
+    assert burst["failed_refreshes"] > 0, burst
+    assert burst["recovered_within_one_period"], burst
+    assert burst["consistent_after_recovery"], burst
+
+
+def test_armed_but_idle_overhead_within_bound():
+    idle = _results()["idle"]
+    assert idle["overhead_ratio"] <= MAX_IDLE_OVERHEAD, idle
+
+
+if __name__ == "__main__":
+    print(json.dumps(_results(), indent=2))

@@ -58,7 +58,8 @@ class Database:
                  checkpoint_every: Duration | None = None,
                  checkpoint_wal_bytes: int | None = None,
                  parallelism: int | None = None,
-                 partition_fanout: int | None = None):
+                 partition_fanout: int | None = None,
+                 wal_failure_policy: str = "readonly"):
         """``path`` opts into durability: the directory holds the WAL and
         checkpoint files, existing state is recovered before the first
         statement runs, and every commit is logged. ``durability`` picks
@@ -74,7 +75,14 @@ class Database:
         ``partition_fanout`` gives the refresh engine a worker pool of
         that size for intra-refresh partition work. Both modes produce
         byte-identical table states to serial refresh; see
-        :meth:`set_parallelism`."""
+        :meth:`set_parallelism`.
+
+        ``wal_failure_policy`` decides what a *failed WAL write* does:
+        ``"readonly"`` (the default) fails the commit and flips the
+        database into degraded read-only mode — reads keep serving the
+        last consistent versions, writes are refused until
+        ``durability.exit_degraded()`` — while ``"continue"`` counts the
+        failure and carries on accepting (unlogged) writes."""
         self.clock = clock if clock is not None else SimClock()
         self.catalog = Catalog(self.clock.now)
         self.txns = TransactionManager(self.catalog, self.clock.now)
@@ -109,7 +117,8 @@ class Database:
             manager = DurabilityManager(
                 self, path, fsync=(durability == "fsync"),
                 checkpoint_every=checkpoint_every,
-                checkpoint_wal_bytes=checkpoint_wal_bytes)
+                checkpoint_wal_bytes=checkpoint_wal_bytes,
+                wal_failure_policy=wal_failure_policy)
             manager.open()
             # Hooks attach only after recovery: replayed operations must
             # never be re-logged.
@@ -347,13 +356,21 @@ class Database:
                              refresh_mode: str = "auto",
                              initialize: str = "on_create",
                              or_replace: bool = False,
-                             auto_fragment: bool = False) -> DynamicTable:
+                             auto_fragment: bool = False,
+                             options: dict | None = None) -> DynamicTable:
         """Create (and by default synchronously initialize) a DT.
 
         ``auto_fragment=True`` enables the section 5.5.3 extension:
         top-level UNION ALL queries split into hidden per-branch DTs
         (intermediate state), letting each branch pick its own refresh
         mode; the visible DT becomes a cheap union over the fragments.
+
+        ``options`` sets the failure policy at creation — the same keys
+        ``ALTER DYNAMIC TABLE ... SET`` accepts: ``retries`` (transient
+        failures retried with exponential backoff), ``backoff`` (base
+        delay, duration string or nanoseconds), ``backoff_factor``, and
+        ``error_threshold`` (consecutive failures before auto-suspend,
+        section 3.3.3).
         """
         if isinstance(query, str):
             from repro.sql.parser import parse_query
@@ -398,16 +415,21 @@ class Database:
         dt.analysis = analyze_bound_query(query, plan,
                                           refresh_mode=mode.value,
                                           sql=query_text)
+        if options:
+            from repro.core.dynamic_table import apply_policy_options
+
+            apply_policy_options(dt, options)
         self.catalog.create_dynamic_entry(name, dt, or_replace=or_replace)
         if self.durability is not None:
             # Logged before initialization: the initializing refresh is a
             # normal transaction and replays from its own commit records.
-            self.durability.log_ddl(
-                "create_dynamic_table",
-                {"name": name, "query_text": query_text, "query": query,
-                 "target_lag": lag, "warehouse": warehouse,
-                 "refresh_mode": mode.value, "or_replace": or_replace},
-                self.catalog.epoch)
+            data = {"name": name, "query_text": query_text, "query": query,
+                    "target_lag": lag, "warehouse": warehouse,
+                    "refresh_mode": mode.value, "or_replace": or_replace}
+            if options:
+                data["options"] = dict(options)
+            self.durability.log_ddl("create_dynamic_table", data,
+                                    self.catalog.epoch)
 
         if initialize == "on_create":
             self._initialize(dt)

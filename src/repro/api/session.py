@@ -65,6 +65,8 @@ from repro.engine.executor import evaluate, stream_evaluate
 from repro.engine.expressions import EvalContext, compile_expression
 from repro.engine.schema import Column, Schema
 from repro.engine.types import Value
+from repro.core.dynamic_table import (apply_policy_options,
+                                      encode_option_detail)
 from repro.errors import (AnalysisError, CatalogError, LockConflict,
                           ParseError, ReproError, StatementError,
                           TransactionError, UserError)
@@ -598,6 +600,10 @@ class Session:
             # placement and DAG worker count, and/or the partition
             # fan-out its delta work used.
             lines.extend(self._parallel_lines(statement.select))
+            # Failure-driven staleness, same `-- <section> ...` format:
+            # which referenced DTs are serving old data because they are
+            # suspended, failing, or skipping behind a failed upstream.
+            lines.extend(self._staleness_lines(statement.select))
             # Analyzer warnings, in the same `-- <section> ...` format as
             # the pruning and refresh-strategy reports above.
             report = analyze_bound_query(statement.select, plan, sql=sql)
@@ -675,6 +681,41 @@ class Session:
                             f"({info['partition_tasks']} tasks)")
                     lines.append(f"-- parallel {name}: " + ", ".join(parts))
                 break
+        return lines
+
+    def _staleness_lines(self, select: n.Select) -> list[str]:
+        """``-- staleness <dt>: ...`` EXPLAIN lines for every referenced
+        DT serving stale data because of failures (its own or an
+        upstream's) — section 3.3.3's graceful degradation made visible
+        at query time."""
+        from repro.core.evolution import collect_source_names
+        from repro.scheduler.liveness import staleness_report
+        from repro.util.timeutil import format_duration
+
+        try:
+            names = sorted(collect_source_names(select,
+                                                self.database.catalog))
+        except ReproError:
+            return []
+        dts = []
+        for name in names:
+            try:
+                entry = self.database.catalog.get(name)
+            except ReproError:
+                continue
+            if entry.kind == "dynamic table":
+                dts.append(entry.payload)
+        lines: list[str] = []
+        now = self.database.clock.now()
+        for entry in staleness_report(dts, now):
+            if entry.serving is None:
+                serving = "no readable version yet"
+            else:
+                lag = format_duration(entry.lag) if entry.lag else "0 seconds"
+                serving = (f"serving data as of t={entry.serving} "
+                           f"({lag} behind)")
+            lines.append(f"-- staleness {entry.dt_name}: {entry.cause} — "
+                         f"{serving}; {entry.detail}")
         return lines
 
     # -- prepared-statement execution (called by PreparedStatement) ----------
@@ -855,14 +896,20 @@ class Session:
             return None, -1
         if isinstance(statement, n.AlterDynamicTable):
             dt = db.dynamic_table(statement.name)
+            detail = statement.action
             if statement.action == "suspend":
                 dt.suspend()
             elif statement.action == "resume":
                 dt.resume()
             elif statement.action == "refresh":
                 db.refresh_dynamic_table(statement.name)
-            db.catalog.log_alter("dynamic table", statement.name,
-                                 statement.action)
+            elif statement.action == "set":
+                options = dict(statement.options)
+                apply_policy_options(dt, options)
+                # Round-trippable detail string: recovery replays the
+                # policy change from the DDL log.
+                detail = encode_option_detail(options)
+            db.catalog.log_alter("dynamic table", statement.name, detail)
             return None, -1
         if isinstance(statement, n.AlterTableRename):
             db.catalog.rename(statement.name, statement.new_name)

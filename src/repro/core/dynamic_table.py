@@ -35,15 +35,40 @@ from typing import Optional
 from repro.core.frontier import Frontier
 from repro.core.lag import TargetLag
 from repro.engine.schema import Schema
-from repro.errors import NotInitializedError, SuspendedError
+from repro.errors import NotInitializedError, SuspendedError, UserError
 from repro.ivm.differentiator import DifferentiationStats
 from repro.sql import nodes as n
 from repro.storage.table import VersionedTable
-from repro.util.timeutil import Timestamp
+from repro.util.timeutil import (MINUTE, SECOND, Timestamp, format_duration,
+                                 parse_duration)
 
 #: Consecutive refresh failures before automatic suspension
-#: (section 3.3.3). Snowflake uses five; so do we.
+#: (section 3.3.3). Snowflake uses five; so do we. Per-DT overridable
+#: via ``error_threshold`` (``ALTER DYNAMIC TABLE ... SET``).
 MAX_CONSECUTIVE_FAILURES = 5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-DT retry behavior for *transient* refresh failures.
+
+    Section 3.3.3 retries nothing that is a user error; environmental
+    failures (lock conflicts, injected storage/WAL/worker faults) are
+    retried up to ``max_retries`` times with exponential backoff. The
+    backoff runs on the **simulated clock**: each retry's delay is
+    modeled into the refresh record (``backoff_total``) and accounted by
+    the scheduler like any other refresh cost — no wall-clock sleeping.
+    """
+
+    max_retries: int = 0
+    backoff_base: Timestamp = 8 * SECOND
+    backoff_factor: int = 2
+    backoff_cap: Timestamp = 5 * MINUTE
+
+    def delay(self, attempt: int) -> Timestamp:
+        """Modeled delay before retry ``attempt`` (1-based)."""
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1),
+                   self.backoff_cap)
 
 
 class RefreshMode(enum.Enum):
@@ -62,6 +87,12 @@ class RefreshAction(enum.Enum):
     INCREMENTAL = "incremental"
     REINITIALIZE = "reinitialize"
     INITIAL = "initial"
+    #: The tick was skipped because an upstream DT has no data at this
+    #: timestamp *due to a failure* (it failed, is failing, or is
+    #: suspended) — graceful degradation: the DT keeps serving its last
+    #: consistent version, and the staleness is surfaced by
+    #: :func:`repro.scheduler.liveness.staleness_report` and EXPLAIN.
+    SKIPPED_UPSTREAM_FAILED = "skipped_upstream_failed"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value.upper()
@@ -98,6 +129,12 @@ class RefreshRecord:
     source_rows_scanned: int = 0
     error: Optional[str] = None
     skipped: bool = False
+    #: Transient-failure retries this refresh needed (RetryPolicy), and
+    #: the total modeled backoff delay they added on the simulated
+    #: clock. The scheduler folds ``backoff_total`` into the refresh's
+    #: modeled duration.
+    retries: int = 0
+    backoff_total: Timestamp = 0
     ivm_stats: Optional[DifferentiationStats] = None
     #: The frontier installed by this refresh (None for skips/failures);
     #: lets the history recorder reconstruct derivation provenance.
@@ -107,6 +144,20 @@ class RefreshRecord:
     #: (intra-refresh fan-out); the DAG-parallel scheduler adds ``wave``,
     #: ``waves``, and ``workers``. Surfaced by EXPLAIN.
     parallel: Optional[dict] = None
+
+    def reset_outcome(self) -> None:
+        """Clear the per-attempt outcome fields before a retry, so a
+        failed attempt's partial stats never leak into the next one.
+        Retry accounting (``retries`` / ``backoff_total``) survives."""
+        self.action = None
+        self.rows_inserted = 0
+        self.rows_deleted = 0
+        self.table_rows_after = 0
+        self.source_rows_scanned = 0
+        self.error = None
+        self.ivm_stats = None
+        self.frontier = None
+        self.parallel = None
 
     @property
     def succeeded(self) -> bool:
@@ -147,10 +198,21 @@ class DynamicTable:
 
         self.initialized = False
         self.suspended = False
+        #: Why the DT is suspended (auto-suspension records the failure
+        #: trail; manual SUSPEND leaves None).
+        self.suspended_reason: Optional[str] = None
         #: True for internal fragment DTs (section 5.5.3 extension);
         #: hidden DTs are filtered from user-facing listings.
         self.hidden = False
         self.consecutive_failures = 0
+        #: Transient-failure retry behavior (section 3.3.3 retries no
+        #: user errors; this governs everything else). Surfaced via
+        #: ``Database.create_dynamic_table`` and ``ALTER DYNAMIC TABLE
+        #: ... SET RETRIES/BACKOFF``.
+        self.retry_policy = RetryPolicy()
+        #: Consecutive failures before auto-suspension; per-DT override
+        #: of MAX_CONSECUTIVE_FAILURES (``SET ERROR_THRESHOLD``).
+        self.error_threshold = MAX_CONSECUTIVE_FAILURES
         self.frontier: Optional[Frontier] = None
         self.refresh_history: list[RefreshRecord] = []
         #: Per-group aggregate accumulators carried across incremental
@@ -199,8 +261,10 @@ class DynamicTable:
 
     def ensure_refreshable(self) -> None:
         if self.suspended:
+            reason = (f" ({self.suspended_reason})"
+                      if self.suspended_reason else "")
             raise SuspendedError(
-                f"dynamic table {self.name!r} is suspended")
+                f"dynamic table {self.name!r} is suspended{reason}")
 
     def suspend(self) -> None:
         self.suspended = True
@@ -210,17 +274,23 @@ class DynamicTable:
         fresh error budget (section 3.3.3: "the DT can resume from where
         it left off once the cause is addressed")."""
         self.suspended = False
+        self.suspended_reason = None
         self.consecutive_failures = 0
 
     def record_refresh(self, record: RefreshRecord) -> None:
-        """Track a completed refresh attempt and update failure state."""
+        """Track a completed refresh attempt and update failure state
+        (section 3.3.3: "If the counter exceeds a threshold, the DT is
+        automatically suspended")."""
         self.refresh_history.append(record)
         if record.skipped:
             return
         if record.error is not None:
             self.consecutive_failures += 1
-            if self.consecutive_failures >= MAX_CONSECUTIVE_FAILURES:
+            if self.consecutive_failures >= self.error_threshold:
                 self.suspended = True
+                self.suspended_reason = (
+                    f"auto-suspended after {self.consecutive_failures} "
+                    f"consecutive refresh failures; last: {record.error}")
         else:
             self.consecutive_failures = 0
 
@@ -245,3 +315,94 @@ class DynamicTable:
         return (f"DynamicTable({self.name!r}, lag={self.target_lag}, "
                 f"mode={self.effective_refresh_mode.value}, "
                 f"data_ts={self.data_timestamp})")
+
+
+# ---------------------------------------------------------------------------
+# Failure-policy options (ALTER DYNAMIC TABLE ... SET k = v, ...)
+# ---------------------------------------------------------------------------
+
+#: Settable option keys and how their raw (string/int) values parse.
+_OPTION_KEYS = ("retries", "backoff", "backoff_factor", "error_threshold")
+
+
+def apply_policy_options(dt: DynamicTable,
+                         options: dict[str, object]) -> None:
+    """Apply failure-policy options to a DT. Shared by the ALTER
+    dispatch, ``Database.create_dynamic_table``, and DDL replay, so the
+    three paths cannot drift. Raises :class:`UserError` on unknown keys
+    or malformed values."""
+    from dataclasses import replace
+
+    for key, raw in options.items():
+        if key == "retries":
+            count = _int_option(key, raw, minimum=0)
+            dt.retry_policy = replace(dt.retry_policy, max_retries=count)
+        elif key == "backoff":
+            # A bare integer (raw nanoseconds) may round-trip through the
+            # DDL log as a digit string; a duration string parses.
+            if isinstance(raw, str) and not raw.strip().isdigit():
+                duration = parse_duration(raw)
+            else:
+                duration = _int_option(key, raw, minimum=1)
+            dt.retry_policy = replace(dt.retry_policy,
+                                      backoff_base=duration)
+        elif key == "backoff_factor":
+            dt.retry_policy = replace(
+                dt.retry_policy,
+                backoff_factor=_int_option(key, raw, minimum=1))
+        elif key == "error_threshold":
+            dt.error_threshold = _int_option(key, raw, minimum=1)
+        else:
+            raise UserError(
+                f"unknown dynamic table option {key!r} "
+                f"(expected one of: {', '.join(_OPTION_KEYS)})")
+
+
+def policy_options(dt: DynamicTable) -> dict[str, object]:
+    """The DT's current failure-policy options, in the same shape
+    ``apply_policy_options`` accepts (checkpoint serialization)."""
+    return {
+        "retries": dt.retry_policy.max_retries,
+        "backoff": dt.retry_policy.backoff_base,
+        "backoff_factor": dt.retry_policy.backoff_factor,
+        "error_threshold": dt.error_threshold,
+    }
+
+
+def encode_option_detail(options: dict[str, object]) -> str:
+    """Render SET options as the DDL-log detail string (``"set
+    retries=2, backoff=10 seconds"``)."""
+    body = ", ".join(f"{key}={value}" for key, value in options.items())
+    return f"set {body}"
+
+
+def decode_option_detail(detail: str) -> Optional[dict[str, str]]:
+    """Parse a DDL-log alter detail back into options; None when the
+    detail is not a SET (suspend/resume/refresh)."""
+    if not detail.startswith("set "):
+        return None
+    options: dict[str, str] = {}
+    for part in detail[len("set "):].split(", "):
+        key, __, value = part.partition("=")
+        options[key.strip()] = value.strip()
+    return options
+
+
+def describe_policy(dt: DynamicTable) -> str:
+    """One-line human rendering (EXPLAIN / SHOW surfaces)."""
+    policy = dt.retry_policy
+    return (f"retries={policy.max_retries}, "
+            f"backoff={format_duration(policy.backoff_base)}"
+            f"×{policy.backoff_factor}, "
+            f"error_threshold={dt.error_threshold}")
+
+
+def _int_option(key: str, raw: object, minimum: int) -> int:
+    try:
+        value = int(raw)  # type: ignore[call-overload]
+    except (TypeError, ValueError):
+        raise UserError(f"option {key!r} needs an integer, "
+                        f"got {raw!r}") from None
+    if value < minimum:
+        raise UserError(f"option {key!r} must be >= {minimum}")
+    return value

@@ -40,8 +40,10 @@ from repro.core.frontier import Frontier, SourceCursor
 from repro.engine.executor import evaluate
 from repro.engine.expressions import DEFAULT_REGISTRY, EvalContext, FunctionRegistry
 from repro.engine.relation import Relation
-from repro.errors import (ChangeIntegrityError, NotInitializedError,
-                          TransactionError, UserError)
+from repro.errors import (ChangeIntegrityError, DurabilityError,
+                          NotInitializedError, TransactionError,
+                          TransientError, UserError, is_transient)
+from repro.faults import inject
 from repro.ivm.changes import ChangeSet
 from repro.ivm.differentiator import (OUTER_JOIN_DIRECT, differentiate)
 from repro.plan import logical as lp
@@ -58,6 +60,15 @@ from repro.util.timeutil import Timestamp
 
 #: Compiled-plan cache size that triggers a stale-entry purge.
 _PLAN_CACHE_LIMIT = 128
+
+#: Exception classes a refresh *captures into its record* (and counts
+#: toward auto-suspension) instead of raising: user errors (section
+#: 3.3.3), transactional and environmental failures, and injected
+#: faults. Anything else — a KeyError from a bug, say — still
+#: propagates, after the attempt aborts its transaction and aggregate
+#: state cleanly.
+_RECORDED_ERRORS = (UserError, TransactionError, ChangeIntegrityError,
+                    NotInitializedError, DurabilityError, TransientError)
 
 
 class _VersionResolver:
@@ -152,10 +163,41 @@ class RefreshEngine:
         Returns a :class:`RefreshRecord`; user errors are captured in the
         record (and counted toward auto-suspension) rather than raised —
         section 3.3.3: "If a refresh encounters a user error ... it fails
-        and is not retried."
+        and is not retried." *Transient* failures (lock conflicts,
+        injected environmental faults) are retried under the DT's
+        :class:`~repro.core.dynamic_table.RetryPolicy`, with exponential
+        backoff modeled on the simulated clock.
         """
         record = RefreshRecord(data_timestamp=refresh_ts)
         dt.ensure_refreshable()
+        policy = dt.retry_policy
+        attempt = 0
+        while True:
+            try:
+                self._attempt(dt, refresh_ts, record)
+            except _RECORDED_ERRORS as exc:
+                if is_transient(exc) and attempt < policy.max_retries:
+                    # Transient failure with retry budget left: model the
+                    # exponential backoff on the simulated clock (the
+                    # scheduler folds backoff_total into the refresh's
+                    # duration) and run a fresh attempt.
+                    attempt += 1
+                    record.retries = attempt
+                    record.backoff_total += policy.delay(attempt)
+                    record.reset_outcome()
+                    continue
+                record.error = f"{type(exc).__name__}: {exc}"
+            break
+        dt.record_refresh(record)
+        return record
+
+    def _attempt(self, dt: DynamicTable, refresh_ts: Timestamp,
+                 record: RefreshRecord) -> None:
+        """One refresh attempt in its own transaction. On *any* failure
+        the transaction and the DT's aggregate state abort cleanly
+        before the exception propagates — an internal error must never
+        strand a begun agg-state refresh or a held table lock."""
+        inject("refresh.execute", dt=dt.name, refresh_ts=refresh_ts)
         txn = self.txn_manager.begin(snapshot_wall=refresh_ts)
         try:
             txn.lock(dt.name)
@@ -164,17 +206,15 @@ class RefreshEngine:
             if fanout.tasks:
                 record.parallel = {"partition_workers": fanout.workers,
                                    "partition_tasks": fanout.tasks}
-        except (UserError, TransactionError, ChangeIntegrityError,
-                NotInitializedError) as exc:
-            txn.abort()
+        except BaseException:
+            if txn.committed is None and not txn.aborted:
+                txn.abort()
             if dt.agg_state is not None:
                 # Accumulators may hold a partial fold of an interval that
                 # never committed; drop them (also covered by the dirty
                 # flag for exceptions that bypass this handler).
                 dt.agg_state.abort_refresh()
-            record.error = f"{type(exc).__name__}: {exc}"
-        dt.record_refresh(record)
-        return record
+            raise
 
     def build_plan(self, dt: DynamicTable) -> lp.PlanNode:
         """The DT's optimized defining plan against the current catalog.

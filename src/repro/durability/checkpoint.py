@@ -34,7 +34,8 @@ import zlib
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.dynamic_table import (DynamicTable, RefreshAction,
-                                      RefreshRecord)
+                                      RefreshRecord, apply_policy_options,
+                                      policy_options)
 from repro.durability import codec
 from repro.engine.aggregates import (AvgAccumulator, CountAccumulator,
                                      CountIfAccumulator, CountStarAccumulator,
@@ -241,8 +242,10 @@ def _snapshot_dt(dt: DynamicTable) -> dict:
         "incremental_reasons": list(dt.incremental_reasons),
         "initialized": dt.initialized,
         "suspended": dt.suspended,
+        "suspended_reason": dt.suspended_reason,
         "hidden": dt.hidden,
         "consecutive_failures": dt.consecutive_failures,
+        "options": policy_options(dt),
         "frontier": codec.encode(dt.frontier),
         "table": codec.encode(dt.table.snapshot_state()),
         "last_refresh": marker,
@@ -263,8 +266,14 @@ def _restore_dt(snap: dict, partitions: dict[int, Partition]) -> DynamicTable:
         snap["incremental_supported"], list(snap["incremental_reasons"]))
     dt.initialized = snap["initialized"]
     dt.suspended = snap["suspended"]
+    dt.suspended_reason = snap.get("suspended_reason")
     dt.hidden = snap["hidden"]
     dt.consecutive_failures = snap["consecutive_failures"]
+    # ``.get``: checkpoints written before the failure-policy options
+    # existed restore with the defaults.
+    options = snap.get("options")
+    if options:
+        apply_policy_options(dt, options)
     dt.frontier = codec.decode(snap["frontier"])
     marker = snap["last_refresh"]
     if marker is not None:

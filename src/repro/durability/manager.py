@@ -42,6 +42,8 @@ from repro.durability import codec
 from repro.durability.recovery import (RecoveryReport, WAL_FILENAME,
                                        recover)
 from repro.durability.wal import WriteAheadLog
+from repro.errors import DurabilityError, InjectedFault, UserError
+from repro.faults import inject
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.database import Database
@@ -63,10 +65,25 @@ class DurabilityManager:
                  fsync: bool = True,
                  checkpoint_every: Optional[int] = None,
                  checkpoint_wal_bytes: Optional[int] = None,
-                 keep_checkpoints: int = KEEP_CHECKPOINTS):
+                 keep_checkpoints: int = KEEP_CHECKPOINTS,
+                 wal_failure_policy: str = "readonly"):
+        if wal_failure_policy not in ("readonly", "continue"):
+            raise UserError(
+                f"unknown wal_failure_policy: {wal_failure_policy!r} "
+                f"(expected 'readonly' or 'continue')")
         self.db = db
         self.directory = os.fspath(directory)
         self.fsync = fsync
+        #: What a WAL write failure escalates to: ``"readonly"`` (the
+        #: default) fails the commit and refuses every later write until
+        #: :meth:`exit_degraded` — durability loss is never silent;
+        #: ``"continue"`` logs the failure and keeps accepting writes,
+        #: an explicit opt into running without durability.
+        self.wal_failure_policy = wal_failure_policy
+        #: Why the database is in degraded read-only mode (None = not).
+        self.degraded: Optional[str] = None
+        #: WAL write failures observed (both policies count them).
+        self.wal_failures = 0
         #: Simulated-time interval of the background checkpointer
         #: (None = no background checkpoints).
         self.checkpoint_every = checkpoint_every
@@ -123,7 +140,7 @@ class DurabilityManager:
                                 action=refresh_meta["action"].value,
                                 frontier=codec.encode(
                                     refresh_meta["frontier"]))
-        self.wal.append({
+        self._append({
             "kind": "commit",
             "ts": codec.encode(ts),
             "writes": {name: codec.encode(write)
@@ -149,7 +166,7 @@ class DurabilityManager:
         mutex); ``epoch`` is the catalog epoch *after* the operation,
         which replay asserts to catch divergence early."""
         assert self.wal is not None, "log_ddl before open()"
-        self.wal.append({
+        self._append({
             "kind": "ddl",
             "ddl": ddl,
             "wall": self.db.clock.now(),
@@ -160,6 +177,51 @@ class DurabilityManager:
         # serializes the appends themselves, and a lost increment can at
         # worst understate the status line.
         self.records_since_checkpoint += 1  # eng: allow-ENG104 (advisory)
+
+    # -- WAL failure escalation ----------------------------------------------------
+
+    def _append(self, payload: dict) -> None:
+        """Append one record, escalating a write failure per the
+        configured policy: ``"readonly"`` marks the database degraded
+        and fails the caller (the in-flight commit/DDL raises before any
+        in-memory state changed — the WAL is written *before* apply);
+        ``"continue"`` records the loss and lets the caller proceed
+        without durability for this record."""
+        assert self.wal is not None
+        try:
+            self.wal.append(payload)
+        except (OSError, InjectedFault) as exc:
+            self.wal_failures += 1  # eng: allow-ENG104 (advisory)
+            if self.wal_failure_policy == "readonly":
+                # Written under the caller's serialization (commit mutex
+                # for commits, catalog mutex for DDL); a racy unlocked
+                # read in check_writable is fail-safe — it can only miss
+                # the *newest* degradation for one in-flight commit,
+                # whose own append then fails and re-marks it.
+                self.degraded = (  # eng: allow-ENG104 (fail-safe flag)
+                    f"{type(exc).__name__}: {exc}")
+                raise DurabilityError(
+                    f"WAL write failed ({exc}); the database is now in "
+                    f"degraded read-only mode — reads keep serving the "
+                    f"last durable state, writes are refused until "
+                    f"exit_degraded()") from exc
+            # "continue": an explicit opt into losing this record's
+            # durability; status() reports the count.
+
+    def check_writable(self) -> None:
+        """Raise if the database is in degraded read-only mode. Called
+        by ``Transaction.commit`` for write transactions (reads never
+        pass through here)."""
+        if self.degraded is not None:
+            raise DurabilityError(
+                f"database is in degraded read-only mode "
+                f"({self.degraded}); writes are refused — call "
+                f"exit_degraded() once the storage fault is resolved")
+
+    def exit_degraded(self) -> None:
+        """Leave degraded read-only mode (the operator action after the
+        underlying storage fault is fixed)."""
+        self.degraded = None
 
     # -- checkpoints ---------------------------------------------------------------
 
@@ -176,6 +238,12 @@ class DurabilityManager:
                     last_wal_seq = self.wal.next_seq - 1
                     snapshot = ckpt.snapshot_database(self.db, seq,
                                                       last_wal_seq)
+                    # A failure here (real or injected) aborts the
+                    # checkpoint *before* the WAL reset: the previous
+                    # checkpoint and the full WAL stay intact, so no
+                    # durable state is lost — the checkpoint simply
+                    # didn't happen.
+                    inject("checkpoint.write", seq=seq)
                     path = ckpt.write_checkpoint(self.directory, snapshot)
                     self.wal.reset()
                     self.last_checkpoint_seq = seq
@@ -234,6 +302,9 @@ class DurabilityManager:
         return {
             "directory": self.directory,
             "fsync": self.fsync,
+            "degraded": self.degraded,
+            "wal_failures": self.wal_failures,
+            "wal_failure_policy": self.wal_failure_policy,
             "wal_bytes": self.wal.position() if self.wal is not None else 0,
             "next_wal_seq": (self.wal.next_seq
                              if self.wal is not None else 1),

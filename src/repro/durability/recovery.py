@@ -260,18 +260,31 @@ def _replay_create_dynamic_table(db: "Database", data: dict) -> None:
                       data["target_lag"], data["warehouse"],
                       RefreshMode(data["refresh_mode"]), table, dependencies,
                       check.supported, check.reasons)
+    options = data.get("options")
+    if options:
+        from repro.core.dynamic_table import apply_policy_options
+
+        apply_policy_options(dt, options)
     db.catalog.create_dynamic_entry(data["name"], dt,
                                     or_replace=data["or_replace"])
 
 
 def _replay_alter(db: "Database", data: dict) -> None:
     # Suspend/resume flip entity state beyond the DDL-log line; a manual
-    # REFRESH's data effects replay from its own commit records.
-    if data["kind"] == "dynamic table" and data["detail"] in ("suspend",
-                                                              "resume"):
-        dt = _dynamic_table(db, data["name"])
-        if data["detail"] == "suspend":
-            dt.suspend()
-        else:
-            dt.resume()
+    # REFRESH's data effects replay from its own commit records; a SET
+    # detail round-trips the failure-policy options.
+    if data["kind"] == "dynamic table":
+        from repro.core.dynamic_table import (apply_policy_options,
+                                              decode_option_detail)
+
+        detail = data["detail"]
+        options = decode_option_detail(detail)
+        if detail in ("suspend", "resume"):
+            dt = _dynamic_table(db, data["name"])
+            if detail == "suspend":
+                dt.suspend()
+            else:
+                dt.resume()
+        elif options is not None:
+            apply_policy_options(_dynamic_table(db, data["name"]), options)
     db.catalog.log_alter(data["kind"], data["name"], data["detail"])

@@ -45,6 +45,7 @@ import zlib
 from typing import NamedTuple, Optional
 
 from repro.errors import DurabilityError
+from repro.faults import inject
 
 #: File magic; the final byte is the on-disk format version.
 WAL_MAGIC = b"RPRWAL\x00\x01"
@@ -136,18 +137,43 @@ class WriteAheadLog:
 
     def append(self, payload: dict) -> WalRecord:
         """Frame, write, and (optionally) fsync one record. The ``seq``
-        key is assigned here; callers pass the rest of the payload."""
+        key is assigned here; callers pass the rest of the payload.
+
+        Failure discipline: if anything goes wrong after bytes started
+        hitting the file — a real I/O error or an injected ``wal.torn``
+        / ``wal.fsync`` fault — the append rolls the file back to the
+        last good record and re-raises, so a *live* WAL never carries a
+        torn frame. The one exception is a fault flagged ``leave_torn``:
+        it simulates a crash mid-write, so the partial frame is flushed
+        and deliberately left for recovery's torn-tail truncation.
+        """
         with self._mutex:
+            inject("wal.append", path=self.path)
             seq = self._next_seq
-            self._next_seq += 1
             payload = dict(payload, seq=seq)
             body = json.dumps(payload, separators=(",", ":"),
                               sort_keys=True).encode("utf-8")
-            self._handle.write(_FRAME.pack(len(body), zlib.crc32(body)))
-            self._handle.write(body)
-            self._handle.flush()
-            if self.fsync:
-                os.fsync(self._handle.fileno())
+            try:
+                self._handle.write(_FRAME.pack(len(body), zlib.crc32(body)))
+                inject("wal.torn", path=self.path, seq=seq)
+                self._handle.write(body)
+                self._handle.flush()
+                inject("wal.fsync", path=self.path, seq=seq)
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+            except BaseException as exc:
+                if getattr(exc, "leave_torn", False):
+                    # Simulated crash mid-append: surface the partial
+                    # frame to the file so recovery sees a torn tail.
+                    self._handle.flush()
+                else:
+                    try:
+                        self._handle.truncate(self._position)
+                        self._handle.seek(self._position)
+                    except OSError:  # pragma: no cover - double fault
+                        pass
+                raise
+            self._next_seq += 1
             self._position += _FRAME.size + len(body)
             return WalRecord(seq, payload, self._position)
 

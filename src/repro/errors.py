@@ -122,6 +122,30 @@ class EntityDropped(EntityNotFound):
     refreshes should resume without issue')."""
 
 
+class TransientError(ReproError):
+    """An environmental failure that may succeed if simply retried: the
+    cause is outside the user's query and outside this library's logic
+    (section 3.3.3 distinguishes these from user errors, which "fail and
+    are not retried"). The refresh engine retries transient failures
+    under the DT's :class:`~repro.core.dynamic_table.RetryPolicy`."""
+
+
+class InjectedFault(TransientError):
+    """A fault raised by the fault-injection subsystem
+    (:mod:`repro.faults`). Injected faults model environmental failures
+    — storage hiccups, fsync errors, crashed workers — so they classify
+    as transient and are retried like the real thing would be. Carries
+    the injection ``point`` that fired and, for WAL faults,
+    ``leave_torn`` (the append must *not* repair the partial frame: the
+    fault simulates a crash mid-write)."""
+
+    def __init__(self, message: str, point: str = "",
+                 leave_torn: bool = False):
+        super().__init__(message)
+        self.point = point
+        self.leave_torn = leave_torn
+
+
 class TransactionError(ReproError):
     """Base class for transaction-manager errors."""
 
@@ -192,3 +216,15 @@ class DurabilityError(ReproError):
     magic, an unsupported format version, a checksum mismatch outside the
     torn tail, or a replayed record whose catalog-epoch stamp does not
     match the catalog it replayed into."""
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Transient-vs-permanent classification (section 3.3.3).
+
+    Transient: injected/environmental faults and lock conflicts — a
+    retry against the same snapshot may succeed once the interference
+    passes. Permanent: user errors ("it fails and is not retried"),
+    missing versions (the version will not appear for this timestamp),
+    integrity violations, and durability-state corruption.
+    """
+    return isinstance(exc, (TransientError, LockConflict))

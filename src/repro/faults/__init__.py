@@ -1,0 +1,23 @@
+"""Deterministic fault injection (the chaos-testing subsystem).
+
+Named injection points are compiled into the engine's failure-prone
+sites (storage writes, WAL append/fsync, checkpoint serialization,
+refresh execution, pool worker tasks, commit); a process-wide
+:class:`FaultRegistry` arms schedule-driven rules against them. See
+:mod:`repro.faults.registry` for the point list and the hot path,
+:mod:`repro.faults.schedule` for the activation shapes, and the README's
+"Failure handling & chaos testing" section for how to write a schedule.
+"""
+
+from repro.faults.registry import (KNOWN_POINTS, FaultRegistry, FaultRule,
+                                   inject, registry)
+from repro.faults.schedule import (EveryN, FaultSchedule, HlcWindow, NthHit,
+                                   PlannedFault, Probability, Schedule,
+                                   every, hlc_window, nth_hit, probability)
+
+__all__ = [
+    "KNOWN_POINTS", "FaultRegistry", "FaultRule", "inject", "registry",
+    "EveryN", "FaultSchedule", "HlcWindow", "NthHit", "PlannedFault",
+    "Probability", "Schedule", "every", "hlc_window", "nth_hit",
+    "probability",
+]

@@ -1,0 +1,161 @@
+"""Fault activation schedules: when an armed rule actually fires.
+
+Three activation shapes, all deterministic given their construction
+arguments (so a chaos run replays exactly from its seed):
+
+* :class:`NthHit` / :class:`EveryN` — hit-counter driven;
+* :class:`Probability` — a private seeded RNG stream; the k-th matched
+  hit draws the k-th variate, independent of wall time or other rules;
+* :class:`HlcWindow` — fires while the simulated clock (bound on the
+  registry) reads inside ``[start, end)``.
+
+:class:`FaultSchedule` bundles a *seeded random draw* over a set of
+points into an armable plan — the chaos property test's input. The same
+``(seed, points, count)`` always produces the same plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import InjectedFault
+
+
+class Schedule:
+    """Decides whether the ``hit``-th matched arrival fires. ``now`` is
+    the registry's simulated-clock reading (None when unbound)."""
+
+    def fires(self, hit: int, detail: dict, now: Optional[int]) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, repr=False)
+class NthHit(Schedule):
+    """Fire on exactly the nth matched hit (1-based)."""
+
+    n: int
+
+    def fires(self, hit: int, detail: dict, now: Optional[int]) -> bool:
+        return hit == self.n
+
+    def __repr__(self) -> str:
+        return f"nth_hit({self.n})"
+
+
+@dataclass(frozen=True, repr=False)
+class EveryN(Schedule):
+    """Fire on every nth matched hit."""
+
+    n: int
+
+    def fires(self, hit: int, detail: dict, now: Optional[int]) -> bool:
+        return hit % self.n == 0
+
+    def __repr__(self) -> str:
+        return f"every({self.n})"
+
+
+class Probability(Schedule):
+    """Fire each matched hit with probability ``p``, drawn from a
+    private seeded stream: the decision for the k-th hit depends only on
+    (seed, k), never on other rules or the wall clock."""
+
+    def __init__(self, p: float, seed: int):
+        self.p = p
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fires(self, hit: int, detail: dict, now: Optional[int]) -> bool:
+        return self._rng.random() < self.p
+
+    def __repr__(self) -> str:
+        return f"probability({self.p}, seed={self.seed})"
+
+
+@dataclass(frozen=True, repr=False)
+class HlcWindow(Schedule):
+    """Fire while the simulated clock reads inside ``[start, end)``.
+    Requires the registry's ``clock`` to be bound; with no clock the
+    window never fires (chaos runs bind ``db.clock.now``)."""
+
+    start: int
+    end: int
+
+    def fires(self, hit: int, detail: dict, now: Optional[int]) -> bool:
+        return now is not None and self.start <= now < self.end
+
+    def __repr__(self) -> str:
+        return f"hlc_window({self.start}, {self.end})"
+
+
+def nth_hit(n: int) -> NthHit:
+    return NthHit(n)
+
+
+def every(n: int) -> EveryN:
+    return EveryN(n)
+
+
+def probability(p: float, seed: int) -> Probability:
+    return Probability(p, seed)
+
+
+def hlc_window(start: int, end: int) -> HlcWindow:
+    return HlcWindow(start, end)
+
+
+@dataclass(frozen=True)
+class PlannedFault:
+    """One entry of a seeded fault plan: arm ``point`` to fire on its
+    ``nth`` matched hit."""
+
+    point: str
+    nth: int
+
+
+class FaultSchedule:
+    """A seeded, replayable fault plan over a set of injection points.
+
+    ``FaultSchedule.random(seed, points, count)`` draws ``count``
+    (point, nth-hit) pairs from a private RNG — the same seed always
+    yields the same plan, which is what lets a chaos run be replayed
+    exactly and shrunk by seed.
+    """
+
+    def __init__(self, seed: int, plan: Sequence[PlannedFault]):
+        self.seed = seed
+        self.plan = tuple(plan)
+
+    @staticmethod
+    def random(seed: int, points: Sequence[str], count: int,
+               max_hit: int = 12) -> "FaultSchedule":
+        rng = random.Random(seed)
+        plan = [PlannedFault(rng.choice(list(points)),
+                             rng.randint(1, max_hit))
+                for __ in range(count)]
+        return FaultSchedule(seed, plan)
+
+    def install(self, registry, match=None) -> list:
+        """Arm every planned fault on ``registry``; returns the rules so
+        the caller can inspect which ones fired."""
+        rules = []
+        for index, fault in enumerate(self.plan):
+            rules.append(registry.arm(
+                fault.point, NthHit(fault.nth),
+                error=_fault_error(fault, self.seed, index),
+                times=1, match=match,
+                description=f"seed={self.seed}#{index}"))
+        return rules
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultSchedule(seed={self.seed}, plan={list(self.plan)})"
+
+
+def _fault_error(fault: PlannedFault, seed: int, index: int):
+    def build() -> InjectedFault:
+        return InjectedFault(
+            f"chaos fault (seed={seed}, #{index}) at {fault.point} "
+            f"hit {fault.nth}", point=fault.point)
+    return build

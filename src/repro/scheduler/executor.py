@@ -73,10 +73,26 @@ class ParallelRefreshCoordinator:
                      ) -> list[RefreshRecord]:
         """Refresh every ``(dt, refresh_ts)`` job concurrently; records
         return in job order. ``engine.refresh`` never raises — failures
-        come back as error records — so one failed refresh cannot strand
-        the rest of its wave."""
-        return self.pool.map_ordered(
-            lambda job: self.engine.refresh(job[0], job[1]), jobs)
+        come back as error records — but the worker *task itself* can
+        still die (a crashed pool thread, an injected ``worker.task``
+        fault). ``return_exceptions`` confines such a crash to its own
+        job: the coordinator synthesizes an error record for it, counted
+        against the DT like any refresh failure, and the rest of the
+        wave completes normally."""
+        results = self.pool.map_ordered(
+            lambda job: self.engine.refresh(job[0], job[1]), jobs,
+            return_exceptions=True)
+        records: list[RefreshRecord] = []
+        for (dt, refresh_ts), result in zip(jobs, results):
+            if isinstance(result, BaseException):
+                record = RefreshRecord(
+                    data_timestamp=refresh_ts,
+                    error=f"{type(result).__name__}: {result}")
+                dt.record_refresh(record)
+                records.append(record)
+            else:
+                records.append(result)
+        return records
 
     def close(self) -> None:
         self.pool.close()

@@ -28,7 +28,7 @@ import enum
 import threading
 from dataclasses import dataclass, field
 
-from repro.core.dynamic_table import DynamicTable
+from repro.core.dynamic_table import DynamicTable, RefreshAction
 from repro.scheduler.metrics import peak_lags, successful_refreshes
 from repro.util.timeutil import Duration, SECOND, Timestamp
 
@@ -161,6 +161,55 @@ class SloEntry:
     #: attempted when due; "customer" when they ran but were too slow or
     #: failed on user errors; None when within the target.
     responsibility: str | None
+
+
+@dataclass(frozen=True)
+class StalenessEntry:
+    """One DT that is (or risks going) stale because of failures —
+    its own, or a failing upstream it is skipping behind. Graceful
+    degradation per section 3.3.3: the DT keeps serving ``serving``
+    (its last refreshed data timestamp); ``lag`` is how far behind
+    ``now`` that leaves readers."""
+
+    dt_name: str
+    #: "suspended", "failing", or "upstream-failed".
+    cause: str
+    #: Last data timestamp with readable data (None: never refreshed).
+    serving: Timestamp | None
+    #: now - serving (None when never refreshed).
+    lag: Duration | None
+    detail: str
+
+
+def staleness_report(dts: list[DynamicTable],
+                     now: Timestamp) -> list[StalenessEntry]:
+    """Which DTs are serving stale data because of failures, and why.
+
+    Covers the three §3.3.3 degradation states: auto-/manually suspended
+    DTs, DTs whose most recent attempt failed (mid-retry-window), and
+    DTs skipping behind a failed upstream (``SKIPPED_UPSTREAM_FAILED``).
+    Healthy DTs produce no entry.
+    """
+    entries: list[StalenessEntry] = []
+    for dt in dts:
+        serving = dt.data_timestamp
+        lag = (now - serving) if serving is not None else None
+        last = dt.refresh_history[-1] if dt.refresh_history else None
+        if dt.suspended:
+            entries.append(StalenessEntry(
+                dt.name, "suspended", serving, lag,
+                dt.suspended_reason or "suspended"))
+        elif last is not None and last.error is not None:
+            entries.append(StalenessEntry(
+                dt.name, "failing", serving, lag,
+                f"{dt.consecutive_failures} consecutive failure(s); "
+                f"last: {last.error}"))
+        elif (last is not None
+              and last.action is RefreshAction.SKIPPED_UPSTREAM_FAILED):
+            entries.append(StalenessEntry(
+                dt.name, "upstream-failed", serving, lag,
+                "skipping behind a failed upstream"))
+    return entries
 
 
 def slo_report(dts: list[DynamicTable]) -> list[SloEntry]:

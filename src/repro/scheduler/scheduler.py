@@ -36,8 +36,10 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.core.dynamic_table import DynamicTable, RefreshRecord
+from repro.core.dynamic_table import (DynamicTable, RefreshAction,
+                                      RefreshRecord)
 from repro.core.graph import DependencyGraph
+from repro.errors import VersionNotFound
 from repro.core.refresh import RefreshEngine
 from repro.scheduler.clock import SimClock
 from repro.scheduler.cost import CostModel
@@ -279,13 +281,47 @@ class Scheduler:
                 continue
             try:
                 upstream.table.version_for_refresh(time)
-            except Exception:
-                self._record_skip(dt, time)
+            except VersionNotFound:
+                self._record_skip(
+                    dt, time,
+                    upstream_failed=self._upstream_failed(upstream, time))
+                return None
+            except Exception as exc:
+                # Anything else is a real error, not a missing version.
+                # It must never be swallowed as a silent skip: record it
+                # on the DT as a failed attempt (visible in history,
+                # counted toward auto-suspension) and skip this tick.
+                record = RefreshRecord(
+                    data_timestamp=time,
+                    error=(f"upstream probe of {upstream.name!r} failed: "
+                           f"{type(exc).__name__}: {exc}"))
+                dt.record_refresh(record)
+                self.report.record(record)
                 return None
         return upstream_ends
 
-    def _record_skip(self, dt: DynamicTable, time: Timestamp) -> None:
+    @staticmethod
+    def _upstream_failed(upstream: DynamicTable, time: Timestamp) -> bool:
+        """Whether an upstream's missing version at ``time`` is due to
+        *failure* (suspended, or its attempt at this timestamp errored)
+        rather than benign scheduling (larger period, still running)."""
+        if upstream.suspended:
+            return True
+        for record in reversed(upstream.refresh_history):
+            if record.data_timestamp < time:
+                break
+            if record.data_timestamp == time and record.error is not None:
+                return True
+        return False
+
+    def _record_skip(self, dt: DynamicTable, time: Timestamp,
+                     upstream_failed: bool = False) -> None:
         record = RefreshRecord(data_timestamp=time, skipped=True)
+        if upstream_failed:
+            # Section 3.3.3 graceful degradation: the DT keeps serving
+            # its last version while its upstream is failing, and the
+            # skip is distinguishable (staleness reports, EXPLAIN).
+            record.action = RefreshAction.SKIPPED_UPSTREAM_FAILED
         dt.record_refresh(record)
         self.report.record(record)
 
@@ -304,6 +340,10 @@ class Scheduler:
         if record.error is not None:
             # Failed refreshes burn only the fixed cost.
             duration = self.cost_model.fixed_cost
+        # Retried attempts waited out their exponential backoff on the
+        # simulated clock: fold it into the modeled duration so liveness
+        # and warehouse occupancy see the retries (never a wall sleep).
+        duration += record.backoff_total
         slot_index: Optional[int] = None
         if self._dispatch_slots:
             slot_index = min(range(len(self._dispatch_slots)),

@@ -377,10 +377,14 @@ class Undrop(Statement):
 
 @dataclass(frozen=True)
 class AlterDynamicTable(Statement):
-    """``ALTER DYNAMIC TABLE name SUSPEND | RESUME | REFRESH``."""
+    """``ALTER DYNAMIC TABLE name SUSPEND | RESUME | REFRESH`` or
+    ``... SET key = value [, ...]`` (failure-policy options: RETRIES,
+    BACKOFF, BACKOFF_FACTOR, ERROR_THRESHOLD)."""
 
     name: str
-    action: str  # "suspend" | "resume" | "refresh"
+    action: str  # "suspend" | "resume" | "refresh" | "set"
+    #: ``(key, value)`` pairs for the "set" action; empty otherwise.
+    options: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -389,7 +389,10 @@ class _Parser:
                 return n.AlterDynamicTable(name, "resume")
             if self.accept_keyword("refresh"):
                 return n.AlterDynamicTable(name, "refresh")
-            raise self._error("expected SUSPEND, RESUME, or REFRESH")
+            if self.accept_keyword("set"):
+                return n.AlterDynamicTable(name, "set",
+                                           self._policy_options())
+            raise self._error("expected SUSPEND, RESUME, REFRESH, or SET")
         self.expect_keyword("table")
         name = self.expect_identifier("table name")
         if self.accept_keyword("rename"):
@@ -398,6 +401,29 @@ class _Parser:
         if self.accept_keyword("recluster"):
             return n.Recluster(name)
         raise self._error("expected RENAME TO or RECLUSTER")
+
+    def _policy_options(self) -> tuple:
+        """``key = value [, key = value ...]`` after ALTER ... SET.
+        Values are integers (counts/factors) or string literals
+        (durations like '10 seconds'); keys are validated by the
+        session layer, not here."""
+        options: list[tuple[str, object]] = []
+        while True:
+            key = self.expect_identifier("option name")
+            self.expect_operator("=")
+            token = self._peek()
+            if token.type == TokenType.NUMBER and "." not in token.text:
+                self._advance()
+                value: object = int(token.text)
+            elif token.type == TokenType.STRING:
+                self._advance()
+                value = token.text
+            else:
+                raise self._error("expected option value")
+            options.append((key, value))
+            if not self.accept_operator(","):
+                break
+        return tuple(options)
 
     # -- queries -----------------------------------------------------------
 

@@ -27,6 +27,7 @@ from typing import Iterable, Optional, Sequence
 from repro.engine.relation import Relation, columnar_enabled
 from repro.engine.schema import Schema
 from repro.errors import ChangeIntegrityError, InternalError, VersionNotFound
+from repro.faults import inject
 from repro.ivm import rowid
 from repro.ivm.changes import ChangeSet
 from repro.storage.partition import Partition, build_partitions
@@ -281,6 +282,7 @@ class VersionedTable:
 
     def apply(self, write: StagedWrite, commit_ts: HlcTimestamp) -> TableVersion:
         """Apply a staged write, producing and installing a new version."""
+        inject("storage.apply", table=self.name)
         if commit_ts <= self.current_version.commit_ts:
             raise InternalError(
                 f"non-monotonic commit timestamp on table {self.name!r}")

@@ -50,6 +50,7 @@ from typing import Callable, Optional, Union
 
 from repro.engine.relation import Relation
 from repro.errors import LockConflict, NotInitializedError, TransactionError
+from repro.faults import inject
 from repro.ivm.changes import ChangeSet
 from repro.storage.catalog import Catalog
 from repro.storage.table import StagedWrite, TableVersion, VersionedTable
@@ -433,6 +434,14 @@ class Transaction:
         catalog = self._manager.catalog
         written = sorted(name for name, write in self._writes.items()
                          if not write.is_empty)
+        durability = self._manager.durability
+        if written or self.wal_meta is not None:
+            if durability is not None:
+                # Degraded read-only mode (a WAL write failed earlier):
+                # refuse the write before any lock or state change; reads
+                # keep serving the last consistent versions.
+                durability.check_writable()
+            inject("txn.commit", tables=tuple(written))
         try:
             # Queue on the written tables' locks first (sorted order, so
             # concurrent commits cannot deadlock) — possibly blocking, so
@@ -464,20 +473,22 @@ class Transaction:
                             raise LockConflict(conflict)
 
                 commit_ts = self._manager.hlc.now()
-                for name in written:
-                    catalog.versioned_table(name).apply(self._writes[name],
-                                                        commit_ts)
-                # WAL append inside the commit mutex: log order equals
-                # commit order, and the record hits stable storage before
-                # the commit returns. Empty transactions with no refresh
-                # metadata are non-events and are not logged.
-                durability = self._manager.durability
+                # WAL append inside the commit mutex, *before* any version
+                # is installed (redo-log ordering): log order equals
+                # commit order, the record hits stable storage before the
+                # commit returns, and a WAL failure fails the commit with
+                # zero in-memory mutation — memory never runs ahead of
+                # the log. Empty transactions with no refresh metadata
+                # are non-events and are not logged.
                 if durability is not None and (written
                                                or self.wal_meta is not None):
                     durability.log_commit(
                         commit_ts,
                         {name: self._writes[name] for name in written},
                         self.wal_meta)
+                for name in written:
+                    catalog.versioned_table(name).apply(self._writes[name],
+                                                        commit_ts)
         finally:
             self._release_locks()
         self.committed = commit_ts

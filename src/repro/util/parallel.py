@@ -29,7 +29,9 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, TypeVar
+from typing import Callable, Optional, Sequence, TypeVar, Union
+
+from repro.faults import inject
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -61,14 +63,31 @@ class WorkerPool:
                     max_workers=self.workers, thread_name_prefix=self._name)
             return self._executor
 
-    def map_ordered(self, fn: Callable[[T], R],
-                    items: Sequence[T]) -> list[R]:
+    def map_ordered(self, fn: Callable[[T], R], items: Sequence[T],
+                    return_exceptions: bool = False,
+                    ) -> list[Union[R, BaseException]]:
         """Apply ``fn`` to every item concurrently; results come back in
-        input order (a worker exception propagates to the caller)."""
+        input order. By default a worker exception propagates to the
+        caller; with ``return_exceptions=True`` each failing task yields
+        its exception *as the result* instead, so one crashed task cannot
+        take down its siblings (wave isolation in the DAG executor)."""
+        def task(item: T) -> Union[R, BaseException]:
+            if not return_exceptions:
+                inject("worker.task", pool=self._name)
+                return fn(item)
+            try:
+                # The injection point sits inside the guard: a fault here
+                # models the worker crashing at task startup, and wave
+                # isolation must contain that too.
+                inject("worker.task", pool=self._name)
+                return fn(item)
+            except Exception as exc:
+                return exc
+
         if self.workers == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            return [task(item) for item in items]
         executor = self._ensure_executor()
-        futures = [executor.submit(fn, item) for item in items]
+        futures = [executor.submit(task, item) for item in items]
         return [future.result() for future in futures]
 
     def close(self) -> None:

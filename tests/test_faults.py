@@ -1,0 +1,405 @@
+"""Tests for the deterministic fault-injection subsystem and the refresh
+failure policies it drives: registry + schedules, retry with modeled
+backoff, error-threshold auto-suspension (§3.3.3), upstream-failure skip
+propagation, wave isolation, and the ALTER/create policy surface."""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import (RefreshAction, RetryPolicy,
+                                      decode_option_detail,
+                                      encode_option_detail)
+from repro.errors import (InjectedFault, LockConflict, SuspendedError,
+                          TransientError, UserError, is_transient)
+from repro.faults import (KNOWN_POINTS, FaultSchedule, HlcWindow, NthHit,
+                          Probability, every, inject, nth_hit, registry)
+from repro.scheduler.liveness import staleness_report
+from repro.scheduler.periods import BASE_PERIOD
+from repro.util.timeutil import MILLISECOND, MINUTE, SECOND
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reg = registry()
+    reg.clear()
+    reg.trace(False)
+    reg.clock = None
+    yield
+    reg.clear()
+    reg.trace(False)
+    reg.clock = None
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.create_warehouse("wh")
+    database.execute("CREATE TABLE src (id int, grp text, val int)")
+    database.execute(
+        "INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20), (3, 'a', 30)")
+    return database
+
+
+def make_dt(db, name="d", sql="SELECT grp, sum(val) s FROM src GROUP BY grp",
+            **kwargs):
+    return db.create_dynamic_table(name, sql, "1 minute", "wh", **kwargs)
+
+
+def refresh_once(db, dt):
+    """One engine-level refresh at a fresh timestamp; returns the record
+    (errors land on the record instead of raising, like the scheduler)."""
+    return db.engine.refresh(dt, db.clock.advance(MILLISECOND))
+
+
+class TestRegistry:
+    def test_inject_is_noop_with_nothing_armed(self):
+        inject("storage.apply", table="t")  # must not raise
+
+    def test_armed_rule_fires_once_by_default(self):
+        rule = registry().arm("storage.apply", nth_hit(1))
+        with pytest.raises(InjectedFault) as exc:
+            inject("storage.apply", table="t")
+        assert exc.value.point == "storage.apply"
+        inject("storage.apply", table="t")  # times=1: spent
+        assert rule.fired == 1
+        assert registry().fired_log == [("storage.apply", rule.description)]
+
+    def test_match_filter_gates_the_hit_counter(self):
+        rule = registry().arm("txn.commit", nth_hit(1),
+                              match=lambda d: "dt1" in d.get("tables", ()))
+        inject("txn.commit", tables=("src",))
+        assert rule.hits == 1 and rule.matched == 0
+        with pytest.raises(InjectedFault):
+            inject("txn.commit", tables=("dt1",))
+
+    def test_nth_hit_fires_on_exactly_the_nth(self):
+        registry().arm("wal.append", nth_hit(3))
+        inject("wal.append")
+        inject("wal.append")
+        with pytest.raises(InjectedFault):
+            inject("wal.append")
+
+    def test_every_n_with_unlimited_times(self):
+        registry().arm("wal.append", every(2), times=None)
+        fired = 0
+        for __ in range(6):
+            try:
+                inject("wal.append")
+            except InjectedFault:
+                fired += 1
+        assert fired == 3
+
+    def test_disarm_and_clear(self):
+        rule = registry().arm("wal.append", nth_hit(1))
+        registry().disarm(rule)
+        inject("wal.append")
+        registry().arm("wal.append", nth_hit(1))
+        registry().clear()
+        inject("wal.append")
+        assert not registry().armed
+
+    def test_custom_error_factory(self):
+        registry().arm("refresh.execute", nth_hit(1),
+                       error=lambda: TransientError("flaky network"))
+        with pytest.raises(TransientError, match="flaky network"):
+            inject("refresh.execute")
+
+    def test_hlc_window_uses_registry_clock(self):
+        now = [0]
+        registry().clock = lambda: now[0]
+        registry().arm("refresh.execute", HlcWindow(100, 200), times=None)
+        inject("refresh.execute")  # before the window
+        now[0] = 150
+        with pytest.raises(InjectedFault):
+            inject("refresh.execute")
+        now[0] = 250
+        inject("refresh.execute")  # after the window
+
+    def test_probability_stream_is_seed_deterministic(self):
+        a = Probability(0.5, seed=7)
+        b = Probability(0.5, seed=7)
+        draws_a = [a.fires(i, {}, None) for i in range(1, 33)]
+        draws_b = [b.fires(i, {}, None) for i in range(1, 33)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_fault_schedule_replays_from_seed(self):
+        one = FaultSchedule.random(42, KNOWN_POINTS, count=6)
+        two = FaultSchedule.random(42, KNOWN_POINTS, count=6)
+        assert one.plan == two.plan
+        assert FaultSchedule.random(43, KNOWN_POINTS, 6).plan != one.plan
+
+
+class TestPointCoverage:
+    def test_every_known_point_is_threaded(self, tmp_path):
+        """Tracing a realistic durable workload must hit every point in
+        KNOWN_POINTS — proof the names refer to live engine sites."""
+        reg = registry()
+        reg.trace(True)
+        db = Database(path=str(tmp_path), parallelism=2)
+        db.create_warehouse("wh")
+        db.execute("CREATE TABLE src (id int, val int)")
+        db.execute("INSERT INTO src VALUES (1, 10), (2, 20)")
+        db.create_dynamic_table("d", "SELECT id, val FROM src",
+                                "1 minute", "wh")
+        db.create_dynamic_table("e", "SELECT val FROM src", "1 minute", "wh")
+        db.execute("INSERT INTO src VALUES (3, 30)")
+        db.run_for(2 * MINUTE)
+        db.checkpoint()
+        db.close()
+        hits = reg.hit_counts()
+        # wal.torn / wal.fsync sit inside wal.append; they count as hit
+        # alongside it.
+        missing = [p for p in KNOWN_POINTS if hits.get(p, 0) == 0]
+        assert not missing, f"never hit: {missing} (hits: {hits})"
+
+
+class TestRetryPolicy:
+    def test_transient_classification(self):
+        assert is_transient(InjectedFault("x"))
+        assert is_transient(TransientError("x"))
+        assert is_transient(LockConflict("x"))
+        assert not is_transient(UserError("x"))
+
+    def test_transient_failure_retries_and_recovers(self, db):
+        dt = make_dt(db)
+        dt.retry_policy = RetryPolicy(max_retries=2)
+        db.execute("INSERT INTO src VALUES (4, 'a', 5)")
+        registry().arm("refresh.execute", nth_hit(1),
+                       match=lambda d: d.get("dt") == "d")
+        record = refresh_once(db, dt)
+        assert record.error is None
+        assert record.retries == 1
+        assert record.backoff_total == dt.retry_policy.delay(1)
+        assert record.action == RefreshAction.INCREMENTAL
+        assert dt.consecutive_failures == 0
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 45), ("b", 20)]
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(max_retries=5, backoff_base=8 * SECOND,
+                             backoff_factor=2, backoff_cap=20 * SECOND)
+        assert policy.delay(1) == 8 * SECOND
+        assert policy.delay(2) == 16 * SECOND
+        assert policy.delay(3) == 20 * SECOND  # capped
+
+    def test_retry_budget_exhaustion_records_the_error(self, db):
+        dt = make_dt(db)
+        dt.retry_policy = RetryPolicy(max_retries=1)
+        registry().arm("refresh.execute", every(1), times=2,
+                       match=lambda d: d.get("dt") == "d")
+        record = refresh_once(db, dt)
+        assert record.retries == 1
+        assert record.error is not None and "InjectedFault" in record.error
+        assert dt.consecutive_failures == 1
+
+    def test_permanent_error_is_not_retried(self, db):
+        dt = make_dt(db)
+        dt.retry_policy = RetryPolicy(max_retries=3)
+        registry().arm("refresh.execute", nth_hit(1),
+                       error=lambda: UserError("division by zero"),
+                       match=lambda d: d.get("dt") == "d")
+        record = refresh_once(db, dt)
+        assert record.retries == 0
+        assert "division by zero" in record.error
+
+    def test_scheduler_folds_backoff_into_modeled_duration(self, db):
+        dt = make_dt(db)
+        dt.retry_policy = RetryPolicy(max_retries=1)
+        registry().arm("refresh.execute", nth_hit(1), times=None,
+                       match=lambda d: d.get("dt") == "d")
+        db.run_for(2 * MINUTE)
+        retried = [r for r in dt.refresh_history if r.retries]
+        assert retried
+        record = retried[0]
+        assert record.end_wall - record.start_wall >= record.backoff_total
+
+
+class TestAutoSuspend:
+    def test_threshold_failures_auto_suspend(self, db):
+        dt = make_dt(db)
+        dt.error_threshold = 3
+        registry().arm("refresh.execute", every(1), times=None,
+                       match=lambda d: d.get("dt") == "d")
+        for __ in range(3):
+            refresh_once(db, dt)
+        assert dt.suspended
+        assert "3 consecutive refresh failures" in dt.suspended_reason
+        # Refreshing a suspended DT raises; its last version stays
+        # readable (graceful degradation).
+        with pytest.raises(SuspendedError):
+            db.refresh_dynamic_table("d")
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 40), ("b", 20)]
+
+    def test_resume_clears_counter_and_reason(self, db):
+        dt = make_dt(db)
+        dt.error_threshold = 1
+        registry().arm("refresh.execute", nth_hit(1),
+                       match=lambda d: d.get("dt") == "d")
+        refresh_once(db, dt)
+        assert dt.suspended and dt.consecutive_failures == 1
+        dt.resume()
+        assert not dt.suspended
+        assert dt.suspended_reason is None
+        assert dt.consecutive_failures == 0
+        record = refresh_once(db, dt)
+        assert record.error is None
+
+    def test_success_resets_consecutive_failures(self, db):
+        dt = make_dt(db)
+        dt.error_threshold = 3
+        registry().arm("refresh.execute", nth_hit(1), times=2,
+                       match=lambda d: d.get("dt") == "d")
+        refresh_once(db, dt)
+        assert dt.consecutive_failures == 1
+        registry().clear()
+        refresh_once(db, dt)
+        assert dt.consecutive_failures == 0
+        assert not dt.suspended
+
+
+class TestPolicySurface:
+    def test_alter_set_updates_policy(self, db):
+        dt = make_dt(db)
+        db.execute("ALTER DYNAMIC TABLE d SET retries = 2, "
+                   "backoff = '10 seconds', backoff_factor = 3, "
+                   "error_threshold = 7")
+        assert dt.retry_policy.max_retries == 2
+        assert dt.retry_policy.backoff_base == 10 * SECOND
+        assert dt.retry_policy.backoff_factor == 3
+        assert dt.error_threshold == 7
+
+    def test_alter_set_unknown_key_rejected(self, db):
+        make_dt(db)
+        with pytest.raises(UserError, match="unknown dynamic table option"):
+            db.execute("ALTER DYNAMIC TABLE d SET nonsense = 1")
+
+    def test_alter_set_validates_values(self, db):
+        make_dt(db)
+        with pytest.raises(UserError, match="must be >= 1"):
+            db.execute("ALTER DYNAMIC TABLE d SET error_threshold = 0")
+
+    def test_create_with_options(self, db):
+        dt = make_dt(db, options={"retries": 4, "backoff": "2 seconds"})
+        assert dt.retry_policy.max_retries == 4
+        assert dt.retry_policy.backoff_base == 2 * SECOND
+
+    def test_option_detail_round_trips(self):
+        options = {"retries": 2, "backoff": "10 seconds"}
+        detail = encode_option_detail(options)
+        assert detail == "set retries=2, backoff=10 seconds"
+        assert decode_option_detail(detail) == {
+            "retries": "2", "backoff": "10 seconds"}
+        assert decode_option_detail("suspend") is None
+
+
+class TestUpstreamFailurePropagation:
+    def _chain(self, db):
+        a = make_dt(db, name="a")
+        b = db.create_dynamic_table("b", "SELECT grp, s FROM a",
+                                    "1 minute", "wh")
+        return a, b
+
+    def test_downstream_skips_with_upstream_failed_action(self, db):
+        a, b = self._chain(db)
+        a.error_threshold = 100
+        registry().arm("refresh.execute", every(1), times=None,
+                       match=lambda d: d.get("dt") == "a")
+        db.execute("INSERT INTO src VALUES (9, 'c', 1)")
+        db.run_for(3 * MINUTE)
+        skips = [r for r in b.refresh_history
+                 if r.action == RefreshAction.SKIPPED_UPSTREAM_FAILED]
+        assert skips, [
+            (r.action, r.skipped, r.error) for r in b.refresh_history]
+        # b keeps serving its creation-time data (graceful degradation).
+        assert sorted(db.query("SELECT * FROM b").rows) == [
+            ("a", 40), ("b", 20)]
+
+    def test_benign_skip_is_not_flagged_upstream_failed(self, db):
+        """A skip behind a *suspended manually-healthy* upstream is
+        flagged, but a skip with no upstream failure at all (previous
+        refresh still running) stays a plain skip."""
+        dt = make_dt(db)
+        from repro.scheduler.cost import CostModel
+
+        db.scheduler.cost_model = CostModel(fixed_cost=10 * MINUTE,
+                                            no_data_cost=10 * MINUTE)
+        db.run_for(4 * BASE_PERIOD)
+        plain = [r for r in dt.refresh_history if r.skipped]
+        assert plain
+        assert all(r.action is not RefreshAction.SKIPPED_UPSTREAM_FAILED
+                   for r in plain)
+
+    def test_staleness_report_and_explain(self, db):
+        a, b = self._chain(db)
+        a.error_threshold = 2
+        registry().arm("refresh.execute", every(1), times=None,
+                       match=lambda d: d.get("dt") == "a")
+        db.run_for(4 * MINUTE)
+        assert a.suspended
+        entries = {e.dt_name: e for e in
+                   staleness_report([a, b], db.clock.now())}
+        assert entries["a"].cause == "suspended"
+        assert entries["b"].cause == "upstream-failed"
+        assert entries["b"].serving is not None
+        plan = db.session().explain("SELECT * FROM b")
+        assert "-- staleness b: upstream-failed" in plan
+        plan_a = db.session().explain("SELECT * FROM a")
+        assert "-- staleness a: suspended" in plan_a
+
+    def test_upstream_probe_error_is_recorded_not_swallowed(self, db):
+        """Satellite 1: a non-VersionNotFound error out of the skip
+        gate's upstream probe lands on a RefreshRecord."""
+        a, b = self._chain(db)
+
+        def boom(time):
+            raise RuntimeError("catalog corruption")
+
+        a.table.version_for_refresh = boom
+        # a itself must not refresh this tick or the probe is skipped.
+        a.suspend()
+        db.run_for(2 * MINUTE)
+        errors = [r for r in b.refresh_history if r.error is not None]
+        assert errors
+        assert "RuntimeError" in errors[0].error
+        assert "catalog corruption" in errors[0].error
+        assert db.scheduler.report.refreshes_failed >= 1
+
+
+class TestWaveIsolation:
+    def test_crashed_worker_task_fails_only_its_job(self, db):
+        db.set_parallelism(2)
+        d1 = make_dt(db, name="d1", sql="SELECT grp FROM src")
+        d2 = make_dt(db, name="d2", sql="SELECT val FROM src")
+        # Independent DTs share wave 0; exactly one task crashes at
+        # startup (before engine.refresh), whichever arrives first.
+        registry().arm("worker.task", nth_hit(1),
+                       match=lambda d: d.get("pool") == "repro-refresh")
+        db.execute("INSERT INTO src VALUES (7, 'z', 70)")
+        db.run_for(2 * MINUTE)
+        errored = [dt for dt in (d1, d2)
+                   if any(r.error is not None and "InjectedFault" in r.error
+                          for r in dt.refresh_history)]
+        assert len(errored) == 1
+        survivor = d2 if errored == [d1] else d1
+        assert any(r.action == RefreshAction.INCREMENTAL
+                   for r in survivor.refresh_history)
+        # The failed DT catches up once the fault is spent.
+        assert all(db.check_dvs(name) for name in ("d1", "d2"))
+
+    def test_agg_state_invalidated_not_corrupted(self, db):
+        """A fault inside the refresh (after agg-state began) aborts the
+        state cleanly; the next refresh rebuilds and stays correct."""
+        dt = make_dt(db)
+        assert refresh_once(db, dt).error is None
+        registry().arm("storage.apply", nth_hit(1),
+                       match=lambda d: d.get("table") == "d")
+        db.execute("INSERT INTO src VALUES (5, 'b', 7)")
+        record = refresh_once(db, dt)
+        assert record.error is not None
+        record = refresh_once(db, dt)
+        assert record.error is None
+        assert sorted(db.query("SELECT * FROM d").rows) == [
+            ("a", 40), ("b", 27)]
+        assert db.check_dvs("d")

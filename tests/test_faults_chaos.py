@@ -1,0 +1,143 @@
+"""The chaos property test (the fault subsystem's capstone): a multi-DT
+workload runs under a *seeded random fault schedule*, the faults are then
+cleared, every DT is resumed and refreshed — and the result must converge
+to exactly what a fault-free twin run of the same workload produces.
+
+Convergence is asserted on query *values* (sorted result rows per DT)
+plus the delta-vs-recompute invariant (``check_dvs``), not on internal
+row ids: a DT that lost a tick to a fault catches up with one wider
+incremental delta, which legitimately allocates different row ids for
+the same logical rows.
+
+Faults are match-restricted to DT activity (refresh execution, DT table
+applies, DT refresh commits) so the base-table DML stream is identical
+in both runs; the scheduler stays serial so the nth-hit counters see a
+deterministic arrival order and the whole run replays exactly from its
+seed.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.dynamic_table import RefreshAction
+from repro.faults import FaultSchedule, registry
+from repro.scheduler.periods import BASE_PERIOD
+from repro.util.timeutil import SECOND
+
+DT_NAMES = ("agg", "filt", "top")
+
+#: Refresh-path injection points a serial scheduled run drives.
+CHAOS_POINTS = ("refresh.execute", "storage.apply", "txn.commit")
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    registry().clear()
+    yield
+    registry().clear()
+
+
+def dt_activity(detail: dict) -> bool:
+    """Restrict faults to DT refresh work, never base-table DML — the
+    source data stream must be identical with and without faults."""
+    if "dt" in detail:
+        return detail["dt"] in DT_NAMES
+    if "table" in detail:
+        return detail["table"] in DT_NAMES
+    if "tables" in detail:
+        return bool(set(DT_NAMES) & set(detail["tables"]))
+    return False
+
+
+def build_workload() -> Database:
+    db = Database()
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE src (id int, grp text, val int)")
+    db.execute("INSERT INTO src VALUES (1, 'a', 10), (2, 'b', 20)")
+    options = {"retries": 1, "backoff": "1 second", "error_threshold": 2}
+    db.create_dynamic_table(
+        "agg", "SELECT grp, sum(val) s FROM src GROUP BY grp",
+        "1 minute", "wh", options=options)
+    db.create_dynamic_table(
+        "filt", "SELECT id, val FROM src WHERE val > 15",
+        "1 minute", "wh", options=options)
+    # A DT over a DT: upstream failures must propagate as skips, and
+    # convergence must still hold through the chain.
+    db.create_dynamic_table(
+        "top", "SELECT grp, s FROM agg WHERE s > 20",
+        "1 minute", "wh", options=options)
+    step = BASE_PERIOD // 2
+    dml = [
+        "INSERT INTO src VALUES (3, 'a', 30)",
+        "INSERT INTO src VALUES (4, 'c', 5)",
+        "DELETE FROM src WHERE id = 2",
+        "INSERT INTO src VALUES (5, 'b', 25), (6, 'a', 1)",
+        "INSERT INTO src VALUES (7, 'c', 40)",
+        "DELETE FROM src WHERE val > 35",
+        "INSERT INTO src VALUES (8, 'b', 8)",
+    ]
+    for index, statement in enumerate(dml):
+        db.at((index + 1) * step + SECOND,
+              lambda s=statement: db.execute(s))
+    return db
+
+
+def run_workload(seed, faulty: bool):
+    """One full run; returns (per-DT sorted values, faults fired)."""
+    db = build_workload()
+    rules = []
+    if faulty:
+        schedule = FaultSchedule.random(seed, CHAOS_POINTS, count=6,
+                                        max_hit=8)
+        rules = schedule.install(registry(), match=dt_activity)
+    db.run_for(8 * BASE_PERIOD)
+    fired = sum(rule.fired for rule in rules)
+    # End of the chaos window: clear the faults, resume everything (a
+    # resume of a non-suspended DT is a no-op, so both runs make the
+    # identical call sequence), and refresh every DT to convergence.
+    registry().clear()
+    for name in DT_NAMES:
+        db.dynamic_table(name).resume()
+    for name in DT_NAMES:
+        db.refresh_dynamic_table(name)
+    state = {name: sorted(db.query(f"SELECT * FROM {name}").rows)
+             for name in DT_NAMES}
+    for name in DT_NAMES:
+        assert db.check_dvs(name), (
+            f"{name} diverged from a full recompute (seed={seed}, "
+            f"faulty={faulty})")
+    return state, fired, db
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29])
+def test_chaos_run_converges_to_fault_free_run(seed):
+    clean_state, __, clean_db = run_workload(seed, faulty=False)
+    chaos_state, fired, chaos_db = run_workload(seed, faulty=True)
+    assert fired > 0, "the schedule injected nothing — widen it"
+    assert chaos_state == clean_state
+    # The chaos run really was chaotic: at least one refresh attempt
+    # failed or was skipped over an upstream failure along the way.
+    disturbed = []
+    for name in DT_NAMES:
+        for record in chaos_db.dynamic_table(name).refresh_history:
+            if (record.error is not None
+                    or record.action == RefreshAction.SKIPPED_UPSTREAM_FAILED
+                    or record.retries):
+                disturbed.append((name, record))
+    assert disturbed
+
+
+def test_chaos_replay_is_exact():
+    """The same seed produces byte-for-byte the same chaos run: same
+    rules fired, same refresh outcome sequence, same final state."""
+    def trace(db):
+        return {name: [(r.data_timestamp, r.action, r.error, r.retries,
+                        r.skipped)
+                       for r in db.dynamic_table(name).refresh_history]
+                for name in DT_NAMES}
+
+    state_a, fired_a, db_a = run_workload(17, faulty=True)
+    state_b, fired_b, db_b = run_workload(17, faulty=True)
+    assert fired_a == fired_b
+    assert state_a == state_b
+    assert trace(db_a) == trace(db_b)

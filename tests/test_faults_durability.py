@@ -1,0 +1,168 @@
+"""Fault-driven durability tests: the WAL/checkpoint failure paths
+exercised through the fault-injection subsystem instead of ad-hoc file
+surgery (these replace the mid-record kill-point plumbing that
+``test_durability_property.py`` used to carry).
+
+Covered here: a simulated crash mid-append leaves a torn WAL tail that
+reopening truncates; a checkpoint-write failure aborts the checkpoint
+with the previous checkpoint and the full WAL intact; a WAL fsync
+failure escalates to degraded read-only mode (and ``exit_degraded``
+ends it); and the ``"continue"`` policy counts the loss and carries on.
+"""
+
+import pytest
+
+from repro import Database
+from repro.errors import DurabilityError, InjectedFault
+from repro.faults import nth_hit, registry
+from repro.durability.wal import scan_wal
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    registry().clear()
+    yield
+    registry().clear()
+
+
+def open_db(path) -> Database:
+    return Database(path=str(path))
+
+
+def seed(db) -> None:
+    db.create_warehouse("wh")
+    db.execute("CREATE TABLE t (id int, val int)")
+    db.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+
+
+def rows(db):
+    return sorted(db.query("SELECT * FROM t").rows)
+
+
+def torn_crash() -> InjectedFault:
+    return InjectedFault("simulated crash mid-append", point="wal.torn",
+                         leave_torn=True)
+
+
+class TestTornTail:
+    def test_torn_append_is_truncated_on_reopen(self, tmp_path):
+        db = open_db(tmp_path)
+        seed(db)
+        registry().arm("wal.torn", nth_hit(1), error=torn_crash)
+        # The commit fails before any in-memory mutation (redo-log
+        # ordering: WAL append precedes apply), and the database drops
+        # into degraded read-only mode.
+        with pytest.raises(DurabilityError):
+            db.execute("INSERT INTO t VALUES (3, 30)")
+        assert rows(db) == [(1, 10), (2, 20)]
+        assert db.durability.degraded is not None
+        db.close()  # the "crash": the torn frame is still on disk
+
+        wal_path = str(tmp_path / "wal.log")
+        scan = scan_wal(wal_path)
+        assert scan.file_size > scan.good_end, "no torn tail was left"
+
+        db = open_db(tmp_path)
+        assert db.durability.recovery.torn_bytes > 0
+        assert rows(db) == [(1, 10), (2, 20)]
+        # The reopened WAL is clean again: new commits append and
+        # survive another restart.
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        db.close()
+        db = open_db(tmp_path)
+        assert rows(db) == [(1, 10), (2, 20), (4, 40)]
+        assert db.durability.recovery.torn_bytes == 0
+        db.close()
+
+    def test_two_recoveries_of_a_torn_tail_agree(self, tmp_path):
+        db = open_db(tmp_path)
+        seed(db)
+        registry().arm("wal.torn", nth_hit(1), error=torn_crash)
+        with pytest.raises(DurabilityError):
+            db.execute("INSERT INTO t VALUES (3, 30)")
+        db.close()
+        first = open_db(tmp_path)
+        state = rows(first)
+        seq = first.durability.wal.next_seq
+        first.close()
+        second = open_db(tmp_path)
+        assert rows(second) == state
+        assert second.durability.wal.next_seq == seq
+        second.close()
+
+
+class TestCheckpointWriteFailure:
+    def test_failed_checkpoint_leaves_wal_replayable(self, tmp_path):
+        db = open_db(tmp_path)
+        seed(db)
+        registry().arm("checkpoint.write", nth_hit(1))
+        before = db.durability.wal.position()
+        with pytest.raises(InjectedFault):
+            db.checkpoint()
+        # The abort happened before the WAL reset: nothing was lost and
+        # nothing was installed.
+        assert db.durability.wal.position() == before
+        assert db.durability.last_checkpoint_seq == 0
+        # The database stays fully writable — this was not a commit-path
+        # failure, so no degraded mode.
+        assert db.durability.degraded is None
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        db.close()
+
+        db = open_db(tmp_path)
+        assert rows(db) == [(1, 10), (2, 20), (3, 30)]
+        # A later checkpoint (fault spent) works end to end.
+        db.checkpoint()
+        assert db.durability.last_checkpoint_seq == 1
+        db.close()
+        db = open_db(tmp_path)
+        assert rows(db) == [(1, 10), (2, 20), (3, 30)]
+        assert db.durability.recovery.checkpoint_seq == 1
+        db.close()
+
+
+class TestDegradedReadOnly:
+    def test_fsync_failure_escalates_and_exit_degraded_recovers(
+            self, tmp_path):
+        db = open_db(tmp_path)
+        seed(db)
+        registry().arm("wal.fsync", nth_hit(1))
+        with pytest.raises(DurabilityError):
+            db.execute("INSERT INTO t VALUES (3, 30)")
+        assert db.durability.wal_failures == 1
+        assert "InjectedFault" in db.durability.degraded
+        # Reads keep serving the last consistent state...
+        assert rows(db) == [(1, 10), (2, 20)]
+        # ...while writes are refused up front (check_writable, before
+        # the WAL is touched — the failure count does not grow).
+        with pytest.raises(DurabilityError, match="degraded read-only"):
+            db.execute("INSERT INTO t VALUES (4, 40)")
+        assert db.durability.wal_failures == 1
+
+        db.durability.exit_degraded()
+        db.execute("INSERT INTO t VALUES (5, 50)")
+        db.close()
+        # The failed commit rolled the WAL back to the last good record:
+        # recovery sees a clean log with only the real commits.
+        db = open_db(tmp_path)
+        assert db.durability.recovery.torn_bytes == 0
+        assert rows(db) == [(1, 10), (2, 20), (5, 50)]
+        db.close()
+
+    def test_continue_policy_counts_loss_and_proceeds(self, tmp_path):
+        db = Database(path=str(tmp_path), wal_failure_policy="continue")
+        seed(db)
+        registry().arm("wal.append", nth_hit(1))
+        # The commit succeeds despite the lost record — an explicit opt
+        # into running without durability for it.
+        db.execute("INSERT INTO t VALUES (3, 30)")
+        assert db.durability.wal_failures == 1
+        assert db.durability.degraded is None
+        assert rows(db) == [(1, 10), (2, 20), (3, 30)]
+        db.execute("INSERT INTO t VALUES (4, 40)")
+        db.close()
+        # Only the logged commit survives the restart; the lost one is
+        # gone — visible, counted, never silent.
+        db = open_db(tmp_path)
+        assert rows(db) == [(1, 10), (2, 20), (4, 40)]
+        db.close()

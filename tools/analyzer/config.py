@@ -189,7 +189,10 @@ REPRO_CONFIG = AnalyzerConfig(
         # and consumed on the raising thread.
         "SqlError",
         # Refresh state is serialized per-DT by the DT's table lock.
-        "DynamicTable", "AggStateStore",
+        # A RefreshRecord is filled (and, on retry, reset) by the one
+        # worker executing that refresh before it is published via
+        # record_refresh.
+        "DynamicTable", "RefreshRecord", "AggStateStore",
         "AggregateNodeState", "DistinctNodeState", "_Group",
     }),
     race_allow=frozenset(),

@@ -46,6 +46,15 @@ convention-enforced:
     outside the commit critical section would let the on-disk record
     order diverge from the in-memory apply order.
 
+``bare-except``
+    ``except Exception:`` (or a bare ``except:``) whose handler never
+    re-raises swallows errors silently — the bug class behind refresh
+    failures that vanished instead of being recorded. A catch-all that
+    re-raises (cleanup boundaries) is fine; a genuine swallow is only
+    allowed at boundaries recorded in the allowlist below (places whose
+    *contract* is to convert exceptions into recorded state) or marked
+    with a pragma.
+
 ``unused-pragma``
     A ``# lint: allow-<rule>`` pragma on a line that no longer violates
     that rule is a stale justification — it reads as "this line is
@@ -138,6 +147,19 @@ MATERIALIZE_ALLOWLIST: set[tuple[str, str]] = {
     ("storage/table.py", "_materialize"),
     ("storage/table.py", "recluster"),
     ("storage/table.py", "rows_by_id"),
+}
+
+#: Boundaries whose contract is converting exceptions into recorded
+#: state — the only scopes where a non-re-raising ``except Exception``
+#: is allowed. (path, enclosing scope) pairs; additions need review.
+BARE_EXCEPT_ALLOWLIST: set[tuple[str, str]] = {
+    # The scheduler's skip gate: an upstream probe error is recorded on
+    # the DT as a failed attempt (counted toward auto-suspension), never
+    # propagated into the tick loop.
+    ("scheduler/scheduler.py", "_skip_or_upstream_ends"),
+    # Wave isolation: with return_exceptions=True a crashed worker task
+    # returns its exception as the result so siblings complete.
+    ("util/parallel.py", "task"),
 }
 
 #: The accumulator protocol every concrete accumulator must provide.
@@ -436,6 +458,54 @@ def check_durability_io(tree: ast.Module, rel_path: str,
 
 
 # ---------------------------------------------------------------------------
+# Rule: bare-except
+# ---------------------------------------------------------------------------
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:``, ``except Exception``, ``except BaseException``,
+    or a tuple containing either."""
+    if handler.type is None:
+        return True
+
+    def broad(expr: ast.expr) -> bool:
+        return (isinstance(expr, ast.Name)
+                and expr.id in ("Exception", "BaseException"))
+
+    if broad(handler.type):
+        return True
+    return (isinstance(handler.type, ast.Tuple)
+            and any(broad(elt) for elt in handler.type.elts))
+
+
+def check_bare_except(tree: ast.Module, rel_path: str,
+                      pragmas: PragmaIndex,
+                      force: bool = False) -> Iterator[Violation]:
+    scopes = _scope_stack(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_catch_all(node):
+            continue
+        if any(isinstance(inner, ast.Raise)
+               for inner in ast.walk(node)):
+            continue  # cleanup boundary: catches broadly but re-raises
+        if pragmas.suppresses(node.lineno, "bare-except"):
+            continue
+        scope = scopes.get(node, "<module>")
+        if (rel_path, scope) in BARE_EXCEPT_ALLOWLIST and not force:
+            continue
+        what = ("bare except:" if node.type is None
+                else f"except {ast.unparse(node.type)}:")
+        yield Violation(
+            rel_path, node.lineno, "bare-except",
+            f"{what} in scope {scope!r} swallows the exception (no "
+            "raise in the handler); record the error or re-raise — "
+            "silent swallows are only allowed at allowlisted "
+            "error-recording boundaries")
+
+
+# ---------------------------------------------------------------------------
 # Rule: wal-commit-mutex
 # ---------------------------------------------------------------------------
 
@@ -483,7 +553,8 @@ def check_wal_commit_mutex(tree: ast.Module, rel_path: str,
 # ---------------------------------------------------------------------------
 
 RULES = ("wall-clock", "lock-order", "materialize", "accumulator-protocol",
-         "durability-io", "wal-commit-mutex", "unused-pragma")
+         "durability-io", "bare-except", "wal-commit-mutex",
+         "unused-pragma")
 
 
 def check_file(path: Path, root: Path,
@@ -506,6 +577,8 @@ def check_file(path: Path, root: Path,
                                         force=force_all))
     violations.extend(check_accumulator_protocol(tree, rel_path, pragmas))
     violations.extend(check_durability_io(tree, rel_path, pragmas))
+    violations.extend(check_bare_except(tree, rel_path, pragmas,
+                                        force=force_all))
     violations.extend(check_wal_commit_mutex(tree, rel_path, pragmas))
     for line, rule in pragmas.unused():
         violations.append(Violation(
@@ -555,6 +628,7 @@ FIXTURE_EXPECTATIONS = {
     "bad_materialize.py": "materialize",
     "bad_accumulator.py": "accumulator-protocol",
     "bad_durability_io.py": "durability-io",
+    "bad_bare_except.py": "bare-except",
     "bad_wal_mutex.py": "wal-commit-mutex",
     "bad_unused_pragma.py": "unused-pragma",
 }
